@@ -1,0 +1,33 @@
+//! Announcement-type classifier throughput over a generated archive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcc_core::{classify_archive, clean_archive, CleaningConfig};
+use kcc_tracegen::{generate_mar20, Mar20Config};
+
+fn bench_classifier(c: &mut Criterion) {
+    let cfg = Mar20Config {
+        target_announcements: 50_000,
+        ..Default::default()
+    };
+    let out = generate_mar20(&cfg);
+    let mut cleaned = out.archive.clone();
+    clean_archive(&mut cleaned, &out.registry, &CleaningConfig::default());
+    let n = cleaned.update_count() as u64;
+
+    let mut group = c.benchmark_group("classifier");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+    group.bench_function("classify_50k_updates", |b| {
+        b.iter(|| classify_archive(std::hint::black_box(&cleaned)))
+    });
+    group.bench_function("clean_50k_updates", |b| {
+        b.iter(|| {
+            let mut archive = out.archive.clone();
+            clean_archive(&mut archive, &out.registry, &CleaningConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

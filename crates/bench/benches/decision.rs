@@ -1,0 +1,41 @@
+//! BGP decision process micro-benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcc_bgp_sim::decision::best;
+use kcc_bgp_sim::route::RibEntry;
+use kcc_bgp_sim::session::SessionId;
+use kcc_bgp_types::{Asn, PathAttributes};
+use kcc_topology::{IgpMap, RouteSource, RouterId};
+
+fn candidates(n: usize) -> Vec<RibEntry> {
+    (0..n)
+        .map(|i| RibEntry {
+            attrs: PathAttributes {
+                as_path: format!("{} 3356 12654", 20_000 + i).parse().unwrap(),
+                local_pref: Some(100 + (i % 3) as u32 * 100),
+                med: Some((i % 7) as u32),
+                ..Default::default()
+            },
+            source: RouteSource::Peer,
+            from_session: Some(SessionId(i)),
+            egress: RouterId { asn: Asn(100), index: (i % 4) as u16 },
+        })
+        .collect()
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let me = RouterId { asn: Asn(100), index: 0 };
+    let igp = IgpMap::ring(4);
+    let mut group = c.benchmark_group("decision");
+    for n in [2usize, 8, 32] {
+        let cands = candidates(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("best_of_{n}"), |b| {
+            b.iter(|| best(std::hint::black_box(&cands).iter(), me, &igp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

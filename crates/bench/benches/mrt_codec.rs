@@ -1,0 +1,54 @@
+//! MRT archive read/write throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcc_bgp_types::{Community, PathAttributes, RouteUpdate};
+use kcc_collector::{SessionKey, UpdateArchive};
+use kcc_mrt::MrtReader;
+
+fn sample_archive(n: usize) -> UpdateArchive {
+    let mut archive = UpdateArchive::new(1_584_230_400);
+    let key = SessionKey::new("rrc00", kcc_bgp_types::Asn(20_205), "192.0.2.9".parse().unwrap());
+    for i in 0..n {
+        let mut attrs = PathAttributes {
+            as_path: "20205 3356 174 12654".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        attrs.communities.insert(Community::from_parts(3356, 2500 + (i % 100) as u16));
+        archive.record(
+            &key,
+            RouteUpdate::announce(i as u64 * 1_000, "84.205.64.0/24".parse().unwrap(), attrs),
+        );
+    }
+    archive
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    const N: usize = 2_000;
+    let archive = sample_archive(N);
+    let mut raw = Vec::new();
+    archive.write_mrt(&mut raw).unwrap();
+
+    let mut group = c.benchmark_group("mrt_codec");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("write_2k_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(raw.len());
+            archive.write_mrt(&mut buf).unwrap();
+            buf
+        })
+    });
+    group.bench_function("read_2k_records", |b| {
+        b.iter(|| {
+            let reader = MrtReader::new(&raw[..]);
+            reader.map(|r| r.expect("valid record")).fold(0usize, |n, _| n + 1)
+        })
+    });
+    group.bench_function("archive_roundtrip_2k", |b| {
+        b.iter(|| UpdateArchive::read_mrt(&raw[..], "rrc00", 1_584_230_400).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Simulator event throughput: lab convergence and topology convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcc_bgp_sim::lab::{run_experiment, LabExperiment};
+use kcc_bgp_sim::{Network, SimConfig, SimTime, VendorProfile};
+use kcc_topology::{generate, TopologyConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_events");
+    group.sample_size(20);
+    group.bench_function("lab_exp2_full_run", |b| {
+        b.iter(|| run_experiment(LabExperiment::Exp2, VendorProfile::CISCO_IOS))
+    });
+
+    let topo = generate(&TopologyConfig {
+        n_tier1: 3,
+        n_transit: 8,
+        n_stub: 16,
+        ..Default::default()
+    });
+    // Measure events processed during a full convergence for throughput.
+    let mut probe = Network::from_topology(&topo, SimConfig::default());
+    probe.announce_all_origins(&topo, SimTime::ZERO);
+    probe.run_until_quiet();
+    group.throughput(Throughput::Elements(probe.stats.events_processed));
+    group.bench_function("converge_27_as_topology", |b| {
+        b.iter(|| {
+            let mut net = Network::from_topology(&topo, SimConfig::default());
+            net.announce_all_origins(&topo, SimTime::ZERO);
+            net.run_until_quiet();
+            net.stats.events_processed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

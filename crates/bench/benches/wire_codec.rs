@@ -1,0 +1,48 @@
+//! RFC 4271 codec throughput: UPDATE encode and decode.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcc_bgp_types::{Community, LargeCommunity, PathAttributes};
+use kcc_bgp_wire::{decode_message, encode_message, Message, SessionConfig, UpdatePacket};
+
+fn sample_update() -> Message {
+    let mut attrs = PathAttributes {
+        as_path: "20205 3356 174 12654".parse().unwrap(),
+        next_hop: "192.0.2.1".parse().unwrap(),
+        med: Some(100),
+        ..Default::default()
+    };
+    for v in 0..8u16 {
+        attrs.communities.insert(Community::from_parts(3356, 2500 + v));
+    }
+    attrs.communities.insert_large(LargeCommunity::new(206_924, 1, 44));
+    Message::Update(UpdatePacket::announce("84.205.64.0/24".parse().unwrap(), attrs))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let cfg = SessionConfig::default();
+    let msg = sample_update();
+    let mut encoded = BytesMut::new();
+    encode_message(&msg, &cfg, &mut encoded);
+    let encoded = encoded.freeze();
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_update", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(256);
+            encode_message(std::hint::black_box(&msg), &cfg, &mut buf);
+            buf
+        })
+    });
+    group.bench_function("decode_update", |b| {
+        b.iter(|| {
+            let mut cursor = encoded.clone();
+            decode_message(&mut cursor, &cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Minimal command-line argument parsing for the harness binaries.
+
+/// Parsed common arguments: `--seed N`, `--scale F`, `--quick`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Args {
+    /// RNG seed (default 42).
+    pub seed: u64,
+    /// Scale multiplier on default workload sizes (default 1.0).
+    pub scale: f64,
+    /// Quick mode: shrink workloads for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { seed: 42, scale: 1.0, quick: false }
+    }
+}
+
+impl Args {
+    /// Parses from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                "--scale" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        out.scale = v;
+                    }
+                }
+                "--quick" => out.quick = true,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses from the process environment.
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// A workload size scaled by `--scale` (and `/10` under `--quick`).
+    pub fn sized(&self, base: u64) -> u64 {
+        let scaled = (base as f64 * self.scale) as u64;
+        if self.quick {
+            (scaled / 10).max(1)
+        } else {
+            scaled.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a, Args::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--seed", "7", "--scale", "0.5", "--quick"]);
+        assert_eq!(a.seed, 7);
+        assert!((a.scale - 0.5).abs() < 1e-12);
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn ignores_unknown_and_bad_values() {
+        let a = parse(&["--bogus", "--seed", "notanumber"]);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn sized_scaling() {
+        let a = parse(&["--scale", "2"]);
+        assert_eq!(a.sized(100), 200);
+        let q = parse(&["--quick"]);
+        assert_eq!(q.sized(100), 10);
+        assert_eq!(q.sized(1), 1);
+    }
+}

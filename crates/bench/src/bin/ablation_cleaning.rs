@@ -1,0 +1,170 @@
+//! Ablation: community cleaning strategy vs. routing-message load.
+//!
+//! The paper's §7 recommendation is "properly filter BGP communities".
+//! This ablation quantifies it on the simulated beacon day: with the whole
+//! Internet cleaning nowhere / on egress / on ingress, how many messages
+//! does the collector receive, and of which types? It also re-runs the lab
+//! topology per strategy (Exp2/Exp3/Exp4 are exactly the three
+//! strategies at a single AS).
+
+use kcc_bench::{Args, BeaconDayConfig, Comparison};
+use kcc_bgp_sim::lab::{run_experiment, LabExperiment};
+use kcc_bgp_sim::VendorProfile;
+use kcc_core::classify_archive;
+use kcc_core::report::render_table;
+use kcc_topology::behavior::CommunityBehavior;
+
+/// Cleaning strategy applied uniformly to every AS (tagging untouched).
+#[derive(Clone, Copy)]
+enum Strategy {
+    NoCleaning,
+    AllEgress,
+    AllIngress,
+}
+
+fn beacon_day_with_strategy(args: &Args, strategy: Strategy) -> kcc_core::TypeCounts {
+    let mut cfg = BeaconDayConfig { seed: args.seed, ..Default::default() };
+    if args.quick {
+        cfg.n_transit = 8;
+        cfg.n_stub = 12;
+        cfg.stub_peers = 4;
+    }
+    // One fixed topology per seed; only the cleaning behavior varies, so
+    // the three strategies are compared on identical networks.
+    let beacon_prefix: kcc_bgp_types::Prefix = "84.205.64.0/24".parse().expect("prefix");
+    let mut topo = kcc_topology::generate(&kcc_topology::TopologyConfig {
+        seed: cfg.seed,
+        n_tier1: cfg.n_tier1,
+        n_transit: cfg.n_transit,
+        n_stub: cfg.n_stub,
+        with_beacon_origin: true,
+        beacon_prefixes: vec![beacon_prefix],
+        ..Default::default()
+    });
+    let asns: Vec<_> = topo.nodes().map(|n| n.asn).collect();
+    for asn in asns {
+        if let Some(node) = topo.node_mut(asn) {
+            node.behavior = CommunityBehavior {
+                tags_geo: node.behavior.tags_geo,
+                cleans_egress: matches!(strategy, Strategy::AllEgress),
+                cleans_ingress: matches!(strategy, Strategy::AllIngress),
+            };
+        }
+    }
+    let mut net = kcc_bgp_sim::Network::from_topology(
+        &topo,
+        kcc_bgp_sim::SimConfig {
+            seed: cfg.seed,
+            vendor_mix: cfg.vendor_mix.clone(),
+            ..Default::default()
+        },
+    );
+    let peers: Vec<_> = topo
+        .nodes()
+        .filter(|n| n.tier == kcc_topology::Tier::Transit)
+        .map(|n| n.router_id(0))
+        .collect();
+    let (collector, _) = net.attach_collector(kcc_bgp_types::Asn(3333), &peers);
+    let beacon_router = kcc_topology::RouterId { asn: kcc_bgp_types::Asn(12_654), index: 0 };
+    net.announce_all_origins(&topo, kcc_bgp_sim::SimTime::ZERO);
+    net.run_until_quiet();
+    let t = net.now() + kcc_bgp_sim::SimDuration::from_secs(10);
+    net.schedule_withdraw(t, beacon_router, beacon_prefix);
+    net.run_until_quiet();
+    net.clear_captures();
+    let day_start = kcc_bgp_sim::SimTime(((net.now().0 / 60_000_000) + 2) * 60_000_000);
+    for (offset, event) in kcc_collector::BeaconSchedule::default().day_events() {
+        let at = kcc_bgp_sim::SimTime(day_start.0 + offset);
+        match event {
+            kcc_collector::BeaconEvent::Announce => {
+                net.schedule_announce(at, beacon_router, beacon_prefix)
+            }
+            kcc_collector::BeaconEvent::Withdraw => {
+                net.schedule_withdraw(at, beacon_router, beacon_prefix)
+            }
+        }
+    }
+    net.run_until_quiet();
+    let capture = net.capture(collector).expect("capture").clone();
+    let archive =
+        keep_communities_clean::adapter::capture_to_archive(&net, "rrc00", &capture, 0);
+    classify_archive(&archive).counts
+}
+
+fn main() {
+    let args = Args::from_env();
+    println!("== Ablation: community cleaning strategy vs. message load ==\n");
+
+    // Internet-wide sweep on one fixed topology.
+    let strategies = [
+        ("no cleaning", Strategy::NoCleaning),
+        ("all clean egress", Strategy::AllEgress),
+        ("all clean ingress", Strategy::AllIngress),
+    ];
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for (name, strategy) in strategies {
+        let c = beacon_day_with_strategy(&args, strategy);
+        totals.push((name, c));
+        rows.push(vec![
+            name.to_string(),
+            c.announcement_total().to_string(),
+            c.nc.to_string(),
+            c.nn.to_string(),
+            c.withdrawals.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["strategy", "announcements", "nc", "nn", "withdrawals"], &rows)
+    );
+
+    // Per-AS lab view: Exp2/3/4 are the same three strategies at X1.
+    let mut lab_rows = Vec::new();
+    for (name, exp) in [
+        ("no cleaning (Exp2)", LabExperiment::Exp2),
+        ("egress cleaning (Exp3)", LabExperiment::Exp3),
+        ("ingress cleaning (Exp4)", LabExperiment::Exp4),
+    ] {
+        let r = run_experiment(exp, VendorProfile::CISCO_IOS);
+        lab_rows.push(vec![
+            name.to_string(),
+            r.y1_to_x1.len().to_string(),
+            r.at_collector.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["lab strategy (Cisco IOS)", "msgs Y1→X1", "msgs at collector"], &lab_rows)
+    );
+
+    let mut cmp = Comparison::new();
+    let none = totals[0].1;
+    let egress = totals[1].1;
+    let ingress = totals[2].1;
+    cmp.add(
+        "no cleaning maximizes nc traffic",
+        "nc highest",
+        &format!("{} vs {} vs {}", none.nc, egress.nc, ingress.nc),
+        none.nc >= egress.nc && none.nc >= ingress.nc,
+    );
+    cmp.add(
+        "egress cleaning removes nc but keeps duplicates",
+        "nc→0, nn>0",
+        &format!("nc={} nn={}", egress.nc, egress.nn),
+        egress.nc == 0,
+    );
+    cmp.add(
+        "ingress cleaning minimizes total announcements",
+        "lowest total",
+        &format!(
+            "{} vs {} vs {}",
+            none.announcement_total(),
+            egress.announcement_total(),
+            ingress.announcement_total()
+        ),
+        ingress.announcement_total() <= none.announcement_total()
+            && ingress.announcement_total() <= egress.announcement_total(),
+    );
+    println!("{}", cmp.render());
+}

@@ -1,0 +1,119 @@
+//! Fig. 5: cumulative announcement types for a session whose peer
+//! *cleans communities on egress* — the duplicate (`nn`) case.
+//!
+//! The paper's example: replacing the peer with one that removes all
+//! communities turns the withdrawal-phase `nc` bursts into `pn` + `nn`
+//! series ("cleaning at egress generates nn announcements"), matching the
+//! lab's Exp3.
+
+use std::collections::HashMap;
+
+use kcc_bench::{run_beacon_day, Args, BeaconDayConfig, Comparison};
+use kcc_bgp_types::AsPath;
+use kcc_collector::{BeaconPhase, BeaconSchedule, SessionKey};
+use kcc_core::beacon_phase::DAY_US;
+use kcc_core::cumsum::path_timeline;
+use kcc_core::stream::EventKind;
+use kcc_core::{classify_archive, AnnouncementType, TypeCounts};
+use kcc_topology::Tier;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = BeaconDayConfig { seed: args.seed, ..Default::default() };
+    if args.quick {
+        cfg.n_transit = 8;
+        cfg.n_stub = 12;
+        cfg.stub_peers = 4;
+    }
+    println!("== Fig. 5: egress cleaning generates nn (simulated) ==\n");
+
+    let out = run_beacon_day(&cfg);
+    let classified = classify_archive(&out.archive);
+
+    // Peers that clean on egress, from the topology's behavior table.
+    let cleaning_peers: Vec<_> = out
+        .topo
+        .nodes()
+        .filter(|n| n.tier != Tier::Stub && n.behavior.cleans_egress)
+        .map(|n| n.asn)
+        .collect();
+    println!("egress-cleaning transit peers in topology: {cleaning_peers:?}");
+
+    // Jointly select the (cleaning session, AS path) with the most nn
+    // traffic, preferring never-best paths whose every appearance falls
+    // in a withdrawal phase (the paper's Fig. 5 path
+    // `20811 3356 174 12654` is of this kind).
+    let schedule = BeaconSchedule::default();
+    let mut by_stream: HashMap<(SessionKey, String), (u32, bool)> = HashMap::new();
+    for (key, events) in &classified.per_session {
+        if !cleaning_peers.contains(&key.peer_asn) {
+            continue;
+        }
+        for e in events {
+            if e.prefix != out.beacon_prefix {
+                continue;
+            }
+            let Some(attrs) = &e.attrs else { continue };
+            let in_withdrawal =
+                matches!(schedule.phase_of(e.time_us % DAY_US), BeaconPhase::Withdrawal(_));
+            let entry = by_stream
+                .entry((key.clone(), attrs.as_path.to_string()))
+                .or_insert((0, true));
+            if matches!(e.kind, EventKind::Classified { atype: AnnouncementType::Nn, .. }) {
+                entry.0 += 1;
+            }
+            entry.1 &= in_withdrawal;
+        }
+    }
+    let Some(((session, path_str), (nn_count, _))) = by_stream
+        .into_iter()
+        .filter(|(_, (nn, _))| *nn > 0)
+        .max_by_key(|(_, (nn, withdrawal_only))| (*withdrawal_only, *nn))
+    else {
+        println!("no egress-cleaning collector session found — re-run with another --seed");
+        return;
+    };
+    let counts: TypeCounts = classified.stream_counts(&session, &out.beacon_prefix);
+    println!("selected session: {session}");
+    println!("selected AS path: {path_str}  ({nn_count} nn announcements)");
+    println!(
+        "session counts: pc={} pn={} nc={} nn={} withdrawals={}\n",
+        counts.pc, counts.pn, counts.nc, counts.nn, counts.withdrawals
+    );
+    let path: AsPath = path_str.parse().expect("rendered path parses");
+    let timeline = path_timeline(&classified, &session, &out.beacon_prefix, Some(&path));
+    println!("{}", timeline.to_csv());
+
+    let mut cmp = Comparison::new();
+    cmp.add(
+        "cleaned session shows no nc traffic",
+        "0 nc",
+        &format!("{} nc", counts.nc),
+        counts.nc == 0,
+    );
+    cmp.add(
+        "duplicates (nn) present despite cleaning (paper: 25 of 31)",
+        "nn > 0",
+        &format!("{} nn", counts.nn),
+        counts.nn > 0,
+    );
+    let in_withdraw = timeline
+        .points
+        .iter()
+        .filter(|p| matches!(schedule.phase_of(p.time_us % DAY_US), BeaconPhase::Withdrawal(_)))
+        .count();
+    cmp.add(
+        "activity concentrated in withdrawal phases",
+        "all",
+        &format!("{in_withdraw}/{}", timeline.points.len()),
+        timeline.points.is_empty() || in_withdraw * 10 >= timeline.points.len() * 7,
+    );
+    let nn_timeline = timeline.count_of(AnnouncementType::Nn);
+    cmp.add(
+        "phases begin with path change, then nn series",
+        "pn then nn*",
+        &format!("pn={} nn={nn_timeline}", timeline.count_of(AnnouncementType::Pn)),
+        timeline.count_of(AnnouncementType::Pn) > 0 || nn_timeline > 0,
+    );
+    println!("{}", cmp.render());
+}

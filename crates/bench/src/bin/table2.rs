@@ -1,0 +1,76 @@
+//! Table 2: announcement-type shares in *d_mar20* and *d_beacon*.
+//!
+//! The headline numbers of the paper's §5: around half of all
+//! announcements carry no path change (`nc` + `nn` ≈ 50 %), and half of
+//! *those* change only the community attribute.
+
+use kcc_bench::{Args, Comparison};
+use kcc_core::table::TypeShares;
+use kcc_core::{classify_archive, clean_archive, AnnouncementType, CleaningConfig};
+use kcc_tracegen::{generate_mar20, Mar20Config};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Mar20Config {
+        seed: args.seed,
+        target_announcements: args.sized(300_000),
+        ..Default::default()
+    };
+    if args.quick {
+        cfg.universe.n_prefixes_v4 = 400;
+        cfg.universe.n_sessions = 60;
+    }
+    println!("== Table 2: announcement types (synthetic d_mar20 / d_beacon) ==\n");
+
+    let out = generate_mar20(&cfg);
+    let mut archive = out.archive;
+    clean_archive(&mut archive, &out.registry, &CleaningConfig::default());
+    let classified = classify_archive(&archive);
+
+    // d_beacon: the beacon-prefix subset of the same archive.
+    let mut beacon_counts = kcc_core::TypeCounts::default();
+    for (key, _) in classified.per_session.iter() {
+        for prefix in &out.beacon_prefixes {
+            beacon_counts.merge(&classified.stream_counts(key, prefix));
+        }
+    }
+
+    let shares = TypeShares::new(vec![
+        ("*d_mar20".into(), classified.counts),
+        ("d_beacon".into(), beacon_counts),
+    ]);
+    println!("{}", shares.render());
+    println!(
+        "nn announcements attributable to MED-only changes: {} of {}\n",
+        classified.counts.nn_med_only, classified.counts.nn
+    );
+
+    let mut cmp = Comparison::new();
+    let c = &classified.counts;
+    cmp.add_pct("d_mar20 pc share %", 33.7, c.share(AnnouncementType::Pc), 0.20);
+    cmp.add_pct("d_mar20 pn share %", 15.1, c.share(AnnouncementType::Pn), 0.30);
+    cmp.add_pct("d_mar20 nc share %", 24.5, c.share(AnnouncementType::Nc), 0.25);
+    cmp.add_pct("d_mar20 nn share %", 25.7, c.share(AnnouncementType::Nn), 0.25);
+    let no_path = c.share(AnnouncementType::Nc) + c.share(AnnouncementType::Nn);
+    cmp.add_pct("d_mar20 no-path-change (nc+nn) %", 50.2, no_path, 0.20);
+    let x = c.share(AnnouncementType::Xc) + c.share(AnnouncementType::Xn);
+    cmp.add("d_mar20 prepending (xc+xn) ≈ 1%", "1.0", &format!("{x:.1}"), x < 3.0);
+
+    let b = &beacon_counts;
+    cmp.add_pct("d_beacon pc share %", 44.6, b.share(AnnouncementType::Pc), 0.30);
+    cmp.add_pct("d_beacon pn share %", 29.9, b.share(AnnouncementType::Pn), 0.40);
+    cmp.add_pct("d_beacon nc share %", 13.8, b.share(AnnouncementType::Nc), 0.50);
+    cmp.add_pct("d_beacon nn share %", 11.2, b.share(AnnouncementType::Nn), 0.50);
+    // Ordering claims: pc dominates d_beacon; nc+nn ≈ 25% there.
+    let b_no_path = b.share(AnnouncementType::Nc) + b.share(AnnouncementType::Nn);
+    cmp.add(
+        "d_beacon pc is dominant type",
+        "44.6% > others",
+        &format!("{:.1}%", b.share(AnnouncementType::Pc)),
+        AnnouncementType::ALL
+            .iter()
+            .all(|&t| b.share(AnnouncementType::Pc) >= b.share(t)),
+    );
+    cmp.add_pct("d_beacon no-path-change %", 25.0, b_no_path, 0.45);
+    println!("{}", cmp.render());
+}

@@ -1,0 +1,128 @@
+//! Paper-vs-measured comparison rendering.
+//!
+//! Every harness binary ends with a comparison block: the value the paper
+//! reports, the value this reproduction measured, and whether the *shape*
+//! holds (within a stated band). Absolute magnitudes are expected to
+//! differ — the substrate is a scaled synthetic workload, not the
+//! authors' testbed.
+
+use kcc_core::report::render_table;
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// What is being compared.
+    pub name: String,
+    /// The paper's value, as printed.
+    pub paper: String,
+    /// Our measured value, as printed.
+    pub measured: String,
+    /// Whether the shape criterion holds.
+    pub ok: bool,
+}
+
+/// A block of comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric comparison judged by relative band: ok when
+    /// `measured` is within `band` (e.g. 0.35 = ±35 %) of `paper`.
+    pub fn add_pct(&mut self, name: &str, paper: f64, measured: f64, band: f64) {
+        let ok = if paper == 0.0 {
+            measured.abs() < 1e-9 || measured.abs() <= band
+        } else {
+            (measured - paper).abs() / paper.abs() <= band
+        };
+        self.rows.push(ComparisonRow {
+            name: name.to_string(),
+            paper: format!("{paper:.1}"),
+            measured: format!("{measured:.1}"),
+            ok,
+        });
+    }
+
+    /// Adds a free-form comparison with an explicit verdict.
+    pub fn add(&mut self, name: &str, paper: &str, measured: &str, ok: bool) {
+        self.rows.push(ComparisonRow {
+            name: name.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            ok,
+        });
+    }
+
+    /// True when every row holds.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the block.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.paper.clone(),
+                    r.measured.clone(),
+                    if r.ok { "ok".into() } else { "DEVIATES".into() },
+                ]
+            })
+            .collect();
+        format!(
+            "paper vs measured (shape check)\n{}",
+            render_table(&["quantity", "paper", "measured", "verdict"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_band_judgement() {
+        let mut c = Comparison::new();
+        c.add_pct("pc share", 33.7, 35.0, 0.15);
+        c.add_pct("nn share", 25.7, 50.0, 0.15);
+        assert_eq!(c.len(), 2);
+        assert!(!c.all_ok());
+        let text = c.render();
+        assert!(text.contains("ok"));
+        assert!(text.contains("DEVIATES"));
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        let mut c = Comparison::new();
+        c.add_pct("zero", 0.0, 0.0, 0.1);
+        assert!(c.all_ok());
+    }
+
+    #[test]
+    fn freeform_rows() {
+        let mut c = Comparison::new();
+        c.add("junos", "suppresses", "suppresses", true);
+        assert!(c.all_ok());
+        assert!(!c.is_empty());
+    }
+}

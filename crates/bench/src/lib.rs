@@ -1,0 +1,30 @@
+//! # kcc-bench — experiment harnesses
+//!
+//! One binary per paper table/figure (see `src/bin/`), Criterion
+//! micro-benchmarks (see `benches/`), and this shared harness library:
+//! argument parsing, the simulated beacon-day driver, and paper-vs-measured
+//! comparison rendering.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `exp_lab` | §3 Exp1–Exp4 across all vendor profiles |
+//! | `table1` | Table 1 (*d_mar20* overview) |
+//! | `table2` | Table 2 (type shares, *d_mar20* and *d_beacon*) |
+//! | `fig2` | Fig. 2 (daily announcements per type, 2010–2020) |
+//! | `fig3` | Fig. 3 (types per session, one beacon prefix, simulated) |
+//! | `fig4` | Fig. 4 (cumulative types, geo-tagging path) |
+//! | `fig5` | Fig. 5 (cumulative types, egress-cleaning path) |
+//! | `fig6` | Fig. 6 (revealed community attributes over time) |
+//! | `ablation_cleaning` | cleaning-strategy ablation (§7 recommendation) |
+//! | `ablation_mrai` | MRAI pacing vs. exploration burst ablation |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod beacon_day;
+pub mod compare;
+
+pub use args::Args;
+pub use beacon_day::{run_beacon_day, BeaconDayConfig, BeaconDayOutput};
+pub use compare::Comparison;

@@ -1,0 +1,144 @@
+//! Message capture: what a route collector (or a monitored link) sees.
+
+use kcc_bgp_types::{MessageKind, RouteUpdate};
+use kcc_topology::RouterId;
+
+use crate::route::{SimUpdate, UpdateBody};
+use crate::session::SessionId;
+use crate::time::SimTime;
+
+/// One captured message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedUpdate {
+    /// Arrival time.
+    pub at: SimTime,
+    /// The session it arrived on.
+    pub session: SessionId,
+    /// The sending router (the collector's peer).
+    pub from: RouterId,
+    /// The receiving router (collector or monitored endpoint).
+    pub to: RouterId,
+    /// The update itself.
+    pub update: SimUpdate,
+}
+
+impl CapturedUpdate {
+    /// Converts to the analysis pipeline's [`RouteUpdate`] shape.
+    pub fn to_route_update(&self) -> RouteUpdate {
+        let kind = match &self.update.body {
+            UpdateBody::Announce { attrs, .. } => MessageKind::Announcement(attrs.clone()),
+            UpdateBody::Withdraw => MessageKind::Withdrawal,
+        };
+        RouteUpdate { time_us: self.at.as_micros(), prefix: self.update.prefix, kind }
+    }
+}
+
+/// An append-only capture log.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    entries: Vec<CapturedUpdate>,
+}
+
+impl Capture {
+    /// An empty capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one message.
+    pub fn record(&mut self, entry: CapturedUpdate) {
+        self.entries.push(entry);
+    }
+
+    /// All captured messages in arrival order.
+    pub fn entries(&self) -> &[CapturedUpdate] {
+        &self.entries
+    }
+
+    /// Number of captured messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards everything (used between experiment phases: converge,
+    /// clear, then perturb).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Messages on one session only.
+    pub fn on_session(&self, session: SessionId) -> impl Iterator<Item = &CapturedUpdate> {
+        self.entries.iter().filter(move |e| e.session == session)
+    }
+
+    /// Announcement count.
+    pub fn announcement_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.update.is_announcement()).count()
+    }
+
+    /// Withdrawal count.
+    pub fn withdrawal_count(&self) -> usize {
+        self.entries.len() - self.announcement_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, PathAttributes};
+
+    fn rid(asn: u32) -> RouterId {
+        RouterId { asn: Asn(asn), index: 0 }
+    }
+
+    fn entry(t: u64, session: usize, announce: bool) -> CapturedUpdate {
+        let prefix = "84.205.64.0/24".parse().unwrap();
+        let update = if announce {
+            SimUpdate::announce(prefix, PathAttributes::default())
+        } else {
+            SimUpdate::withdraw(prefix)
+        };
+        CapturedUpdate {
+            at: SimTime(t),
+            session: SessionId(session),
+            from: rid(20_205),
+            to: rid(12_345),
+            update,
+        }
+    }
+
+    #[test]
+    fn counts_and_filtering() {
+        let mut c = Capture::new();
+        c.record(entry(1, 0, true));
+        c.record(entry(2, 1, true));
+        c.record(entry(3, 0, false));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.announcement_count(), 2);
+        assert_eq!(c.withdrawal_count(), 1);
+        assert_eq!(c.on_session(SessionId(0)).count(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Capture::new();
+        c.record(entry(1, 0, true));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn converts_to_route_update() {
+        let e = entry(5, 0, true);
+        let ru = e.to_route_update();
+        assert_eq!(ru.time_us, 5);
+        assert!(ru.is_announcement());
+        let w = entry(6, 0, false).to_route_update();
+        assert!(w.is_withdrawal());
+    }
+}

@@ -1,0 +1,211 @@
+//! The BGP decision process (RFC 4271 §9.1.2.2, with common vendor
+//! defaults).
+//!
+//! Order: highest local-pref → shortest AS path → lowest origin → lowest
+//! MED (compared only between routes from the same neighbor AS; missing
+//! MED treated as 0) → eBGP over iBGP → lowest IGP cost to the egress
+//! router (hot-potato) → lowest session id (deterministic stand-in for
+//! the router-id tie-break).
+//!
+//! The IGP-cost step is the paper's Exp1 trigger: when the preferred
+//! egress disappears, the best route "changes" internally even though its
+//! eBGP-visible attributes do not, and non-suppressing implementations
+//! emit a duplicate update.
+
+use std::cmp::Ordering;
+
+use kcc_topology::{IgpMap, RouterId};
+
+use crate::route::RibEntry;
+
+/// Compares two candidate routes at router `me`; `Ordering::Greater` means
+/// `a` is better.
+pub fn compare(a: &RibEntry, b: &RibEntry, me: RouterId, igp: &IgpMap) -> Ordering {
+    // 1. Local preference (higher wins).
+    let by_pref = a.effective_local_pref().cmp(&b.effective_local_pref());
+    if by_pref != Ordering::Equal {
+        return by_pref;
+    }
+    // 2. AS path length (shorter wins).
+    let by_len = b
+        .attrs
+        .as_path
+        .decision_length()
+        .cmp(&a.attrs.as_path.decision_length());
+    if by_len != Ordering::Equal {
+        return by_len;
+    }
+    // 3. Origin (lower code wins: IGP < EGP < INCOMPLETE).
+    let by_origin = b.attrs.origin.code().cmp(&a.attrs.origin.code());
+    if by_origin != Ordering::Equal {
+        return by_origin;
+    }
+    // 4. MED, only between routes from the same neighbor AS (lower wins).
+    if let (Some(na), Some(nb)) = (a.attrs.as_path.first(), b.attrs.as_path.first()) {
+        if na == nb {
+            let by_med = b.effective_med().cmp(&a.effective_med());
+            if by_med != Ordering::Equal {
+                return by_med;
+            }
+        }
+    }
+    // 5. eBGP-learned over iBGP-learned.
+    let by_kind = a.is_ebgp(me).cmp(&b.is_ebgp(me));
+    if by_kind != Ordering::Equal {
+        return by_kind;
+    }
+    // 6. Hot potato: lower IGP cost to egress wins.
+    let cost_a = igp_cost_to(me, a.egress, igp);
+    let cost_b = igp_cost_to(me, b.egress, igp);
+    let by_igp = cost_b.cmp(&cost_a);
+    if by_igp != Ordering::Equal {
+        return by_igp;
+    }
+    // 7. Deterministic tie-break: lower session id wins (stand-in for the
+    // lowest-router-id rule).
+    match (a.from_session, b.from_session) {
+        (Some(sa), Some(sb)) => sb.cmp(&sa),
+        (None, Some(_)) => Ordering::Greater, // originated wins
+        (Some(_), None) => Ordering::Less,
+        (None, None) => Ordering::Equal,
+    }
+}
+
+fn igp_cost_to(me: RouterId, egress: RouterId, igp: &IgpMap) -> u32 {
+    if me == egress {
+        0
+    } else if me.asn == egress.asn {
+        igp.cost(me.index, egress.index)
+    } else {
+        // Foreign egress should not occur; treat as unreachable.
+        u32::MAX
+    }
+}
+
+/// Picks the best route among candidates; `None` for an empty set.
+pub fn best<'a, I>(candidates: I, me: RouterId, igp: &IgpMap) -> Option<&'a RibEntry>
+where
+    I: IntoIterator<Item = &'a RibEntry>,
+{
+    candidates
+        .into_iter()
+        .reduce(|acc, e| if compare(e, acc, me, igp) == Ordering::Greater { e } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionId;
+    use kcc_bgp_types::attrs::Origin;
+    use kcc_bgp_types::{Asn, PathAttributes};
+    use kcc_topology::RouteSource;
+
+    fn me() -> RouterId {
+        RouterId { asn: Asn(100), index: 0 }
+    }
+
+    fn entry(path: &str, session: usize) -> RibEntry {
+        RibEntry {
+            attrs: PathAttributes { as_path: path.parse().unwrap(), ..Default::default() },
+            source: RouteSource::Peer,
+            from_session: Some(SessionId(session)),
+            egress: me(),
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let mut a = entry("1 2 3 4", 0);
+        a.attrs.local_pref = Some(300);
+        let b = entry("1 2", 1); // shorter but lower pref (default 100)
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn shorter_path_wins() {
+        let a = entry("1 2", 0);
+        let b = entry("1 2 3", 1);
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
+        assert_eq!(compare(&b, &a, me(), &IgpMap::ring(1)), Ordering::Less);
+    }
+
+    #[test]
+    fn origin_breaks_path_tie() {
+        let a = entry("1 2", 0);
+        let mut b = entry("3 4", 1);
+        b.attrs.origin = Origin::Incomplete;
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn med_only_compared_same_neighbor() {
+        let mut a = entry("7 9", 0);
+        a.attrs.med = Some(50);
+        let mut b = entry("7 8", 1);
+        b.attrs.med = Some(10);
+        // Same neighbor AS 7: lower MED (b) wins.
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Less);
+
+        let mut c = entry("6 9", 0);
+        c.attrs.med = Some(50);
+        // Different neighbor AS: MED skipped, falls to tie-breaks
+        // (equal eBGP, equal IGP) → session id decides.
+        assert_eq!(compare(&c, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn missing_med_treated_as_zero() {
+        let a = entry("7 9", 0); // no MED = 0
+        let mut b = entry("7 8", 1);
+        b.attrs.med = Some(10);
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn ebgp_beats_ibgp() {
+        let a = entry("1 2", 0); // egress == me → eBGP
+        let mut b = entry("3 4", 1);
+        b.egress = RouterId { asn: Asn(100), index: 1 }; // iBGP-learned
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn igp_cost_breaks_ibgp_tie() {
+        // Both iBGP-learned, exits at routers 1 and 2; ring(3) costs 5, 5.
+        // Use a matrix to make them differ.
+        let igp = IgpMap::matrix(3, vec![0, 5, 10, 5, 0, 5, 10, 5, 0]);
+        let mut a = entry("1 2", 0);
+        a.egress = RouterId { asn: Asn(100), index: 1 }; // cost 5
+        let mut b = entry("3 4", 1);
+        b.egress = RouterId { asn: Asn(100), index: 2 }; // cost 10
+        assert_eq!(compare(&a, &b, me(), &igp), Ordering::Greater);
+    }
+
+    #[test]
+    fn session_id_final_tiebreak() {
+        let a = entry("1 2", 0);
+        let b = entry("3 4", 1);
+        assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn originated_beats_learned() {
+        let mut orig = entry("", 0);
+        orig.from_session = None;
+        orig.source = RouteSource::Originated;
+        let learned = entry("1", 1);
+        assert_eq!(compare(&orig, &learned, me(), &IgpMap::ring(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn best_of_many() {
+        let a = entry("1 2 3", 0);
+        let b = entry("1 2", 1);
+        let c = entry("1 2 3 4", 2);
+        let igp = IgpMap::ring(1);
+        let list = [a, b, c];
+        let best = best(list.iter(), me(), &igp).unwrap();
+        assert_eq!(best.attrs.as_path.to_string(), "1 2");
+        assert!(super::best(std::iter::empty(), me(), &igp).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! The discrete event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use kcc_bgp_types::Prefix;
+use kcc_topology::RouterId;
+
+use crate::route::SimUpdate;
+use crate::session::SessionId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A BGP update arrives at `to` on `session`.
+    Deliver {
+        /// The session it traveled on.
+        session: SessionId,
+        /// The receiving router.
+        to: RouterId,
+        /// The update.
+        update: SimUpdate,
+    },
+    /// A session goes down (link failure / admin disable).
+    LinkDown {
+        /// The affected session.
+        session: SessionId,
+    },
+    /// A session comes (back) up.
+    LinkUp {
+        /// The affected session.
+        session: SessionId,
+    },
+    /// An origin router starts announcing a prefix.
+    Announce {
+        /// The originating router.
+        router: RouterId,
+        /// The prefix.
+        prefix: Prefix,
+    },
+    /// An origin router withdraws a prefix.
+    Withdraw {
+        /// The originating router.
+        router: RouterId,
+        /// The prefix.
+        prefix: Prefix,
+    },
+    /// A router's MRAI timer for a session expires: flush pending
+    /// advertisements.
+    MraiExpire {
+        /// The router owning the timer.
+        router: RouterId,
+        /// The session the timer paces.
+        session: SessionId,
+    },
+    /// A dampening reuse check fires for a suppressed route.
+    DampReuse {
+        /// The router holding the penalty state.
+        router: RouterId,
+        /// The dampened session.
+        session: SessionId,
+        /// The dampened prefix.
+        prefix: Prefix,
+    },
+}
+
+/// An event with its firing time and a tie-breaking sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence for deterministic same-time ordering.
+    pub seq: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+impl Eq for ScheduledEvent {}
+
+impl Ord for ScheduledEvent {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event at `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn announce_at(q: &mut EventQueue, t: u64) {
+        q.push(
+            SimTime(t),
+            EventKind::Announce {
+                router: RouterId { asn: kcc_bgp_types::Asn(1), index: 0 },
+                prefix: "10.0.0.0/8".parse().unwrap(),
+            },
+        );
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        announce_at(&mut q, 30);
+        announce_at(&mut q, 10);
+        announce_at(&mut q, 20);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_pops_in_push_order() {
+        let mut q = EventQueue::new();
+        for _ in 0..5 {
+            announce_at(&mut q, 7);
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        announce_at(&mut q, 42);
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        assert_eq!(q.len(), 1);
+    }
+}

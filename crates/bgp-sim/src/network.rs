@@ -1,0 +1,767 @@
+//! The simulated network: routers, sessions, the event loop.
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+use kcc_bgp_types::{Asn, Prefix};
+use kcc_topology::{RouteSource, RouterId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::capture::{Capture, CapturedUpdate};
+use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::policy::{ExportPolicy, ImportPolicy};
+use crate::route::SimUpdate;
+use crate::router::{Action, Router};
+use crate::session::{Session, SessionId, SessionKind};
+use crate::time::{SimDuration, SimTime};
+use crate::vendor::VendorProfile;
+
+/// Network-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Events processed by the loop.
+    pub events_processed: u64,
+    /// Messages delivered to routers.
+    pub messages_delivered: u64,
+    /// Messages lost to fault injection or down sessions.
+    pub messages_dropped: u64,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for vendor assignment and delay staggering.
+    pub seed: u64,
+    /// Vendor profile used when `vendor_mix` is empty.
+    pub default_vendor: VendorProfile,
+    /// Weighted per-AS vendor assignment, e.g. `[(CISCO_IOS, 0.4), …]`.
+    /// Weights need not sum to 1; they are normalized.
+    pub vendor_mix: Vec<(VendorProfile, f64)>,
+    /// Base one-way delay of every session.
+    pub base_link_delay: SimDuration,
+    /// Maximum deterministic per-session stagger added to the base delay.
+    /// Staggering is what desynchronizes propagation and lets path
+    /// exploration unfold (as it does in the wild).
+    pub delay_spread: SimDuration,
+    /// Fault injection.
+    pub fault: FaultConfig,
+    /// Route-flap dampening applied to every router (None = off, the
+    /// common default — the paper notes dampening is selectively
+    /// deployed).
+    pub dampening: Option<crate::dampening::DampeningConfig>,
+    /// Hard cap on processed events per `run_until_quiet` call; exceeded
+    /// caps indicate a routing oscillation bug.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            default_vendor: VendorProfile::default(),
+            vendor_mix: Vec::new(),
+            base_link_delay: SimDuration::from_millis(2),
+            delay_spread: SimDuration::from_millis(8),
+            fault: FaultConfig::default(),
+            dampening: None,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    routers: BTreeMap<RouterId, Router>,
+    sessions: Vec<Session>,
+    queue: EventQueue,
+    now: SimTime,
+    captures: BTreeMap<RouterId, Capture>,
+    monitors: BTreeMap<SessionId, Capture>,
+    fault: FaultInjector,
+    /// Statistics.
+    pub stats: NetStats,
+    config: SimConfig,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new(config: SimConfig) -> Self {
+        Network {
+            routers: BTreeMap::new(),
+            sessions: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            captures: BTreeMap::new(),
+            monitors: BTreeMap::new(),
+            fault: FaultInjector::new(config.fault),
+            stats: NetStats::default(),
+            config,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a router.
+    pub fn add_router(&mut self, router: Router) {
+        if router.is_collector {
+            self.captures.entry(router.id).or_default();
+        }
+        self.routers.insert(router.id, router);
+    }
+
+    /// Access a router.
+    pub fn router(&self, id: RouterId) -> Option<&Router> {
+        self.routers.get(&id)
+    }
+
+    /// Mutable router access (tests and scenario builders).
+    pub fn router_mut(&mut self, id: RouterId) -> Option<&mut Router> {
+        self.routers.get_mut(&id)
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.values()
+    }
+
+    /// Adds a session between two existing routers and registers it on
+    /// both. Returns its id.
+    pub fn add_session(&mut self, mut session: Session) -> SessionId {
+        let id = SessionId(self.sessions.len());
+        session.id = id;
+        let (a, b) = (session.a, session.b);
+        self.routers
+            .get_mut(&a)
+            .unwrap_or_else(|| panic!("session endpoint {a} missing"))
+            .sessions
+            .push(id);
+        self.routers
+            .get_mut(&b)
+            .unwrap_or_else(|| panic!("session endpoint {b} missing"))
+            .sessions
+            .push(id);
+        self.sessions.push(session);
+        id
+    }
+
+    /// The session table.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Session lookup by endpoints (first match).
+    pub fn find_session(&self, a: RouterId, b: RouterId) -> Option<SessionId> {
+        self.sessions
+            .iter()
+            .find(|s| (s.a == a && s.b == b) || (s.a == b && s.b == a))
+            .map(|s| s.id)
+    }
+
+    /// Marks a session to be watched: every message delivered on it is
+    /// recorded (the lab's "packet capture between X1 and Y1").
+    pub fn monitor_session(&mut self, id: SessionId) {
+        self.monitors.entry(id).or_default();
+    }
+
+    /// Messages captured on a monitored session.
+    pub fn monitored(&self, id: SessionId) -> Option<&Capture> {
+        self.monitors.get(&id)
+    }
+
+    /// The capture of a collector router.
+    pub fn capture(&self, collector: RouterId) -> Option<&Capture> {
+        self.captures.get(&collector)
+    }
+
+    /// All collector captures.
+    pub fn captures(&self) -> impl Iterator<Item = (&RouterId, &Capture)> {
+        self.captures.iter()
+    }
+
+    /// Clears all captures and monitors (between experiment phases).
+    pub fn clear_captures(&mut self) {
+        for c in self.captures.values_mut() {
+            c.clear();
+        }
+        for c in self.monitors.values_mut() {
+            c.clear();
+        }
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        self.queue.push(at, kind);
+    }
+
+    /// Schedules an origin announcement.
+    pub fn schedule_announce(&mut self, at: SimTime, router: RouterId, prefix: Prefix) {
+        self.schedule(at, EventKind::Announce { router, prefix });
+    }
+
+    /// Schedules an origin withdrawal.
+    pub fn schedule_withdraw(&mut self, at: SimTime, router: RouterId, prefix: Prefix) {
+        self.schedule(at, EventKind::Withdraw { router, prefix });
+    }
+
+    /// Schedules a session flap down.
+    pub fn schedule_link_down(&mut self, at: SimTime, session: SessionId) {
+        self.schedule(at, EventKind::LinkDown { session });
+    }
+
+    /// Schedules a session restore.
+    pub fn schedule_link_up(&mut self, at: SimTime, session: SessionId) {
+        self.schedule(at, EventKind::LinkUp { session });
+    }
+
+    /// Processes one event; `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.at;
+        self.stats.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { session, to, update } => self.on_deliver(session, to, update),
+            EventKind::LinkDown { session } => self.on_link_down(session),
+            EventKind::LinkUp { session } => self.on_link_up(session),
+            EventKind::Announce { router, prefix } => {
+                let actions = {
+                    let sessions = &self.sessions;
+                    let Some(r) = self.routers.get_mut(&router) else {
+                        return true;
+                    };
+                    r.originate(self.now, prefix, sessions)
+                };
+                self.apply_actions(router, actions);
+            }
+            EventKind::Withdraw { router, prefix } => {
+                let actions = {
+                    let sessions = &self.sessions;
+                    let Some(r) = self.routers.get_mut(&router) else {
+                        return true;
+                    };
+                    r.withdraw_origin(self.now, prefix, sessions)
+                };
+                self.apply_actions(router, actions);
+            }
+            EventKind::MraiExpire { router, session } => {
+                let actions = {
+                    let sessions = &self.sessions;
+                    let Some(r) = self.routers.get_mut(&router) else {
+                        return true;
+                    };
+                    r.handle_mrai_expire(self.now, session, sessions)
+                };
+                self.apply_actions(router, actions);
+            }
+            EventKind::DampReuse { router, session, prefix } => {
+                let actions = {
+                    let sessions = &self.sessions;
+                    let Some(r) = self.routers.get_mut(&router) else {
+                        return true;
+                    };
+                    r.handle_damp_reuse(self.now, session, prefix, sessions)
+                };
+                self.apply_actions(router, actions);
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain. Returns the quiescence time.
+    ///
+    /// Panics if `max_events` is exceeded — quiet networks must converge,
+    /// so an overrun is a correctness bug, not a load condition.
+    pub fn run_until_quiet(&mut self) -> SimTime {
+        let budget = self.config.max_events;
+        let start = self.stats.events_processed;
+        while self.step() {
+            assert!(
+                self.stats.events_processed - start <= budget,
+                "event budget exceeded: likely routing oscillation"
+            );
+        }
+        self.now
+    }
+
+    /// Runs until simulated time reaches `t` (events at exactly `t` are
+    /// processed). Pending later events remain queued.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    fn on_deliver(&mut self, session_id: SessionId, to: RouterId, update: SimUpdate) {
+        let session = &self.sessions[session_id.0];
+        if !session.up {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let from = session.other(to);
+        self.stats.messages_delivered += 1;
+        let entry = CapturedUpdate {
+            at: self.now,
+            session: session_id,
+            from,
+            to,
+            update: update.clone(),
+        };
+        if let Some(mon) = self.monitors.get_mut(&session_id) {
+            mon.record(entry.clone());
+        }
+        let is_collector = self.routers.get(&to).map(|r| r.is_collector).unwrap_or(false);
+        if is_collector {
+            if let Some(cap) = self.captures.get_mut(&to) {
+                cap.record(entry);
+            }
+        }
+        let actions = {
+            let sessions = &self.sessions;
+            let Some(r) = self.routers.get_mut(&to) else {
+                return;
+            };
+            r.handle_update(self.now, session_id, sessions, &update)
+        };
+        self.apply_actions(to, actions);
+    }
+
+    fn on_link_down(&mut self, session_id: SessionId) {
+        if !self.sessions[session_id.0].up {
+            return;
+        }
+        self.sessions[session_id.0].up = false;
+        let (a, b) = {
+            let s = &self.sessions[session_id.0];
+            (s.a, s.b)
+        };
+        for endpoint in [a, b] {
+            let actions = {
+                let sessions = &self.sessions;
+                let Some(r) = self.routers.get_mut(&endpoint) else {
+                    continue;
+                };
+                r.handle_session_down(self.now, session_id, sessions)
+            };
+            self.apply_actions(endpoint, actions);
+        }
+    }
+
+    fn on_link_up(&mut self, session_id: SessionId) {
+        if self.sessions[session_id.0].up {
+            return;
+        }
+        self.sessions[session_id.0].up = true;
+        let (a, b) = {
+            let s = &self.sessions[session_id.0];
+            (s.a, s.b)
+        };
+        for endpoint in [a, b] {
+            let actions = {
+                let sessions = &self.sessions;
+                let Some(r) = self.routers.get_mut(&endpoint) else {
+                    continue;
+                };
+                r.handle_session_up(self.now, session_id, sessions)
+            };
+            self.apply_actions(endpoint, actions);
+        }
+    }
+
+    /// Interprets a router's actions: schedules transmissions (with link
+    /// delay and fault injection) and MRAI timers.
+    fn apply_actions(&mut self, from: RouterId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { session, update } => {
+                    let s = &self.sessions[session.0];
+                    if !s.up {
+                        self.stats.messages_dropped += 1;
+                        continue;
+                    }
+                    if self.fault.should_drop() {
+                        self.stats.messages_dropped += 1;
+                        continue;
+                    }
+                    let to = s.other(from);
+                    let at = self.now + s.delay + self.fault.extra_delay();
+                    self.queue.push(at, EventKind::Deliver { session, to, update });
+                }
+                Action::ScheduleMrai { session, at } => {
+                    self.queue.push(at, EventKind::MraiExpire { router: from, session });
+                }
+                Action::ScheduleDampReuse { session, prefix, at } => {
+                    self.queue.push(
+                        at,
+                        EventKind::DampReuse { router: from, session, prefix },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds a network from an AS-level topology: routers with vendor
+    /// assignment, iBGP full meshes, eBGP sessions with behavior-derived
+    /// policies, and deterministic per-session delay stagger.
+    pub fn from_topology(topo: &Topology, config: SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut net = Network::new(config);
+
+        // Routers, with per-AS vendor assignment.
+        for node in topo.nodes() {
+            let vendor = pick_vendor(&mut rng, &net.config);
+            for spec in &node.routers {
+                let id = node.router_id(spec.index);
+                let ip = IpAddr::V4(node.router_ip(spec.index));
+                let mut router = Router::new(id, ip, vendor, node.igp.clone());
+                router.dampening = net.config.dampening;
+                net.add_router(router);
+            }
+        }
+
+        // iBGP full mesh within each AS.
+        for node in topo.nodes() {
+            for i in 0..node.routers.len() {
+                for j in i + 1..node.routers.len() {
+                    let delay = net.config.base_link_delay
+                        + SimDuration::from_micros(
+                            node.igp_cost(i as u16, j as u16) as u64 * 50,
+                        );
+                    net.add_session(Session {
+                        id: SessionId(0),
+                        kind: SessionKind::Ibgp,
+                        a: node.router_id(i as u16),
+                        b: node.router_id(j as u16),
+                        a_import: ImportPolicy::default(),
+                        a_export: ExportPolicy::default(),
+                        b_import: ImportPolicy::default(),
+                        b_export: ExportPolicy::default(),
+                        a_view_of_b: None,
+                        b_view_of_a: None,
+                        delay,
+                        up: true,
+                    });
+                }
+            }
+        }
+
+        // eBGP sessions from topology edges, policies from AS behavior.
+        for edge in topo.edges() {
+            let node_a = topo.node(edge.a).expect("edge endpoint");
+            let node_b = topo.node(edge.b).expect("edge endpoint");
+            let a_id = node_a.router_id(edge.a_router);
+            let b_id = node_b.router_id(edge.b_router);
+            let a_kind = edge.neighbor_kind(edge.a).expect("edge relationship");
+            let b_kind = edge.neighbor_kind(edge.b).expect("edge relationship");
+
+            let a_import = build_import(node_a, edge.a_router, a_kind);
+            let b_import = build_import(node_b, edge.b_router, b_kind);
+            let a_export = ExportPolicy {
+                clean_communities: node_a.behavior.cleans_egress,
+                ..Default::default()
+            };
+            let b_export = ExportPolicy {
+                clean_communities: node_b.behavior.cleans_egress,
+                ..Default::default()
+            };
+            let stagger = net.config.delay_spread.as_micros();
+            let delay = net.config.base_link_delay
+                + SimDuration::from_micros(if stagger == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=stagger)
+                });
+            net.add_session(Session {
+                id: SessionId(0),
+                kind: SessionKind::Ebgp,
+                a: a_id,
+                b: b_id,
+                a_import,
+                a_export,
+                b_import,
+                b_export,
+                a_view_of_b: Some(a_kind),
+                b_view_of_a: Some(b_kind),
+                delay,
+                up: true,
+            });
+        }
+        net
+    }
+
+    /// Adds a route collector AS with one router, peering with the given
+    /// peer routers. The peers treat the collector session like a customer
+    /// session (full export), the standard collector arrangement. Returns
+    /// the collector's router id and the created session ids.
+    pub fn attach_collector(
+        &mut self,
+        collector_asn: Asn,
+        peers: &[RouterId],
+    ) -> (RouterId, Vec<SessionId>) {
+        let collector_id = RouterId { asn: collector_asn, index: 0 };
+        let v = collector_asn.value();
+        let ip = IpAddr::V4(std::net::Ipv4Addr::new(
+            198,
+            51,
+            ((v >> 8) & 0xFF) as u8,
+            (v & 0xFF) as u8,
+        ));
+        let mut collector = Router::new(
+            collector_id,
+            ip,
+            VendorProfile::BIRD_2,
+            kcc_topology::IgpMap::ring(1),
+        );
+        collector.is_collector = true;
+        self.add_router(collector);
+
+        let mut ids = Vec::with_capacity(peers.len());
+        for (i, &peer) in peers.iter().enumerate() {
+            // Peer keeps its configured egress behavior toward the
+            // collector; the collector imports everything untouched.
+            // Cleaning policy is AS-level: any eBGP session of any router
+            // of the peer's AS reveals it (the peer router itself may have
+            // no other eBGP session).
+            let peer_cleans = self
+                .sessions
+                .iter()
+                .filter(|s| s.is_ebgp())
+                .find_map(|s| {
+                    if s.a.asn == peer.asn {
+                        Some(s.a_export.clean_communities)
+                    } else if s.b.asn == peer.asn {
+                        Some(s.b_export.clean_communities)
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or(false);
+            let delay = self.config.base_link_delay
+                + SimDuration::from_micros((i as u64 * 137) % self.config.delay_spread.as_micros().max(1));
+            let id = self.add_session(Session {
+                id: SessionId(0),
+                kind: SessionKind::Ebgp,
+                a: peer,
+                b: collector_id,
+                a_import: ImportPolicy::default(),
+                a_export: ExportPolicy { clean_communities: peer_cleans, ..Default::default() },
+                b_import: ImportPolicy::default(),
+                b_export: ExportPolicy::default(),
+                // Peers export everything to collectors (customer-like).
+                a_view_of_b: Some(RouteSource::Customer),
+                b_view_of_a: Some(RouteSource::Provider),
+                delay,
+                up: true,
+            });
+            ids.push(id);
+        }
+        (collector_id, ids)
+    }
+
+    /// Schedules announcements of every prefix in the topology at `at`.
+    pub fn announce_all_origins(&mut self, topo: &Topology, at: SimTime) {
+        for (asn, prefix) in topo.all_prefixes() {
+            let router = RouterId { asn, index: 0 };
+            self.schedule_announce(at, router, prefix);
+        }
+    }
+}
+
+fn build_import(
+    node: &kcc_topology::AsNode,
+    router_index: u16,
+    kind: RouteSource,
+) -> ImportPolicy {
+    let mut p = ImportPolicy::for_neighbor(kind);
+    if node.behavior.cleans_ingress {
+        p.clean_communities = true;
+    }
+    if node.behavior.tags_geo {
+        let location = node.routers[router_index as usize].location;
+        p.geo_tag = Some((node.asn.value() as u16, location));
+    }
+    p
+}
+
+fn pick_vendor(rng: &mut StdRng, config: &SimConfig) -> VendorProfile {
+    if config.vendor_mix.is_empty() {
+        return config.default_vendor;
+    }
+    let total: f64 = config.vendor_mix.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for (v, w) in &config.vendor_mix {
+        if pick < *w {
+            return *v;
+        }
+        pick -= w;
+    }
+    config.vendor_mix.last().expect("non-empty mix").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_topology::{generate, TopologyConfig};
+
+    fn tiny_topology() -> Topology {
+        generate(&TopologyConfig {
+            n_tier1: 2,
+            n_transit: 3,
+            n_stub: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn build_from_topology() {
+        let topo = tiny_topology();
+        let net = Network::from_topology(&topo, SimConfig::default());
+        let router_count: usize = topo.nodes().map(|n| n.routers.len()).sum();
+        assert_eq!(net.routers().count(), router_count);
+        assert!(!net.sessions().is_empty());
+    }
+
+    #[test]
+    fn converges_and_goes_quiet() {
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+        // After quiescence every router should know every prefix
+        // (valley-free reachability holds in a fully connected hierarchy).
+        let total_prefixes = topo.all_prefixes().len();
+        for r in net.routers() {
+            assert_eq!(
+                r.loc_rib_len(),
+                total_prefixes,
+                "router {} missing routes",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_network_stays_quiet() {
+        // The paper's lab setup sanity check: once converged, only
+        // keepalives flow — in our model, *nothing* flows.
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+        let delivered = net.stats.messages_delivered;
+        net.run_until_quiet();
+        assert_eq!(net.stats.messages_delivered, delivered);
+    }
+
+    #[test]
+    fn collector_receives_routes() {
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        let peer = topo.nodes().find(|n| n.tier == kcc_topology::Tier::Transit).unwrap();
+        let peer_router = peer.router_id(0);
+        let (collector, sessions) = net.attach_collector(Asn(12_345), &[peer_router]);
+        assert_eq!(sessions.len(), 1);
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+        let cap = net.capture(collector).unwrap();
+        assert!(!cap.is_empty(), "collector saw no updates");
+        // The collector should have learned all prefixes.
+        let r = net.router(collector).unwrap();
+        assert_eq!(r.loc_rib_len(), topo.all_prefixes().len());
+    }
+
+    #[test]
+    fn withdrawal_propagates_to_collector() {
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        let peer = topo.nodes().find(|n| n.tier == kcc_topology::Tier::Transit).unwrap();
+        let (collector, _) = net.attach_collector(Asn(12_345), &[peer.router_id(0)]);
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+        net.clear_captures();
+
+        let (origin, prefix) = topo.all_prefixes()[0];
+        net.schedule_withdraw(SimTime::from_secs(100), RouterId { asn: origin, index: 0 }, prefix);
+        net.run_until_quiet();
+        let r = net.router(collector).unwrap();
+        assert!(r.best_route(&prefix).is_none(), "prefix not withdrawn at collector");
+        let cap = net.capture(collector).unwrap();
+        assert!(cap.withdrawal_count() > 0, "no withdrawal reached the collector");
+    }
+
+    #[test]
+    fn link_flap_triggers_updates_and_recovery() {
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+
+        // Flap the first eBGP session.
+        let sid = net
+            .sessions()
+            .iter()
+            .find(|s| s.is_ebgp())
+            .map(|s| s.id)
+            .expect("an ebgp session");
+        let before: Vec<usize> = net.routers().map(|r| r.loc_rib_len()).collect();
+        net.schedule_link_down(SimTime::from_secs(200), sid);
+        net.schedule_link_up(SimTime::from_secs(260), sid);
+        net.run_until_quiet();
+        let after: Vec<usize> = net.routers().map(|r| r.loc_rib_len()).collect();
+        assert_eq!(before, after, "flap must fully heal");
+    }
+
+    #[test]
+    fn fault_injection_drops_messages() {
+        let topo = tiny_topology();
+        let cfg = SimConfig {
+            fault: FaultConfig { drop_chance: 0.3, seed: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let mut net = Network::from_topology(&topo, cfg);
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+        assert!(net.stats.messages_dropped > 0);
+    }
+
+    #[test]
+    fn vendor_mix_assignment_deterministic() {
+        let topo = tiny_topology();
+        let cfg = SimConfig {
+            vendor_mix: vec![
+                (VendorProfile::CISCO_IOS, 0.5),
+                (VendorProfile::JUNOS, 0.5),
+            ],
+            ..Default::default()
+        };
+        let a = Network::from_topology(&topo, cfg.clone());
+        let b = Network::from_topology(&topo, cfg);
+        let va: Vec<&str> = a.routers().map(|r| r.vendor.name).collect();
+        let vb: Vec<&str> = b.routers().map(|r| r.vendor.name).collect();
+        assert_eq!(va, vb);
+        assert!(va.contains(&"Cisco IOS 12.4(20)T") || va.contains(&"Junos OS Olive 12.1R1.9"));
+    }
+
+    #[test]
+    fn run_until_respects_time_bound() {
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        net.announce_all_origins(&topo, SimTime::from_secs(10));
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.stats.messages_delivered, 0);
+        net.run_until_quiet();
+        assert!(net.stats.messages_delivered > 0);
+    }
+}

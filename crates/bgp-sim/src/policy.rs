@@ -1,0 +1,185 @@
+//! Import and export policy chains.
+//!
+//! Policies are the paper's experimental variables: where communities are
+//! added (geo-tagging on ingress), and where they are removed (ingress vs.
+//! egress cleaning — the difference between Exp3 and Exp4).
+
+use kcc_bgp_types::{Community, GeoTag, PathAttributes};
+use kcc_topology::RouteSource;
+
+/// Policy applied to routes *received* on a session, before they enter the
+/// Adj-RIB-In. Order of operations: clean → strip own stale tags → tag →
+/// add → local-pref.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ImportPolicy {
+    /// Remove all communities on ingress (the paper's Exp4 configuration).
+    pub clean_communities: bool,
+    /// Add geolocation communities for the ingress router's location,
+    /// owned by this 16-bit ASN (strips the ASN's previous geo tags
+    /// first). The `GeoTag` is filled in per ingress router.
+    pub geo_tag: Option<(u16, GeoTag)>,
+    /// Explicitly added communities (the lab's `Y:300` / `Y:400` tags).
+    pub add_communities: Vec<Community>,
+    /// Local preference to set (Gao–Rexford by neighbor kind).
+    pub local_pref: Option<u32>,
+}
+
+impl ImportPolicy {
+    /// The conventional eBGP import policy for a neighbor of the given
+    /// kind: Gao–Rexford local-pref, nothing else.
+    pub fn for_neighbor(kind: RouteSource) -> Self {
+        ImportPolicy { local_pref: Some(kind.conventional_local_pref()), ..Default::default() }
+    }
+
+    /// Applies the policy in place.
+    pub fn apply(&self, attrs: &mut PathAttributes) {
+        if self.clean_communities {
+            attrs.communities.clear();
+        }
+        if let Some((asn16, tag)) = self.geo_tag {
+            // A tagger owns its namespace: refresh rather than accumulate.
+            attrs.communities.strip_owned_by(asn16);
+            tag.tag(asn16, &mut attrs.communities);
+        }
+        for c in &self.add_communities {
+            attrs.communities.insert(*c);
+        }
+        if let Some(lp) = self.local_pref {
+            attrs.local_pref = Some(lp);
+        }
+    }
+}
+
+/// Policy applied to routes *sent* on a session, after the standard eBGP
+/// egress transformations (prepend, next-hop-self, local-pref strip).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExportPolicy {
+    /// Remove all communities on egress (the paper's Exp3 configuration).
+    pub clean_communities: bool,
+    /// Communities added on egress (action signaling to the neighbor).
+    pub add_communities: Vec<Community>,
+    /// MED to set toward this neighbor.
+    pub med: Option<u32>,
+    /// Extra prepends of our own ASN (beyond the mandatory one).
+    pub extra_prepends: u8,
+}
+
+impl ExportPolicy {
+    /// Applies the policy in place.
+    pub fn apply(&self, attrs: &mut PathAttributes) {
+        if self.clean_communities {
+            attrs.communities.clear();
+        }
+        for c in &self.add_communities {
+            attrs.communities.insert(*c);
+        }
+        if let Some(m) = self.med {
+            attrs.med = Some(m);
+        }
+        // extra_prepends is applied by the router (it owns its ASN).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::CommunitySet;
+
+    fn attrs_with(comms: &[(u16, u16)]) -> PathAttributes {
+        PathAttributes {
+            communities: CommunitySet::from_classic(
+                comms.iter().map(|&(a, v)| Community::from_parts(a, v)),
+            ),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ingress_cleaning_wipes_everything() {
+        let p = ImportPolicy { clean_communities: true, ..Default::default() };
+        let mut a = attrs_with(&[(3356, 2501), (174, 100)]);
+        p.apply(&mut a);
+        assert!(a.communities.is_empty());
+    }
+
+    #[test]
+    fn geo_tag_refreshes_own_namespace() {
+        let tag = GeoTag::new(4, 10, 80);
+        let p = ImportPolicy { geo_tag: Some((3356, tag)), ..Default::default() };
+        // Route arrives with a stale 3356 city tag and a foreign tag.
+        let mut a = attrs_with(&[(174, 2501)]);
+        GeoTag::new(5, 20, 160).tag(3356, &mut a.communities);
+        p.apply(&mut a);
+        // Foreign tag kept, own tags replaced with the new location.
+        assert!(a.communities.contains(&Community::from_parts(174, 2501)));
+        let own: Vec<_> = a
+            .communities
+            .iter_classic()
+            .filter(|c| c.asn_part() == 3356)
+            .copied()
+            .collect();
+        assert_eq!(own.len(), 3);
+        let expected = tag.to_communities(3356);
+        for c in expected {
+            assert!(a.communities.contains(&c));
+        }
+    }
+
+    #[test]
+    fn cleaning_then_tagging_composes() {
+        // An AS that cleans on ingress AND tags: result is only its tags.
+        let tag = GeoTag::new(4, 10, 80);
+        let p = ImportPolicy {
+            clean_communities: true,
+            geo_tag: Some((20_000, tag)),
+            ..Default::default()
+        };
+        let mut a = attrs_with(&[(174, 2501), (3356, 901)]);
+        p.apply(&mut a);
+        assert_eq!(a.communities.len(), 3);
+        assert!(a.communities.iter_classic().all(|c| c.asn_part() == 20_000));
+    }
+
+    #[test]
+    fn explicit_communities_and_local_pref() {
+        let p = ImportPolicy {
+            add_communities: vec![Community::from_parts(65_000, 300)],
+            local_pref: Some(300),
+            ..Default::default()
+        };
+        let mut a = PathAttributes::default();
+        p.apply(&mut a);
+        assert!(a.communities.contains(&Community::from_parts(65_000, 300)));
+        assert_eq!(a.local_pref, Some(300));
+    }
+
+    #[test]
+    fn neighbor_policy_sets_gao_rexford_pref() {
+        assert_eq!(
+            ImportPolicy::for_neighbor(RouteSource::Customer).local_pref,
+            Some(300)
+        );
+        assert_eq!(ImportPolicy::for_neighbor(RouteSource::Provider).local_pref, Some(100));
+    }
+
+    #[test]
+    fn egress_cleaning() {
+        let p = ExportPolicy { clean_communities: true, ..Default::default() };
+        let mut a = attrs_with(&[(3356, 2501)]);
+        p.apply(&mut a);
+        assert!(a.communities.is_empty());
+    }
+
+    #[test]
+    fn egress_add_and_med() {
+        let p = ExportPolicy {
+            add_communities: vec![Community::from_parts(65_535, 666)],
+            med: Some(10),
+            ..Default::default()
+        };
+        let mut a = PathAttributes::default();
+        p.apply(&mut a);
+        assert_eq!(a.med, Some(10));
+        assert_eq!(a.communities.len(), 1);
+    }
+}

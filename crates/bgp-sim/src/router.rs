@@ -1,0 +1,563 @@
+//! The simulated BGP router: RIBs, import/export, MRAI, vendor behavior.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+
+use kcc_bgp_types::community::well_known::NO_EXPORT;
+use kcc_bgp_types::{PathAttributes, Prefix};
+use kcc_topology::{may_export, IgpMap, RouteSource, RouterId};
+
+use crate::dampening::{DampeningConfig, DampeningState};
+use crate::decision;
+use crate::route::{RibEntry, SimUpdate, UpdateBody};
+use crate::session::{Session, SessionId, SessionKind};
+use crate::time::SimTime;
+use crate::vendor::VendorProfile;
+
+/// An effect the router wants the network to carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit an update on a session.
+    Send {
+        /// The session to send on.
+        session: SessionId,
+        /// The update.
+        update: SimUpdate,
+    },
+    /// Arrange an `MraiExpire` event at `at`.
+    ScheduleMrai {
+        /// The paced session.
+        session: SessionId,
+        /// The deadline.
+        at: SimTime,
+    },
+    /// Arrange a dampening reuse check at `at`.
+    ScheduleDampReuse {
+        /// The dampened session.
+        session: SessionId,
+        /// The dampened prefix.
+        prefix: Prefix,
+        /// When the penalty is predicted to cross the reuse threshold.
+        at: SimTime,
+    },
+}
+
+/// Per-router message counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Updates received (announcements + withdrawals).
+    pub updates_received: u64,
+    /// Updates sent.
+    pub updates_sent: u64,
+    /// Duplicate advertisements suppressed (Junos-style).
+    pub duplicates_suppressed: u64,
+    /// Duplicate advertisements transmitted anyway (non-suppressing
+    /// vendors) — the paper's unnecessary-update counter.
+    pub duplicates_sent: u64,
+    /// Updates ignored because the route is dampening-suppressed.
+    pub dampened: u64,
+}
+
+/// One simulated router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Identity (AS + index).
+    pub id: RouterId,
+    /// Loopback/session address, used as next-hop-self.
+    pub ip: IpAddr,
+    /// Implementation profile.
+    pub vendor: VendorProfile,
+    /// IGP cost map of the owning AS.
+    pub igp: IgpMap,
+    /// Sessions attached to this router.
+    pub sessions: Vec<SessionId>,
+    /// True for route collectors: capture only, never export.
+    pub is_collector: bool,
+    /// Route-flap dampening configuration (None = disabled, the default).
+    pub dampening: Option<DampeningConfig>,
+    /// Message counters.
+    pub counters: RouterCounters,
+    adj_rib_in: HashMap<(SessionId, Prefix), RibEntry>,
+    damp_states: HashMap<(SessionId, Prefix), DampeningState>,
+    loc_rib: BTreeMap<Prefix, RibEntry>,
+    adj_rib_out: HashMap<(SessionId, Prefix), PathAttributes>,
+    originated: BTreeMap<Prefix, PathAttributes>,
+    mrai_deadline: HashMap<SessionId, SimTime>,
+    mrai_pending: HashMap<SessionId, BTreeMap<Prefix, PathAttributes>>,
+}
+
+impl Router {
+    /// Creates a router.
+    pub fn new(id: RouterId, ip: IpAddr, vendor: VendorProfile, igp: IgpMap) -> Self {
+        Router {
+            id,
+            ip,
+            vendor,
+            igp,
+            sessions: Vec::new(),
+            is_collector: false,
+            dampening: None,
+            counters: RouterCounters::default(),
+            adj_rib_in: HashMap::new(),
+            damp_states: HashMap::new(),
+            loc_rib: BTreeMap::new(),
+            adj_rib_out: HashMap::new(),
+            originated: BTreeMap::new(),
+            mrai_deadline: HashMap::new(),
+            mrai_pending: HashMap::new(),
+        }
+    }
+
+    /// The best route currently installed for `prefix`.
+    pub fn best_route(&self, prefix: &Prefix) -> Option<&RibEntry> {
+        self.loc_rib.get(prefix)
+    }
+
+    /// Number of Loc-RIB entries.
+    pub fn loc_rib_len(&self) -> usize {
+        self.loc_rib.len()
+    }
+
+    /// Iterates over the Loc-RIB.
+    pub fn loc_rib(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
+        self.loc_rib.iter()
+    }
+
+    /// What was last transmitted to `session` for `prefix`.
+    pub fn last_advertised(&self, session: SessionId, prefix: &Prefix) -> Option<&PathAttributes> {
+        self.adj_rib_out.get(&(session, *prefix))
+    }
+
+    /// Iterates the Adj-RIB-In (post-import-policy routes per session) —
+    /// the per-peer state a collector's TABLE_DUMP_V2 snapshot records.
+    pub fn adj_rib_in(&self) -> impl Iterator<Item = (&(SessionId, Prefix), &RibEntry)> {
+        self.adj_rib_in.iter()
+    }
+
+    /// Starts originating `prefix`.
+    pub fn originate(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        let attrs = PathAttributes::originated(self.ip);
+        self.originated.insert(prefix, attrs);
+        self.run_decision(now, prefix, sessions)
+    }
+
+    /// Stops originating `prefix`.
+    pub fn withdraw_origin(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        if self.originated.remove(&prefix).is_none() {
+            return Vec::new();
+        }
+        self.run_decision(now, prefix, sessions)
+    }
+
+    /// Processes an update arriving on `session_id`.
+    pub fn handle_update(
+        &mut self,
+        now: SimTime,
+        session_id: SessionId,
+        sessions: &[Session],
+        update: &SimUpdate,
+    ) -> Vec<Action> {
+        self.counters.updates_received += 1;
+        let session = &sessions[session_id.0];
+        let key = (session_id, update.prefix);
+        match &update.body {
+            UpdateBody::Announce { attrs, source_hint } => {
+                // eBGP loop prevention (RFC 4271 §9.1.2).
+                if session.is_ebgp() && attrs.as_path.contains(self.id.asn) {
+                    return Vec::new();
+                }
+                let (source, egress) = if session.is_ebgp() {
+                    let kind =
+                        session.neighbor_kind_for(self.id).unwrap_or(RouteSource::Peer);
+                    (kind, self.id)
+                } else {
+                    (
+                        source_hint.unwrap_or(RouteSource::Customer),
+                        session.other(self.id),
+                    )
+                };
+                let mut a = attrs.clone();
+                session.import_for(self.id).apply(&mut a);
+                let entry = RibEntry { attrs: a, source, from_session: Some(session_id), egress };
+                // Post-policy no-change: the update was received (and
+                // counted) but routing state is untouched — the Exp4
+                // suppression point.
+                if self.adj_rib_in.get(&key) == Some(&entry) {
+                    return Vec::new();
+                }
+                let replaced = self.adj_rib_in.insert(key, entry).is_some();
+                // RFC 2439: an attribute change on an existing route is a
+                // flap; a fresh announcement after a withdrawal was already
+                // penalized by the withdrawal.
+                if replaced && session.is_ebgp() {
+                    if let Some(mut actions) = self.record_flap(now, session_id, update.prefix) {
+                        actions.extend(self.run_decision(now, update.prefix, sessions));
+                        return actions;
+                    }
+                }
+            }
+            UpdateBody::Withdraw => {
+                if self.adj_rib_in.remove(&key).is_none() {
+                    return Vec::new();
+                }
+                if session.is_ebgp() {
+                    // Withdrawal of a suppressed route changes nothing
+                    // visible, but the penalty still accrues.
+                    self.record_flap(now, session_id, update.prefix);
+                }
+            }
+        }
+        self.run_decision(now, update.prefix, sessions)
+    }
+
+    /// Records a dampening flap; returns `Some(actions)` when the route
+    /// just became (or remains) suppressed, in which case the caller gets
+    /// a reuse-check action and the route is hidden from decisions.
+    fn record_flap(
+        &mut self,
+        now: SimTime,
+        session_id: SessionId,
+        prefix: Prefix,
+    ) -> Option<Vec<Action>> {
+        let cfg = self.dampening?;
+        let state = self
+            .damp_states
+            .entry((session_id, prefix))
+            .or_insert_with(|| DampeningState::new(now));
+        let was_suppressed = state.is_suppressed(now, &cfg);
+        let suppressed = state.record_flap(now, &cfg);
+        if !suppressed {
+            return None;
+        }
+        self.counters.dampened += 1;
+        if was_suppressed {
+            // Already suppressed: existing reuse check covers it... but the
+            // penalty grew, so push the check out to the new reuse time.
+            return Some(vec![Action::ScheduleDampReuse {
+                session: session_id,
+                prefix,
+                at: state.reuse_time(&cfg),
+            }]);
+        }
+        Some(vec![Action::ScheduleDampReuse {
+            session: session_id,
+            prefix,
+            at: state.reuse_time(&cfg),
+        }])
+    }
+
+    /// Handles a scheduled dampening reuse check.
+    pub fn handle_damp_reuse(
+        &mut self,
+        now: SimTime,
+        session_id: SessionId,
+        prefix: Prefix,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        let Some(cfg) = self.dampening else { return Vec::new() };
+        let Some(state) = self.damp_states.get_mut(&(session_id, prefix)) else {
+            return Vec::new();
+        };
+        if state.is_suppressed(now, &cfg) {
+            // Penalty grew since this check was scheduled; try again later.
+            return vec![Action::ScheduleDampReuse {
+                session: session_id,
+                prefix,
+                at: state.reuse_time(&cfg),
+            }];
+        }
+        // Route is reusable: re-run the decision with it visible again.
+        self.run_decision(now, prefix, sessions)
+    }
+
+    /// True if the route from `session_id` for `prefix` is currently
+    /// hidden by dampening.
+    fn is_dampened(&self, now: SimTime, session_id: SessionId, prefix: Prefix) -> bool {
+        let Some(cfg) = self.dampening else { return false };
+        self.damp_states
+            .get(&(session_id, prefix))
+            .map(|s| {
+                let mut s = *s;
+                s.is_suppressed(now, &cfg)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Handles loss of a session: flush all state tied to it and re-run
+    /// decisions for affected prefixes.
+    pub fn handle_session_down(
+        &mut self,
+        now: SimTime,
+        session_id: SessionId,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        let affected: Vec<Prefix> = self
+            .adj_rib_in
+            .keys()
+            .filter(|(s, _)| *s == session_id)
+            .map(|(_, p)| *p)
+            .collect();
+        for p in &affected {
+            self.adj_rib_in.remove(&(session_id, *p));
+        }
+        self.adj_rib_out.retain(|(s, _), _| *s != session_id);
+        self.mrai_deadline.remove(&session_id);
+        self.mrai_pending.remove(&session_id);
+        self.damp_states.retain(|(s, _), _| *s != session_id);
+        let mut sorted = affected;
+        sorted.sort_unstable();
+        let mut actions = Vec::new();
+        for p in sorted {
+            actions.extend(self.run_decision(now, p, sessions));
+        }
+        actions
+    }
+
+    /// Handles a session (re-)establishing: advertise the current Loc-RIB.
+    pub fn handle_session_up(
+        &mut self,
+        now: SimTime,
+        session_id: SessionId,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        let prefixes: Vec<Prefix> = self.loc_rib.keys().copied().collect();
+        let mut actions = Vec::new();
+        for p in prefixes {
+            actions.extend(self.export_to_session(now, p, session_id, sessions));
+        }
+        actions
+    }
+
+    /// MRAI expiry: flush pending advertisements for the session.
+    pub fn handle_mrai_expire(
+        &mut self,
+        now: SimTime,
+        session_id: SessionId,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        self.mrai_deadline.remove(&session_id);
+        let Some(pending) = self.mrai_pending.remove(&session_id) else {
+            return Vec::new();
+        };
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let session = &sessions[session_id.0];
+        let mut actions = Vec::new();
+        for (prefix, attrs) in pending {
+            self.adj_rib_out.insert((session_id, prefix), attrs.clone());
+            self.counters.updates_sent += 1;
+            actions.push(Action::Send {
+                session: session_id,
+                update: SimUpdate::announce(prefix, attrs),
+            });
+        }
+        // Restart the timer to pace the next batch.
+        let mrai = self.vendor.mrai(session.is_ebgp());
+        if !mrai.is_zero() {
+            let at = now + mrai;
+            self.mrai_deadline.insert(session_id, at);
+            actions.push(Action::ScheduleMrai { session: session_id, at });
+        }
+        actions
+    }
+
+    /// Re-selects the best route for `prefix` and exports any change.
+    fn run_decision(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        let originated_entry = self.originated.get(&prefix).map(|attrs| RibEntry {
+            attrs: attrs.clone(),
+            source: RouteSource::Originated,
+            from_session: None,
+            egress: self.id,
+        });
+        let new_best = {
+            let candidates = self
+                .adj_rib_in
+                .iter()
+                .filter(|((s, p), _)| *p == prefix && !self.is_dampened(now, *s, prefix))
+                .map(|(_, e)| e)
+                .chain(originated_entry.as_ref());
+            decision::best(candidates, self.id, &self.igp).cloned()
+        };
+        let old_best = self.loc_rib.get(&prefix);
+        if old_best == new_best.as_ref() {
+            return Vec::new();
+        }
+        match new_best {
+            Some(e) => {
+                self.loc_rib.insert(prefix, e);
+            }
+            None => {
+                self.loc_rib.remove(&prefix);
+            }
+        }
+        if self.is_collector {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        let my_sessions = self.sessions.clone();
+        for sid in my_sessions {
+            if sessions[sid.0].up {
+                actions.extend(self.export_to_session(now, prefix, sid, sessions));
+            }
+        }
+        actions
+    }
+
+    /// The announcement we would send for `prefix` on `session`, or `None`
+    /// if the route must not (or cannot) be advertised there.
+    fn desired_advertisement(
+        &self,
+        prefix: Prefix,
+        session: &Session,
+    ) -> Option<(PathAttributes, Option<RouteSource>)> {
+        let best = self.loc_rib.get(&prefix)?;
+        // Never advertise back onto the session the route came from.
+        if best.from_session == Some(session.id) {
+            return None;
+        }
+        match session.kind {
+            SessionKind::Ibgp => {
+                // Full mesh: iBGP-learned routes are not reflected.
+                if best.from_session.is_some() && !best.is_ebgp(self.id) {
+                    return None;
+                }
+                let mut a = best.attrs.clone();
+                a.next_hop = self.ip; // next-hop-self at the border
+                Some((a, Some(best.source)))
+            }
+            SessionKind::Ebgp => {
+                let to_kind = session.neighbor_kind_for(self.id).unwrap_or(RouteSource::Peer);
+                if !may_export(best.source, to_kind) {
+                    return None;
+                }
+                if best.attrs.communities.contains(&NO_EXPORT) {
+                    return None;
+                }
+                let mut a = best.attrs.clone();
+                let export = session.export_for(self.id);
+                a.as_path = a.as_path.prepend(self.id.asn, 1 + export.extra_prepends as usize);
+                a.next_hop = self.ip;
+                a.local_pref = None;
+                a.med = None; // MED is not propagated onward by default
+                export.apply(&mut a);
+                Some((a, None))
+            }
+        }
+    }
+
+    /// Compares the desired advertisement with the Adj-RIB-Out and emits
+    /// send/withdraw/pending actions, applying vendor duplicate policy and
+    /// MRAI pacing.
+    fn export_to_session(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        session_id: SessionId,
+        sessions: &[Session],
+    ) -> Vec<Action> {
+        if self.is_collector {
+            return Vec::new();
+        }
+        let session = &sessions[session_id.0];
+        let desired = self.desired_advertisement(prefix, session);
+        let key = (session_id, prefix);
+        let last_sent = self.adj_rib_out.get(&key);
+        let has_pending = self
+            .mrai_pending
+            .get(&session_id)
+            .map(|m| m.contains_key(&prefix))
+            .unwrap_or(false);
+
+        match desired {
+            None => {
+                // Withdraw if the peer (or the pending queue) holds state.
+                let had_pending = self
+                    .mrai_pending
+                    .get_mut(&session_id)
+                    .map(|m| m.remove(&prefix).is_some())
+                    .unwrap_or(false);
+                if self.adj_rib_out.remove(&key).is_some() {
+                    self.counters.updates_sent += 1;
+                    // Withdrawals bypass MRAI (RFC 4271 §9.2.1.1).
+                    return vec![Action::Send {
+                        session: session_id,
+                        update: SimUpdate::withdraw(prefix),
+                    }];
+                } else if had_pending {
+                    // Never transmitted: nothing to withdraw.
+                    return Vec::new();
+                }
+                Vec::new()
+            }
+            Some((attrs, source_hint)) => {
+                if has_pending {
+                    // Replace the queued advertisement with the newest state.
+                    // If it now equals what was last sent, drop the queue
+                    // entry only when the vendor suppresses duplicates.
+                    let equal_to_sent = last_sent == Some(&attrs);
+                    let pending = self.mrai_pending.entry(session_id).or_default();
+                    if equal_to_sent && self.vendor.suppresses_duplicates {
+                        pending.remove(&prefix);
+                        self.counters.duplicates_suppressed += 1;
+                    } else {
+                        pending.insert(prefix, attrs);
+                    }
+                    return Vec::new();
+                }
+                let is_duplicate = last_sent == Some(&attrs);
+                if is_duplicate {
+                    if self.vendor.suppresses_duplicates {
+                        self.counters.duplicates_suppressed += 1;
+                        return Vec::new();
+                    }
+                    self.counters.duplicates_sent += 1;
+                }
+                // MRAI gate (announcements only).
+                let mrai = self.vendor.mrai(session.is_ebgp());
+                let timer_running = self
+                    .mrai_deadline
+                    .get(&session_id)
+                    .map(|&d| d > now)
+                    .unwrap_or(false);
+                if timer_running {
+                    self.mrai_pending
+                        .entry(session_id)
+                        .or_default()
+                        .insert(prefix, attrs);
+                    return Vec::new();
+                }
+                self.adj_rib_out.insert(key, attrs.clone());
+                self.counters.updates_sent += 1;
+                let mut actions = vec![Action::Send {
+                    session: session_id,
+                    update: SimUpdate {
+                        prefix,
+                        body: UpdateBody::Announce { attrs, source_hint },
+                    },
+                }];
+                if !mrai.is_zero() {
+                    let at = now + mrai;
+                    self.mrai_deadline.insert(session_id, at);
+                    actions.push(Action::ScheduleMrai { session: session_id, at });
+                }
+                actions
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Large BGP communities (RFC 8092).
+//!
+//! Large communities are three 32-bit words — `global:data1:data2` — created
+//! so that 4-octet ASNs can define community semantics (the classic 16-bit
+//! `asn:value` form cannot express an AS above 65535). RFC 8195 documents
+//! the informational/action usage conventions the paper's taxonomy follows.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A large BGP community `global:data1:data2` (RFC 8092).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LargeCommunity {
+    /// Global administrator — the ASN defining the semantics.
+    pub global: u32,
+    /// First data word (often a function selector, RFC 8195 §4).
+    pub data1: u32,
+    /// Second data word (often a parameter such as a location id).
+    pub data2: u32,
+}
+
+impl LargeCommunity {
+    /// Creates a large community from its three words.
+    pub const fn new(global: u32, data1: u32, data2: u32) -> Self {
+        LargeCommunity { global, data1, data2 }
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.data1, self.data2)
+    }
+}
+
+/// Error parsing a large community from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLargeCommunityError(String);
+
+impl fmt::Display for ParseLargeCommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid large community: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseLargeCommunityError {}
+
+impl FromStr for LargeCommunity {
+    type Err = ParseLargeCommunityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split(':');
+        let err = || ParseLargeCommunityError(s.to_owned());
+        let global = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let data1 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let data2 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if it.next().is_some() {
+            return Err(err());
+        }
+        Ok(LargeCommunity { global, data1, data2 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let lc = LargeCommunity::new(206_924, 1, 44);
+        assert_eq!(lc.to_string(), "206924:1:44");
+        assert_eq!("206924:1:44".parse::<LargeCommunity>().unwrap(), lc);
+    }
+
+    #[test]
+    fn four_octet_global_admin() {
+        // The whole point of RFC 8092: ASNs > 65535 as global administrator.
+        let lc: LargeCommunity = "4200000001:0:0".parse().unwrap();
+        assert_eq!(lc.global, 4_200_000_001);
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+        assert!("a:2:3".parse::<LargeCommunity>().is_err());
+        assert!("1:2:4294967296".parse::<LargeCommunity>().is_err());
+        assert!("".parse::<LargeCommunity>().is_err());
+    }
+
+    #[test]
+    fn ordering_lexicographic_by_words() {
+        let a = LargeCommunity::new(1, 0, 9);
+        let b = LargeCommunity::new(1, 1, 0);
+        let c = LargeCommunity::new(2, 0, 0);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,144 @@
+//! Community taxonomy: informational vs. action communities.
+//!
+//! Following Donnet & Bonaventure's taxonomy and the RFC 8195 convention
+//! the paper cites, communities divide into **informational** tags (added on
+//! *ingress* to record facts — where/from whom a route was learned) and
+//! **action** signals (added on *egress* to request behavior — blackhole,
+//! prepend, selective advertisement). The classifier here combines
+//! structural knowledge (well-known values, the geo encoding) with an
+//! optional per-AS scheme registry populated by the topology generator.
+
+use std::collections::HashMap;
+
+use crate::community::Community;
+use crate::geo::decode_geo;
+
+/// What kind of information a community conveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommunityClass {
+    /// Informational: ingress geolocation tag.
+    InfoGeo,
+    /// Informational: relation/type-of-peer tag (customer/peer/provider).
+    InfoRelation,
+    /// Action: well-known (NO_EXPORT, BLACKHOLE, ...).
+    ActionWellKnown,
+    /// Action: AS-specific signaling (prepend requests, selective
+    /// advertisement, local-pref steering).
+    ActionSignal,
+    /// Not classifiable.
+    Unknown,
+}
+
+impl CommunityClass {
+    /// True for the informational side of the taxonomy.
+    pub fn is_informational(self) -> bool {
+        matches!(self, CommunityClass::InfoGeo | CommunityClass::InfoRelation)
+    }
+
+    /// True for the action side of the taxonomy.
+    pub fn is_action(self) -> bool {
+        matches!(self, CommunityClass::ActionWellKnown | CommunityClass::ActionSignal)
+    }
+}
+
+/// Value range an AS devotes to one class of communities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeRange {
+    /// Inclusive low bound of the 16-bit value.
+    pub lo: u16,
+    /// Inclusive high bound.
+    pub hi: u16,
+    /// What the range means.
+    pub class: CommunityClass,
+}
+
+/// A registry of per-AS community schemes plus structural defaults.
+///
+/// Lookup order: well-known registry → per-AS scheme ranges → the shared
+/// geo encoding → `Unknown`.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityTaxonomy {
+    schemes: HashMap<u16, Vec<SchemeRange>>,
+}
+
+impl CommunityTaxonomy {
+    /// An empty taxonomy (structural rules only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a value range for an AS's scheme.
+    pub fn register(&mut self, asn16: u16, range: SchemeRange) {
+        self.schemes.entry(asn16).or_default().push(range);
+    }
+
+    /// Registers the conventional scheme of a transit AS that geo-tags:
+    /// geo ranges (classified by the shared encoding), a relation range
+    /// (100–199), and an action range (7000–7999, e.g. prepend requests).
+    pub fn register_transit_defaults(&mut self, asn16: u16) {
+        self.register(asn16, SchemeRange { lo: 100, hi: 199, class: CommunityClass::InfoRelation });
+        self.register(asn16, SchemeRange { lo: 7000, hi: 7999, class: CommunityClass::ActionSignal });
+    }
+
+    /// Classifies one community.
+    pub fn classify(&self, c: Community) -> CommunityClass {
+        if c.well_known_name().is_some() {
+            return CommunityClass::ActionWellKnown;
+        }
+        if let Some(ranges) = self.schemes.get(&c.asn_part()) {
+            let v = c.value_part();
+            for r in ranges {
+                if (r.lo..=r.hi).contains(&v) {
+                    return r.class;
+                }
+            }
+        }
+        if decode_geo(c).is_some() {
+            return CommunityClass::InfoGeo;
+        }
+        CommunityClass::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::well_known;
+    use crate::geo::GeoTag;
+
+    #[test]
+    fn well_known_are_actions() {
+        let t = CommunityTaxonomy::new();
+        assert_eq!(t.classify(well_known::BLACKHOLE), CommunityClass::ActionWellKnown);
+        assert_eq!(t.classify(well_known::NO_EXPORT), CommunityClass::ActionWellKnown);
+        assert!(t.classify(well_known::NO_EXPORT).is_action());
+    }
+
+    #[test]
+    fn geo_ranges_are_informational() {
+        let t = CommunityTaxonomy::new();
+        let [cont, country, city] = GeoTag::new(4, 1, 2).to_communities(3356);
+        for c in [cont, country, city] {
+            assert_eq!(t.classify(c), CommunityClass::InfoGeo);
+            assert!(t.classify(c).is_informational());
+        }
+    }
+
+    #[test]
+    fn scheme_ranges_override_structure() {
+        let mut t = CommunityTaxonomy::new();
+        t.register_transit_defaults(3356);
+        assert_eq!(t.classify(Community::from_parts(3356, 150)), CommunityClass::InfoRelation);
+        assert_eq!(t.classify(Community::from_parts(3356, 7001)), CommunityClass::ActionSignal);
+        // Outside registered ranges and geo ranges: unknown.
+        assert_eq!(t.classify(Community::from_parts(3356, 50)), CommunityClass::Unknown);
+    }
+
+    #[test]
+    fn scheme_is_per_as() {
+        let mut t = CommunityTaxonomy::new();
+        t.register(174, SchemeRange { lo: 0, hi: 99, class: CommunityClass::ActionSignal });
+        assert_eq!(t.classify(Community::from_parts(174, 50)), CommunityClass::ActionSignal);
+        assert_eq!(t.classify(Community::from_parts(175, 50)), CommunityClass::Unknown);
+    }
+}

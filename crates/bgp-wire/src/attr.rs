@@ -1,0 +1,776 @@
+//! Path attribute encoding and decoding.
+//!
+//! Attributes are TLVs with a flags octet, a type octet, and a 1- or
+//! 2-octet length (extended-length flag). The codec understands every
+//! attribute the paper's data analysis touches and preserves unrecognized
+//! optional transitive attributes bit-exactly so archives round-trip.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use kcc_bgp_types::attrs::{Aggregator, Origin, PathAttributes};
+use kcc_bgp_types::{Asn, AsPath, Community, ExtendedCommunity, LargeCommunity, PathSegment, Prefix, SegmentKind};
+
+use crate::error::WireError;
+use crate::message::SessionConfig;
+use crate::nlri::{decode_prefix_run, encode_prefix, Afi};
+
+/// Attribute flag bits.
+pub mod flags {
+    /// Optional (not well-known).
+    pub const OPTIONAL: u8 = 0x80;
+    /// Transitive.
+    pub const TRANSITIVE: u8 = 0x40;
+    /// Partial (set when an unrecognized transitive attribute passed through).
+    pub const PARTIAL: u8 = 0x20;
+    /// Two-octet length field follows.
+    pub const EXTENDED_LENGTH: u8 = 0x10;
+}
+
+/// Attribute type codes (IANA registry subset).
+pub mod type_codes {
+    /// ORIGIN.
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH.
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP.
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC.
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF.
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR.
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES (RFC 1997).
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI (RFC 4760).
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI (RFC 4760).
+    pub const MP_UNREACH_NLRI: u8 = 15;
+    /// EXTENDED COMMUNITIES (RFC 4360).
+    pub const EXTENDED_COMMUNITIES: u8 = 16;
+    /// AS4_PATH (RFC 6793).
+    pub const AS4_PATH: u8 = 17;
+    /// AS4_AGGREGATOR (RFC 6793).
+    pub const AS4_AGGREGATOR: u8 = 18;
+    /// LARGE COMMUNITIES (RFC 8092).
+    pub const LARGE_COMMUNITIES: u8 = 32;
+}
+
+/// An attribute the codec does not interpret, preserved bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttribute {
+    /// Original flag octet.
+    pub flags: u8,
+    /// Type code.
+    pub code: u8,
+    /// Raw value bytes.
+    pub value: Vec<u8>,
+}
+
+/// Everything pulled out of an UPDATE's attribute block.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedAttrs {
+    /// The interpreted attributes (next_hop defaults to 0.0.0.0 when the
+    /// update has no NEXT_HOP, e.g. a pure MP-BGP v6 update).
+    pub attrs: PathAttributes,
+    /// True if a NEXT_HOP attribute was present.
+    pub has_next_hop: bool,
+    /// True if an ORIGIN attribute was present.
+    pub has_origin: bool,
+    /// True if an AS_PATH attribute was present.
+    pub has_as_path: bool,
+    /// NLRI announced via MP_REACH_NLRI (IPv6).
+    pub mp_reach: Vec<Prefix>,
+    /// IPv6 next hop from MP_REACH_NLRI.
+    pub mp_next_hop: Option<Ipv6Addr>,
+    /// NLRI withdrawn via MP_UNREACH_NLRI.
+    pub mp_unreach: Vec<Prefix>,
+    /// Unrecognized attributes, preserved for re-encoding.
+    pub unknown: Vec<RawAttribute>,
+}
+
+fn put_attr_header<B: BufMut>(buf: &mut B, base_flags: u8, code: u8, len: usize) {
+    if len > 255 {
+        buf.put_u8(base_flags | flags::EXTENDED_LENGTH);
+        buf.put_u8(code);
+        buf.put_u16(len as u16);
+    } else {
+        buf.put_u8(base_flags);
+        buf.put_u8(code);
+        buf.put_u8(len as u8);
+    }
+}
+
+fn encode_as_path_body(path: &AsPath, four_octet: bool) -> BytesMut {
+    let mut body = BytesMut::new();
+    for seg in path.segments() {
+        let kind = match seg.kind {
+            SegmentKind::Set => 1u8,
+            SegmentKind::Sequence => 2,
+            SegmentKind::ConfedSequence => 3,
+            SegmentKind::ConfedSet => 4,
+        };
+        // Wire segments hold at most 255 ASNs; split longer ones.
+        for chunk in seg.asns.chunks(255) {
+            body.put_u8(kind);
+            body.put_u8(chunk.len() as u8);
+            for a in chunk {
+                if four_octet {
+                    body.put_u32(a.value());
+                } else {
+                    body.put_u16(a.to_16bit_wire());
+                }
+            }
+        }
+    }
+    body
+}
+
+fn decode_as_path_body(mut body: Bytes, four_octet: bool) -> Result<AsPath, WireError> {
+    let mut segments = Vec::new();
+    while body.has_remaining() {
+        if body.remaining() < 2 {
+            return Err(WireError::MalformedAttribute {
+                code: type_codes::AS_PATH,
+                detail: "segment header truncated",
+            });
+        }
+        let kind = match body.get_u8() {
+            1 => SegmentKind::Set,
+            2 => SegmentKind::Sequence,
+            3 => SegmentKind::ConfedSequence,
+            4 => SegmentKind::ConfedSet,
+            _ => {
+                return Err(WireError::MalformedAttribute {
+                    code: type_codes::AS_PATH,
+                    detail: "unknown segment type",
+                })
+            }
+        };
+        let count = body.get_u8() as usize;
+        let width = if four_octet { 4 } else { 2 };
+        if body.remaining() < count * width {
+            return Err(WireError::MalformedAttribute {
+                code: type_codes::AS_PATH,
+                detail: "segment body truncated",
+            });
+        }
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(if four_octet {
+                Asn(body.get_u32())
+            } else {
+                Asn(body.get_u16() as u32)
+            });
+        }
+        segments.push(PathSegment { kind, asns });
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+/// Encodes the attribute block for an UPDATE.
+///
+/// `v6_nlri`/`v6_withdrawn` trigger MP_REACH/MP_UNREACH generation;
+/// `include_next_hop` should be false for updates with no IPv4 NLRI.
+pub fn encode_attributes(
+    attrs: &PathAttributes,
+    v6_nlri: &[Prefix],
+    v6_withdrawn: &[Prefix],
+    unknown: &[RawAttribute],
+    include_next_hop: bool,
+    cfg: &SessionConfig,
+    buf: &mut BytesMut,
+) {
+    // ORIGIN
+    put_attr_header(buf, flags::TRANSITIVE, type_codes::ORIGIN, 1);
+    buf.put_u8(attrs.origin.code());
+
+    // AS_PATH (+ AS4_PATH when the session is 2-octet and the path needs it)
+    let body = encode_as_path_body(&attrs.as_path, cfg.four_octet_as);
+    put_attr_header(buf, flags::TRANSITIVE, type_codes::AS_PATH, body.len());
+    buf.put_slice(&body);
+    if !cfg.four_octet_as && attrs.as_path.asns().any(|a| !a.is_16bit()) {
+        let body4 = encode_as_path_body(&attrs.as_path, true);
+        put_attr_header(
+            buf,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            type_codes::AS4_PATH,
+            body4.len(),
+        );
+        buf.put_slice(&body4);
+    }
+
+    // NEXT_HOP (IPv4 only; v6 next hops ride in MP_REACH)
+    if include_next_hop {
+        if let IpAddr::V4(nh) = attrs.next_hop {
+            put_attr_header(buf, flags::TRANSITIVE, type_codes::NEXT_HOP, 4);
+            buf.put_slice(&nh.octets());
+        }
+    }
+
+    if let Some(med) = attrs.med {
+        put_attr_header(buf, flags::OPTIONAL, type_codes::MED, 4);
+        buf.put_u32(med);
+    }
+
+    if let Some(lp) = attrs.local_pref {
+        put_attr_header(buf, flags::TRANSITIVE, type_codes::LOCAL_PREF, 4);
+        buf.put_u32(lp);
+    }
+
+    if attrs.atomic_aggregate {
+        put_attr_header(buf, flags::TRANSITIVE, type_codes::ATOMIC_AGGREGATE, 0);
+    }
+
+    if let Some(agg) = &attrs.aggregator {
+        if cfg.four_octet_as {
+            put_attr_header(buf, flags::OPTIONAL | flags::TRANSITIVE, type_codes::AGGREGATOR, 8);
+            buf.put_u32(agg.asn.value());
+        } else {
+            put_attr_header(buf, flags::OPTIONAL | flags::TRANSITIVE, type_codes::AGGREGATOR, 6);
+            buf.put_u16(agg.asn.to_16bit_wire());
+        }
+        buf.put_slice(&agg.router_id.octets());
+    }
+
+    let classic = attrs.communities.classic();
+    if !classic.is_empty() {
+        put_attr_header(
+            buf,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            type_codes::COMMUNITIES,
+            classic.len() * 4,
+        );
+        for c in classic {
+            buf.put_u32(c.0);
+        }
+    }
+
+    let extended = attrs.communities.extended();
+    if !extended.is_empty() {
+        put_attr_header(
+            buf,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            type_codes::EXTENDED_COMMUNITIES,
+            extended.len() * 8,
+        );
+        for e in extended {
+            buf.put_slice(&e.to_bytes());
+        }
+    }
+
+    let large = attrs.communities.large();
+    if !large.is_empty() {
+        put_attr_header(
+            buf,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            type_codes::LARGE_COMMUNITIES,
+            large.len() * 12,
+        );
+        for l in large {
+            buf.put_u32(l.global);
+            buf.put_u32(l.data1);
+            buf.put_u32(l.data2);
+        }
+    }
+
+    if !v6_nlri.is_empty() {
+        let mut body = BytesMut::new();
+        body.put_u16(Afi::Ipv6.code());
+        body.put_u8(1); // SAFI unicast
+        let nh = match attrs.next_hop {
+            IpAddr::V6(v6) => v6,
+            IpAddr::V4(v4) => v4.to_ipv6_mapped(),
+        };
+        body.put_u8(16);
+        body.put_slice(&nh.octets());
+        body.put_u8(0); // reserved
+        for p in v6_nlri {
+            encode_prefix(p, &mut body);
+        }
+        put_attr_header(buf, flags::OPTIONAL, type_codes::MP_REACH_NLRI, body.len());
+        buf.put_slice(&body);
+    }
+
+    if !v6_withdrawn.is_empty() {
+        let mut body = BytesMut::new();
+        body.put_u16(Afi::Ipv6.code());
+        body.put_u8(1);
+        for p in v6_withdrawn {
+            encode_prefix(p, &mut body);
+        }
+        put_attr_header(buf, flags::OPTIONAL, type_codes::MP_UNREACH_NLRI, body.len());
+        buf.put_slice(&body);
+    }
+
+    for raw in unknown {
+        put_attr_header(buf, raw.flags & !flags::EXTENDED_LENGTH, raw.code, raw.value.len());
+        buf.put_slice(&raw.value);
+    }
+}
+
+/// Encodes a next-hop-only MP_REACH_NLRI attribute — the shape RFC 6396
+/// §4.3.4 prescribes for IPv6 RIB entries in TABLE_DUMP_V2, where the NLRI
+/// is implied by the enclosing record.
+pub fn encode_mp_next_hop_only(next_hop: Ipv6Addr, buf: &mut BytesMut) {
+    let mut body = BytesMut::new();
+    body.put_u16(Afi::Ipv6.code());
+    body.put_u8(1); // SAFI unicast
+    body.put_u8(16);
+    body.put_slice(&next_hop.octets());
+    body.put_u8(0); // reserved
+    put_attr_header(buf, flags::OPTIONAL, type_codes::MP_REACH_NLRI, body.len());
+    buf.put_slice(&body);
+}
+
+/// Encodes an attribute block containing only MP_UNREACH_NLRI — the shape
+/// of a pure IPv6 withdrawal, which carries no mandatory attributes.
+pub fn encode_attributes_withdraw_only(v6_withdrawn: &[Prefix], buf: &mut BytesMut) {
+    let mut body = BytesMut::new();
+    body.put_u16(Afi::Ipv6.code());
+    body.put_u8(1);
+    for p in v6_withdrawn {
+        encode_prefix(p, &mut body);
+    }
+    put_attr_header(buf, flags::OPTIONAL, type_codes::MP_UNREACH_NLRI, body.len());
+    buf.put_slice(&body);
+}
+
+fn expect_len(code: u8, body: &Bytes, want: usize, what: &'static str) -> Result<(), WireError> {
+    if body.len() != want {
+        Err(WireError::MalformedAttribute { code, detail: what })
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes an attribute block of exactly `total_len` bytes from `buf`.
+pub fn decode_attributes<B: Buf>(
+    buf: &mut B,
+    total_len: usize,
+    cfg: &SessionConfig,
+) -> Result<DecodedAttrs, WireError> {
+    if buf.remaining() < total_len {
+        return Err(WireError::Truncated { what: "path attributes" });
+    }
+    let mut block = buf.copy_to_bytes(total_len);
+    let mut out = DecodedAttrs::default();
+    let mut as4_path: Option<AsPath> = None;
+    let mut as4_aggregator: Option<Aggregator> = None;
+
+    while block.has_remaining() {
+        if block.remaining() < 2 {
+            return Err(WireError::Truncated { what: "attribute header" });
+        }
+        let fl = block.get_u8();
+        let code = block.get_u8();
+        let len = if fl & flags::EXTENDED_LENGTH != 0 {
+            if block.remaining() < 2 {
+                return Err(WireError::Truncated { what: "attribute extended length" });
+            }
+            block.get_u16() as usize
+        } else {
+            if block.remaining() < 1 {
+                return Err(WireError::Truncated { what: "attribute length" });
+            }
+            block.get_u8() as usize
+        };
+        if block.remaining() < len {
+            return Err(WireError::Truncated { what: "attribute body" });
+        }
+        let mut body = block.copy_to_bytes(len);
+
+        match code {
+            type_codes::ORIGIN => {
+                expect_len(code, &body, 1, "ORIGIN length != 1")?;
+                let v = body.get_u8();
+                out.attrs.origin = Origin::from_code(v)
+                    .ok_or(WireError::BadValue { what: "ORIGIN", value: v as u32 })?;
+                out.has_origin = true;
+            }
+            type_codes::AS_PATH => {
+                out.attrs.as_path = decode_as_path_body(body, cfg.four_octet_as)?;
+                out.has_as_path = true;
+            }
+            type_codes::AS4_PATH => {
+                as4_path = Some(decode_as_path_body(body, true)?);
+            }
+            type_codes::NEXT_HOP => {
+                expect_len(code, &body, 4, "NEXT_HOP length != 4")?;
+                let mut oct = [0u8; 4];
+                body.copy_to_slice(&mut oct);
+                out.attrs.next_hop = IpAddr::V4(Ipv4Addr::from(oct));
+                out.has_next_hop = true;
+            }
+            type_codes::MED => {
+                expect_len(code, &body, 4, "MED length != 4")?;
+                out.attrs.med = Some(body.get_u32());
+            }
+            type_codes::LOCAL_PREF => {
+                expect_len(code, &body, 4, "LOCAL_PREF length != 4")?;
+                out.attrs.local_pref = Some(body.get_u32());
+            }
+            type_codes::ATOMIC_AGGREGATE => {
+                expect_len(code, &body, 0, "ATOMIC_AGGREGATE length != 0")?;
+                out.attrs.atomic_aggregate = true;
+            }
+            type_codes::AGGREGATOR => {
+                let (asn, rest) = if cfg.four_octet_as {
+                    expect_len(code, &body, 8, "AGGREGATOR length != 8")?;
+                    (Asn(body.get_u32()), body)
+                } else {
+                    expect_len(code, &body, 6, "AGGREGATOR length != 6")?;
+                    (Asn(body.get_u16() as u32), body)
+                };
+                let mut body = rest;
+                let mut oct = [0u8; 4];
+                body.copy_to_slice(&mut oct);
+                out.attrs.aggregator = Some(Aggregator { asn, router_id: Ipv4Addr::from(oct) });
+            }
+            type_codes::AS4_AGGREGATOR => {
+                expect_len(code, &body, 8, "AS4_AGGREGATOR length != 8")?;
+                let asn = Asn(body.get_u32());
+                let mut oct = [0u8; 4];
+                body.copy_to_slice(&mut oct);
+                as4_aggregator = Some(Aggregator { asn, router_id: Ipv4Addr::from(oct) });
+            }
+            type_codes::COMMUNITIES => {
+                if body.len() % 4 != 0 {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "COMMUNITIES length not multiple of 4",
+                    });
+                }
+                while body.has_remaining() {
+                    out.attrs.communities.insert(Community(body.get_u32()));
+                }
+            }
+            type_codes::EXTENDED_COMMUNITIES => {
+                if body.len() % 8 != 0 {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "EXTENDED COMMUNITIES length not multiple of 8",
+                    });
+                }
+                while body.has_remaining() {
+                    let mut oct = [0u8; 8];
+                    body.copy_to_slice(&mut oct);
+                    out.attrs.communities.insert_extended(ExtendedCommunity::from_bytes(oct));
+                }
+            }
+            type_codes::LARGE_COMMUNITIES => {
+                if body.len() % 12 != 0 {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "LARGE COMMUNITIES length not multiple of 12",
+                    });
+                }
+                while body.has_remaining() {
+                    let g = body.get_u32();
+                    let d1 = body.get_u32();
+                    let d2 = body.get_u32();
+                    out.attrs.communities.insert_large(LargeCommunity::new(g, d1, d2));
+                }
+            }
+            type_codes::MP_REACH_NLRI => {
+                if body.remaining() < 5 {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "MP_REACH too short",
+                    });
+                }
+                let afi = Afi::from_code(body.get_u16()).ok_or(WireError::MalformedAttribute {
+                    code,
+                    detail: "unknown AFI",
+                })?;
+                let _safi = body.get_u8();
+                let nh_len = body.get_u8() as usize;
+                if body.remaining() < nh_len + 1 {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "MP_REACH next hop truncated",
+                    });
+                }
+                if afi == Afi::Ipv6 && (nh_len == 16 || nh_len == 32) {
+                    let mut oct = [0u8; 16];
+                    let nh_bytes = body.copy_to_bytes(nh_len);
+                    oct.copy_from_slice(&nh_bytes[..16]);
+                    out.mp_next_hop = Some(Ipv6Addr::from(oct));
+                } else {
+                    body.advance(nh_len);
+                }
+                body.advance(1); // reserved
+                out.mp_reach = decode_prefix_run(afi, &mut body)?;
+            }
+            type_codes::MP_UNREACH_NLRI => {
+                if body.remaining() < 3 {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "MP_UNREACH too short",
+                    });
+                }
+                let afi = Afi::from_code(body.get_u16()).ok_or(WireError::MalformedAttribute {
+                    code,
+                    detail: "unknown AFI",
+                })?;
+                let _safi = body.get_u8();
+                out.mp_unreach = decode_prefix_run(afi, &mut body)?;
+            }
+            _ => {
+                if fl & flags::OPTIONAL == 0 {
+                    return Err(WireError::UnrecognizedWellKnown(code));
+                }
+                // Unknown optional: keep transitive ones (with PARTIAL set,
+                // as a forwarding router would), drop non-transitive ones.
+                if fl & flags::TRANSITIVE != 0 {
+                    out.unknown.push(RawAttribute {
+                        flags: fl | flags::PARTIAL,
+                        code,
+                        value: body.to_vec(),
+                    });
+                }
+            }
+        }
+    }
+
+    // RFC 6793 §4.2.3 reconciliation: prefer the 4-octet path when present.
+    if let Some(p4) = as4_path {
+        if !cfg.four_octet_as {
+            out.attrs.as_path = p4;
+        }
+    }
+    if let Some(a4) = as4_aggregator {
+        if !cfg.four_octet_as && out.attrs.aggregator.map(|a| a.asn.is_as_trans()).unwrap_or(false)
+        {
+            out.attrs.aggregator = Some(a4);
+        }
+    }
+
+    if let Some(v6) = out.mp_next_hop {
+        if !out.has_next_hop {
+            out.attrs.next_hop = IpAddr::V6(v6);
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg4() -> SessionConfig {
+        SessionConfig { four_octet_as: true }
+    }
+
+    fn cfg2() -> SessionConfig {
+        SessionConfig { four_octet_as: false }
+    }
+
+    fn attrs() -> PathAttributes {
+        let mut a = PathAttributes {
+            as_path: "20205 3356 174 12654".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            med: Some(100),
+            ..Default::default()
+        };
+        a.communities.insert(Community::from_parts(3356, 2065));
+        a.communities.insert_large(LargeCommunity::new(3356, 7, 9));
+        a
+    }
+
+    fn roundtrip(a: &PathAttributes, cfg: &SessionConfig) -> DecodedAttrs {
+        let mut buf = BytesMut::new();
+        encode_attributes(a, &[], &[], &[], true, cfg, &mut buf);
+        let len = buf.len();
+        decode_attributes(&mut buf.freeze(), len, cfg).unwrap()
+    }
+
+    #[test]
+    fn full_roundtrip_four_octet() {
+        let a = attrs();
+        let d = roundtrip(&a, &cfg4());
+        assert_eq!(d.attrs, a);
+        assert!(d.has_origin && d.has_as_path && d.has_next_hop);
+    }
+
+    #[test]
+    fn two_octet_session_uses_as_trans_and_as4_path() {
+        let mut a = attrs();
+        a.as_path = AsPath::from_asns([Asn(20_205), Asn(196_615), Asn(12_654)]);
+        let d = roundtrip(&a, &cfg2());
+        // Reconstructed from AS4_PATH: the true path survives.
+        assert_eq!(d.attrs.as_path, a.as_path);
+    }
+
+    #[test]
+    fn two_octet_without_big_asns_no_as4_path() {
+        let a = attrs();
+        let mut buf = BytesMut::new();
+        encode_attributes(&a, &[], &[], &[], true, &cfg2(), &mut buf);
+        // No AS4_PATH attribute should be present: scan type codes.
+        let raw = buf.freeze();
+        let mut seen_as4 = false;
+        let mut b = raw.clone();
+        while b.has_remaining() {
+            let fl = b.get_u8();
+            let code = b.get_u8();
+            let len = if fl & flags::EXTENDED_LENGTH != 0 {
+                b.get_u16() as usize
+            } else {
+                b.get_u8() as usize
+            };
+            if code == type_codes::AS4_PATH {
+                seen_as4 = true;
+            }
+            b.advance(len);
+        }
+        assert!(!seen_as4);
+    }
+
+    #[test]
+    fn med_and_local_pref_roundtrip() {
+        let mut a = attrs();
+        a.local_pref = Some(200);
+        let d = roundtrip(&a, &cfg4());
+        assert_eq!(d.attrs.med, Some(100));
+        assert_eq!(d.attrs.local_pref, Some(200));
+    }
+
+    #[test]
+    fn aggregator_roundtrip_both_widths() {
+        let mut a = attrs();
+        a.atomic_aggregate = true;
+        a.aggregator = Some(Aggregator { asn: Asn(65_000), router_id: "10.0.0.1".parse().unwrap() });
+        for cfg in [cfg4(), cfg2()] {
+            let d = roundtrip(&a, &cfg);
+            assert_eq!(d.attrs.aggregator, a.aggregator);
+            assert!(d.attrs.atomic_aggregate);
+        }
+    }
+
+    #[test]
+    fn v6_nlri_rides_mp_reach() {
+        let mut a = attrs();
+        a.next_hop = "2001:db8::1".parse().unwrap();
+        let v6: Prefix = "2001:db8:beef::/48".parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_attributes(&a, &[v6], &[], &[], false, &cfg4(), &mut buf);
+        let len = buf.len();
+        let d = decode_attributes(&mut buf.freeze(), len, &cfg4()).unwrap();
+        assert_eq!(d.mp_reach, vec![v6]);
+        assert_eq!(d.attrs.next_hop, a.next_hop);
+        assert!(!d.has_next_hop); // no classic NEXT_HOP attribute
+    }
+
+    #[test]
+    fn v6_withdrawals_ride_mp_unreach() {
+        let a = PathAttributes::default();
+        let v6: Prefix = "2001:db8::/32".parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_attributes(&a, &[], &[v6], &[], false, &cfg4(), &mut buf);
+        let len = buf.len();
+        let d = decode_attributes(&mut buf.freeze(), len, &cfg4()).unwrap();
+        assert_eq!(d.mp_unreach, vec![v6]);
+    }
+
+    #[test]
+    fn unknown_optional_transitive_preserved_with_partial() {
+        let a = attrs();
+        let raw = RawAttribute {
+            flags: flags::OPTIONAL | flags::TRANSITIVE,
+            code: 99,
+            value: vec![1, 2, 3],
+        };
+        let mut buf = BytesMut::new();
+        encode_attributes(&a, &[], &[], std::slice::from_ref(&raw), true, &cfg4(), &mut buf);
+        let len = buf.len();
+        let d = decode_attributes(&mut buf.freeze(), len, &cfg4()).unwrap();
+        assert_eq!(d.unknown.len(), 1);
+        assert_eq!(d.unknown[0].code, 99);
+        assert_eq!(d.unknown[0].value, vec![1, 2, 3]);
+        assert_ne!(d.unknown[0].flags & flags::PARTIAL, 0);
+    }
+
+    #[test]
+    fn unknown_well_known_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(flags::TRANSITIVE); // well-known (not optional)
+        buf.put_u8(77);
+        buf.put_u8(1);
+        buf.put_u8(0);
+        let len = buf.len();
+        let err = decode_attributes(&mut buf.freeze(), len, &cfg4()).unwrap_err();
+        assert_eq!(err, WireError::UnrecognizedWellKnown(77));
+    }
+
+    #[test]
+    fn bad_origin_value_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(flags::TRANSITIVE);
+        buf.put_u8(type_codes::ORIGIN);
+        buf.put_u8(1);
+        buf.put_u8(9);
+        let len = buf.len();
+        assert!(matches!(
+            decode_attributes(&mut buf.freeze(), len, &cfg4()),
+            Err(WireError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_attribute_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(flags::TRANSITIVE);
+        buf.put_u8(type_codes::ORIGIN);
+        buf.put_u8(5); // claims 5 bytes, provides 1
+        buf.put_u8(0);
+        let len = buf.len();
+        assert!(matches!(
+            decode_attributes(&mut buf.freeze(), len, &cfg4()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn communities_bad_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(flags::OPTIONAL | flags::TRANSITIVE);
+        buf.put_u8(type_codes::COMMUNITIES);
+        buf.put_u8(3);
+        buf.put_slice(&[0, 1, 2]);
+        let len = buf.len();
+        assert!(matches!(
+            decode_attributes(&mut buf.freeze(), len, &cfg4()),
+            Err(WireError::MalformedAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn long_as_path_splits_segments() {
+        // 300 ASNs forces two wire segments of ≤255.
+        let path = AsPath::from_asns((1..=300u32).map(Asn));
+        let body = encode_as_path_body(&path, true);
+        let decoded = decode_as_path_body(body.freeze(), true).unwrap();
+        assert_eq!(decoded.asns().count(), 300);
+        assert_eq!(decoded.origin(), Some(Asn(300)));
+    }
+
+    #[test]
+    fn extended_length_attribute_roundtrips() {
+        // >255 communities forces the extended-length flag.
+        let mut a = PathAttributes {
+            as_path: "1 2".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        for i in 0..100u16 {
+            a.communities.insert(Community::from_parts(3356, 2500 + i));
+        }
+        let d = roundtrip(&a, &cfg4());
+        assert_eq!(d.attrs.communities, a.communities);
+    }
+}

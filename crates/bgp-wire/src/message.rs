@@ -1,0 +1,255 @@
+//! Top-level message framing: header, type dispatch, session configuration.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::WireError;
+use crate::notification::Notification;
+use crate::open::OpenMessage;
+use crate::update::UpdatePacket;
+use crate::{HEADER_LEN, MAX_MESSAGE_LEN};
+
+/// Per-session codec configuration, fixed at OPEN negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// True if both speakers announced the 4-octet AS capability
+    /// (RFC 6793); controls AS_PATH/AGGREGATOR width.
+    pub four_octet_as: bool,
+}
+
+impl Default for SessionConfig {
+    /// Modern sessions negotiate 4-octet ASNs.
+    fn default() -> Self {
+        SessionConfig { four_octet_as: true }
+    }
+}
+
+/// BGP message type codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    /// OPEN (1).
+    Open,
+    /// UPDATE (2).
+    Update,
+    /// NOTIFICATION (3).
+    Notification,
+    /// KEEPALIVE (4).
+    Keepalive,
+}
+
+impl MessageType {
+    /// Wire value.
+    pub const fn code(self) -> u8 {
+        match self {
+            MessageType::Open => 1,
+            MessageType::Update => 2,
+            MessageType::Notification => 3,
+            MessageType::Keepalive => 4,
+        }
+    }
+
+    /// From wire value.
+    pub const fn from_code(c: u8) -> Option<Self> {
+        match c {
+            1 => Some(MessageType::Open),
+            2 => Some(MessageType::Update),
+            3 => Some(MessageType::Notification),
+            4 => Some(MessageType::Keepalive),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded BGP message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// OPEN.
+    Open(OpenMessage),
+    /// UPDATE.
+    Update(UpdatePacket),
+    /// NOTIFICATION.
+    Notification(Notification),
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+impl Message {
+    /// This message's type code.
+    pub fn message_type(&self) -> MessageType {
+        match self {
+            Message::Open(_) => MessageType::Open,
+            Message::Update(_) => MessageType::Update,
+            Message::Notification(_) => MessageType::Notification,
+            Message::Keepalive => MessageType::Keepalive,
+        }
+    }
+}
+
+/// Encodes a complete message (header + body) into `buf`.
+pub fn encode_message(msg: &Message, cfg: &SessionConfig, buf: &mut BytesMut) {
+    let mut body = BytesMut::new();
+    match msg {
+        Message::Open(o) => o.encode_body(&mut body),
+        Message::Update(u) => u.encode_body(cfg, &mut body),
+        Message::Notification(n) => n.encode_body(&mut body),
+        Message::Keepalive => {}
+    }
+    buf.put_slice(&[0xFF; 16]);
+    buf.put_u16((HEADER_LEN + body.len()) as u16);
+    buf.put_u8(msg.message_type().code());
+    buf.put_slice(&body);
+}
+
+/// Decodes one complete message from `buf`, consuming exactly its bytes.
+pub fn decode_message<B: Buf>(buf: &mut B, cfg: &SessionConfig) -> Result<Message, WireError> {
+    if buf.remaining() < HEADER_LEN {
+        return Err(WireError::Truncated { what: "message header" });
+    }
+    let mut marker = [0u8; 16];
+    buf.copy_to_slice(&mut marker);
+    if marker != [0xFF; 16] {
+        return Err(WireError::BadMarker);
+    }
+    let len = buf.get_u16();
+    if (len as usize) < HEADER_LEN || len as usize > MAX_MESSAGE_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let mtype = buf.get_u8();
+    let body_len = len as usize - HEADER_LEN;
+    if buf.remaining() < body_len {
+        return Err(WireError::Truncated { what: "message body" });
+    }
+    match MessageType::from_code(mtype).ok_or(WireError::UnknownMessageType(mtype))? {
+        MessageType::Open => {
+            let mut body = buf.copy_to_bytes(body_len);
+            Ok(Message::Open(OpenMessage::decode_body(&mut body)?))
+        }
+        MessageType::Update => Ok(Message::Update(UpdatePacket::decode_body(buf, body_len, cfg)?)),
+        MessageType::Notification => {
+            Ok(Message::Notification(Notification::decode_body(buf, body_len)?))
+        }
+        MessageType::Keepalive => {
+            if body_len != 0 {
+                return Err(WireError::BadLength(len));
+            }
+            Ok(Message::Keepalive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, PathAttributes};
+
+    fn cfg() -> SessionConfig {
+        SessionConfig::default()
+    }
+
+    fn roundtrip(m: &Message) -> Message {
+        let mut buf = BytesMut::new();
+        encode_message(m, &cfg(), &mut buf);
+        decode_message(&mut buf.freeze(), &cfg()).unwrap()
+    }
+
+    #[test]
+    fn keepalive_is_19_bytes() {
+        let mut buf = BytesMut::new();
+        encode_message(&Message::Keepalive, &cfg(), &mut buf);
+        assert_eq!(buf.len(), 19);
+        assert_eq!(roundtrip(&Message::Keepalive), Message::Keepalive);
+    }
+
+    #[test]
+    fn open_roundtrips_via_framing() {
+        let m = Message::Open(OpenMessage::standard(
+            Asn(20_205),
+            "10.0.0.1".parse().unwrap(),
+            180,
+        ));
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn update_roundtrips_via_framing() {
+        let attrs = PathAttributes {
+            as_path: "1 2 3".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        let m = Message::Update(UpdatePacket::announce("10.0.0.0/8".parse().unwrap(), attrs));
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn notification_roundtrips_via_framing() {
+        let m = Message::Notification(Notification::cease_admin_shutdown());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut buf = BytesMut::new();
+        encode_message(&Message::Keepalive, &cfg(), &mut buf);
+        buf[0] = 0;
+        assert_eq!(decode_message(&mut buf.freeze(), &cfg()), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut buf = BytesMut::new();
+        encode_message(&Message::Keepalive, &cfg(), &mut buf);
+        buf[16] = 0xFF;
+        buf[17] = 0xFF; // length 65535 > 4096
+        assert!(matches!(
+            decode_message(&mut buf.freeze(), &cfg()),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = BytesMut::new();
+        encode_message(&Message::Keepalive, &cfg(), &mut buf);
+        buf[18] = 9;
+        assert_eq!(
+            decode_message(&mut buf.freeze(), &cfg()),
+            Err(WireError::UnknownMessageType(9))
+        );
+    }
+
+    #[test]
+    fn keepalive_with_body_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0xFF; 16]);
+        buf.put_u16(20); // 1 byte of body
+        buf.put_u8(4);
+        buf.put_u8(0);
+        assert!(matches!(
+            decode_message(&mut buf.freeze(), &cfg()),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let mut buf = BytesMut::new();
+        encode_message(&Message::Keepalive, &cfg(), &mut buf);
+        let short = buf.freeze().slice(0..10);
+        assert!(matches!(
+            decode_message(&mut short.clone(), &cfg()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn back_to_back_messages_decode_in_order() {
+        let mut buf = BytesMut::new();
+        encode_message(&Message::Keepalive, &cfg(), &mut buf);
+        let m2 = Message::Update(UpdatePacket::withdraw("10.0.0.0/8".parse().unwrap()));
+        encode_message(&m2, &cfg(), &mut buf);
+        let mut stream = buf.freeze();
+        assert_eq!(decode_message(&mut stream, &cfg()).unwrap(), Message::Keepalive);
+        assert_eq!(decode_message(&mut stream, &cfg()).unwrap(), m2);
+        assert!(!stream.has_remaining());
+    }
+}

@@ -1,0 +1,126 @@
+//! NOTIFICATION messages (RFC 4271 §4.5).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::WireError;
+
+/// Top-level NOTIFICATION error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotificationCode {
+    /// Message header error.
+    MessageHeader,
+    /// OPEN message error.
+    OpenMessage,
+    /// UPDATE message error.
+    UpdateMessage,
+    /// Hold timer expired.
+    HoldTimerExpired,
+    /// Finite state machine error.
+    FsmError,
+    /// Administrative cease (RFC 4486 subcodes).
+    Cease,
+    /// Anything else (future codes).
+    Other(u8),
+}
+
+impl NotificationCode {
+    /// Wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            NotificationCode::MessageHeader => 1,
+            NotificationCode::OpenMessage => 2,
+            NotificationCode::UpdateMessage => 3,
+            NotificationCode::HoldTimerExpired => 4,
+            NotificationCode::FsmError => 5,
+            NotificationCode::Cease => 6,
+            NotificationCode::Other(c) => c,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_code(c: u8) -> Self {
+        match c {
+            1 => NotificationCode::MessageHeader,
+            2 => NotificationCode::OpenMessage,
+            3 => NotificationCode::UpdateMessage,
+            4 => NotificationCode::HoldTimerExpired,
+            5 => NotificationCode::FsmError,
+            6 => NotificationCode::Cease,
+            other => NotificationCode::Other(other),
+        }
+    }
+}
+
+/// A NOTIFICATION message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// Error code.
+    pub code: NotificationCode,
+    /// Error subcode (registry depends on `code`).
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+impl Notification {
+    /// An administrative-shutdown cease notification.
+    pub fn cease_admin_shutdown() -> Self {
+        Notification { code: NotificationCode::Cease, subcode: 2, data: Vec::new() }
+    }
+
+    /// Encodes the body (without header).
+    pub fn encode_body(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.code.code());
+        buf.put_u8(self.subcode);
+        buf.put_slice(&self.data);
+    }
+
+    /// Decodes a body of `len` bytes.
+    pub fn decode_body<B: Buf>(buf: &mut B, len: usize) -> Result<Self, WireError> {
+        if len < 2 || buf.remaining() < len {
+            return Err(WireError::Truncated { what: "NOTIFICATION body" });
+        }
+        let code = NotificationCode::from_code(buf.get_u8());
+        let subcode = buf.get_u8();
+        let data = buf.copy_to_bytes(len - 2).to_vec();
+        Ok(Notification { code, subcode, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = Notification {
+            code: NotificationCode::UpdateMessage,
+            subcode: 11,
+            data: vec![1, 2, 3],
+        };
+        let mut buf = BytesMut::new();
+        n.encode_body(&mut buf);
+        let len = buf.len();
+        assert_eq!(Notification::decode_body(&mut buf.freeze(), len).unwrap(), n);
+    }
+
+    #[test]
+    fn code_registry_roundtrips() {
+        for c in 1..=10u8 {
+            assert_eq!(NotificationCode::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn cease_constructor() {
+        let n = Notification::cease_admin_shutdown();
+        assert_eq!(n.code, NotificationCode::Cease);
+        assert_eq!(n.subcode, 2);
+    }
+
+    #[test]
+    fn short_body_rejected() {
+        let data: &[u8] = &[1];
+        assert!(Notification::decode_body(&mut &data[..], 1).is_err());
+    }
+}

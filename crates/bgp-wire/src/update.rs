@@ -1,0 +1,271 @@
+//! UPDATE messages: the wire packet and its per-prefix explosion.
+
+use bytes::{Buf, BufMut, BytesMut};
+use kcc_bgp_types::{MessageKind, PathAttributes, Prefix, RouteUpdate};
+
+use crate::attr::{decode_attributes, encode_attributes, RawAttribute};
+use crate::error::WireError;
+use crate::message::SessionConfig;
+use crate::nlri::{decode_prefix, encode_prefix, Afi};
+
+/// A wire-level UPDATE: possibly many withdrawn routes and many announced
+/// prefixes sharing one attribute set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdatePacket {
+    /// Withdrawn prefixes (both families; v6 ones ride MP_UNREACH).
+    pub withdrawn: Vec<Prefix>,
+    /// Announced prefixes (both families; v6 ones ride MP_REACH).
+    pub nlri: Vec<Prefix>,
+    /// Attributes for the announced prefixes. `None` for pure withdrawals.
+    pub attrs: Option<PathAttributes>,
+    /// Unrecognized attributes preserved across hops.
+    pub unknown_attrs: Vec<RawAttribute>,
+}
+
+impl UpdatePacket {
+    /// A packet announcing one prefix.
+    pub fn announce(prefix: Prefix, attrs: PathAttributes) -> Self {
+        UpdatePacket { nlri: vec![prefix], attrs: Some(attrs), ..Default::default() }
+    }
+
+    /// A packet withdrawing one prefix.
+    pub fn withdraw(prefix: Prefix) -> Self {
+        UpdatePacket { withdrawn: vec![prefix], ..Default::default() }
+    }
+
+    /// Explodes the packet into per-prefix [`RouteUpdate`]s in wire order
+    /// (withdrawals first, then announcements), stamping each with `time_us`.
+    pub fn explode(&self, time_us: u64) -> Vec<RouteUpdate> {
+        let mut out = Vec::with_capacity(self.withdrawn.len() + self.nlri.len());
+        for p in &self.withdrawn {
+            out.push(RouteUpdate::withdraw(time_us, *p));
+        }
+        if let Some(attrs) = &self.attrs {
+            for p in &self.nlri {
+                out.push(RouteUpdate::announce(time_us, *p, attrs.clone()));
+            }
+        }
+        out
+    }
+
+    /// Builds a packet from one logical update.
+    pub fn from_route_update(u: &RouteUpdate) -> Self {
+        match &u.kind {
+            MessageKind::Announcement(attrs) => Self::announce(u.prefix, attrs.clone()),
+            MessageKind::Withdrawal => Self::withdraw(u.prefix),
+        }
+    }
+
+    /// Encodes the UPDATE body (without message header).
+    pub fn encode_body(&self, cfg: &SessionConfig, buf: &mut BytesMut) {
+        let (v4_wd, v6_wd): (Vec<Prefix>, Vec<Prefix>) =
+            self.withdrawn.iter().copied().partition(|p| p.is_ipv4());
+        let (v4_ann, v6_ann): (Vec<Prefix>, Vec<Prefix>) =
+            self.nlri.iter().copied().partition(|p| p.is_ipv4());
+
+        let mut wd = BytesMut::new();
+        for p in &v4_wd {
+            encode_prefix(p, &mut wd);
+        }
+        buf.put_u16(wd.len() as u16);
+        buf.put_slice(&wd);
+
+        let mut attrs_buf = BytesMut::new();
+        let need_attrs = self.attrs.is_some() || !v6_wd.is_empty();
+        if need_attrs {
+            let default_attrs;
+            let attrs = match &self.attrs {
+                Some(a) => a,
+                None => {
+                    default_attrs = PathAttributes::default();
+                    &default_attrs
+                }
+            };
+            if self.attrs.is_some() {
+                encode_attributes(
+                    attrs,
+                    &v6_ann,
+                    &v6_wd,
+                    &self.unknown_attrs,
+                    !v4_ann.is_empty(),
+                    cfg,
+                    &mut attrs_buf,
+                );
+            } else {
+                // Pure v6 withdrawal: only MP_UNREACH, no mandatory attrs.
+                crate::attr::encode_attributes_withdraw_only(&v6_wd, &mut attrs_buf);
+            }
+        }
+        buf.put_u16(attrs_buf.len() as u16);
+        buf.put_slice(&attrs_buf);
+
+        for p in &v4_ann {
+            encode_prefix(p, buf);
+        }
+    }
+
+    /// Decodes an UPDATE body of exactly `body_len` bytes.
+    pub fn decode_body<B: Buf>(
+        buf: &mut B,
+        body_len: usize,
+        cfg: &SessionConfig,
+    ) -> Result<Self, WireError> {
+        if buf.remaining() < body_len {
+            return Err(WireError::Truncated { what: "UPDATE body" });
+        }
+        let mut body = buf.copy_to_bytes(body_len);
+
+        if body.remaining() < 2 {
+            return Err(WireError::Truncated { what: "withdrawn routes length" });
+        }
+        let wd_len = body.get_u16() as usize;
+        if body.remaining() < wd_len {
+            return Err(WireError::Truncated { what: "withdrawn routes" });
+        }
+        let mut wd_buf = body.copy_to_bytes(wd_len);
+        let mut withdrawn = Vec::new();
+        while wd_buf.has_remaining() {
+            withdrawn.push(decode_prefix(Afi::Ipv4, &mut wd_buf)?);
+        }
+
+        if body.remaining() < 2 {
+            return Err(WireError::Truncated { what: "attributes length" });
+        }
+        let attr_len = body.get_u16() as usize;
+        let decoded = decode_attributes(&mut body, attr_len, cfg)?;
+
+        let mut nlri = Vec::new();
+        while body.has_remaining() {
+            nlri.push(decode_prefix(Afi::Ipv4, &mut body)?);
+        }
+        nlri.extend(decoded.mp_reach.iter().copied());
+        withdrawn.extend(decoded.mp_unreach.iter().copied());
+
+        let has_announcements = !nlri.is_empty();
+        if has_announcements {
+            // RFC 4271 §6.3: ORIGIN/AS_PATH/NEXT_HOP mandatory with NLRI.
+            if !decoded.has_origin {
+                return Err(WireError::MissingMandatoryAttribute("ORIGIN"));
+            }
+            if !decoded.has_as_path {
+                return Err(WireError::MissingMandatoryAttribute("AS_PATH"));
+            }
+            let v4_announced = nlri.iter().any(|p| p.is_ipv4());
+            if v4_announced && !decoded.has_next_hop {
+                return Err(WireError::MissingMandatoryAttribute("NEXT_HOP"));
+            }
+        }
+
+        Ok(UpdatePacket {
+            withdrawn,
+            nlri,
+            attrs: if has_announcements { Some(decoded.attrs) } else { None },
+            unknown_attrs: decoded.unknown,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::Community;
+
+    fn cfg() -> SessionConfig {
+        SessionConfig { four_octet_as: true }
+    }
+
+    fn attrs() -> PathAttributes {
+        let mut a = PathAttributes {
+            as_path: "20205 3356 174 12654".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        a.communities.insert(Community::from_parts(3356, 2501));
+        a
+    }
+
+    fn roundtrip(p: &UpdatePacket) -> UpdatePacket {
+        let mut buf = BytesMut::new();
+        p.encode_body(&cfg(), &mut buf);
+        let len = buf.len();
+        UpdatePacket::decode_body(&mut buf.freeze(), len, &cfg()).unwrap()
+    }
+
+    #[test]
+    fn announce_roundtrips() {
+        let p = UpdatePacket::announce("84.205.64.0/24".parse().unwrap(), attrs());
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn withdraw_roundtrips() {
+        let p = UpdatePacket::withdraw("84.205.64.0/24".parse().unwrap());
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn v6_announce_roundtrips() {
+        let mut a = attrs();
+        a.next_hop = "2001:db8::1".parse().unwrap();
+        let p = UpdatePacket::announce("2001:db8:beef::/48".parse().unwrap(), a);
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn v6_withdraw_roundtrips() {
+        let p = UpdatePacket::withdraw("2001:db8::/32".parse().unwrap());
+        let d = roundtrip(&p);
+        assert_eq!(d.withdrawn, p.withdrawn);
+        assert!(d.attrs.is_none());
+    }
+
+    #[test]
+    fn mixed_family_packet() {
+        let mut p = UpdatePacket::announce("84.205.64.0/24".parse().unwrap(), attrs());
+        p.nlri.push("2001:db8::/32".parse().unwrap());
+        p.withdrawn.push("10.9.0.0/16".parse().unwrap());
+        p.withdrawn.push("2001:db8:dead::/48".parse().unwrap());
+        let d = roundtrip(&p);
+        assert_eq!(d.nlri.len(), 2);
+        assert_eq!(d.withdrawn.len(), 2);
+    }
+
+    #[test]
+    fn explode_orders_withdrawals_first() {
+        let mut p = UpdatePacket::announce("84.205.64.0/24".parse().unwrap(), attrs());
+        p.withdrawn.push("10.9.0.0/16".parse().unwrap());
+        let updates = p.explode(42);
+        assert_eq!(updates.len(), 2);
+        assert!(updates[0].is_withdrawal());
+        assert!(updates[1].is_announcement());
+        assert!(updates.iter().all(|u| u.time_us == 42));
+    }
+
+    #[test]
+    fn missing_mandatory_attr_detected() {
+        // Hand-craft: NLRI present but no attributes at all.
+        let mut buf = BytesMut::new();
+        buf.put_u16(0); // withdrawn len
+        buf.put_u16(0); // attr len
+        encode_prefix(&"10.0.0.0/8".parse().unwrap(), &mut buf);
+        let len = buf.len();
+        let err = UpdatePacket::decode_body(&mut buf.freeze(), len, &cfg()).unwrap_err();
+        assert_eq!(err, WireError::MissingMandatoryAttribute("ORIGIN"));
+    }
+
+    #[test]
+    fn from_route_update_both_kinds() {
+        let ru = RouteUpdate::announce(1, "10.0.0.0/8".parse().unwrap(), attrs());
+        assert_eq!(UpdatePacket::from_route_update(&ru).nlri.len(), 1);
+        let rw = RouteUpdate::withdraw(1, "10.0.0.0/8".parse().unwrap());
+        assert_eq!(UpdatePacket::from_route_update(&rw).withdrawn.len(), 1);
+    }
+
+    #[test]
+    fn empty_update_is_legal() {
+        // An UPDATE with nothing in it (used as end-of-RIB marker).
+        let p = UpdatePacket::default();
+        let d = roundtrip(&p);
+        assert!(d.withdrawn.is_empty() && d.nlri.is_empty() && d.attrs.is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # kcc-collector — route collector infrastructure
+//!
+//! Route collectors (RouteViews, RIPE RIS) are passive BGP speakers that
+//! archive every update their peers send. This crate models the pieces of
+//! that infrastructure the paper's methodology depends on:
+//!
+//! * [`session`]: collector/peer session identities — the unit the paper
+//!   groups announcements by — including IXP route-server peers that omit
+//!   their own ASN,
+//! * [`archive`]: per-session update archives with MRT import/export, so
+//!   simulated and generated data take the same path a RouteViews download
+//!   would,
+//! * [`beacon`]: the RIPE routing-beacon schedule (announce every 4 h from
+//!   00:00 UTC, withdraw every 4 h from 02:00 UTC) and phase
+//!   classification with the paper's ±15-minute windows,
+//! * [`timestamps`]: the paper's normalization rule for collectors that
+//!   record at single-second granularity (preserve order, space
+//!   same-second arrivals 0.01 ms apart).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod beacon;
+pub mod session;
+pub mod timestamps;
+
+pub use archive::UpdateArchive;
+pub use beacon::{BeaconEvent, BeaconPhase, BeaconSchedule};
+pub use session::{PeerMeta, SessionKey};
+pub use timestamps::normalize_timestamps;

@@ -1,0 +1,97 @@
+//! Collector/peer session identities.
+//!
+//! The paper groups announcements "by the prefix and the BGP session of a
+//! peer AS / next-hop". [`SessionKey`] is that identity: collector, peer
+//! AS, peer address. A peer may hold sessions to several collectors and a
+//! collector has hundreds of peers (Table 1: 1,504 sessions over 581
+//! peers).
+
+use std::fmt;
+use std::net::IpAddr;
+
+use kcc_bgp_types::Asn;
+
+/// Identity of one BGP session at one collector.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionKey {
+    /// Collector name, e.g. `rrc00` or `route-views2`.
+    pub collector: String,
+    /// The peer's AS.
+    pub peer_asn: Asn,
+    /// The peer's session address (distinguishes parallel sessions).
+    pub peer_ip: IpAddr,
+}
+
+impl SessionKey {
+    /// Convenience constructor.
+    pub fn new(collector: &str, peer_asn: Asn, peer_ip: IpAddr) -> Self {
+        SessionKey { collector: collector.to_owned(), peer_asn, peer_ip }
+    }
+}
+
+impl fmt::Display for SessionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:AS{}@{}", self.collector, self.peer_asn, self.peer_ip)
+    }
+}
+
+/// Metadata about a collector peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerMeta {
+    /// The session identity.
+    pub key: SessionKey,
+    /// True if the peer is an IXP route server that does *not* insert its
+    /// own ASN into the AS path — the data-cleaning stage compensates by
+    /// prepending it (paper §4).
+    pub route_server: bool,
+    /// True if this collector records only whole-second timestamps, which
+    /// triggers the 0.01 ms disambiguation rule.
+    pub second_granularity: bool,
+}
+
+impl PeerMeta {
+    /// A normal (non-route-server, microsecond-stamped) peer.
+    pub fn normal(key: SessionKey) -> Self {
+        PeerMeta { key, route_server: false, second_granularity: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SessionKey {
+        SessionKey::new("rrc00", Asn(20_205), "192.0.2.9".parse().unwrap())
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(key().to_string(), "rrc00:AS20205@192.0.2.9");
+    }
+
+    #[test]
+    fn keys_distinguish_parallel_sessions() {
+        let a = key();
+        let b = SessionKey::new("rrc00", Asn(20_205), "192.0.2.10".parse().unwrap());
+        assert_ne!(a, b);
+        let c = SessionKey::new("rrc01", Asn(20_205), "192.0.2.9".parse().unwrap());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = [SessionKey::new("rrc01", Asn(2), "10.0.0.1".parse().unwrap()),
+            SessionKey::new("rrc00", Asn(1), "10.0.0.1".parse().unwrap()),
+            SessionKey::new("rrc00", Asn(1), "10.0.0.2".parse().unwrap())];
+        v.sort();
+        assert_eq!(v[0].collector, "rrc00");
+        assert_eq!(v[0].peer_ip.to_string(), "10.0.0.1");
+    }
+
+    #[test]
+    fn normal_peer_defaults() {
+        let m = PeerMeta::normal(key());
+        assert!(!m.route_server);
+        assert!(!m.second_granularity);
+    }
+}

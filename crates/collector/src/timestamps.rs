@@ -1,0 +1,101 @@
+//! Timestamp normalization for second-granularity collectors.
+//!
+//! Paper §4: "some BGP collectors only record messages at the single
+//! second granularity. When multiple messages arrive in the same second
+//! for these collectors, we preserve the message ordering and assume that
+//! each subsequent message arrives 0.01 ms after the last."
+
+use kcc_bgp_types::RouteUpdate;
+
+/// 0.01 ms in microseconds.
+pub const DISAMBIGUATION_STEP_US: u64 = 10;
+
+/// Applies the disambiguation rule in place. `updates` must already be in
+/// arrival order; every run of equal timestamps is spread by
+/// [`DISAMBIGUATION_STEP_US`] while preserving order.
+pub fn normalize_timestamps(updates: &mut [RouteUpdate]) {
+    let mut i = 0;
+    while i < updates.len() {
+        let t = updates[i].time_us;
+        let mut j = i + 1;
+        while j < updates.len() && updates[j].time_us == t {
+            updates[j].time_us = t + (j - i) as u64 * DISAMBIGUATION_STEP_US;
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// Truncates all timestamps to whole seconds — what a second-granularity
+/// collector does to the data in the first place. Used by the trace
+/// generator to emulate such collectors before the pipeline re-normalizes.
+pub fn truncate_to_seconds(updates: &mut [RouteUpdate]) {
+    for u in updates {
+        u.time_us -= u.time_us % 1_000_000;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{PathAttributes, Prefix};
+
+    fn upd(t: u64) -> RouteUpdate {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        RouteUpdate::announce(t, p, PathAttributes::default())
+    }
+
+    #[test]
+    fn same_second_run_spread_by_10us() {
+        let mut v = vec![upd(5_000_000), upd(5_000_000), upd(5_000_000), upd(6_000_000)];
+        normalize_timestamps(&mut v);
+        let times: Vec<u64> = v.iter().map(|u| u.time_us).collect();
+        assert_eq!(times, vec![5_000_000, 5_000_010, 5_000_020, 6_000_000]);
+    }
+
+    #[test]
+    fn distinct_times_untouched() {
+        let mut v = vec![upd(1), upd(2), upd(3)];
+        normalize_timestamps(&mut v);
+        let times: Vec<u64> = v.iter().map(|u| u.time_us).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let mut v: Vec<RouteUpdate> = (0..100).map(|_| upd(7_000_000)).collect();
+        normalize_timestamps(&mut v);
+        for w in v.windows(2) {
+            assert!(w[0].time_us < w[1].time_us);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_are_fine() {
+        let mut none: Vec<RouteUpdate> = Vec::new();
+        normalize_timestamps(&mut none);
+        let mut one = vec![upd(9)];
+        normalize_timestamps(&mut one);
+        assert_eq!(one[0].time_us, 9);
+    }
+
+    #[test]
+    fn truncation_then_normalization_roundtrip() {
+        let mut v = vec![upd(5_100_000), upd(5_200_000), upd(5_900_000)];
+        truncate_to_seconds(&mut v);
+        assert!(v.iter().all(|u| u.time_us == 5_000_000));
+        normalize_timestamps(&mut v);
+        assert_eq!(
+            v.iter().map(|u| u.time_us).collect::<Vec<_>>(),
+            vec![5_000_000, 5_000_010, 5_000_020]
+        );
+    }
+
+    #[test]
+    fn multiple_runs_handled_independently() {
+        let mut v = vec![upd(1_000_000), upd(1_000_000), upd(2_000_000), upd(2_000_000)];
+        normalize_timestamps(&mut v);
+        let times: Vec<u64> = v.iter().map(|u| u.time_us).collect();
+        assert_eq!(times, vec![1_000_000, 1_000_010, 2_000_000, 2_000_010]);
+    }
+}

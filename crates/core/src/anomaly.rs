@@ -1,0 +1,344 @@
+//! Anomalous-community detection (the paper's §7 closing direction).
+//!
+//! "We believe that communities can enrich our understanding of anomalous
+//! behavior in the routing system beyond existing approaches. By
+//! characterizing the way individual ASes observe and process
+//! communities, our work provides a first step toward predicting
+//! anomalous communities."
+//!
+//! The detector learns a per-AS *community profile* from a training
+//! window — which values each 16-bit namespace uses, how many distinct
+//! attributes a stream shows — then flags deviations in a detection
+//! window:
+//!
+//! * **novel value**: a community value never seen in a namespace that
+//!   was otherwise stable (fat-fingered or injected tags; the attack
+//!   vector of Streibelt et al.),
+//! * **action signal**: a well-known action community (BLACKHOLE,
+//!   GRACEFUL_SHUTDOWN …) appearing on a stream that never carried one,
+//! * **exploration burst**: a stream revealing many more distinct
+//!   community attributes per phase than its training baseline.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use kcc_bgp_types::{Community, MessageKind, Prefix};
+#[cfg(test)]
+use kcc_bgp_types::Asn;
+use kcc_collector::{SessionKey, UpdateArchive};
+
+/// What kind of anomaly was flagged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A community value outside the namespace's learned value set.
+    NovelValue {
+        /// The offending community.
+        community: Community,
+    },
+    /// A well-known action community on a stream with none in training.
+    ActionSignal {
+        /// The action community.
+        community: Community,
+        /// Its IANA name.
+        name: &'static str,
+    },
+    /// Distinct-attribute rate far above the stream's baseline.
+    ExplorationBurst {
+        /// Distinct attributes seen in detection.
+        observed: usize,
+        /// Training baseline.
+        baseline: usize,
+    },
+}
+
+/// One flagged event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// The session the anomalous announcement arrived on.
+    pub session: SessionKey,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// Arrival time (µs).
+    pub time_us: u64,
+    /// What was anomalous.
+    pub kind: AnomalyKind,
+}
+
+/// Learned profiles.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityProfiler {
+    /// Per 16-bit namespace: the set of values seen in training.
+    namespace_values: BTreeMap<u16, HashSet<u16>>,
+    /// Per stream: whether any well-known action community was seen.
+    stream_has_action: HashMap<(SessionKey, Prefix), bool>,
+    /// Per stream: distinct community attributes seen in training.
+    stream_attr_count: HashMap<(SessionKey, Prefix), usize>,
+    trained: bool,
+}
+
+/// Detection tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyConfig {
+    /// Only flag novel values in namespaces with at least this many
+    /// trained values (tiny namespaces produce false alarms).
+    pub min_namespace_size: usize,
+    /// Exploration burst factor: observed > factor × baseline.
+    pub burst_factor: usize,
+    /// Minimum observed distinct attributes before a burst can fire.
+    pub burst_min_observed: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig { min_namespace_size: 4, burst_factor: 4, burst_min_observed: 8 }
+    }
+}
+
+impl CommunityProfiler {
+    /// A fresh, untrained profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once `train` has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Number of learned namespaces.
+    pub fn namespace_count(&self) -> usize {
+        self.namespace_values.len()
+    }
+
+    /// Learns profiles from a training archive (e.g. yesterday's data).
+    pub fn train(&mut self, archive: &UpdateArchive) {
+        for (key, rec) in archive.sessions() {
+            let mut per_stream_attrs: HashMap<Prefix, HashSet<String>> = HashMap::new();
+            for u in &rec.updates {
+                let MessageKind::Announcement(attrs) = &u.kind else { continue };
+                let stream = (key.clone(), u.prefix);
+                for c in attrs.communities.iter_classic() {
+                    self.namespace_values
+                        .entry(c.asn_part())
+                        .or_default()
+                        .insert(c.value_part());
+                    if c.well_known_name().is_some() {
+                        self.stream_has_action.insert(stream.clone(), true);
+                    }
+                }
+                self.stream_has_action.entry(stream).or_insert(false);
+                per_stream_attrs
+                    .entry(u.prefix)
+                    .or_default()
+                    .insert(attrs.communities.canonical_key());
+            }
+            for (prefix, attrs) in per_stream_attrs {
+                let e = self
+                    .stream_attr_count
+                    .entry((key.clone(), prefix))
+                    .or_insert(0);
+                *e = (*e).max(attrs.len());
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Flags anomalies in a detection archive against the trained
+    /// profiles.
+    pub fn detect(&self, archive: &UpdateArchive, cfg: &AnomalyConfig) -> Vec<Anomaly> {
+        assert!(self.trained, "profiler must be trained before detection");
+        let mut anomalies = Vec::new();
+        for (key, rec) in archive.sessions() {
+            let mut per_stream_attrs: HashMap<Prefix, HashSet<String>> = HashMap::new();
+            let mut per_stream_first_burst_time: HashMap<Prefix, u64> = HashMap::new();
+            for u in &rec.updates {
+                let MessageKind::Announcement(attrs) = &u.kind else { continue };
+                let stream = (key.clone(), u.prefix);
+                for c in attrs.communities.iter_classic() {
+                    if let Some(name) = c.well_known_name() {
+                        let trained_action =
+                            self.stream_has_action.get(&stream).copied().unwrap_or(false);
+                        if !trained_action {
+                            anomalies.push(Anomaly {
+                                session: key.clone(),
+                                prefix: u.prefix,
+                                time_us: u.time_us,
+                                kind: AnomalyKind::ActionSignal { community: *c, name },
+                            });
+                        }
+                        continue;
+                    }
+                    if let Some(values) = self.namespace_values.get(&c.asn_part()) {
+                        if values.len() >= cfg.min_namespace_size
+                            && !values.contains(&c.value_part())
+                        {
+                            anomalies.push(Anomaly {
+                                session: key.clone(),
+                                prefix: u.prefix,
+                                time_us: u.time_us,
+                                kind: AnomalyKind::NovelValue { community: *c },
+                            });
+                        }
+                    }
+                }
+                per_stream_attrs
+                    .entry(u.prefix)
+                    .or_default()
+                    .insert(attrs.communities.canonical_key());
+                per_stream_first_burst_time.entry(u.prefix).or_insert(u.time_us);
+            }
+            for (prefix, attrs) in per_stream_attrs {
+                let baseline = self
+                    .stream_attr_count
+                    .get(&(key.clone(), prefix))
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1);
+                if attrs.len() >= cfg.burst_min_observed
+                    && attrs.len() > cfg.burst_factor * baseline
+                {
+                    anomalies.push(Anomaly {
+                        session: key.clone(),
+                        prefix,
+                        time_us: per_stream_first_burst_time.get(&prefix).copied().unwrap_or(0),
+                        kind: AnomalyKind::ExplorationBurst {
+                            observed: attrs.len(),
+                            baseline,
+                        },
+                    });
+                }
+            }
+        }
+        anomalies.sort_by_key(|a| a.time_us);
+        anomalies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::community::well_known::BLACKHOLE;
+    use kcc_bgp_types::{CommunitySet, PathAttributes};
+
+    fn key() -> SessionKey {
+        SessionKey::new("rrc00", Asn(100), "10.0.0.1".parse().unwrap())
+    }
+
+    fn prefix() -> Prefix {
+        "84.205.64.0/24".parse().unwrap()
+    }
+
+    fn announce(t: u64, comms: &[(u16, u16)]) -> kcc_bgp_types::RouteUpdate {
+        let attrs = PathAttributes {
+            as_path: "100 200 900".parse().unwrap(),
+            communities: CommunitySet::from_classic(
+                comms.iter().map(|&(a, v)| Community::from_parts(a, v)),
+            ),
+            ..Default::default()
+        };
+        kcc_bgp_types::RouteUpdate::announce(t, prefix(), attrs)
+    }
+
+    fn training_archive() -> UpdateArchive {
+        let mut a = UpdateArchive::new(0);
+        for v in 0..6u16 {
+            a.record(&key(), announce(v as u64, &[(200, 2500 + v)]));
+        }
+        a
+    }
+
+    #[test]
+    fn novel_value_flagged() {
+        let mut p = CommunityProfiler::new();
+        p.train(&training_archive());
+        let mut test = UpdateArchive::new(0);
+        test.record(&key(), announce(100, &[(200, 2505)])); // trained value
+        test.record(&key(), announce(101, &[(200, 7777)])); // novel
+        let found = p.detect(&test, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].kind,
+            AnomalyKind::NovelValue { community: Community::from_parts(200, 7777) }
+        );
+    }
+
+    #[test]
+    fn small_namespaces_not_flagged() {
+        // Namespace 300 has only 1 trained value: too small to judge.
+        let mut a = training_archive();
+        a.record(&key(), announce(50, &[(300, 1)]));
+        let mut p = CommunityProfiler::new();
+        p.train(&a);
+        let mut test = UpdateArchive::new(0);
+        test.record(&key(), announce(100, &[(300, 99)]));
+        assert!(p.detect(&test, &AnomalyConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn blackhole_on_clean_stream_flagged() {
+        let mut p = CommunityProfiler::new();
+        p.train(&training_archive());
+        let mut test = UpdateArchive::new(0);
+        test.record(&key(), announce(100, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]));
+        let found = p.detect(&test, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        assert!(matches!(
+            found[0].kind,
+            AnomalyKind::ActionSignal { name: "BLACKHOLE", .. }
+        ));
+    }
+
+    #[test]
+    fn trained_action_stream_not_flagged() {
+        // A stream that already used blackholing in training is normal.
+        let mut a = training_archive();
+        a.record(
+            &key(),
+            announce(10, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]),
+        );
+        let mut p = CommunityProfiler::new();
+        p.train(&a);
+        let mut test = UpdateArchive::new(0);
+        test.record(
+            &key(),
+            announce(100, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]),
+        );
+        assert!(p.detect(&test, &AnomalyConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn exploration_burst_flagged() {
+        let mut p = CommunityProfiler::new();
+        p.train(&training_archive()); // baseline: 6 distinct attrs
+        let mut test = UpdateArchive::new(0);
+        for v in 0..30u16 {
+            test.record(&key(), announce(v as u64, &[(200, 2500 + v)]));
+        }
+        let cfg = AnomalyConfig { burst_factor: 4, burst_min_observed: 8, ..Default::default() };
+        let found = p.detect(&test, &cfg);
+        // 24 of the 30 values are novel + one burst anomaly.
+        let bursts: Vec<_> = found
+            .iter()
+            .filter(|a| matches!(a.kind, AnomalyKind::ExplorationBurst { .. }))
+            .collect();
+        assert_eq!(bursts.len(), 1);
+        if let AnomalyKind::ExplorationBurst { observed, baseline } = bursts[0].kind {
+            assert_eq!(observed, 30);
+            assert_eq!(baseline, 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trained")]
+    fn detect_before_train_panics() {
+        let p = CommunityProfiler::new();
+        p.detect(&UpdateArchive::new(0), &AnomalyConfig::default());
+    }
+
+    #[test]
+    fn quiet_day_produces_no_anomalies() {
+        let mut p = CommunityProfiler::new();
+        p.train(&training_archive());
+        let found = p.detect(&training_archive(), &AnomalyConfig::default());
+        assert!(found.is_empty(), "training data itself must be clean: {found:?}");
+    }
+}

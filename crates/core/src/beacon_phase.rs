@@ -1,0 +1,144 @@
+//! Beacon phase labeling (paper §6, "Revealed Information").
+//!
+//! "We label all announcements ∈ d_beacon according to their appearances
+//! in any of the predefined phases, or outside them. We consider all
+//! announcements that appear within 15 minutes of the respective phase
+//! begins."
+
+use kcc_bgp_types::{Prefix, RouteUpdate};
+use kcc_collector::{BeaconPhase, BeaconSchedule, SessionKey, UpdateArchive};
+
+/// One update with its phase label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedUpdate {
+    /// The session it arrived on.
+    pub session: SessionKey,
+    /// The update.
+    pub update: RouteUpdate,
+    /// The phase it falls into.
+    pub phase: BeaconPhase,
+}
+
+/// Microseconds in a day.
+pub const DAY_US: u64 = 24 * 3600 * 1_000_000;
+
+/// Labels every update for the given beacon prefixes with its phase.
+/// Archive times are relative to day start, so time-of-day is `time_us`
+/// modulo a day (multi-day archives wrap correctly).
+pub fn label_archive(
+    archive: &UpdateArchive,
+    schedule: &BeaconSchedule,
+    beacon_prefixes: &[Prefix],
+) -> Vec<PhasedUpdate> {
+    let mut out = Vec::new();
+    for (key, rec) in archive.sessions() {
+        for u in &rec.updates {
+            if !beacon_prefixes.contains(&u.prefix) {
+                continue;
+            }
+            let phase = schedule.phase_of(u.time_us % DAY_US);
+            out.push(PhasedUpdate { session: key.clone(), update: u.clone(), phase });
+        }
+    }
+    out
+}
+
+/// Per-phase counts of announcements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Announcements inside announcement phases.
+    pub in_announcement: u64,
+    /// Announcements inside withdrawal phases — the community-exploration
+    /// population.
+    pub in_withdrawal: u64,
+    /// Announcements outside every phase.
+    pub outside: u64,
+    /// Withdrawals observed inside withdrawal phases.
+    pub withdrawals_in_phase: u64,
+}
+
+/// Counts announcements per phase category.
+pub fn phase_counts(labeled: &[PhasedUpdate]) -> PhaseCounts {
+    let mut c = PhaseCounts::default();
+    for pu in labeled {
+        if pu.update.is_announcement() {
+            match pu.phase {
+                BeaconPhase::Announcement(_) => c.in_announcement += 1,
+                BeaconPhase::Withdrawal(_) => c.in_withdrawal += 1,
+                BeaconPhase::Outside => c.outside += 1,
+            }
+        } else if pu.phase.is_withdrawal() {
+            c.withdrawals_in_phase += 1;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, PathAttributes};
+
+    const HOUR_US: u64 = 3600 * 1_000_000;
+
+    fn archive() -> (UpdateArchive, Prefix) {
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        let other: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut a = UpdateArchive::new(0);
+        let k = SessionKey::new("rrc00", Asn(20_205), "10.0.0.1".parse().unwrap());
+        let attrs = PathAttributes::default();
+        // In the first announcement phase (00:05).
+        a.record(&k, RouteUpdate::announce(5 * 60 * 1_000_000, prefix, attrs.clone()));
+        // In the first withdrawal phase (02:10).
+        a.record(
+            &k,
+            RouteUpdate::announce(2 * HOUR_US + 10 * 60 * 1_000_000, prefix, attrs.clone()),
+        );
+        a.record(&k, RouteUpdate::withdraw(2 * HOUR_US + 11 * 60 * 1_000_000, prefix));
+        // Outside (03:00).
+        a.record(&k, RouteUpdate::announce(3 * HOUR_US, prefix, attrs.clone()));
+        // Non-beacon prefix: ignored.
+        a.record(&k, RouteUpdate::announce(1, other, attrs));
+        (a, prefix)
+    }
+
+    #[test]
+    fn labels_phases_and_filters_prefixes() {
+        let (a, prefix) = archive();
+        let labeled = label_archive(&a, &BeaconSchedule::default(), &[prefix]);
+        assert_eq!(labeled.len(), 4);
+        assert_eq!(labeled[0].phase, BeaconPhase::Announcement(0));
+        assert_eq!(labeled[1].phase, BeaconPhase::Withdrawal(0));
+        assert_eq!(labeled[2].phase, BeaconPhase::Withdrawal(0));
+        assert_eq!(labeled[3].phase, BeaconPhase::Outside);
+    }
+
+    #[test]
+    fn counts_per_phase() {
+        let (a, prefix) = archive();
+        let labeled = label_archive(&a, &BeaconSchedule::default(), &[prefix]);
+        let c = phase_counts(&labeled);
+        assert_eq!(c.in_announcement, 1);
+        assert_eq!(c.in_withdrawal, 1);
+        assert_eq!(c.outside, 1);
+        assert_eq!(c.withdrawals_in_phase, 1);
+    }
+
+    #[test]
+    fn multi_day_times_wrap() {
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        let mut a = UpdateArchive::new(0);
+        let k = SessionKey::new("rrc00", Asn(1), "10.0.0.1".parse().unwrap());
+        // Day 2, 02:05 — still a withdrawal phase.
+        a.record(
+            &k,
+            RouteUpdate::announce(
+                DAY_US + 2 * HOUR_US + 5 * 60 * 1_000_000,
+                prefix,
+                PathAttributes::default(),
+            ),
+        );
+        let labeled = label_archive(&a, &BeaconSchedule::default(), &[prefix]);
+        assert_eq!(labeled[0].phase, BeaconPhase::Withdrawal(0));
+    }
+}

@@ -1,0 +1,301 @@
+//! The six announcement types (paper §5).
+//!
+//! Two successive announcements for the same `(prefix, session)` stream
+//! are compared on two axes: the AS path and the community attribute. The
+//! first letter encodes the path axis — `p` (changed), `n` (unchanged),
+//! `x` (changed by prepending only: the *set* of ASes is equal) — and the
+//! second encodes the community axis — `c` (changed) or `n` (unchanged).
+
+use std::fmt;
+
+use kcc_bgp_types::PathAttributes;
+
+/// The paper's announcement taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnnouncementType {
+    /// Path and community changed.
+    Pc,
+    /// Path changed only.
+    Pn,
+    /// Community changed only — the "community exploration" type.
+    Nc,
+    /// Nothing changed — a duplicate.
+    Nn,
+    /// Prepending and community changed.
+    Xc,
+    /// Prepending changed only.
+    Xn,
+}
+
+impl AnnouncementType {
+    /// All six, in the paper's table order.
+    pub const ALL: [AnnouncementType; 6] = [
+        AnnouncementType::Pc,
+        AnnouncementType::Pn,
+        AnnouncementType::Nc,
+        AnnouncementType::Nn,
+        AnnouncementType::Xc,
+        AnnouncementType::Xn,
+    ];
+
+    /// The paper's two-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnnouncementType::Pc => "pc",
+            AnnouncementType::Pn => "pn",
+            AnnouncementType::Nc => "nc",
+            AnnouncementType::Nn => "nn",
+            AnnouncementType::Xc => "xc",
+            AnnouncementType::Xn => "xn",
+        }
+    }
+
+    /// True for the types with no real path change (`nc`, `nn`) — the
+    /// "unnecessary update" candidates of §6.
+    pub fn is_no_path_change(self) -> bool {
+        matches!(self, AnnouncementType::Nc | AnnouncementType::Nn)
+    }
+
+    /// True if the community attribute changed.
+    pub fn community_changed(self) -> bool {
+        matches!(self, AnnouncementType::Pc | AnnouncementType::Nc | AnnouncementType::Xc)
+    }
+}
+
+impl fmt::Display for AnnouncementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies one announcement against its predecessor in the stream.
+pub fn classify_pair(prev: &PathAttributes, cur: &PathAttributes) -> AnnouncementType {
+    let path_changed = prev.as_path != cur.as_path;
+    let comm_changed = prev.communities != cur.communities;
+    if path_changed {
+        // Prepending-only change: the set of ASes is equal (paper §5).
+        let prepend_only = prev.as_path.same_as_set(&cur.as_path);
+        match (prepend_only, comm_changed) {
+            (true, true) => AnnouncementType::Xc,
+            (true, false) => AnnouncementType::Xn,
+            (false, true) => AnnouncementType::Pc,
+            (false, false) => AnnouncementType::Pn,
+        }
+    } else if comm_changed {
+        AnnouncementType::Nc
+    } else {
+        AnnouncementType::Nn
+    }
+}
+
+/// Counts per type, plus the stream events that fall outside the
+/// six-way classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeCounts {
+    /// `pc` announcements.
+    pub pc: u64,
+    /// `pn` announcements.
+    pub pn: u64,
+    /// `nc` announcements.
+    pub nc: u64,
+    /// `nn` announcements.
+    pub nn: u64,
+    /// `xc` announcements.
+    pub xc: u64,
+    /// `xn` announcements.
+    pub xn: u64,
+    /// First announcement of a stream (no predecessor to compare with).
+    pub initial: u64,
+    /// Withdrawals (not classified; tracked for Table 1).
+    pub withdrawals: u64,
+    /// `nn` announcements where only the MED differs — the alternative
+    /// explanation the paper checks before blaming communities.
+    pub nn_med_only: u64,
+}
+
+impl TypeCounts {
+    /// Adds one classified announcement.
+    pub fn add(&mut self, t: AnnouncementType) {
+        match t {
+            AnnouncementType::Pc => self.pc += 1,
+            AnnouncementType::Pn => self.pn += 1,
+            AnnouncementType::Nc => self.nc += 1,
+            AnnouncementType::Nn => self.nn += 1,
+            AnnouncementType::Xc => self.xc += 1,
+            AnnouncementType::Xn => self.xn += 1,
+        }
+    }
+
+    /// The count for one type.
+    pub fn get(&self, t: AnnouncementType) -> u64 {
+        match t {
+            AnnouncementType::Pc => self.pc,
+            AnnouncementType::Pn => self.pn,
+            AnnouncementType::Nc => self.nc,
+            AnnouncementType::Nn => self.nn,
+            AnnouncementType::Xc => self.xc,
+            AnnouncementType::Xn => self.xn,
+        }
+    }
+
+    /// Classified announcements (excludes initial and withdrawals).
+    pub fn classified_total(&self) -> u64 {
+        self.pc + self.pn + self.nc + self.nn + self.xc + self.xn
+    }
+
+    /// All announcements including stream-initial ones.
+    pub fn announcement_total(&self) -> u64 {
+        self.classified_total() + self.initial
+    }
+
+    /// Share of one type among classified announcements, in percent.
+    pub fn share(&self, t: AnnouncementType) -> f64 {
+        let total = self.classified_total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.get(t) as f64 * 100.0 / total as f64
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &TypeCounts) {
+        self.pc += other.pc;
+        self.pn += other.pn;
+        self.nc += other.nc;
+        self.nn += other.nn;
+        self.xc += other.xc;
+        self.xn += other.xn;
+        self.initial += other.initial;
+        self.withdrawals += other.withdrawals;
+        self.nn_med_only += other.nn_med_only;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Community, CommunitySet};
+
+    fn attrs(path: &str, comms: &[(u16, u16)]) -> PathAttributes {
+        PathAttributes {
+            as_path: path.parse().unwrap(),
+            communities: CommunitySet::from_classic(
+                comms.iter().map(|&(a, v)| Community::from_parts(a, v)),
+            ),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pc_path_and_community() {
+        let prev = attrs("20205 3356 12654", &[(3356, 2501)]);
+        let cur = attrs("20205 6939 12654", &[(6939, 2502)]);
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Pc);
+    }
+
+    #[test]
+    fn pn_path_only() {
+        let prev = attrs("20205 3356 12654", &[(3356, 2501)]);
+        let cur = attrs("20205 6939 12654", &[(3356, 2501)]);
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Pn);
+    }
+
+    #[test]
+    fn nc_community_only() {
+        // The paper's Exp2/Fig 4 signature: same path, new geo tag.
+        let prev = attrs("20205 3356 174 12654", &[(3356, 2501)]);
+        let cur = attrs("20205 3356 174 12654", &[(3356, 2502)]);
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Nc);
+    }
+
+    #[test]
+    fn nn_no_change() {
+        let prev = attrs("20205 3356 12654", &[(3356, 2501)]);
+        assert_eq!(classify_pair(&prev, &prev.clone()), AnnouncementType::Nn);
+    }
+
+    #[test]
+    fn nn_empty_communities_twice() {
+        // "nn announcements also include two empty community attributes
+        // in succession."
+        let prev = attrs("20205 3356 12654", &[]);
+        assert_eq!(classify_pair(&prev, &prev.clone()), AnnouncementType::Nn);
+    }
+
+    #[test]
+    fn xn_prepend_only() {
+        let prev = attrs("20205 3356 12654", &[]);
+        let cur = attrs("20205 3356 3356 3356 12654", &[]);
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Xn);
+    }
+
+    #[test]
+    fn xc_prepend_and_community() {
+        let prev = attrs("20205 3356 12654", &[(3356, 2501)]);
+        let cur = attrs("20205 3356 3356 12654", &[(3356, 2502)]);
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Xc);
+    }
+
+    #[test]
+    fn deprepending_is_x_type_too() {
+        let prev = attrs("20205 3356 3356 12654", &[]);
+        let cur = attrs("20205 3356 12654", &[]);
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Xn);
+    }
+
+    #[test]
+    fn med_change_is_nn_on_the_two_axes() {
+        let prev = attrs("20205 3356 12654", &[]);
+        let mut cur = prev.clone();
+        cur.med = Some(50);
+        // Path and communities unchanged → nn; MED attribution is a
+        // separate check (differs_only_in_med).
+        assert_eq!(classify_pair(&prev, &cur), AnnouncementType::Nn);
+        assert!(prev.differs_only_in_med(&cur));
+    }
+
+    #[test]
+    fn counts_accumulate_and_share() {
+        let mut c = TypeCounts::default();
+        c.add(AnnouncementType::Pc);
+        c.add(AnnouncementType::Pc);
+        c.add(AnnouncementType::Nc);
+        c.add(AnnouncementType::Nn);
+        assert_eq!(c.classified_total(), 4);
+        assert!((c.share(AnnouncementType::Pc) - 50.0).abs() < 1e-9);
+        assert!((c.share(AnnouncementType::Nc) - 25.0).abs() < 1e-9);
+        assert_eq!(c.get(AnnouncementType::Xn), 0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = TypeCounts { pc: 1, withdrawals: 2, initial: 3, ..Default::default() };
+        let b = TypeCounts { pc: 10, nn: 5, nn_med_only: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.pc, 11);
+        assert_eq!(a.nn, 5);
+        assert_eq!(a.withdrawals, 2);
+        assert_eq!(a.initial, 3);
+        assert_eq!(a.nn_med_only, 1);
+    }
+
+    #[test]
+    fn no_path_change_predicate() {
+        assert!(AnnouncementType::Nc.is_no_path_change());
+        assert!(AnnouncementType::Nn.is_no_path_change());
+        assert!(!AnnouncementType::Pc.is_no_path_change());
+        assert!(!AnnouncementType::Xn.is_no_path_change());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = AnnouncementType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels, vec!["pc", "pn", "nc", "nn", "xc", "xn"]);
+    }
+
+    #[test]
+    fn empty_counts_share_is_zero() {
+        let c = TypeCounts::default();
+        assert_eq!(c.share(AnnouncementType::Pc), 0.0);
+    }
+}

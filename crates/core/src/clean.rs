@@ -1,0 +1,229 @@
+//! The data cleaning pipeline (paper §4).
+//!
+//! "Prior to analyzing our update message data, we first perform basic
+//! filtering, cleaning, and normalization":
+//!
+//! 1. remove messages containing an ASN or prefix unallocated at message
+//!    time,
+//! 2. prepend the route server's ASN to paths from IXP route-server peers
+//!    that do not insert their own ASN,
+//! 3. disambiguate same-second timestamps at second-granularity
+//!    collectors (order-preserving 0.01 ms spacing).
+
+use kcc_bgp_types::{MessageKind, RouteUpdate};
+use kcc_collector::timestamps::normalize_timestamps;
+use kcc_collector::UpdateArchive;
+
+use crate::registry::AllocationRegistry;
+
+/// Which cleaning stages to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleaningConfig {
+    /// Drop messages with unallocated ASNs/prefixes.
+    pub filter_unallocated: bool,
+    /// Insert route-server ASNs into AS paths.
+    pub insert_route_server_asn: bool,
+    /// Normalize second-granularity timestamps.
+    pub normalize_timestamps: bool,
+}
+
+impl Default for CleaningConfig {
+    /// All stages on — the paper's configuration.
+    fn default() -> Self {
+        CleaningConfig {
+            filter_unallocated: true,
+            insert_route_server_asn: true,
+            normalize_timestamps: true,
+        }
+    }
+}
+
+/// What the cleaning pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleaningReport {
+    /// Messages dropped for an unallocated ASN in the path.
+    pub removed_unallocated_asn: u64,
+    /// Messages dropped for an unallocated prefix.
+    pub removed_unallocated_prefix: u64,
+    /// Announcements that received a route-server ASN prepend.
+    pub route_server_insertions: u64,
+    /// Sessions whose timestamps were normalized.
+    pub sessions_normalized: u64,
+    /// Messages surviving the pass.
+    pub kept: u64,
+}
+
+fn update_is_allocated(
+    u: &RouteUpdate,
+    registry: &AllocationRegistry,
+    report: &mut CleaningReport,
+) -> bool {
+    if !registry.prefix_allocated(&u.prefix, u.time_us) {
+        report.removed_unallocated_prefix += 1;
+        return false;
+    }
+    if let MessageKind::Announcement(attrs) = &u.kind {
+        for asn in attrs.as_path.asns() {
+            if !registry.asn_allocated(asn, u.time_us) {
+                report.removed_unallocated_asn += 1;
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Runs the cleaning pipeline in place and reports what changed.
+pub fn clean_archive(
+    archive: &mut UpdateArchive,
+    registry: &AllocationRegistry,
+    config: &CleaningConfig,
+) -> CleaningReport {
+    let mut report = CleaningReport::default();
+    for (key, rec) in archive.sessions_mut() {
+        if config.filter_unallocated {
+            rec.updates.retain(|u| update_is_allocated(u, registry, &mut report));
+        }
+        if config.insert_route_server_asn && rec.meta.route_server {
+            for u in &mut rec.updates {
+                if let MessageKind::Announcement(attrs) = &mut u.kind {
+                    if attrs.as_path.first() != Some(key.peer_asn) {
+                        attrs.as_path = attrs.as_path.prepend(key.peer_asn, 1);
+                        report.route_server_insertions += 1;
+                    }
+                }
+            }
+        }
+        if config.normalize_timestamps && rec.meta.second_granularity {
+            normalize_timestamps(&mut rec.updates);
+            report.sessions_normalized += 1;
+        }
+        report.kept += rec.updates.len() as u64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, PathAttributes, Prefix};
+    use kcc_collector::{PeerMeta, SessionKey};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn announce(t: u64, prefix: &str, path: &str) -> RouteUpdate {
+        RouteUpdate::announce(
+            t,
+            p(prefix),
+            PathAttributes { as_path: path.parse().unwrap(), ..Default::default() },
+        )
+    }
+
+    fn registry() -> AllocationRegistry {
+        let mut r = AllocationRegistry::new();
+        for asn in [20_205u32, 3356, 174, 12_654] {
+            r.register_asn(Asn(asn), 0);
+        }
+        r.register_asn(Asn(5_000), 2_000_000); // allocated at t=2s
+        r.register_block(p("84.205.0.0/16"), 0);
+        r
+    }
+
+    fn key() -> SessionKey {
+        SessionKey::new("rrc00", Asn(20_205), "10.0.0.1".parse().unwrap())
+    }
+
+    #[test]
+    fn unallocated_asn_dropped() {
+        let mut a = UpdateArchive::new(0);
+        a.record(&key(), announce(1, "84.205.64.0/24", "20205 3356 12654"));
+        a.record(&key(), announce(2, "84.205.64.0/24", "20205 9999 12654")); // 9999 bogon
+        let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        assert_eq!(report.removed_unallocated_asn, 1);
+        assert_eq!(report.kept, 1);
+        assert_eq!(a.update_count(), 1);
+    }
+
+    #[test]
+    fn unallocated_prefix_dropped() {
+        let mut a = UpdateArchive::new(0);
+        a.record(&key(), announce(1, "84.205.64.0/24", "20205 12654"));
+        a.record(&key(), announce(2, "203.0.113.0/24", "20205 12654")); // outside blocks
+        let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        assert_eq!(report.removed_unallocated_prefix, 1);
+        assert_eq!(a.update_count(), 1);
+    }
+
+    #[test]
+    fn allocation_is_time_dependent() {
+        // AS5000 allocated at t=2s: a message at t=1s is bogon, at t=3s fine.
+        let mut a = UpdateArchive::new(0);
+        a.record(&key(), announce(1_000_000, "84.205.64.0/24", "20205 5000 12654"));
+        a.record(&key(), announce(3_000_000, "84.205.64.0/24", "20205 5000 12654"));
+        let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        assert_eq!(report.removed_unallocated_asn, 1);
+        assert_eq!(a.update_count(), 1);
+        assert_eq!(a.all_updates()[0].1.time_us, 3_000_000);
+    }
+
+    #[test]
+    fn withdrawals_keep_only_prefix_check() {
+        let mut a = UpdateArchive::new(0);
+        a.record(&key(), RouteUpdate::withdraw(1, p("84.205.64.0/24")));
+        a.record(&key(), RouteUpdate::withdraw(2, p("203.0.113.0/24")));
+        let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        assert_eq!(report.removed_unallocated_prefix, 1);
+        assert_eq!(a.update_count(), 1);
+    }
+
+    #[test]
+    fn route_server_asn_inserted() {
+        let mut a = UpdateArchive::new(0);
+        let k = key();
+        a.add_session(PeerMeta { key: k.clone(), route_server: true, second_granularity: false });
+        // Path does NOT start with the peer AS (route server behavior).
+        a.record(&k, announce(1, "84.205.64.0/24", "3356 12654"));
+        // Path already starts with it: untouched.
+        a.record(&k, announce(2, "84.205.64.0/24", "20205 3356 12654"));
+        let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        assert_eq!(report.route_server_insertions, 1);
+        let updates = &a.session(&k).unwrap().updates;
+        assert_eq!(
+            updates[0].attributes().unwrap().as_path.to_string(),
+            "20205 3356 12654"
+        );
+        assert_eq!(
+            updates[1].attributes().unwrap().as_path.to_string(),
+            "20205 3356 12654"
+        );
+    }
+
+    #[test]
+    fn second_granularity_sessions_normalized() {
+        let mut a = UpdateArchive::new(0);
+        let k = key();
+        a.add_session(PeerMeta { key: k.clone(), route_server: false, second_granularity: true });
+        a.record(&k, announce(5_000_000, "84.205.64.0/24", "20205 12654"));
+        a.record(&k, announce(5_000_000, "84.205.64.0/24", "20205 12654"));
+        let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        assert_eq!(report.sessions_normalized, 1);
+        let updates = &a.session(&k).unwrap().updates;
+        assert_eq!(updates[1].time_us, 5_000_010);
+    }
+
+    #[test]
+    fn stages_can_be_disabled() {
+        let mut a = UpdateArchive::new(0);
+        a.record(&key(), announce(1, "203.0.113.0/24", "9999 12654"));
+        let cfg = CleaningConfig {
+            filter_unallocated: false,
+            insert_route_server_asn: false,
+            normalize_timestamps: false,
+        };
+        let report = clean_archive(&mut a, &registry(), &cfg);
+        assert_eq!(report.kept, 1);
+        assert_eq!(a.update_count(), 1);
+    }
+}

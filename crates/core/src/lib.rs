@@ -1,0 +1,61 @@
+//! # kcc-core — the community-impact analysis pipeline
+//!
+//! The paper's primary contribution, as a library: given per-session BGP
+//! update streams (from MRT archives, the simulator, or the trace
+//! generator), quantify how BGP communities inflate routing message
+//! traffic.
+//!
+//! Pipeline stages, in the order the paper applies them:
+//!
+//! 1. **Cleaning** ([`clean`], [`registry`]): drop messages with
+//!    unallocated ASNs/prefixes at message time, insert route-server ASNs
+//!    into AS paths, normalize second-granularity timestamps (§4).
+//! 2. **Stream grouping + classification** ([`classify`], [`stream`]):
+//!    group by `(prefix, session)` in arrival order and label each
+//!    announcement `pc`/`pn`/`nc`/`nn`/`xc`/`xn` by what changed relative
+//!    to its predecessor (§5, Table 2), with MED-change attribution for
+//!    `nn`.
+//! 3. **Overview statistics** ([`table`]): the Table 1 dataset summary and
+//!    the Table 2 type-share breakdown.
+//! 4. **Beacon phase labeling** ([`beacon_phase`]): attribute updates to
+//!    announcement/withdrawal phases with the paper's 15-minute windows.
+//! 5. **Community exploration** ([`exploration`]): detect `nc` bursts
+//!    during withdrawal phases and decode the geo locations they reveal
+//!    (§6, Fig. 4).
+//! 6. **Revealed information** ([`revealed`]): count unique community
+//!    attributes revealed exclusively during withdrawal phases (§6,
+//!    Fig. 6).
+//! 7. **Per-session distributions** ([`sessions`], Fig. 3) and
+//!    **cumulative timelines** ([`cumsum`], Figs. 4–5).
+//! 8. **Longitudinal aggregation** ([`longitudinal`], Figs. 2 and 6) and
+//!    **text/CSV rendering** ([`report`]).
+//!
+//! The paper's §7 future-work directions are implemented as well:
+//! per-AS behavior inference ([`tomography`]: tag / filter / ignore),
+//! interconnection-count inference from geo tags ([`interconnect`]), and
+//! anomalous-community detection ([`anomaly`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod beacon_phase;
+pub mod classify;
+pub mod clean;
+pub mod cumsum;
+pub mod exploration;
+pub mod interconnect;
+pub mod longitudinal;
+pub mod registry;
+pub mod report;
+pub mod revealed;
+pub mod sessions;
+pub mod stream;
+pub mod table;
+pub mod tomography;
+
+pub use classify::{classify_pair, AnnouncementType, TypeCounts};
+pub use clean::{clean_archive, CleaningConfig, CleaningReport};
+pub use registry::AllocationRegistry;
+pub use stream::{classify_archive, ClassifiedArchive, ClassifiedEvent, EventKind};
+pub use table::{OverviewStats, TypeShares};

@@ -1,0 +1,191 @@
+//! Per-session type distributions (paper §6, Fig. 3).
+//!
+//! Fig. 3 shows, for a single beacon prefix at one collector, how many
+//! announcements of each type every BGP session observed — demonstrating
+//! that "each session shows a diverse distribution of announcement
+//! types, despite looking only at a single beacon prefix".
+
+use kcc_bgp_types::Prefix;
+use kcc_collector::SessionKey;
+
+use crate::classify::{AnnouncementType, TypeCounts};
+use crate::report::render_table;
+use crate::stream::{ClassifiedArchive, EventKind};
+
+/// Per-session counts for one prefix, sorted by announcement volume
+/// (descending) — the Fig. 3 x-axis order.
+pub fn session_type_distribution(
+    classified: &ClassifiedArchive,
+    prefix: &Prefix,
+    collector: Option<&str>,
+) -> Vec<(SessionKey, TypeCounts)> {
+    let mut rows: Vec<(SessionKey, TypeCounts)> = Vec::new();
+    for (key, events) in &classified.per_session {
+        if let Some(c) = collector {
+            if key.collector != c {
+                continue;
+            }
+        }
+        let mut counts = TypeCounts::default();
+        for e in events.iter().filter(|e| e.prefix == *prefix) {
+            match &e.kind {
+                EventKind::Classified { atype, .. } => counts.add(*atype),
+                EventKind::Initial => counts.initial += 1,
+                EventKind::Withdrawal => counts.withdrawals += 1,
+            }
+        }
+        if counts.announcement_total() > 0 {
+            rows.push((key.clone(), counts));
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.1.announcement_total()
+            .cmp(&a.1.announcement_total())
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    rows
+}
+
+/// Renders the distribution as a text table (one row per session).
+pub fn render_distribution(rows: &[(SessionKey, TypeCounts)]) -> String {
+    let headers = ["session", "total", "pc", "pn", "nc", "nn", "xc", "xn"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(key, c)| {
+            vec![
+                key.to_string(),
+                c.announcement_total().to_string(),
+                c.pc.to_string(),
+                c.pn.to_string(),
+                c.nc.to_string(),
+                c.nn.to_string(),
+                c.xc.to_string(),
+                c.xn.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// Renders a Fig. 3-style stacked bar chart in ASCII: one column per
+/// session, stack segments proportional to type counts.
+pub fn render_stacked_bars(rows: &[(SessionKey, TypeCounts)], height: usize) -> String {
+    if rows.is_empty() {
+        return String::from("(no sessions)\n");
+    }
+    let max_total = rows.iter().map(|(_, c)| c.announcement_total()).max().unwrap_or(1).max(1);
+    let glyph = |t: AnnouncementType| match t {
+        AnnouncementType::Pc => 'P',
+        AnnouncementType::Pn => 'p',
+        AnnouncementType::Nc => 'C',
+        AnnouncementType::Nn => 'n',
+        AnnouncementType::Xc => 'X',
+        AnnouncementType::Xn => 'x',
+    };
+    // Build each column bottom-up as a stack of glyphs.
+    let mut columns: Vec<Vec<char>> = Vec::with_capacity(rows.len());
+    for (_, c) in rows {
+        let mut col = Vec::new();
+        for t in AnnouncementType::ALL {
+            let cells =
+                (c.get(t) as usize * height).div_ceil(max_total as usize);
+            for _ in 0..cells.min(height - col.len().min(height)) {
+                col.push(glyph(t));
+            }
+        }
+        col.truncate(height);
+        columns.push(col);
+    }
+    let mut out = String::new();
+    for level in (0..height).rev() {
+        for col in &columns {
+            out.push(col.get(level).copied().unwrap_or(' '));
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(columns.len()));
+    out.push_str("\nlegend: P=pc p=pn C=nc n=nn X=xc x=xn; one column per session\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::classify_session;
+    use kcc_bgp_types::{Asn, Community, CommunitySet, PathAttributes, RouteUpdate};
+
+    fn attrs(path: &str, c: u16) -> PathAttributes {
+        PathAttributes {
+            as_path: path.parse().unwrap(),
+            communities: CommunitySet::from_classic([Community::from_parts(3356, c)]),
+            ..Default::default()
+        }
+    }
+
+    fn build() -> (ClassifiedArchive, Prefix) {
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        let mut classified = ClassifiedArchive::default();
+        // Session 1: 3 announcements (initial, nc, pc).
+        let k1 = SessionKey::new("rrc00", Asn(20_205), "10.0.0.1".parse().unwrap());
+        let updates1 = vec![
+            RouteUpdate::announce(1, prefix, attrs("1 2", 2501)),
+            RouteUpdate::announce(2, prefix, attrs("1 2", 2502)),
+            RouteUpdate::announce(3, prefix, attrs("1 3", 2503)),
+        ];
+        classified.per_session.insert(k1.clone(), classify_session(&updates1));
+        // Session 2: 1 announcement.
+        let k2 = SessionKey::new("rrc00", Asn(20_811), "10.0.0.2".parse().unwrap());
+        let updates2 = vec![RouteUpdate::announce(1, prefix, attrs("9 2", 2501))];
+        classified.per_session.insert(k2.clone(), classify_session(&updates2));
+        // Session at another collector.
+        let k3 = SessionKey::new("rrc01", Asn(20_205), "10.0.0.3".parse().unwrap());
+        let updates3 = vec![RouteUpdate::announce(1, prefix, attrs("5 2", 2501))];
+        classified.per_session.insert(k3, classify_session(&updates3));
+        (classified, prefix)
+    }
+
+    #[test]
+    fn sorted_by_volume_and_filtered_by_collector() {
+        let (classified, prefix) = build();
+        let rows = session_type_distribution(&classified, &prefix, Some("rrc00"));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0.peer_asn, Asn(20_205)); // busier session first
+        assert_eq!(rows[0].1.announcement_total(), 3);
+        assert_eq!(rows[0].1.nc, 1);
+        assert_eq!(rows[0].1.pc, 1);
+        assert_eq!(rows[1].1.announcement_total(), 1);
+    }
+
+    #[test]
+    fn no_collector_filter_includes_all() {
+        let (classified, prefix) = build();
+        let rows = session_type_distribution(&classified, &prefix, None);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn other_prefixes_excluded() {
+        let (classified, _) = build();
+        let other: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(session_type_distribution(&classified, &other, None).is_empty());
+    }
+
+    #[test]
+    fn table_renders() {
+        let (classified, prefix) = build();
+        let rows = session_type_distribution(&classified, &prefix, Some("rrc00"));
+        let text = render_distribution(&rows);
+        assert!(text.contains("rrc00:AS20205"));
+        assert!(text.contains("nc"));
+    }
+
+    #[test]
+    fn bars_render_with_fixed_height() {
+        let (classified, prefix) = build();
+        let rows = session_type_distribution(&classified, &prefix, None);
+        let text = render_stacked_bars(&rows, 10);
+        assert!(text.lines().count() >= 11);
+        assert!(text.contains("legend"));
+        assert_eq!(render_stacked_bars(&[], 5), "(no sessions)\n");
+    }
+}

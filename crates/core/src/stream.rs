@@ -1,0 +1,265 @@
+//! Stream grouping and whole-archive classification.
+//!
+//! Paper §5: "we first group them by the prefix and the BGP session of a
+//! peer AS / next-hop, in arriving order. Then, we look for changes in the
+//! AS path, AS path prepending, and the community attribute from one
+//! announcement to the next." Withdrawals do not reset the comparison —
+//! the paper's Fig. 4 labels the first re-announcement after a withdrawal
+//! against the last announcement before it.
+
+use std::collections::{BTreeMap, HashMap};
+
+use kcc_bgp_types::{MessageKind, PathAttributes, Prefix, RouteUpdate};
+use kcc_collector::{SessionKey, UpdateArchive};
+
+use crate::classify::{classify_pair, AnnouncementType, TypeCounts};
+
+/// What one stream event was classified as.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A classified announcement.
+    Classified {
+        /// The announcement type.
+        atype: AnnouncementType,
+        /// True when the only wire-level difference was the MED.
+        med_only: bool,
+    },
+    /// First announcement of its `(prefix, session)` stream.
+    Initial,
+    /// A withdrawal.
+    Withdrawal,
+}
+
+/// One classified event in a session's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedEvent {
+    /// Arrival time (µs).
+    pub time_us: u64,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Classification.
+    pub kind: EventKind,
+    /// The announcement's attributes (withdrawals: `None`).
+    pub attrs: Option<PathAttributes>,
+}
+
+impl ClassifiedEvent {
+    /// The announcement type, if classified.
+    pub fn atype(&self) -> Option<AnnouncementType> {
+        match &self.kind {
+            EventKind::Classified { atype, .. } => Some(*atype),
+            _ => None,
+        }
+    }
+}
+
+/// The result of classifying a whole archive.
+#[derive(Debug, Clone, Default)]
+pub struct ClassifiedArchive {
+    /// Per-session event streams, in arrival order.
+    pub per_session: BTreeMap<SessionKey, Vec<ClassifiedEvent>>,
+    /// Aggregate counts.
+    pub counts: TypeCounts,
+}
+
+impl ClassifiedArchive {
+    /// Aggregate counts for one session.
+    pub fn session_counts(&self, key: &SessionKey) -> TypeCounts {
+        let mut c = TypeCounts::default();
+        if let Some(events) = self.per_session.get(key) {
+            accumulate(&mut c, events);
+        }
+        c
+    }
+
+    /// Aggregate counts for one `(session, prefix)` stream.
+    pub fn stream_counts(&self, key: &SessionKey, prefix: &Prefix) -> TypeCounts {
+        let mut c = TypeCounts::default();
+        if let Some(events) = self.per_session.get(key) {
+            accumulate(&mut c, events.iter().filter(|e| e.prefix == *prefix));
+        }
+        c
+    }
+
+    /// Aggregate counts over all sessions, restricted to events whose
+    /// prefix satisfies the predicate (e.g. excluding beacon prefixes).
+    pub fn counts_filtered<F: Fn(&Prefix) -> bool>(&self, keep: F) -> TypeCounts {
+        let mut c = TypeCounts::default();
+        for events in self.per_session.values() {
+            accumulate(&mut c, events.iter().filter(|e| keep(&e.prefix)));
+        }
+        c
+    }
+}
+
+fn accumulate<'a, I: IntoIterator<Item = &'a ClassifiedEvent>>(c: &mut TypeCounts, events: I) {
+    for e in events {
+        match &e.kind {
+            EventKind::Classified { atype, med_only } => {
+                c.add(*atype);
+                if *atype == AnnouncementType::Nn && *med_only {
+                    c.nn_med_only += 1;
+                }
+            }
+            EventKind::Initial => c.initial += 1,
+            EventKind::Withdrawal => c.withdrawals += 1,
+        }
+    }
+}
+
+/// Classifies one session's update stream.
+pub fn classify_session(updates: &[RouteUpdate]) -> Vec<ClassifiedEvent> {
+    let mut last: HashMap<Prefix, PathAttributes> = HashMap::new();
+    let mut out = Vec::with_capacity(updates.len());
+    for u in updates {
+        match &u.kind {
+            MessageKind::Announcement(attrs) => {
+                let kind = match last.get(&u.prefix) {
+                    Some(prev) => EventKind::Classified {
+                        atype: classify_pair(prev, attrs),
+                        med_only: prev.differs_only_in_med(attrs),
+                    },
+                    None => EventKind::Initial,
+                };
+                last.insert(u.prefix, attrs.clone());
+                out.push(ClassifiedEvent {
+                    time_us: u.time_us,
+                    prefix: u.prefix,
+                    kind,
+                    attrs: Some(attrs.clone()),
+                });
+            }
+            MessageKind::Withdrawal => {
+                // Withdrawals are recorded but do NOT reset `last`: the
+                // next announcement is compared against the pre-withdrawal
+                // state, as in the paper's Fig. 4 (each phase "starts with
+                // a pc update").
+                out.push(ClassifiedEvent {
+                    time_us: u.time_us,
+                    prefix: u.prefix,
+                    kind: EventKind::Withdrawal,
+                    attrs: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Classifies a whole archive.
+pub fn classify_archive(archive: &UpdateArchive) -> ClassifiedArchive {
+    let mut result = ClassifiedArchive::default();
+    for (key, rec) in archive.sessions() {
+        let events = classify_session(&rec.updates);
+        accumulate(&mut result.counts, &events);
+        result.per_session.insert(key.clone(), events);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, Community, CommunitySet};
+
+    fn attrs(path: &str, comms: &[(u16, u16)]) -> PathAttributes {
+        PathAttributes {
+            as_path: path.parse().unwrap(),
+            communities: CommunitySet::from_classic(
+                comms.iter().map(|&(a, v)| Community::from_parts(a, v)),
+            ),
+            ..Default::default()
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn initial_then_types() {
+        let prefix = p("84.205.64.0/24");
+        let updates = vec![
+            RouteUpdate::announce(1, prefix, attrs("1 2", &[(1, 1)])),
+            RouteUpdate::announce(2, prefix, attrs("1 2", &[(1, 2)])), // nc
+            RouteUpdate::announce(3, prefix, attrs("1 3", &[(1, 2)])), // pn
+            RouteUpdate::announce(4, prefix, attrs("1 3", &[(1, 2)])), // nn
+        ];
+        let events = classify_session(&updates);
+        assert_eq!(events[0].kind, EventKind::Initial);
+        assert_eq!(events[1].atype(), Some(AnnouncementType::Nc));
+        assert_eq!(events[2].atype(), Some(AnnouncementType::Pn));
+        assert_eq!(events[3].atype(), Some(AnnouncementType::Nn));
+    }
+
+    #[test]
+    fn withdrawal_does_not_reset_comparison() {
+        let prefix = p("84.205.64.0/24");
+        let updates = vec![
+            RouteUpdate::announce(1, prefix, attrs("1 2", &[(1, 1)])),
+            RouteUpdate::withdraw(2, prefix),
+            // Re-announcement with the same attrs: nn, not initial.
+            RouteUpdate::announce(3, prefix, attrs("1 2", &[(1, 1)])),
+            // And with a different path: pn.
+            RouteUpdate::withdraw(4, prefix),
+            RouteUpdate::announce(5, prefix, attrs("1 3", &[(1, 1)])),
+        ];
+        let events = classify_session(&updates);
+        assert_eq!(events[2].atype(), Some(AnnouncementType::Nn));
+        assert_eq!(events[4].atype(), Some(AnnouncementType::Pn));
+    }
+
+    #[test]
+    fn prefixes_tracked_independently() {
+        let p1 = p("84.205.64.0/24");
+        let p2 = p("84.205.65.0/24");
+        let updates = vec![
+            RouteUpdate::announce(1, p1, attrs("1 2", &[])),
+            RouteUpdate::announce(2, p2, attrs("9 8", &[])),
+            RouteUpdate::announce(3, p1, attrs("1 2", &[])), // nn on p1
+            RouteUpdate::announce(4, p2, attrs("9 7", &[])), // pn on p2
+        ];
+        let events = classify_session(&updates);
+        assert_eq!(events[0].kind, EventKind::Initial);
+        assert_eq!(events[1].kind, EventKind::Initial);
+        assert_eq!(events[2].atype(), Some(AnnouncementType::Nn));
+        assert_eq!(events[3].atype(), Some(AnnouncementType::Pn));
+    }
+
+    #[test]
+    fn med_only_flag_set() {
+        let prefix = p("84.205.64.0/24");
+        let a1 = attrs("1 2", &[]);
+        let mut a2 = a1.clone();
+        a2.med = Some(7);
+        let updates = vec![
+            RouteUpdate::announce(1, prefix, a1),
+            RouteUpdate::announce(2, prefix, a2),
+        ];
+        let events = classify_session(&updates);
+        assert_eq!(
+            events[1].kind,
+            EventKind::Classified { atype: AnnouncementType::Nn, med_only: true }
+        );
+    }
+
+    #[test]
+    fn archive_classification_aggregates() {
+        let mut archive = UpdateArchive::new(0);
+        let k1 = SessionKey::new("rrc00", Asn(20_205), "10.0.0.1".parse().unwrap());
+        let k2 = SessionKey::new("rrc00", Asn(20_811), "10.0.0.2".parse().unwrap());
+        let prefix = p("84.205.64.0/24");
+        archive.record(&k1, RouteUpdate::announce(1, prefix, attrs("1 2", &[(1, 1)])));
+        archive.record(&k1, RouteUpdate::announce(2, prefix, attrs("1 2", &[(1, 2)])));
+        archive.record(&k2, RouteUpdate::announce(1, prefix, attrs("5 2", &[])));
+        archive.record(&k2, RouteUpdate::withdraw(2, prefix));
+
+        let c = classify_archive(&archive);
+        assert_eq!(c.counts.initial, 2);
+        assert_eq!(c.counts.nc, 1);
+        assert_eq!(c.counts.withdrawals, 1);
+        assert_eq!(c.session_counts(&k1).nc, 1);
+        assert_eq!(c.session_counts(&k2).withdrawals, 1);
+        assert_eq!(c.stream_counts(&k1, &prefix).nc, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! MRT reader/writer errors.
+
+use std::fmt;
+use std::io;
+
+use kcc_bgp_wire::WireError;
+
+/// Errors from reading or writing MRT streams.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The embedded BGP message failed to decode.
+    Wire(WireError),
+    /// An MRT type this crate does not handle.
+    UnsupportedType {
+        /// MRT type code.
+        mrt_type: u16,
+        /// MRT subtype code.
+        subtype: u16,
+    },
+    /// Record body shorter than its fields require.
+    Truncated(&'static str),
+    /// A semantically impossible field value.
+    BadField {
+        /// Field name.
+        what: &'static str,
+        /// Offending value widened to u64.
+        value: u64,
+    },
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+            MrtError::Wire(e) => write!(f, "embedded BGP message error: {e}"),
+            MrtError::UnsupportedType { mrt_type, subtype } => {
+                write!(f, "unsupported MRT type {mrt_type} subtype {subtype}")
+            }
+            MrtError::Truncated(what) => write!(f, "truncated MRT record: {what}"),
+            MrtError::BadField { what, value } => write!(f, "bad MRT field {what}: {value}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            MrtError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+impl From<WireError> for MrtError {
+    fn from(e: WireError) -> Self {
+        MrtError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MrtError::UnsupportedType { mrt_type: 12, subtype: 3 };
+        assert!(e.to_string().contains("12"));
+        assert!(MrtError::Truncated("header").to_string().contains("header"));
+        assert!(MrtError::BadField { what: "afi", value: 9 }.to_string().contains("afi"));
+    }
+
+    #[test]
+    fn conversions() {
+        let io_err: MrtError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(io_err, MrtError::Io(_)));
+        let wire_err: MrtError = WireError::BadMarker.into();
+        assert!(matches!(wire_err, MrtError::Wire(_)));
+    }
+}

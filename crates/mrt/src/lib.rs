@@ -1,0 +1,50 @@
+//! # kcc-mrt — RFC 6396 MRT routing archive format
+//!
+//! MRT is the format RouteViews and RIPE RIS use to publish BGP update
+//! archives — the raw material of the paper's ten-year measurement study.
+//! This crate reads and writes MRT streams so that synthetic archives
+//! produced by the simulator and the trace generator are bit-compatible
+//! with real collector output and flow through the identical analysis
+//! pipeline.
+//!
+//! ## Implemented
+//!
+//! * The common MRT header, including the extended-timestamp (`_ET`)
+//!   variants with microsecond resolution (RFC 6396 §3).
+//! * `BGP4MP` / `BGP4MP_ET`: `MESSAGE`, `MESSAGE_AS4`, `STATE_CHANGE`,
+//!   `STATE_CHANGE_AS4` (§4.2–4.4), embedding full RFC 4271 messages via
+//!   [`kcc_bgp_wire`].
+//! * `TABLE_DUMP_V2`: `PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST`,
+//!   `RIB_IPV6_UNICAST` (§4.3) for RIB snapshots.
+//! * Streaming [`reader::MrtReader`] / [`writer::MrtWriter`] over any
+//!   `io::Read`/`io::Write`.
+//!
+//! ## Omitted
+//!
+//! * Legacy `TABLE_DUMP` (v1) and OSPF/ISIS record types — absent from the
+//!   studied period's update archives.
+//! * `RIB_GENERIC` subtypes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp4mp;
+pub mod error;
+pub mod reader;
+pub mod record;
+pub mod tabledump;
+pub mod writer;
+
+pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState};
+pub use error::MrtError;
+pub use reader::MrtReader;
+pub use record::{MrtRecord, MrtTimestamp};
+pub use tabledump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+pub use writer::MrtWriter;
+
+/// MRT type code for BGP4MP.
+pub const TYPE_BGP4MP: u16 = 16;
+/// MRT type code for BGP4MP with extended (microsecond) timestamps.
+pub const TYPE_BGP4MP_ET: u16 = 17;
+/// MRT type code for TABLE_DUMP_V2.
+pub const TYPE_TABLE_DUMP_V2: u16 = 13;

@@ -1,0 +1,98 @@
+//! The top-level MRT record enum and timestamp handling.
+
+use crate::bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange};
+use crate::tabledump::{PeerIndexTable, RibSnapshot};
+
+/// An MRT timestamp: whole seconds plus optional microseconds.
+///
+/// Plain `BGP4MP` records carry second resolution only; `BGP4MP_ET`
+/// records add microseconds. The paper notes that some collectors record
+/// at single-second granularity — the cleaning stage's disambiguation rule
+/// exists precisely for [`MrtTimestamp`]s without a microsecond part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MrtTimestamp {
+    /// Seconds since the UNIX epoch.
+    pub seconds: u32,
+    /// Microseconds within the second, when the record type carries them.
+    pub microseconds: Option<u32>,
+}
+
+impl MrtTimestamp {
+    /// A second-granularity timestamp.
+    pub fn seconds(seconds: u32) -> Self {
+        MrtTimestamp { seconds, microseconds: None }
+    }
+
+    /// A microsecond-granularity timestamp.
+    pub fn micros(seconds: u32, microseconds: u32) -> Self {
+        MrtTimestamp { seconds, microseconds: Some(microseconds) }
+    }
+
+    /// The timestamp as microseconds since the epoch; second-granularity
+    /// stamps map to the start of their second.
+    pub fn as_micros(&self) -> u64 {
+        self.seconds as u64 * 1_000_000 + self.microseconds.unwrap_or(0) as u64
+    }
+
+    /// True if this record only has second resolution.
+    pub fn is_second_granularity(&self) -> bool {
+        self.microseconds.is_none()
+    }
+}
+
+/// One decoded MRT record.
+///
+/// Variant sizes differ widely (a RIB snapshot holds a vector of routes);
+/// records are short-lived values streamed one at a time, so boxing would
+/// only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrtRecord {
+    /// A BGP4MP(_ET) MESSAGE or MESSAGE_AS4: an embedded BGP message on a
+    /// collector session.
+    Message(Bgp4mpMessage),
+    /// A BGP4MP(_ET) STATE_CHANGE or STATE_CHANGE_AS4.
+    StateChange(Bgp4mpStateChange),
+    /// A TABLE_DUMP_V2 PEER_INDEX_TABLE.
+    PeerIndexTable(PeerIndexTable),
+    /// A TABLE_DUMP_V2 RIB_IPVx_UNICAST snapshot for one prefix.
+    RibSnapshot(RibSnapshot),
+}
+
+impl MrtRecord {
+    /// The record's timestamp.
+    pub fn timestamp(&self) -> MrtTimestamp {
+        match self {
+            MrtRecord::Message(m) => m.timestamp,
+            MrtRecord::StateChange(s) => s.timestamp,
+            MrtRecord::PeerIndexTable(p) => p.timestamp,
+            MrtRecord::RibSnapshot(r) => r.timestamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_conversion() {
+        assert_eq!(MrtTimestamp::seconds(10).as_micros(), 10_000_000);
+        assert_eq!(MrtTimestamp::micros(10, 250).as_micros(), 10_000_250);
+    }
+
+    #[test]
+    fn granularity_detection() {
+        assert!(MrtTimestamp::seconds(1).is_second_granularity());
+        assert!(!MrtTimestamp::micros(1, 0).is_second_granularity());
+    }
+
+    #[test]
+    fn ordering_by_time() {
+        let a = MrtTimestamp::seconds(5);
+        let b = MrtTimestamp::micros(5, 1);
+        let c = MrtTimestamp::seconds(6);
+        assert!(a < b); // None < Some in the tuple ordering
+        assert!(b < c);
+    }
+}

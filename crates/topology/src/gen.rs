@@ -1,0 +1,466 @@
+//! Seeded hierarchical topology generation.
+//!
+//! The generator builds a three-tier Internet: a tier-1 clique, transit
+//! ASes that buy from tier-1s (and peer among themselves), and stub ASes
+//! that buy from transits. Multi-homing and *parallel* interconnections at
+//! different cities are generated deliberately — they are what gives
+//! community exploration room to happen.
+
+use kcc_bgp_types::{Asn, GeoTag, Prefix};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::behavior::{BehaviorMix, CommunityBehavior};
+use crate::igp::IgpMap;
+use crate::model::{AsEdge, AsNode, RouterSpec, Tier, Topology};
+use crate::relationship::Relationship;
+
+/// The RIPE RIS beacon origin AS, reserved for beacon-hosting topologies.
+pub const BEACON_ORIGIN_ASN: Asn = Asn(12_654);
+
+/// Famous tier-1 ASNs used for the first few generated tier-1 nodes, so
+/// simulated paths read like the paper's examples (`3356 174 ...`).
+const TIER1_POOL: [u32; 8] = [3356, 174, 1299, 2914, 6939, 3257, 6453, 701];
+
+/// Generator configuration. All fields have sensible defaults; ranges are
+/// inclusive `(lo, hi)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyConfig {
+    /// RNG seed; equal seeds give equal topologies.
+    pub seed: u64,
+    /// Number of tier-1 ASes (full P2P clique).
+    pub n_tier1: usize,
+    /// Number of transit ASes.
+    pub n_transit: usize,
+    /// Number of stub ASes.
+    pub n_stub: usize,
+    /// Router count range for tier-1 ASes.
+    pub routers_tier1: (u16, u16),
+    /// Router count range for transit ASes.
+    pub routers_transit: (u16, u16),
+    /// Providers per transit AS.
+    pub providers_per_transit: (usize, usize),
+    /// Providers per stub AS.
+    pub providers_per_stub: (usize, usize),
+    /// Probability that two transit ASes peer.
+    pub transit_peering_prob: f64,
+    /// Probability that a customer-provider pair gets a second, parallel
+    /// link at a different city.
+    pub parallel_link_prob: f64,
+    /// Prefixes originated per stub.
+    pub prefixes_per_stub: (usize, usize),
+    /// Fraction of stub prefixes that are IPv6.
+    pub ipv6_share: f64,
+    /// Community behavior mix.
+    pub behavior_mix: BehaviorMix,
+    /// If true, adds the beacon origin AS12654 (customer of two transits)
+    /// hosting the RIPE-style beacon prefixes supplied by the caller.
+    pub with_beacon_origin: bool,
+    /// Beacon prefixes to originate from AS12654.
+    pub beacon_prefixes: Vec<Prefix>,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 42,
+            n_tier1: 4,
+            n_transit: 16,
+            n_stub: 60,
+            routers_tier1: (3, 6),
+            routers_transit: (2, 4),
+            providers_per_transit: (1, 2),
+            providers_per_stub: (1, 3),
+            transit_peering_prob: 0.25,
+            parallel_link_prob: 0.35,
+            prefixes_per_stub: (1, 3),
+            ipv6_share: 0.12,
+            behavior_mix: BehaviorMix::default(),
+            with_beacon_origin: true,
+            beacon_prefixes: vec!["84.205.64.0/24".parse().expect("literal prefix")],
+        }
+    }
+}
+
+fn range_sample(rng: &mut StdRng, (lo, hi): (u16, u16)) -> u16 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+fn range_sample_usize(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Continents weighted toward EU (4) and NA (5), matching where collector
+/// peers concentrate.
+fn random_continent(rng: &mut StdRng) -> u8 {
+    const WEIGHTED: [u8; 10] = [4, 4, 4, 5, 5, 5, 3, 2, 6, 7];
+    WEIGHTED[rng.gen_range(0..WEIGHTED.len())]
+}
+
+fn random_location(rng: &mut StdRng, continent: u8) -> GeoTag {
+    // Countries are blocked per continent (50 ids each); cities per country.
+    let country = (continent as u16 - 1) * 50 + rng.gen_range(0..50);
+    let city = country * 8 + rng.gen_range(0..8);
+    GeoTag::new(continent, country, city)
+}
+
+fn make_routers(rng: &mut StdRng, n: u16, home: u8, spread: bool) -> Vec<RouterSpec> {
+    (0..n)
+        .map(|index| {
+            let continent = if spread && index > 0 && rng.gen_bool(0.5) {
+                random_continent(rng)
+            } else {
+                home
+            };
+            RouterSpec { index, location: random_location(rng, continent) }
+        })
+        .collect()
+}
+
+fn assign_behavior(rng: &mut StdRng, tier: Tier, mix: &BehaviorMix) -> CommunityBehavior {
+    let tags_geo = match tier {
+        Tier::Tier1 | Tier::Transit => rng.gen_bool(mix.transit_tags_geo),
+        Tier::Stub => false,
+    };
+    // Cleaning direction is exclusive: an AS that cleans picks one place.
+    // Both bools are always drawn so that RNG consumption (and therefore
+    // the rest of the generated topology) is independent of the mix —
+    // ablations can vary the mix without confounding the comparison.
+    let ingress_roll = rng.gen_bool(mix.cleans_ingress);
+    let egress_roll = rng.gen_bool(mix.cleans_egress);
+    let cleans_ingress = ingress_roll;
+    let cleans_egress = !ingress_roll && egress_roll;
+    CommunityBehavior { tags_geo, cleans_egress, cleans_ingress }
+}
+
+/// Allocates the `i`-th stub's `k`-th prefix deterministically.
+fn stub_prefix(i: usize, k: usize, v6: bool) -> Prefix {
+    if v6 {
+        let site = (i as u32) * 8 + k as u32;
+        format!("2001:db8:{:x}::/48", site & 0xFFFF).parse().expect("generated v6 prefix")
+    } else {
+        // Each stub owns 1.(i).0.0/16 carved into /24s; i stays < 256 by
+        // construction (the generator caps n_stub accordingly).
+        let hi = 1 + (i / 250) as u8;
+        let mid = (i % 250) as u8;
+        Prefix::v4_unchecked(hi, mid, k as u8, 0, 24)
+    }
+}
+
+/// Picks a provider by preferential attachment over current degree.
+fn pick_preferential(rng: &mut StdRng, candidates: &[Asn], degree: impl Fn(Asn) -> usize) -> Asn {
+    let weights: Vec<usize> = candidates.iter().map(|&a| degree(a) + 1).collect();
+    let total: usize = weights.iter().sum();
+    let mut pick = rng.gen_range(0..total);
+    for (asn, w) in candidates.iter().zip(weights) {
+        if pick < w {
+            return *asn;
+        }
+        pick -= w;
+    }
+    *candidates.last().expect("non-empty candidates")
+}
+
+/// Generates a topology from the configuration.
+pub fn generate(cfg: &TopologyConfig) -> Topology {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut topo = Topology::new();
+    let mut tier1_asns = Vec::with_capacity(cfg.n_tier1);
+    let mut transit_asns = Vec::with_capacity(cfg.n_transit);
+
+    // Tier-1 clique.
+    for i in 0..cfg.n_tier1 {
+        let asn = Asn(*TIER1_POOL.get(i).unwrap_or(&(100 + i as u32)));
+        let home = random_continent(&mut rng);
+        let n_routers = range_sample(&mut rng, cfg.routers_tier1);
+        let routers = make_routers(&mut rng, n_routers, home, true);
+        topo.add_node(AsNode {
+            asn,
+            tier: Tier::Tier1,
+            igp: IgpMap::ring(routers.len() as u16),
+            routers,
+            behavior: assign_behavior(&mut rng, Tier::Tier1, &cfg.behavior_mix),
+            prefixes: Vec::new(),
+            route_server: false,
+        });
+        tier1_asns.push(asn);
+    }
+    for i in 0..tier1_asns.len() {
+        for j in i + 1..tier1_asns.len() {
+            let (a, b) = (tier1_asns[i], tier1_asns[j]);
+            let ar = rng.gen_range(0..topo.node(a).expect("node").routers.len() as u16);
+            let br = rng.gen_range(0..topo.node(b).expect("node").routers.len() as u16);
+            topo.add_edge(AsEdge { a, b, rel: Relationship::PeerPeer, a_router: ar, b_router: br });
+        }
+    }
+
+    // Transit ASes.
+    for i in 0..cfg.n_transit {
+        let asn = Asn(20_000 + i as u32);
+        let home = random_continent(&mut rng);
+        let n_routers = range_sample(&mut rng, cfg.routers_transit);
+        let routers = make_routers(&mut rng, n_routers, home, true);
+        topo.add_node(AsNode {
+            asn,
+            tier: Tier::Transit,
+            igp: IgpMap::ring(routers.len() as u16),
+            routers,
+            behavior: assign_behavior(&mut rng, Tier::Transit, &cfg.behavior_mix),
+            prefixes: vec![Prefix::v4_unchecked(60, i as u8, 0, 0, 24)],
+            route_server: false,
+        });
+        transit_asns.push(asn);
+
+        let n_providers = range_sample_usize(&mut rng, cfg.providers_per_transit);
+        let mut chosen: Vec<Asn> = Vec::new();
+        for _ in 0..n_providers.min(tier1_asns.len()) {
+            let degree = |a: Asn| topo.edges_of(a).count();
+            let p = pick_preferential(&mut rng, &tier1_asns, degree);
+            if chosen.contains(&p) {
+                continue;
+            }
+            chosen.push(p);
+            add_cp_links(&mut rng, &mut topo, asn, p, cfg.parallel_link_prob);
+        }
+    }
+
+    // Transit-transit peering.
+    for i in 0..transit_asns.len() {
+        for j in i + 1..transit_asns.len() {
+            if rng.gen_bool(cfg.transit_peering_prob) {
+                let (a, b) = (transit_asns[i], transit_asns[j]);
+                let ar = rng.gen_range(0..topo.node(a).expect("node").routers.len() as u16);
+                let br = rng.gen_range(0..topo.node(b).expect("node").routers.len() as u16);
+                topo.add_edge(AsEdge {
+                    a,
+                    b,
+                    rel: Relationship::PeerPeer,
+                    a_router: ar,
+                    b_router: br,
+                });
+            }
+        }
+    }
+
+    // Stubs.
+    for i in 0..cfg.n_stub {
+        let asn = Asn(40_000 + i as u32);
+        let home = random_continent(&mut rng);
+        let n_prefixes = range_sample_usize(&mut rng, cfg.prefixes_per_stub);
+        let prefixes = (0..n_prefixes)
+            .map(|k| stub_prefix(i, k, rng.gen_bool(cfg.ipv6_share)))
+            .collect();
+        topo.add_node(AsNode {
+            asn,
+            tier: Tier::Stub,
+            routers: vec![RouterSpec { index: 0, location: random_location(&mut rng, home) }],
+            igp: IgpMap::ring(1),
+            behavior: assign_behavior(&mut rng, Tier::Stub, &cfg.behavior_mix),
+            prefixes,
+            route_server: false,
+        });
+
+        let n_providers = range_sample_usize(&mut rng, cfg.providers_per_stub);
+        let mut chosen: Vec<Asn> = Vec::new();
+        for _ in 0..n_providers.min(transit_asns.len()) {
+            let degree = |a: Asn| topo.edges_of(a).count();
+            let p = pick_preferential(&mut rng, &transit_asns, degree);
+            if chosen.contains(&p) {
+                continue;
+            }
+            chosen.push(p);
+            add_cp_links(&mut rng, &mut topo, asn, p, cfg.parallel_link_prob);
+        }
+    }
+
+    // Beacon origin: AS12654 with the RIS beacon prefixes, dual-homed to
+    // two transits so withdrawals trigger path exploration.
+    if cfg.with_beacon_origin && !transit_asns.is_empty() {
+        let home = 4; // Europe, like the real RIS beacons
+        topo.add_node(AsNode {
+            asn: BEACON_ORIGIN_ASN,
+            tier: Tier::Stub,
+            routers: vec![RouterSpec { index: 0, location: random_location(&mut rng, home) }],
+            igp: IgpMap::ring(1),
+            behavior: CommunityBehavior::BLIND_PROPAGATOR,
+            prefixes: cfg.beacon_prefixes.clone(),
+            route_server: false,
+        });
+        let first = transit_asns[0];
+        add_cp_links(&mut rng, &mut topo, BEACON_ORIGIN_ASN, first, 1.0);
+        if transit_asns.len() > 1 {
+            let second = transit_asns[1];
+            add_cp_links(&mut rng, &mut topo, BEACON_ORIGIN_ASN, second, 0.0);
+        }
+    }
+
+    topo
+}
+
+/// Adds a customer-provider link (customer `c`, provider `p`), possibly
+/// with a parallel second link at a different provider router.
+fn add_cp_links(rng: &mut StdRng, topo: &mut Topology, c: Asn, p: Asn, parallel_prob: f64) {
+    let c_routers = topo.node(c).expect("customer node").routers.len() as u16;
+    let p_routers = topo.node(p).expect("provider node").routers.len() as u16;
+    let cr = rng.gen_range(0..c_routers);
+    let pr = rng.gen_range(0..p_routers);
+    topo.add_edge(AsEdge {
+        a: c,
+        b: p,
+        rel: Relationship::CustomerProvider,
+        a_router: cr,
+        b_router: pr,
+    });
+    if p_routers > 1 && rng.gen_bool(parallel_prob) {
+        let pr2 = (pr + 1 + rng.gen_range(0..p_routers - 1)) % p_routers;
+        let cr2 = if c_routers > 1 { rng.gen_range(0..c_routers) } else { cr };
+        topo.add_edge(AsEdge {
+            a: c,
+            b: p,
+            rel: Relationship::CustomerProvider,
+            a_router: cr2,
+            b_router: pr2,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::RouteSource;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = TopologyConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TopologyConfig::default());
+        let b = generate(&TopologyConfig { seed: 7, ..Default::default() });
+        // Edge sets should differ with overwhelming probability.
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn expected_node_count() {
+        let cfg = TopologyConfig::default();
+        let t = generate(&cfg);
+        // tier1 + transit + stub + beacon origin
+        assert_eq!(t.node_count(), cfg.n_tier1 + cfg.n_transit + cfg.n_stub + 1);
+    }
+
+    #[test]
+    fn tier1_forms_clique() {
+        let cfg = TopologyConfig::default();
+        let t = generate(&cfg);
+        let tier1: Vec<Asn> =
+            t.nodes().filter(|n| n.tier == Tier::Tier1).map(|n| n.asn).collect();
+        assert_eq!(tier1.len(), cfg.n_tier1);
+        for (i, &a) in tier1.iter().enumerate() {
+            for &b in &tier1[i + 1..] {
+                assert!(
+                    t.interconnection_count(a, b) >= 1,
+                    "tier1 {a} and {b} must interconnect"
+                );
+                assert_eq!(t.neighbor_kind(a, b), Some(RouteSource::Peer));
+            }
+        }
+    }
+
+    #[test]
+    fn every_transit_has_tier1_provider() {
+        let t = generate(&TopologyConfig::default());
+        for n in t.nodes().filter(|n| n.tier == Tier::Transit) {
+            let has_provider = t
+                .neighbors(n.asn)
+                .iter()
+                .any(|&nb| t.neighbor_kind(n.asn, nb) == Some(RouteSource::Provider));
+            assert!(has_provider, "transit {} lacks a provider", n.asn);
+        }
+    }
+
+    #[test]
+    fn every_stub_has_provider_and_prefix() {
+        let t = generate(&TopologyConfig::default());
+        for n in t.nodes().filter(|n| n.tier == Tier::Stub) {
+            let has_provider = t
+                .neighbors(n.asn)
+                .iter()
+                .any(|&nb| t.neighbor_kind(n.asn, nb) == Some(RouteSource::Provider));
+            assert!(has_provider, "stub {} lacks a provider", n.asn);
+            assert!(!n.prefixes.is_empty(), "stub {} lacks prefixes", n.asn);
+        }
+    }
+
+    #[test]
+    fn beacon_origin_present_and_dual_homed() {
+        let t = generate(&TopologyConfig::default());
+        let b = t.node(BEACON_ORIGIN_ASN).expect("beacon origin");
+        assert_eq!(b.prefixes[0].to_string(), "84.205.64.0/24");
+        assert!(t.neighbors(BEACON_ORIGIN_ASN).len() >= 2, "beacon origin must be dual-homed");
+    }
+
+    #[test]
+    fn stubs_never_geo_tag() {
+        let t = generate(&TopologyConfig::default());
+        for n in t.nodes().filter(|n| n.tier == Tier::Stub) {
+            assert!(!n.behavior.tags_geo);
+        }
+    }
+
+    #[test]
+    fn some_transits_geo_tag_with_default_mix() {
+        let t = generate(&TopologyConfig::default());
+        let taggers = t
+            .nodes()
+            .filter(|n| n.tier != Tier::Stub && n.behavior.tags_geo)
+            .count();
+        assert!(taggers > 0, "default mix should produce geo-taggers");
+    }
+
+    #[test]
+    fn cleaning_directions_exclusive() {
+        let t = generate(&TopologyConfig::default());
+        for n in t.nodes() {
+            assert!(
+                !(n.behavior.cleans_egress && n.behavior.cleans_ingress),
+                "AS {} cleans both directions",
+                n.asn
+            );
+        }
+    }
+
+    #[test]
+    fn v6_prefixes_generated() {
+        let cfg = TopologyConfig { ipv6_share: 1.0, ..Default::default() };
+        let t = generate(&cfg);
+        let v6 = t
+            .nodes()
+            .filter(|n| n.tier == Tier::Stub)
+            .flat_map(|n| &n.prefixes)
+            .filter(|p| p.is_ipv6())
+            .count();
+        assert!(v6 > 0);
+    }
+
+    #[test]
+    fn generated_asns_allocatable() {
+        let t = generate(&TopologyConfig::default());
+        for n in t.nodes() {
+            assert!(n.asn.is_allocatable(), "AS {} not allocatable", n.asn);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Intra-AS IGP cost model.
+//!
+//! BGP's decision process falls through to IGP cost ("hot-potato" routing)
+//! when higher tie-breakers are equal — exactly the step that makes router
+//! `Y1` in the paper's lab topology prefer border `Y2` over `Y3`, and that
+//! makes real transit ASes shift traffic between ingress points during
+//! path exploration. A full link-state IGP is unnecessary: what BGP needs
+//! is a stable cost *matrix* between routers of one AS.
+
+/// IGP costs between the routers of one AS.
+///
+/// Two layouts are provided: an explicit matrix (used by the lab topology
+/// to pin down tie-breaks) and a ring (used by generated ASes — routers
+/// sit on a ring, cost is ring distance × 5, giving distinct, symmetric,
+/// triangle-inequality-respecting costs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IgpMap {
+    /// Ring layout over `n` routers.
+    Ring {
+        /// Number of routers.
+        n: u16,
+    },
+    /// Explicit symmetric matrix, row-major, `n × n`.
+    Matrix {
+        /// Number of routers.
+        n: u16,
+        /// Row-major costs; `costs[i*n + j]` is the cost from `i` to `j`.
+        costs: Vec<u32>,
+    },
+}
+
+impl IgpMap {
+    /// A ring over `n` routers.
+    pub fn ring(n: u16) -> Self {
+        IgpMap::Ring { n }
+    }
+
+    /// An explicit matrix; panics if `costs.len() != n*n` (construction
+    /// bug, not runtime input).
+    pub fn matrix(n: u16, costs: Vec<u32>) -> Self {
+        assert_eq!(costs.len(), n as usize * n as usize, "IGP matrix must be n*n");
+        IgpMap::Matrix { n, costs }
+    }
+
+    /// Number of routers covered.
+    pub fn len(&self) -> u16 {
+        match self {
+            IgpMap::Ring { n } | IgpMap::Matrix { n, .. } => *n,
+        }
+    }
+
+    /// True if there are no routers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cost from router `i` to router `j`. Out-of-range indices cost
+    /// `u32::MAX` (unreachable), so a mis-wired lookup loses every
+    /// comparison instead of panicking mid-simulation.
+    pub fn cost(&self, i: u16, j: u16) -> u32 {
+        let n = self.len();
+        if i >= n || j >= n {
+            return u32::MAX;
+        }
+        if i == j {
+            return 0;
+        }
+        match self {
+            IgpMap::Ring { n } => {
+                let d = (i as i32 - j as i32).unsigned_abs();
+                let ring = (*n as u32).min(u16::MAX as u32);
+                d.min(ring - d) * 5
+            }
+            IgpMap::Matrix { n, costs } => costs[i as usize * *n as usize + j as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_distances() {
+        let m = IgpMap::ring(6);
+        assert_eq!(m.cost(0, 0), 0);
+        assert_eq!(m.cost(0, 1), 5);
+        assert_eq!(m.cost(0, 3), 15);
+        assert_eq!(m.cost(0, 5), 5); // wraps around
+        assert_eq!(m.cost(1, 4), 15);
+    }
+
+    #[test]
+    fn ring_is_symmetric() {
+        let m = IgpMap::ring(7);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(m.cost(i, j), m.cost(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_lookup() {
+        let m = IgpMap::matrix(2, vec![0, 7, 7, 0]);
+        assert_eq!(m.cost(0, 1), 7);
+        assert_eq!(m.cost(1, 0), 7);
+        assert_eq!(m.cost(1, 1), 0);
+    }
+
+    #[test]
+    fn out_of_range_is_unreachable() {
+        let m = IgpMap::ring(3);
+        assert_eq!(m.cost(0, 9), u32::MAX);
+        assert_eq!(m.cost(9, 0), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "IGP matrix must be n*n")]
+    fn bad_matrix_panics() {
+        IgpMap::matrix(2, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # kcc-topology — AS-level Internet topology generation
+//!
+//! The paper's measurement study runs over the real Internet; its lab
+//! experiments run over a four-AS topology. This crate provides the
+//! synthetic middle ground: deterministic, seeded generation of AS-level
+//! topologies with
+//!
+//! * **Gao–Rexford business relationships** (customer/provider and
+//!   peer-to-peer) and the valley-free export rule ([`relationship`]),
+//! * **multi-router ASes** whose border routers sit in distinct cities —
+//!   the precondition for geo-tagged community exploration ([`model`]),
+//! * **per-AS community behavior** (geo-tagging, egress cleaning, ingress
+//!   cleaning, blind propagation) drawn from a configurable mix
+//!   ([`behavior`]) — the knob the paper's findings turn on,
+//! * **intra-AS IGP costs** for hot-potato decisions ([`igp`] via
+//!   [`model::AsNode::igp_cost`]),
+//! * a hierarchical random generator (tier-1 clique / transit / stub)
+//!   ([`gen`]).
+//!
+//! Everything is deterministic given a seed: the same config always
+//! produces the same Internet, so experiments are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod gen;
+pub mod igp;
+pub mod model;
+pub mod relationship;
+
+pub use behavior::CommunityBehavior;
+pub use gen::{generate, TopologyConfig};
+pub use igp::IgpMap;
+pub use model::{AsEdge, AsNode, RouterId, RouterSpec, Tier, Topology};
+pub use relationship::{may_export, Relationship, RouteSource};

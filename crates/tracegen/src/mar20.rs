@@ -1,0 +1,362 @@
+//! The March-2020-style snapshot generator (*d_mar20*).
+//!
+//! Produces a full collector-day: background streams for thousands of
+//! prefixes plus beacon streams on a subset of sessions, with bogon
+//! injection (so the cleaning stage has real work), route-server peers,
+//! and second-granularity collectors. Scale is set by
+//! [`Mar20Config::target_announcements`]; the paper's day has ~1.008 B
+//! announcements, the default here is 300 k (a ~1/3400 scale model with
+//! the same per-stream statistics).
+
+use kcc_bgp_types::{Asn, AsPath, PathAttributes, Prefix, RouteUpdate};
+use kcc_collector::beacon::ripe_beacon_prefixes;
+use kcc_collector::{BeaconSchedule, PeerMeta, UpdateArchive};
+use kcc_core::AllocationRegistry;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::beacons::{generate_beacon_stream, BeaconBurstConfig};
+use crate::streams::{
+    generate_stream, sample_event_count, StreamClass, StreamProcessConfig, StreamTemplate,
+};
+use crate::universe::{build_universe, Universe, UniverseConfig};
+
+/// Microseconds per day.
+pub const DAY_US: u64 = 24 * 3600 * 1_000_000;
+/// 2020-03-15 00:00:00 UTC.
+pub const MAR15_2020_EPOCH: u32 = 1_584_230_400;
+
+/// Snapshot generator configuration.
+#[derive(Debug, Clone)]
+pub struct Mar20Config {
+    /// Seed for the whole generation.
+    pub seed: u64,
+    /// Universe shape.
+    pub universe: UniverseConfig,
+    /// Stream event process.
+    pub process: StreamProcessConfig,
+    /// Beacon burst shape.
+    pub burst: BeaconBurstConfig,
+    /// Approximate number of background announcements to generate.
+    pub target_announcements: u64,
+    /// Mean events per active stream (heavy-tailed).
+    pub mean_events_per_stream: f64,
+    /// Probability a stream of a *non-cleaning* peer is class A (tagged,
+    /// visible). Streams of egress-cleaning peers are always class B, so
+    /// the overall visible share is `(1 - peer_cleans_prob) ×` this.
+    pub class_tagged_visible: f64,
+    /// Probability a non-cleaning peer's stream is class B anyway (an
+    /// upstream cleaned it).
+    pub class_tagged_cleaned: f64,
+    /// Beacon prefixes (origin AS12654).
+    pub beacon_prefixes: Vec<Prefix>,
+    /// Fraction of sessions that carry the beacons (paper: 577/1504).
+    pub beacon_session_fraction: f64,
+    /// Rate of bogon announcements (unallocated ASN or prefix) per
+    /// session, relative to its background stream count.
+    pub bogon_rate: f64,
+    /// Archive epoch.
+    pub epoch_seconds: u32,
+}
+
+impl Default for Mar20Config {
+    fn default() -> Self {
+        Mar20Config {
+            seed: 42,
+            universe: UniverseConfig::default(),
+            process: StreamProcessConfig::default(),
+            burst: BeaconBurstConfig::default(),
+            target_announcements: 300_000,
+            mean_events_per_stream: 6.0,
+            class_tagged_visible: 0.88,
+            class_tagged_cleaned: 0.02,
+            beacon_prefixes: ripe_beacon_prefixes(),
+            beacon_session_fraction: 0.4,
+            bogon_rate: 0.002,
+            epoch_seconds: MAR15_2020_EPOCH,
+        }
+    }
+}
+
+/// Everything the generator produces.
+#[derive(Debug)]
+pub struct GenOutput {
+    /// The collector-day archive (all collectors merged; sessions carry
+    /// their collector name).
+    pub archive: UpdateArchive,
+    /// The allocation registry covering the universe (bogons excluded).
+    pub registry: AllocationRegistry,
+    /// The generated universe.
+    pub universe: Universe,
+    /// The beacon prefixes in play.
+    pub beacon_prefixes: Vec<Prefix>,
+}
+
+/// The beacon origin AS (RIPE RIS).
+pub const BEACON_ORIGIN: Asn = Asn(12_654);
+
+fn roll_class(rng: &mut StdRng, cfg: &Mar20Config, peer_cleans: bool) -> StreamClass {
+    if peer_cleans {
+        return StreamClass::TaggedCleaned;
+    }
+    let r: f64 = rng.gen();
+    if r < cfg.class_tagged_visible {
+        StreamClass::TaggedVisible
+    } else if r < cfg.class_tagged_visible + cfg.class_tagged_cleaned {
+        StreamClass::TaggedCleaned
+    } else {
+        StreamClass::Untagged
+    }
+}
+
+/// Generates the snapshot.
+pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
+    let (universe, traits) = build_universe(&cfg.universe);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Allocation registry: the legitimate universe, allocated from day 0.
+    let mut registry = AllocationRegistry::new();
+    for p in &universe.peers {
+        registry.register_asn(p.asn, 0);
+    }
+    for t in &universe.transits {
+        registry.register_asn(t.asn, 0);
+    }
+    for &o in &universe.origins {
+        registry.register_asn(o, 0);
+    }
+    registry.register_asn(BEACON_ORIGIN, 0);
+    for spec in &universe.prefixes {
+        registry.register_block(spec.prefix, 0);
+    }
+    for bp in &cfg.beacon_prefixes {
+        registry.register_block(*bp, 0);
+    }
+
+    let mut archive = UpdateArchive::new(cfg.epoch_seconds);
+    let schedule = BeaconSchedule::default();
+
+    let total_sessions: usize = universe.peers.iter().map(|p| p.sessions.len()).sum();
+    let streams_per_session = ((cfg.target_announcements as f64
+        / total_sessions.max(1) as f64
+        / (cfg.mean_events_per_stream + 1.0))
+        .ceil() as usize)
+        .max(1);
+
+    for peer in &universe.peers {
+        for key in &peer.sessions {
+            let second_granularity = universe
+                .collector_index(&key.collector)
+                .map(|i| traits.second_granularity[i])
+                .unwrap_or(false);
+            archive.add_session(PeerMeta {
+                key: key.clone(),
+                route_server: peer.route_server,
+                second_granularity,
+            });
+
+            let mut session_updates: Vec<RouteUpdate> = Vec::new();
+
+            // Background streams.
+            for _ in 0..streams_per_session {
+                let spec = &universe.prefixes[rng.gen_range(0..universe.prefixes.len())];
+                let class = roll_class(&mut rng, cfg, peer.cleans_egress);
+                let template = StreamTemplate::build(
+                    &mut rng,
+                    peer,
+                    spec,
+                    &universe.transits,
+                    class,
+                    key.peer_ip,
+                );
+                let n_events =
+                    sample_event_count(&mut rng, cfg.mean_events_per_stream, 200);
+                generate_stream(
+                    &mut rng,
+                    &template,
+                    &cfg.process,
+                    spec.prefix,
+                    n_events,
+                    DAY_US,
+                    &mut session_updates,
+                );
+            }
+
+            // Bogons: unallocated ASN in the path or unallocated prefix.
+            let n_bogons =
+                (streams_per_session as f64 * cfg.bogon_rate * 10.0).round() as usize;
+            for _ in 0..n_bogons {
+                let t = rng.gen_range(0..DAY_US);
+                if rng.gen_bool(0.5) {
+                    // Unallocated (documentation-range) ASN in the path.
+                    let attrs = PathAttributes {
+                        as_path: AsPath::from_asns([peer.asn, Asn(64_499), BEACON_ORIGIN]),
+                        next_hop: key.peer_ip,
+                        ..Default::default()
+                    };
+                    let spec = &universe.prefixes[rng.gen_range(0..universe.prefixes.len())];
+                    session_updates.push(RouteUpdate::announce(t, spec.prefix, attrs));
+                } else {
+                    // Unallocated prefix (TEST-NET-3 is never registered).
+                    let attrs = PathAttributes {
+                        as_path: AsPath::from_asns([peer.asn, universe.origins[0]]),
+                        next_hop: key.peer_ip,
+                        ..Default::default()
+                    };
+                    let bogon: Prefix = "203.0.113.0/24".parse().expect("literal prefix");
+                    session_updates.push(RouteUpdate::announce(t, bogon, attrs));
+                }
+            }
+
+            // Beacon streams on a subset of sessions.
+            if rng.gen_bool(cfg.beacon_session_fraction) {
+                for bp in &cfg.beacon_prefixes {
+                    let spec = crate::universe::PrefixSpec { prefix: *bp, origin: BEACON_ORIGIN };
+                    let class = if peer.cleans_egress {
+                        StreamClass::TaggedCleaned
+                    } else if rng.gen_bool(0.65) {
+                        StreamClass::TaggedVisible
+                    } else {
+                        StreamClass::Untagged
+                    };
+                    let template = StreamTemplate::build(
+                        &mut rng,
+                        peer,
+                        &spec,
+                        &universe.transits,
+                        class,
+                        key.peer_ip,
+                    );
+                    generate_beacon_stream(
+                        &mut rng,
+                        &template,
+                        &schedule,
+                        &cfg.burst,
+                        *bp,
+                        0,
+                        &mut session_updates,
+                    );
+                }
+            }
+
+            session_updates.sort_by_key(|u| u.time_us);
+            if second_granularity {
+                kcc_collector::timestamps::truncate_to_seconds(&mut session_updates);
+            }
+            for u in session_updates {
+                archive.record(key, u);
+            }
+        }
+    }
+
+    GenOutput {
+        archive,
+        registry,
+        universe,
+        beacon_prefixes: cfg.beacon_prefixes.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_core::{classify_archive, clean_archive, AnnouncementType, CleaningConfig};
+
+    fn small_config() -> Mar20Config {
+        Mar20Config {
+            target_announcements: 20_000,
+            universe: UniverseConfig {
+                n_collectors: 4,
+                n_peers: 20,
+                n_sessions: 40,
+                n_prefixes_v4: 400,
+                n_prefixes_v6: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_roughly_target_volume() {
+        let out = generate_mar20(&small_config());
+        let n = out.archive.announcement_count() as f64;
+        assert!(n > 10_000.0, "too few announcements: {n}");
+        assert!(n < 80_000.0, "too many announcements: {n}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = small_config();
+        let a = generate_mar20(&cfg);
+        let b = generate_mar20(&cfg);
+        assert_eq!(a.archive.update_count(), b.archive.update_count());
+        assert_eq!(a.archive.announcement_count(), b.archive.announcement_count());
+    }
+
+    #[test]
+    fn cleaning_removes_bogons_only() {
+        let out = generate_mar20(&small_config());
+        let mut archive = out.archive.clone();
+        let before = archive.update_count() as u64;
+        let report = clean_archive(&mut archive, &out.registry, &CleaningConfig::default());
+        assert!(report.removed_unallocated_asn > 0, "no ASN bogons generated");
+        assert!(report.removed_unallocated_prefix > 0, "no prefix bogons generated");
+        let removed = report.removed_unallocated_asn + report.removed_unallocated_prefix;
+        assert!(
+            (removed as f64) < before as f64 * 0.02,
+            "bogons should be rare: {removed}/{before}"
+        );
+        assert_eq!(report.kept + removed, before);
+    }
+
+    #[test]
+    fn type_mix_matches_paper_shape() {
+        // The headline reproduction: ~half of announcements show no path
+        // change, and half of those change only the community attribute.
+        let out = generate_mar20(&small_config());
+        let mut archive = out.archive.clone();
+        clean_archive(&mut archive, &out.registry, &CleaningConfig::default());
+        let classified = classify_archive(&archive);
+        let c = &classified.counts;
+        let pc = c.share(AnnouncementType::Pc);
+        let pn = c.share(AnnouncementType::Pn);
+        let nc = c.share(AnnouncementType::Nc);
+        let nn = c.share(AnnouncementType::Nn);
+        let x = c.share(AnnouncementType::Xc) + c.share(AnnouncementType::Xn);
+        assert!((28.0..42.0).contains(&pc), "pc {pc:.1}% out of band");
+        assert!((10.0..22.0).contains(&pn), "pn {pn:.1}% out of band");
+        assert!((18.0..32.0).contains(&nc), "nc {nc:.1}% out of band");
+        assert!((18.0..33.0).contains(&nn), "nn {nn:.1}% out of band");
+        assert!(x < 3.0, "x types should be ~1%: {x:.1}%");
+        // nc + nn ≈ half of all announcements (paper: 50.2%).
+        assert!((40.0..62.0).contains(&(nc + nn)), "no-path-change {:.1}%", nc + nn);
+    }
+
+    #[test]
+    fn beacon_subset_present() {
+        let out = generate_mar20(&small_config());
+        let beacon_updates: usize = out
+            .archive
+            .sessions()
+            .flat_map(|(_, rec)| &rec.updates)
+            .filter(|u| out.beacon_prefixes.contains(&u.prefix))
+            .count();
+        assert!(beacon_updates > 0, "no beacon traffic generated");
+    }
+
+    #[test]
+    fn second_granularity_collectors_truncate() {
+        let mut cfg = small_config();
+        cfg.universe.second_granularity_prob = 1.0;
+        let out = generate_mar20(&cfg);
+        let mut found = false;
+        for (_, rec) in out.archive.sessions() {
+            if rec.meta.second_granularity && !rec.updates.is_empty() {
+                found = true;
+                assert!(rec.updates.iter().all(|u| u.time_us % 1_000_000 == 0));
+            }
+        }
+        assert!(found, "no second-granularity session generated");
+    }
+}

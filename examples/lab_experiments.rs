@@ -1,0 +1,59 @@
+//! The paper's §3 controlled experiments, narrated.
+//!
+//! Builds the Figure 1 topology (collector C1 — X1 — Y1/Y2/Y3 — Z1) for
+//! each of the five router implementations the paper tested and walks
+//! through Exp1–Exp4, printing what crossed the Y1–X1 link and what
+//! reached the collector.
+//!
+//! Run with `cargo run --example lab_experiments`.
+
+use keep_communities_clean::sim::lab::{run_experiment, LabExperiment};
+use keep_communities_clean::sim::VendorProfile;
+
+fn main() {
+    for exp in LabExperiment::ALL {
+        println!("=== {} ===", exp.name());
+        match exp {
+            LabExperiment::Exp1 => println!(
+                "No communities configured. Disabling Y1-Y2 changes Y1's next hop\n\
+                 internally; the eBGP-visible route is unchanged."
+            ),
+            LabExperiment::Exp2 => println!(
+                "Y2 tags Y:300 and Y3 tags Y:400 on ingress from Z. The internal\n\
+                 switch now changes the visible community attribute."
+            ),
+            LabExperiment::Exp3 => println!(
+                "As Exp2, but X1 removes all communities on egress toward the\n\
+                 collector."
+            ),
+            LabExperiment::Exp4 => println!(
+                "As Exp3, but X1 removes communities on ingress from Y1 instead."
+            ),
+        }
+        println!();
+        for vendor in VendorProfile::ALL {
+            let r = run_experiment(exp, vendor);
+            let collector_detail = r
+                .at_collector
+                .first()
+                .and_then(|m| m.update.attrs())
+                .map(|a| format!(" (path [{}], comms [{}])", a.as_path, a.communities))
+                .unwrap_or_default();
+            println!(
+                "  {:<24} Y1->X1: {}  collector: {}{}{}",
+                vendor.name,
+                r.y1_to_x1.len(),
+                r.at_collector.len(),
+                collector_detail,
+                if r.duplicates_suppressed > 0 { "  [duplicates suppressed]" } else { "" },
+            );
+        }
+        println!();
+    }
+
+    println!("Summary (matches the paper's §3):");
+    println!(" * All tested implementations except Junos emit duplicate updates by default.");
+    println!(" * A community change alone triggers updates that propagate transitively.");
+    println!(" * Egress cleaning still leaks an attribute-free duplicate (nn).");
+    println!(" * Ingress cleaning is the only configuration that silences the collector.");
+}

@@ -1,0 +1,167 @@
+//! Bridges between the simulator and the analysis pipeline.
+//!
+//! A simulated collector records [`kcc_bgp_sim::CapturedUpdate`]s; the
+//! analysis pipeline consumes [`kcc_collector::UpdateArchive`]s. The
+//! adapter converts one into the other, naming sessions the way real
+//! collectors do (`collector:ASn@ip`), so every downstream stage —
+//! cleaning, classification, beacon phases — is agnostic about whether
+//! its input came from the simulator, the trace generator, or an MRT file.
+
+use kcc_bgp_sim::{Capture, Network};
+use kcc_collector::{PeerMeta, SessionKey, UpdateArchive};
+use kcc_topology::RouterId;
+
+/// Converts one collector's capture into an archive. Sessions are keyed
+/// by the sending peer's AS and router IP.
+pub fn capture_to_archive(
+    net: &Network,
+    collector_name: &str,
+    capture: &Capture,
+    epoch_seconds: u32,
+) -> UpdateArchive {
+    let mut archive = UpdateArchive::new(epoch_seconds);
+    for entry in capture.entries() {
+        let peer_ip = net
+            .router(entry.from)
+            .map(|r| r.ip)
+            .unwrap_or(std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED));
+        let key = SessionKey::new(collector_name, entry.from.asn, peer_ip);
+        archive.add_session(PeerMeta::normal(key.clone()));
+        archive.record(&key, entry.to_route_update());
+    }
+    archive
+}
+
+/// Converts every collector capture in a network into one merged archive;
+/// collectors are named `rrc00`, `rrc01`, … in router-id order.
+pub fn all_captures_to_archive(net: &Network, epoch_seconds: u32) -> UpdateArchive {
+    let mut archive = UpdateArchive::new(epoch_seconds);
+    for (i, (_, capture)) in net.captures().enumerate() {
+        let name = format!("rrc{i:02}");
+        let partial = capture_to_archive(net, &name, capture, epoch_seconds);
+        for (key, rec) in partial.sessions() {
+            archive.add_session(rec.meta.clone());
+            for u in &rec.updates {
+                archive.record(key, u.clone());
+            }
+        }
+    }
+    archive
+}
+
+/// The analysis-side session key for a simulated peer router on a named
+/// collector.
+pub fn session_key_for(net: &Network, collector_name: &str, peer: RouterId) -> Option<SessionKey> {
+    net.router(peer)
+        .map(|r| SessionKey::new(collector_name, peer.asn, r.ip))
+}
+
+/// Dumps a collector's per-peer routing table as TABLE_DUMP_V2 MRT
+/// records (PEER_INDEX_TABLE first, then one RIB snapshot per prefix) —
+/// the "bview" files RouteViews/RIS publish alongside update archives.
+pub fn dump_rib(
+    net: &Network,
+    collector: RouterId,
+    view_name: &str,
+    timestamp_seconds: u32,
+) -> Vec<kcc_mrt::MrtRecord> {
+    use kcc_mrt::{MrtRecord, MrtTimestamp, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+    use std::collections::BTreeMap;
+
+    let Some(router) = net.router(collector) else {
+        return Vec::new();
+    };
+    let ts = MrtTimestamp::seconds(timestamp_seconds);
+
+    // Peer table: every session endpoint facing the collector, in a
+    // stable order; remember each session's index.
+    let mut peers: Vec<PeerEntry> = Vec::new();
+    let mut index_of_session: BTreeMap<usize, u16> = BTreeMap::new();
+    for &sid in &router.sessions {
+        let session = &net.sessions()[sid.0];
+        let peer_router = session.other(collector);
+        let Some(peer) = net.router(peer_router) else { continue };
+        index_of_session.insert(sid.0, peers.len() as u16);
+        let bgp_id = match peer.ip {
+            std::net::IpAddr::V4(v4) => v4,
+            std::net::IpAddr::V6(_) => std::net::Ipv4Addr::UNSPECIFIED,
+        };
+        peers.push(PeerEntry { bgp_id, addr: peer.ip, asn: peer_router.asn });
+    }
+    let collector_id = match router.ip {
+        std::net::IpAddr::V4(v4) => v4,
+        std::net::IpAddr::V6(_) => std::net::Ipv4Addr::UNSPECIFIED,
+    };
+    let mut records = vec![MrtRecord::PeerIndexTable(PeerIndexTable {
+        timestamp: ts,
+        collector_id,
+        view_name: view_name.to_owned(),
+        peers,
+    })];
+
+    // RIB snapshots: group the collector's Adj-RIB-In by prefix.
+    let mut by_prefix: BTreeMap<kcc_bgp_types::Prefix, Vec<RibEntry>> = BTreeMap::new();
+    for ((sid, prefix), entry) in router.adj_rib_in() {
+        let Some(&peer_index) = index_of_session.get(&sid.0) else { continue };
+        let mut attrs = entry.attrs.clone();
+        // TABLE_DUMP_V2 carries IPv6 next hops for IPv6 prefixes; the
+        // simulator's v4 router addresses become v4-mapped v6 addresses,
+        // exactly as the MRT encoder will serialize them.
+        if prefix.is_ipv6() {
+            if let std::net::IpAddr::V4(v4) = attrs.next_hop {
+                attrs.next_hop = std::net::IpAddr::V6(v4.to_ipv6_mapped());
+            }
+        }
+        by_prefix.entry(*prefix).or_default().push(RibEntry {
+            peer_index,
+            originated_time: timestamp_seconds,
+            attrs,
+        });
+    }
+    for (sequence, (prefix, mut entries)) in by_prefix.into_iter().enumerate() {
+        entries.sort_by_key(|e| e.peer_index);
+        records.push(MrtRecord::RibSnapshot(RibSnapshot {
+            timestamp: ts,
+            sequence: sequence as u32,
+            prefix,
+            entries,
+        }));
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_sim::lab::{build_lab, LabExperiment, LabNetwork};
+    use kcc_bgp_sim::{SimTime, VendorProfile};
+
+    #[test]
+    fn lab_capture_converts_to_archive() {
+        let LabNetwork { mut net, ids } = build_lab(LabExperiment::Exp2, VendorProfile::BIRD_2);
+        net.schedule_announce(SimTime::ZERO, ids.z1, kcc_bgp_sim::lab::lab_prefix());
+        net.run_until_quiet();
+        let capture = net.capture(ids.c1).unwrap().clone();
+        let archive = capture_to_archive(&net, "rrc00", &capture, 0);
+        assert_eq!(archive.session_count(), 1);
+        assert!(archive.announcement_count() >= 1);
+        let (key, _) = archive.sessions().next().unwrap();
+        assert_eq!(key.collector, "rrc00");
+        assert_eq!(key.peer_asn, ids.x1.asn);
+    }
+
+    #[test]
+    fn merged_archive_covers_all_collectors() {
+        let LabNetwork { mut net, ids } = build_lab(LabExperiment::Exp2, VendorProfile::BIRD_2);
+        net.schedule_announce(SimTime::ZERO, ids.z1, kcc_bgp_sim::lab::lab_prefix());
+        net.run_until_quiet();
+        let archive = all_captures_to_archive(&net, 0);
+        assert_eq!(archive.session_count(), 1); // one collector, one peer
+        assert!(session_key_for(&net, "rrc00", ids.x1).is_some());
+        assert!(session_key_for(&net, "rrc00", RouterId {
+            asn: kcc_bgp_types::Asn(99_999),
+            index: 0
+        })
+        .is_none());
+    }
+}

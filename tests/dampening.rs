@@ -1,0 +1,77 @@
+//! System-level route-flap dampening behavior (RFC 2439 in the Fig. 1
+//! lab): repeated flaps suppress the unstable route, cutting the
+//! community-driven update stream the collector would otherwise see.
+
+use keep_communities_clean::sim::lab::{build_lab, lab_prefix, LabExperiment, LabNetwork};
+use keep_communities_clean::sim::{DampeningConfig, SimDuration, VendorProfile};
+
+/// Runs Exp2 with `n_flaps` rapid down/up cycles of Y1–Y2 and returns the
+/// number of messages the collector received, with dampening configured
+/// at X1 (the router receiving the flapping eBGP route) or not.
+fn run_flaps(n_flaps: u32, dampen: bool) -> (usize, u64) {
+    let LabNetwork { mut net, ids } = build_lab(LabExperiment::Exp2, VendorProfile::BIRD_2);
+    if dampen {
+        let x1 = net.router_mut(ids.x1).expect("X1");
+        x1.dampening = Some(DampeningConfig::default());
+    }
+    net.schedule_announce(keep_communities_clean::sim::SimTime::ZERO, ids.z1, lab_prefix());
+    net.run_until_quiet();
+    net.clear_captures();
+
+    for i in 0..n_flaps {
+        let base = net.now() + SimDuration::from_secs(30 + i as u64);
+        net.schedule_link_down(base, ids.y1_y2);
+        net.schedule_link_up(base + SimDuration::from_secs(5), ids.y1_y2);
+        net.run_until(base + SimDuration::from_secs(20));
+    }
+    net.run_until_quiet();
+
+    let collector_msgs = net.capture(ids.c1).map(|c| c.len()).unwrap_or(0);
+    let dampened = net.router(ids.x1).map(|r| r.counters.dampened).unwrap_or(0);
+    (collector_msgs, dampened)
+}
+
+#[test]
+fn dampening_reduces_collector_traffic_under_flapping() {
+    let (without, d0) = run_flaps(6, false);
+    let (with, d1) = run_flaps(6, true);
+    assert_eq!(d0, 0, "no dampening counter without dampening");
+    assert!(d1 > 0, "dampening must engage under rapid flaps");
+    assert!(
+        with < without,
+        "dampening must cut collector traffic: {with} vs {without}"
+    );
+}
+
+#[test]
+fn single_flap_unaffected_by_dampening() {
+    // One flap stays below the suppress threshold: behavior identical.
+    let (without, _) = run_flaps(1, false);
+    let (with, d) = run_flaps(1, true);
+    assert_eq!(d, 0, "one flap must not suppress");
+    assert_eq!(with, without);
+}
+
+#[test]
+fn dampened_route_recovers_after_decay() {
+    // After suppression, the route must come back once the penalty decays
+    // (the DampReuse event), restoring the collector's view.
+    let LabNetwork { mut net, ids } = build_lab(LabExperiment::Exp2, VendorProfile::BIRD_2);
+    net.router_mut(ids.x1).expect("X1").dampening = Some(DampeningConfig::default());
+    net.schedule_announce(keep_communities_clean::sim::SimTime::ZERO, ids.z1, lab_prefix());
+    net.run_until_quiet();
+
+    for i in 0..6u64 {
+        let base = net.now() + SimDuration::from_secs(30 + i);
+        net.schedule_link_down(base, ids.y1_y2);
+        net.schedule_link_up(base + SimDuration::from_secs(5), ids.y1_y2);
+        net.run_until(base + SimDuration::from_secs(20));
+    }
+    // Drain everything including the reuse timer (≥ ~45 min later).
+    net.run_until_quiet();
+    let collector = net.router(ids.c1).expect("collector");
+    assert!(
+        collector.best_route(&lab_prefix()).is_some(),
+        "the route must be reusable after the penalty decays"
+    );
+}

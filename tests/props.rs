@@ -1,0 +1,203 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use keep_communities_clean::analysis::classify_pair;
+use keep_communities_clean::analysis::AnnouncementType;
+use keep_communities_clean::collector::timestamps::normalize_timestamps;
+use keep_communities_clean::collector::{SessionKey, UpdateArchive};
+use keep_communities_clean::types::attrs::Origin;
+use keep_communities_clean::types::{
+    Asn, AsPath, Community, CommunitySet, PathAttributes, Prefix, RouteUpdate,
+};
+use keep_communities_clean::wire::{decode_message, encode_message, Message, SessionConfig, UpdatePacket};
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    // Mix of 2-byte and 4-byte ASNs.
+    prop_oneof![1u32..65_536, 65_536u32..4_000_000_000].prop_map(Asn)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+            Prefix::v4(std::net::Ipv4Addr::from(addr), len).expect("valid v4 length")
+        }),
+        (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
+            Prefix::v6(std::net::Ipv6Addr::from(addr), len).expect("valid v6 length")
+        }),
+    ]
+}
+
+fn arb_communities() -> impl Strategy<Value = CommunitySet> {
+    vec(any::<u32>(), 0..12).prop_map(|values| {
+        CommunitySet::from_classic(values.into_iter().map(Community))
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        vec(arb_asn(), 1..8),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        arb_communities(),
+        0u8..3,
+    )
+        .prop_map(|(asns, nh, med, communities, origin)| PathAttributes {
+            origin: Origin::from_code(origin).expect("0..3"),
+            as_path: AsPath::from_asns(asns),
+            next_hop: std::net::IpAddr::V4(std::net::Ipv4Addr::from(nh)),
+            med,
+            local_pref: None,
+            atomic_aggregate: false,
+            aggregator: None,
+            communities,
+        })
+}
+
+proptest! {
+    /// Any announcement survives a wire encode/decode round-trip exactly.
+    #[test]
+    fn wire_roundtrip_announcement(attrs in arb_attrs(), prefix in arb_prefix()) {
+        // IPv6 NLRI requires an IPv6 next hop on the wire; align family.
+        let mut attrs = attrs;
+        if prefix.is_ipv6() {
+            attrs.next_hop = "2001:db8::1".parse().unwrap();
+        }
+        let cfg = SessionConfig::default();
+        let msg = Message::Update(UpdatePacket::announce(prefix, attrs));
+        let mut buf = bytes::BytesMut::new();
+        encode_message(&msg, &cfg, &mut buf);
+        let decoded = decode_message(&mut buf.freeze(), &cfg).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Two-octet sessions reconstruct 4-byte paths via AS4_PATH.
+    #[test]
+    fn wire_roundtrip_two_octet_session(asns in vec(arb_asn(), 1..8)) {
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(asns),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        let cfg = SessionConfig { four_octet_as: false };
+        let msg = Message::Update(UpdatePacket::announce(
+            "10.0.0.0/8".parse().unwrap(),
+            attrs.clone(),
+        ));
+        let mut buf = bytes::BytesMut::new();
+        encode_message(&msg, &cfg, &mut buf);
+        let decoded = decode_message(&mut buf.freeze(), &cfg).expect("decode");
+        if let Message::Update(p) = decoded {
+            prop_assert_eq!(p.attrs.expect("attrs").as_path, attrs.as_path);
+        } else {
+            prop_assert!(false, "wrong message type");
+        }
+    }
+
+    /// An announcement equal to its predecessor is always `nn`;
+    /// classification against itself can never be a change type.
+    #[test]
+    fn classify_reflexive_is_nn(attrs in arb_attrs()) {
+        prop_assert_eq!(classify_pair(&attrs, &attrs), AnnouncementType::Nn);
+    }
+
+    /// The first classification letter depends only on the AS path and
+    /// the second only on the community attribute.
+    #[test]
+    fn classify_axes_are_independent(a in arb_attrs(), b in arb_attrs()) {
+        let t = classify_pair(&a, &b);
+        let path_changed = a.as_path != b.as_path;
+        let comm_changed = a.communities != b.communities;
+        prop_assert_eq!(t.community_changed(), comm_changed);
+        prop_assert_eq!(t.is_no_path_change(), !path_changed);
+        if path_changed && a.as_path.same_as_set(&b.as_path) {
+            prop_assert!(matches!(t, AnnouncementType::Xc | AnnouncementType::Xn));
+        }
+    }
+
+    /// Community sets are order-insensitive and idempotent under merge.
+    #[test]
+    fn community_set_semantics(values in vec(any::<u32>(), 0..20)) {
+        let forward = CommunitySet::from_classic(values.iter().copied().map(Community));
+        let mut reversed_values = values.clone();
+        reversed_values.reverse();
+        let reversed = CommunitySet::from_classic(reversed_values.into_iter().map(Community));
+        prop_assert_eq!(&forward, &reversed);
+        let mut merged = forward.clone();
+        merged.merge(&forward);
+        prop_assert_eq!(&merged, &forward);
+        prop_assert_eq!(forward.canonical_key(), reversed.canonical_key());
+    }
+
+    /// Timestamp normalization preserves order, spacing ties apart and
+    /// never moving a message before its original second.
+    #[test]
+    fn normalization_is_monotonic(seconds in vec(0u64..100, 1..50)) {
+        let prefix: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut sorted = seconds;
+        sorted.sort_unstable();
+        let mut updates: Vec<RouteUpdate> = sorted
+            .iter()
+            .map(|&s| RouteUpdate::withdraw(s * 1_000_000, prefix))
+            .collect();
+        normalize_timestamps(&mut updates);
+        for w in updates.windows(2) {
+            prop_assert!(w[0].time_us <= w[1].time_us, "order violated");
+        }
+        for (u, &s) in updates.iter().zip(&sorted) {
+            prop_assert!(u.time_us >= s * 1_000_000);
+            prop_assert!(u.time_us < s * 1_000_000 + 1_000_000, "left its second");
+        }
+    }
+
+    /// MRT archive round-trips preserve per-session update streams.
+    #[test]
+    fn mrt_archive_roundtrip(
+        times in vec(0u64..86_400_000_000, 1..30),
+        withdraw_mask in vec(any::<bool>(), 1..30),
+    ) {
+        let mut archive = UpdateArchive::new(1_000_000);
+        let key = SessionKey::new("rrc00", Asn(20_205), "192.0.2.9".parse().unwrap());
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        let mut sorted = times;
+        sorted.sort_unstable();
+        for (i, t) in sorted.iter().enumerate() {
+            let withdraw = withdraw_mask.get(i % withdraw_mask.len()).copied().unwrap_or(false);
+            if withdraw {
+                archive.record(&key, RouteUpdate::withdraw(*t, prefix));
+            } else {
+                let attrs = PathAttributes {
+                    as_path: "20205 3356 12654".parse().unwrap(),
+                    next_hop: "192.0.2.1".parse().unwrap(),
+                    ..Default::default()
+                };
+                archive.record(&key, RouteUpdate::announce(*t, prefix, attrs));
+            }
+        }
+        let mut bytes = Vec::new();
+        archive.write_mrt(&mut bytes).expect("export");
+        let parsed = UpdateArchive::read_mrt(&bytes[..], "rrc00", 1_000_000).expect("import");
+        prop_assert_eq!(
+            parsed.session(&key).expect("session").updates.clone(),
+            archive.session(&key).expect("session").updates.clone()
+        );
+    }
+
+    /// Prefix parse/display round-trips for arbitrary canonical prefixes.
+    #[test]
+    fn prefix_text_roundtrip(p in arb_prefix()) {
+        let text = p.to_string();
+        let parsed: Prefix = text.parse().expect("reparse");
+        prop_assert_eq!(parsed, p);
+    }
+
+    /// AS path display/parse round-trips (single-sequence paths).
+    #[test]
+    fn as_path_text_roundtrip(asns in vec(arb_asn(), 0..10)) {
+        let path = AsPath::from_asns(asns);
+        let text = path.to_string();
+        let parsed: AsPath = text.parse().expect("reparse");
+        prop_assert_eq!(parsed, path);
+    }
+}
