@@ -5,10 +5,7 @@ use kcc_core::{classify_archive, clean_archive, CleaningConfig};
 use kcc_tracegen::{generate_mar20, Mar20Config};
 
 fn bench_classifier(c: &mut Criterion) {
-    let cfg = Mar20Config {
-        target_announcements: 50_000,
-        ..Default::default()
-    };
+    let cfg = Mar20Config { target_announcements: 50_000, ..Default::default() };
     let out = generate_mar20(&cfg);
     let mut cleaned = out.archive.clone();
     clean_archive(&mut cleaned, &out.registry, &CleaningConfig::default());

@@ -12,12 +12,8 @@ fn bench_sim(c: &mut Criterion) {
         b.iter(|| run_experiment(LabExperiment::Exp2, VendorProfile::CISCO_IOS))
     });
 
-    let topo = generate(&TopologyConfig {
-        n_tier1: 3,
-        n_transit: 8,
-        n_stub: 16,
-        ..Default::default()
-    });
+    let topo =
+        generate(&TopologyConfig { n_tier1: 3, n_transit: 8, n_stub: 16, ..Default::default() });
     // Measure events processed during a full convergence for throughput.
     let mut probe = Network::from_topology(&topo, SimConfig::default());
     probe.announce_all_origins(&topo, SimTime::ZERO);

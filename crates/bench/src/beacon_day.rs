@@ -88,12 +88,8 @@ pub fn run_beacon_day(cfg: &BeaconDayConfig) -> BeaconDayOutput {
     // behavior mix by converting every fifth transit into an egress
     // cleaner.
     let mut topo = topo;
-    let cleaner_asns: Vec<_> = topo
-        .nodes()
-        .filter(|n| n.tier == Tier::Transit)
-        .map(|n| n.asn)
-        .step_by(5)
-        .collect();
+    let cleaner_asns: Vec<_> =
+        topo.nodes().filter(|n| n.tier == Tier::Transit).map(|n| n.asn).step_by(5).collect();
     for asn in cleaner_asns {
         if let Some(node) = topo.node_mut(asn) {
             node.behavior.cleans_egress = true;
@@ -115,16 +111,10 @@ pub fn run_beacon_day(cfg: &BeaconDayConfig) -> BeaconDayOutput {
     );
 
     // Collector peers: every transit's router 0 plus some stubs.
-    let mut peers: Vec<RouterId> = topo
-        .nodes()
-        .filter(|n| n.tier == Tier::Transit)
-        .map(|n| n.router_id(0))
-        .collect();
+    let mut peers: Vec<RouterId> =
+        topo.nodes().filter(|n| n.tier == Tier::Transit).map(|n| n.router_id(0)).collect();
     peers.extend(
-        topo.nodes()
-            .filter(|n| n.tier == Tier::Stub)
-            .take(cfg.stub_peers)
-            .map(|n| n.router_id(0)),
+        topo.nodes().filter(|n| n.tier == Tier::Stub).take(cfg.stub_peers).map(|n| n.router_id(0)),
     );
     let (collector, _) = net.attach_collector(Asn(3333), &peers);
 
@@ -169,7 +159,13 @@ mod tests {
     use kcc_core::{classify_archive, AnnouncementType};
 
     fn quick_config() -> BeaconDayConfig {
-        BeaconDayConfig { n_tier1: 3, n_transit: 8, n_stub: 12, stub_peers: 4, ..Default::default() }
+        BeaconDayConfig {
+            n_tier1: 3,
+            n_transit: 8,
+            n_stub: 12,
+            stub_peers: 4,
+            ..Default::default()
+        }
     }
 
     #[test]

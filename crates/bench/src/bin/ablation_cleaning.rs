@@ -86,8 +86,7 @@ fn beacon_day_with_strategy(args: &Args, strategy: Strategy) -> kcc_core::TypeCo
     }
     net.run_until_quiet();
     let capture = net.capture(collector).expect("capture").clone();
-    let archive =
-        keep_communities_clean::adapter::capture_to_archive(&net, "rrc00", &capture, 0);
+    let archive = keep_communities_clean::adapter::capture_to_archive(&net, "rrc00", &capture, 0);
     classify_archive(&archive).counts
 }
 
@@ -114,10 +113,7 @@ fn main() {
             c.withdrawals.to_string(),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["strategy", "announcements", "nc", "nn", "withdrawals"], &rows)
-    );
+    println!("{}", render_table(&["strategy", "announcements", "nc", "nn", "withdrawals"], &rows));
 
     // Per-AS lab view: Exp2/3/4 are the same three strategies at X1.
     let mut lab_rows = Vec::new();

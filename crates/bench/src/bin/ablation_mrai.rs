@@ -8,8 +8,8 @@
 
 use kcc_bench::{run_beacon_day, Args, BeaconDayConfig, Comparison};
 use kcc_bgp_sim::{SimDuration, VendorProfile};
-use kcc_core::report::render_table;
 use kcc_core::classify_archive;
+use kcc_core::report::render_table;
 
 fn profile_with_mrai(secs: u64) -> VendorProfile {
     VendorProfile {
@@ -55,10 +55,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["MRAI", "announcements", "path changes", "nc", "nn", "withdrawals"],
-            &rows
-        )
+        render_table(&["MRAI", "announcements", "path changes", "nc", "nn", "withdrawals"], &rows)
     );
 
     let mut cmp = Comparison::new();

@@ -32,7 +32,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["experiment", "vendor", "msgs Y1→X1", "msgs at collector", "X1 RIB changed", "dups suppressed"],
+            &[
+                "experiment",
+                "vendor",
+                "msgs Y1→X1",
+                "msgs at collector",
+                "X1 RIB changed",
+                "dups suppressed"
+            ],
             &rows
         )
     );

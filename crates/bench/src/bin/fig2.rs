@@ -9,8 +9,8 @@
 use kcc_bench::{Args, Comparison};
 use kcc_core::longitudinal::LongitudinalSeries;
 use kcc_core::{classify_archive, clean_archive, AnnouncementType, CleaningConfig};
-use kcc_tracegen::hist::{day_configs, HistConfig};
 use kcc_tracegen::generate_mar20;
+use kcc_tracegen::hist::{day_configs, HistConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -41,20 +41,11 @@ fn main() {
     let first = &series.points.first().expect("nonempty series").counts;
     let last = &series.points.last().expect("nonempty series").counts;
     let growth = last.announcement_total() as f64 / first.announcement_total().max(1) as f64;
-    cmp.add(
-        "volume grows over the decade",
-        "~2.5x",
-        &format!("{growth:.1}x"),
-        growth > 1.5,
-    );
+    cmp.add("volume grows over the decade", "~2.5x", &format!("{growth:.1}x"), growth > 1.5);
     cmp.add(
         "pc and nn are leading types in 2020",
         "pc+nn > pn+nc",
-        &format!(
-            "{} vs {}",
-            last.pc + last.nn,
-            last.pn + last.nc
-        ),
+        &format!("{} vs {}", last.pc + last.nn, last.pn + last.nc),
         last.pc + last.nn > last.pn + last.nc,
     );
     for t in [AnnouncementType::Pc, AnnouncementType::Nc, AnnouncementType::Nn] {

@@ -7,8 +7,8 @@
 //! a *diverse* mix of types.
 
 use kcc_bench::{run_beacon_day, Args, BeaconDayConfig, Comparison};
-use kcc_core::sessions::{render_distribution, render_stacked_bars, session_type_distribution};
 use kcc_core::classify_archive;
+use kcc_core::sessions::{render_distribution, render_stacked_bars, session_type_distribution};
 
 fn main() {
     let args = Args::from_env();
@@ -18,7 +18,9 @@ fn main() {
         cfg.n_stub = 12;
         cfg.stub_peers = 4;
     }
-    println!("== Fig. 3: types per session, beacon 84.205.64.0/24, collector rrc00 (simulated) ==\n");
+    println!(
+        "== Fig. 3: types per session, beacon 84.205.64.0/24, collector rrc00 (simulated) ==\n"
+    );
 
     let out = run_beacon_day(&cfg);
     let classified = classify_archive(&out.archive);
@@ -35,8 +37,8 @@ fn main() {
         rows.len() > 3,
     );
     let volumes: Vec<u64> = rows.iter().map(|(_, c)| c.announcement_total()).collect();
-    let diverse_volume = volumes.first().copied().unwrap_or(0)
-        > 2 * volumes.last().copied().unwrap_or(0).max(1);
+    let diverse_volume =
+        volumes.first().copied().unwrap_or(0) > 2 * volumes.last().copied().unwrap_or(0).max(1);
     cmp.add(
         "session volumes differ widely",
         "max >> min",

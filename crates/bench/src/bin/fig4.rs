@@ -48,13 +48,10 @@ fn main() {
                 (EventKind::Initial, Some(attrs)) => (false, attrs),
                 _ => continue,
             };
-            let in_withdrawal = matches!(
-                schedule.phase_of(e.time_us % DAY_US),
-                BeaconPhase::Withdrawal(_)
-            );
-            let entry = nc_by_stream
-                .entry((key.clone(), attrs.as_path.to_string()))
-                .or_insert((0, true));
+            let in_withdrawal =
+                matches!(schedule.phase_of(e.time_us % DAY_US), BeaconPhase::Withdrawal(_));
+            let entry =
+                nc_by_stream.entry((key.clone(), attrs.as_path.to_string())).or_insert((0, true));
             if is_nc {
                 entry.0 += 1;
             }

@@ -56,9 +56,8 @@ fn main() {
             let Some(attrs) = &e.attrs else { continue };
             let in_withdrawal =
                 matches!(schedule.phase_of(e.time_us % DAY_US), BeaconPhase::Withdrawal(_));
-            let entry = by_stream
-                .entry((key.clone(), attrs.as_path.to_string()))
-                .or_insert((0, true));
+            let entry =
+                by_stream.entry((key.clone(), attrs.as_path.to_string())).or_insert((0, true));
             if matches!(e.kind, EventKind::Classified { atype: AnnouncementType::Nn, .. }) {
                 entry.0 += 1;
             }

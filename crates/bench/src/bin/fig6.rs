@@ -8,12 +8,12 @@
 //! measures the same ratio.
 
 use kcc_bench::{Args, Comparison};
+use kcc_collector::BeaconSchedule;
 use kcc_core::longitudinal::LongitudinalSeries;
 use kcc_core::revealed::revealed_attributes;
 use kcc_core::{classify_archive, clean_archive, CleaningConfig};
-use kcc_collector::BeaconSchedule;
-use kcc_tracegen::hist::{day_configs, HistConfig};
 use kcc_tracegen::generate_mar20;
+use kcc_tracegen::hist::{day_configs, HistConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -48,16 +48,17 @@ fn main() {
         &format!("{first_total} → {last_total}"),
         last_total > first_total * 2,
     );
-    let ratios: Vec<f64> = series
-        .points
-        .iter()
-        .filter_map(|p| p.revealed.map(|r| r.withdrawal_ratio()))
-        .collect();
+    let ratios: Vec<f64> =
+        series.points.iter().filter_map(|p| p.revealed.map(|r| r.withdrawal_ratio())).collect();
     let stable = ratios.iter().all(|r| (r - mean_ratio).abs() < 0.2);
     cmp.add(
         "ratio stable across years (±0.2)",
         "stable ~0.6",
-        &format!("{:.2}..{:.2}", ratios.iter().cloned().fold(f64::MAX, f64::min), ratios.iter().cloned().fold(0.0, f64::max)),
+        &format!(
+            "{:.2}..{:.2}",
+            ratios.iter().cloned().fold(f64::MAX, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max)
+        ),
         stable,
     );
     println!("{}", cmp.render());

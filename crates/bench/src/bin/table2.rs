@@ -67,9 +67,7 @@ fn main() {
         "d_beacon pc is dominant type",
         "44.6% > others",
         &format!("{:.1}%", b.share(AnnouncementType::Pc)),
-        AnnouncementType::ALL
-            .iter()
-            .all(|&t| b.share(AnnouncementType::Pc) >= b.share(t)),
+        AnnouncementType::ALL.iter().all(|&t| b.share(AnnouncementType::Pc) >= b.share(t)),
     );
     cmp.add_pct("d_beacon no-path-change %", 25.0, b_no_path, 0.45);
     println!("{}", cmp.render());

@@ -27,11 +27,7 @@ pub fn compare(a: &RibEntry, b: &RibEntry, me: RouterId, igp: &IgpMap) -> Orderi
         return by_pref;
     }
     // 2. AS path length (shorter wins).
-    let by_len = b
-        .attrs
-        .as_path
-        .decision_length()
-        .cmp(&a.attrs.as_path.decision_length());
+    let by_len = b.attrs.as_path.decision_length().cmp(&a.attrs.as_path.decision_length());
     if by_len != Ordering::Equal {
         return by_len;
     }
@@ -87,9 +83,13 @@ pub fn best<'a, I>(candidates: I, me: RouterId, igp: &IgpMap) -> Option<&'a RibE
 where
     I: IntoIterator<Item = &'a RibEntry>,
 {
-    candidates
-        .into_iter()
-        .reduce(|acc, e| if compare(e, acc, me, igp) == Ordering::Greater { e } else { acc })
+    candidates.into_iter().reduce(|acc, e| {
+        if compare(e, acc, me, igp) == Ordering::Greater {
+            e
+        } else {
+            acc
+        }
+    })
 }
 
 #[cfg(test)]

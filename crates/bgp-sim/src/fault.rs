@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn drop_chance_one_drops_everything() {
-        let mut f = FaultInjector::new(FaultConfig {
-            drop_chance: 1.0,
-            ..Default::default()
-        });
+        let mut f = FaultInjector::new(FaultConfig { drop_chance: 1.0, ..Default::default() });
         for _ in 0..10 {
             assert!(f.should_drop());
         }

@@ -193,10 +193,7 @@ pub fn build_lab(experiment: LabExperiment, vendor: VendorProfile) -> LabNetwork
 
     // X1–C1: X exports everything to the collector.
     let x1_export_to_c = ExportPolicy {
-        clean_communities: matches!(
-            experiment,
-            LabExperiment::Exp3 | LabExperiment::Exp4
-        ),
+        clean_communities: matches!(experiment, LabExperiment::Exp3 | LabExperiment::Exp4),
         ..Default::default()
     };
     let x1_c1 = net.add_session(Session {
@@ -297,14 +294,11 @@ pub fn run_experiment(experiment: LabExperiment, vendor: VendorProfile) -> LabRe
     net.run_until_quiet();
 
     // Sanity: quiet means quiet (the paper verifies only keepalives flow).
-    let x1_before: Option<PathAttributes> = net
-        .router(ids.x1)
-        .and_then(|r| r.best_route(&p))
-        .map(|e| e.attrs.clone());
+    let x1_before: Option<PathAttributes> =
+        net.router(ids.x1).and_then(|r| r.best_route(&p)).map(|e| e.attrs.clone());
     net.clear_captures();
     let dup_sent_before: u64 = net.routers().map(|r| r.counters.duplicates_sent).sum();
-    let dup_supp_before: u64 =
-        net.routers().map(|r| r.counters.duplicates_suppressed).sum();
+    let dup_supp_before: u64 = net.routers().map(|r| r.counters.duplicates_suppressed).sum();
 
     // Perturb: disable the Y1–Y2 session.
     let t = net.now() + SimDuration::from_secs(60);
@@ -322,8 +316,7 @@ pub fn run_experiment(experiment: LabExperiment, vendor: VendorProfile) -> LabRe
         net.capture(ids.c1).map(|c| c.entries().to_vec()).unwrap_or_default();
 
     let dup_sent_after: u64 = net.routers().map(|r| r.counters.duplicates_sent).sum();
-    let dup_supp_after: u64 =
-        net.routers().map(|r| r.counters.duplicates_suppressed).sum();
+    let dup_supp_after: u64 = net.routers().map(|r| r.counters.duplicates_suppressed).sum();
 
     LabReport {
         experiment,

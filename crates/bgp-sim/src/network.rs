@@ -312,13 +312,8 @@ impl Network {
         }
         let from = session.other(to);
         self.stats.messages_delivered += 1;
-        let entry = CapturedUpdate {
-            at: self.now,
-            session: session_id,
-            from,
-            to,
-            update: update.clone(),
-        };
+        let entry =
+            CapturedUpdate { at: self.now, session: session_id, from, to, update: update.clone() };
         if let Some(mon) = self.monitors.get_mut(&session_id) {
             mon.record(entry.clone());
         }
@@ -403,10 +398,7 @@ impl Network {
                     self.queue.push(at, EventKind::MraiExpire { router: from, session });
                 }
                 Action::ScheduleDampReuse { session, prefix, at } => {
-                    self.queue.push(
-                        at,
-                        EventKind::DampReuse { router: from, session, prefix },
-                    );
+                    self.queue.push(at, EventKind::DampReuse { router: from, session, prefix });
                 }
             }
         }
@@ -436,9 +428,7 @@ impl Network {
             for i in 0..node.routers.len() {
                 for j in i + 1..node.routers.len() {
                     let delay = net.config.base_link_delay
-                        + SimDuration::from_micros(
-                            node.igp_cost(i as u16, j as u16) as u64 * 50,
-                        );
+                        + SimDuration::from_micros(node.igp_cost(i as u16, j as u16) as u64 * 50);
                     net.add_session(Session {
                         id: SessionId(0),
                         kind: SessionKind::Ibgp,
@@ -512,18 +502,10 @@ impl Network {
     ) -> (RouterId, Vec<SessionId>) {
         let collector_id = RouterId { asn: collector_asn, index: 0 };
         let v = collector_asn.value();
-        let ip = IpAddr::V4(std::net::Ipv4Addr::new(
-            198,
-            51,
-            ((v >> 8) & 0xFF) as u8,
-            (v & 0xFF) as u8,
-        ));
-        let mut collector = Router::new(
-            collector_id,
-            ip,
-            VendorProfile::BIRD_2,
-            kcc_topology::IgpMap::ring(1),
-        );
+        let ip =
+            IpAddr::V4(std::net::Ipv4Addr::new(198, 51, ((v >> 8) & 0xFF) as u8, (v & 0xFF) as u8));
+        let mut collector =
+            Router::new(collector_id, ip, VendorProfile::BIRD_2, kcc_topology::IgpMap::ring(1));
         collector.is_collector = true;
         self.add_router(collector);
 
@@ -549,7 +531,9 @@ impl Network {
                 })
                 .unwrap_or(false);
             let delay = self.config.base_link_delay
-                + SimDuration::from_micros((i as u64 * 137) % self.config.delay_spread.as_micros().max(1));
+                + SimDuration::from_micros(
+                    (i as u64 * 137) % self.config.delay_spread.as_micros().max(1),
+                );
             let id = self.add_session(Session {
                 id: SessionId(0),
                 kind: SessionKind::Ebgp,
@@ -579,11 +563,7 @@ impl Network {
     }
 }
 
-fn build_import(
-    node: &kcc_topology::AsNode,
-    router_index: u16,
-    kind: RouteSource,
-) -> ImportPolicy {
+fn build_import(node: &kcc_topology::AsNode, router_index: u16, kind: RouteSource) -> ImportPolicy {
     let mut p = ImportPolicy::for_neighbor(kind);
     if node.behavior.cleans_ingress {
         p.clean_communities = true;
@@ -616,12 +596,7 @@ mod tests {
     use kcc_topology::{generate, TopologyConfig};
 
     fn tiny_topology() -> Topology {
-        generate(&TopologyConfig {
-            n_tier1: 2,
-            n_transit: 3,
-            n_stub: 5,
-            ..Default::default()
-        })
+        generate(&TopologyConfig { n_tier1: 2, n_transit: 3, n_stub: 5, ..Default::default() })
     }
 
     #[test]
@@ -643,12 +618,7 @@ mod tests {
         // (valley-free reachability holds in a fully connected hierarchy).
         let total_prefixes = topo.all_prefixes().len();
         for r in net.routers() {
-            assert_eq!(
-                r.loc_rib_len(),
-                total_prefixes,
-                "router {} missing routes",
-                r.id
-            );
+            assert_eq!(r.loc_rib_len(), total_prefixes, "router {} missing routes", r.id);
         }
     }
 
@@ -709,12 +679,8 @@ mod tests {
         net.run_until_quiet();
 
         // Flap the first eBGP session.
-        let sid = net
-            .sessions()
-            .iter()
-            .find(|s| s.is_ebgp())
-            .map(|s| s.id)
-            .expect("an ebgp session");
+        let sid =
+            net.sessions().iter().find(|s| s.is_ebgp()).map(|s| s.id).expect("an ebgp session");
         let before: Vec<usize> = net.routers().map(|r| r.loc_rib_len()).collect();
         net.schedule_link_down(SimTime::from_secs(200), sid);
         net.schedule_link_up(SimTime::from_secs(260), sid);
@@ -740,10 +706,7 @@ mod tests {
     fn vendor_mix_assignment_deterministic() {
         let topo = tiny_topology();
         let cfg = SimConfig {
-            vendor_mix: vec![
-                (VendorProfile::CISCO_IOS, 0.5),
-                (VendorProfile::JUNOS, 0.5),
-            ],
+            vendor_mix: vec![(VendorProfile::CISCO_IOS, 0.5), (VendorProfile::JUNOS, 0.5)],
             ..Default::default()
         };
         let a = Network::from_topology(&topo, cfg.clone());

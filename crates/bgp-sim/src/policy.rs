@@ -112,12 +112,8 @@ mod tests {
         p.apply(&mut a);
         // Foreign tag kept, own tags replaced with the new location.
         assert!(a.communities.contains(&Community::from_parts(174, 2501)));
-        let own: Vec<_> = a
-            .communities
-            .iter_classic()
-            .filter(|c| c.asn_part() == 3356)
-            .copied()
-            .collect();
+        let own: Vec<_> =
+            a.communities.iter_classic().filter(|c| c.asn_part() == 3356).copied().collect();
         assert_eq!(own.len(), 3);
         let expected = tag.to_communities(3356);
         for c in expected {
@@ -155,10 +151,7 @@ mod tests {
 
     #[test]
     fn neighbor_policy_sets_gao_rexford_pref() {
-        assert_eq!(
-            ImportPolicy::for_neighbor(RouteSource::Customer).local_pref,
-            Some(300)
-        );
+        assert_eq!(ImportPolicy::for_neighbor(RouteSource::Customer).local_pref, Some(300));
         assert_eq!(ImportPolicy::for_neighbor(RouteSource::Provider).local_pref, Some(100));
     }
 

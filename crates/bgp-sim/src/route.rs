@@ -1,7 +1,7 @@
 //! Routes and update messages as they move through the simulator.
 
 use kcc_bgp_types::{PathAttributes, Prefix};
-use kcc_topology::{RouterId, RouteSource};
+use kcc_topology::{RouteSource, RouterId};
 
 use crate::session::SessionId;
 

@@ -135,12 +135,7 @@ impl Router {
     }
 
     /// Starts originating `prefix`.
-    pub fn originate(
-        &mut self,
-        now: SimTime,
-        prefix: Prefix,
-        sessions: &[Session],
-    ) -> Vec<Action> {
+    pub fn originate(&mut self, now: SimTime, prefix: Prefix, sessions: &[Session]) -> Vec<Action> {
         let attrs = PathAttributes::originated(self.ip);
         self.originated.insert(prefix, attrs);
         self.run_decision(now, prefix, sessions)
@@ -177,14 +172,10 @@ impl Router {
                     return Vec::new();
                 }
                 let (source, egress) = if session.is_ebgp() {
-                    let kind =
-                        session.neighbor_kind_for(self.id).unwrap_or(RouteSource::Peer);
+                    let kind = session.neighbor_kind_for(self.id).unwrap_or(RouteSource::Peer);
                     (kind, self.id)
                 } else {
-                    (
-                        source_hint.unwrap_or(RouteSource::Customer),
-                        session.other(self.id),
-                    )
+                    (source_hint.unwrap_or(RouteSource::Customer), session.other(self.id))
                 };
                 let mut a = attrs.clone();
                 session.import_for(self.id).apply(&mut a);
@@ -301,12 +292,8 @@ impl Router {
         session_id: SessionId,
         sessions: &[Session],
     ) -> Vec<Action> {
-        let affected: Vec<Prefix> = self
-            .adj_rib_in
-            .keys()
-            .filter(|(s, _)| *s == session_id)
-            .map(|(_, p)| *p)
-            .collect();
+        let affected: Vec<Prefix> =
+            self.adj_rib_in.keys().filter(|(s, _)| *s == session_id).map(|(_, p)| *p).collect();
         for p in &affected {
             self.adj_rib_in.remove(&(session_id, *p));
         }
@@ -373,12 +360,7 @@ impl Router {
     }
 
     /// Re-selects the best route for `prefix` and exports any change.
-    fn run_decision(
-        &mut self,
-        now: SimTime,
-        prefix: Prefix,
-        sessions: &[Session],
-    ) -> Vec<Action> {
+    fn run_decision(&mut self, now: SimTime, prefix: Prefix, sessions: &[Session]) -> Vec<Action> {
         let originated_entry = self.originated.get(&prefix).map(|attrs| RibEntry {
             attrs: attrs.clone(),
             source: RouteSource::Originated,
@@ -478,11 +460,8 @@ impl Router {
         let desired = self.desired_advertisement(prefix, session);
         let key = (session_id, prefix);
         let last_sent = self.adj_rib_out.get(&key);
-        let has_pending = self
-            .mrai_pending
-            .get(&session_id)
-            .map(|m| m.contains_key(&prefix))
-            .unwrap_or(false);
+        let has_pending =
+            self.mrai_pending.get(&session_id).map(|m| m.contains_key(&prefix)).unwrap_or(false);
 
         match desired {
             None => {
@@ -530,26 +509,17 @@ impl Router {
                 }
                 // MRAI gate (announcements only).
                 let mrai = self.vendor.mrai(session.is_ebgp());
-                let timer_running = self
-                    .mrai_deadline
-                    .get(&session_id)
-                    .map(|&d| d > now)
-                    .unwrap_or(false);
+                let timer_running =
+                    self.mrai_deadline.get(&session_id).map(|&d| d > now).unwrap_or(false);
                 if timer_running {
-                    self.mrai_pending
-                        .entry(session_id)
-                        .or_default()
-                        .insert(prefix, attrs);
+                    self.mrai_pending.entry(session_id).or_default().insert(prefix, attrs);
                     return Vec::new();
                 }
                 self.adj_rib_out.insert(key, attrs.clone());
                 self.counters.updates_sent += 1;
                 let mut actions = vec![Action::Send {
                     session: session_id,
-                    update: SimUpdate {
-                        prefix,
-                        body: UpdateBody::Announce { attrs, source_hint },
-                    },
+                    update: SimUpdate { prefix, body: UpdateBody::Announce { attrs, source_hint } },
                 }];
                 if !mrai.is_zero() {
                     let at = now + mrai;

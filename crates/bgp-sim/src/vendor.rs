@@ -76,13 +76,8 @@ impl VendorProfile {
     };
 
     /// All profiles the paper tests, for sweep experiments.
-    pub const ALL: [VendorProfile; 5] = [
-        Self::CISCO_IOS,
-        Self::CISCO_IOS_XR,
-        Self::JUNOS,
-        Self::BIRD_1,
-        Self::BIRD_2,
-    ];
+    pub const ALL: [VendorProfile; 5] =
+        [Self::CISCO_IOS, Self::CISCO_IOS_XR, Self::JUNOS, Self::BIRD_1, Self::BIRD_2];
 
     /// The MRAI for a session kind.
     pub fn mrai(&self, ebgp: bool) -> SimDuration {
@@ -114,11 +109,8 @@ mod tests {
 
     #[test]
     fn only_junos_suppresses() {
-        let suppressing: Vec<&str> = VendorProfile::ALL
-            .iter()
-            .filter(|v| v.suppresses_duplicates)
-            .map(|v| v.name)
-            .collect();
+        let suppressing: Vec<&str> =
+            VendorProfile::ALL.iter().filter(|v| v.suppresses_duplicates).map(|v| v.name).collect();
         assert_eq!(suppressing, vec!["Junos OS Olive 12.1R1.9"]);
     }
 

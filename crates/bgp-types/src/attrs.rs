@@ -13,8 +13,7 @@ use crate::asn::Asn;
 use crate::community_set::CommunitySet;
 
 /// The ORIGIN attribute (RFC 4271 §4.3 / §5.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Origin {
     /// Learned from an IGP — preferred by the decision process.
     #[default]
@@ -55,7 +54,6 @@ impl fmt::Display for Origin {
         })
     }
 }
-
 
 /// The AGGREGATOR attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(ExtendedCommunity::RouteTarget { asn: 65000, value: 100 }.to_string(), "rt:65000:100");
+        assert_eq!(
+            ExtendedCommunity::RouteTarget { asn: 65000, value: 100 }.to_string(),
+            "rt:65000:100"
+        );
         assert_eq!(
             ExtendedCommunity::Raw([0xff, 0, 0, 0, 0, 0, 0, 1]).to_string(),
             "raw:ff00000000000001"

@@ -128,10 +128,7 @@ pub fn decode_geo(c: Community) -> Option<(GeoScope, u16)> {
 /// Removes the geo communities of `asn16` from a set and decodes them —
 /// what an analysis pass does to recover ingress locations from a stream.
 pub fn extract_locations(set: &CommunitySet, asn16: u16) -> Vec<(GeoScope, u16)> {
-    set.iter_classic()
-        .filter(|c| c.asn_part() == asn16)
-        .filter_map(|c| decode_geo(*c))
-        .collect()
+    set.iter_classic().filter(|c| c.asn_part() == asn16).filter_map(|c| decode_geo(*c)).collect()
 }
 
 #[cfg(test)]

@@ -38,8 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod asn;
 pub mod as_path;
+pub mod asn;
 pub mod attrs;
 pub mod community;
 pub mod community_set;
@@ -50,8 +50,8 @@ pub mod prefix;
 pub mod taxonomy;
 pub mod update;
 
-pub use asn::Asn;
 pub use as_path::{AsPath, PathSegment, SegmentKind};
+pub use asn::Asn;
 pub use attrs::{Origin, PathAttributes};
 pub use community::Community;
 pub use community_set::CommunitySet;

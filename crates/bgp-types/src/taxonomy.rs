@@ -77,7 +77,10 @@ impl CommunityTaxonomy {
     /// (100–199), and an action range (7000–7999, e.g. prepend requests).
     pub fn register_transit_defaults(&mut self, asn16: u16) {
         self.register(asn16, SchemeRange { lo: 100, hi: 199, class: CommunityClass::InfoRelation });
-        self.register(asn16, SchemeRange { lo: 7000, hi: 7999, class: CommunityClass::ActionSignal });
+        self.register(
+            asn16,
+            SchemeRange { lo: 7000, hi: 7999, class: CommunityClass::ActionSignal },
+        );
     }
 
     /// Classifies one community.

@@ -9,7 +9,9 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use kcc_bgp_types::attrs::{Aggregator, Origin, PathAttributes};
-use kcc_bgp_types::{Asn, AsPath, Community, ExtendedCommunity, LargeCommunity, PathSegment, Prefix, SegmentKind};
+use kcc_bgp_types::{
+    AsPath, Asn, Community, ExtendedCommunity, LargeCommunity, PathSegment, Prefix, SegmentKind,
+};
 
 use crate::error::WireError;
 use crate::message::SessionConfig;
@@ -160,11 +162,7 @@ fn decode_as_path_body(mut body: Bytes, four_octet: bool) -> Result<AsPath, Wire
         }
         let mut asns = Vec::with_capacity(count);
         for _ in 0..count {
-            asns.push(if four_octet {
-                Asn(body.get_u32())
-            } else {
-                Asn(body.get_u16() as u32)
-            });
+            asns.push(if four_octet { Asn(body.get_u32()) } else { Asn(body.get_u16() as u32) });
         }
         segments.push(PathSegment { kind, asns });
     }
@@ -482,10 +480,8 @@ pub fn decode_attributes<B: Buf>(
                         detail: "MP_REACH too short",
                     });
                 }
-                let afi = Afi::from_code(body.get_u16()).ok_or(WireError::MalformedAttribute {
-                    code,
-                    detail: "unknown AFI",
-                })?;
+                let afi = Afi::from_code(body.get_u16())
+                    .ok_or(WireError::MalformedAttribute { code, detail: "unknown AFI" })?;
                 let _safi = body.get_u8();
                 let nh_len = body.get_u8() as usize;
                 if body.remaining() < nh_len + 1 {
@@ -512,10 +508,8 @@ pub fn decode_attributes<B: Buf>(
                         detail: "MP_UNREACH too short",
                     });
                 }
-                let afi = Afi::from_code(body.get_u16()).ok_or(WireError::MalformedAttribute {
-                    code,
-                    detail: "unknown AFI",
-                })?;
+                let afi = Afi::from_code(body.get_u16())
+                    .ok_or(WireError::MalformedAttribute { code, detail: "unknown AFI" })?;
                 let _safi = body.get_u8();
                 out.mp_unreach = decode_prefix_run(afi, &mut body)?;
             }
@@ -644,7 +638,8 @@ mod tests {
     fn aggregator_roundtrip_both_widths() {
         let mut a = attrs();
         a.atomic_aggregate = true;
-        a.aggregator = Some(Aggregator { asn: Asn(65_000), router_id: "10.0.0.1".parse().unwrap() });
+        a.aggregator =
+            Some(Aggregator { asn: Asn(65_000), router_id: "10.0.0.1".parse().unwrap() });
         for cfg in [cfg4(), cfg2()] {
             let d = roundtrip(&a, &cfg);
             assert_eq!(d.attrs.aggregator, a.aggregator);

@@ -101,10 +101,7 @@ mod tests {
     #[test]
     fn severities_follow_rfc7606() {
         assert_eq!(WireError::BadMarker.severity(), ErrorSeverity::SessionReset);
-        assert_eq!(
-            WireError::Truncated { what: "x" }.severity(),
-            ErrorSeverity::SessionReset
-        );
+        assert_eq!(WireError::Truncated { what: "x" }.severity(), ErrorSeverity::SessionReset);
         assert_eq!(
             WireError::MalformedAttribute { code: 8, detail: "d" }.severity(),
             ErrorSeverity::TreatAsWithdraw

@@ -161,11 +161,7 @@ mod tests {
 
     #[test]
     fn open_roundtrips_via_framing() {
-        let m = Message::Open(OpenMessage::standard(
-            Asn(20_205),
-            "10.0.0.1".parse().unwrap(),
-            180,
-        ));
+        let m = Message::Open(OpenMessage::standard(Asn(20_205), "10.0.0.1".parse().unwrap(), 180));
         assert_eq!(roundtrip(&m), m);
     }
 
@@ -200,10 +196,7 @@ mod tests {
         encode_message(&Message::Keepalive, &cfg(), &mut buf);
         buf[16] = 0xFF;
         buf[17] = 0xFF; // length 65535 > 4096
-        assert!(matches!(
-            decode_message(&mut buf.freeze(), &cfg()),
-            Err(WireError::BadLength(_))
-        ));
+        assert!(matches!(decode_message(&mut buf.freeze(), &cfg()), Err(WireError::BadLength(_))));
     }
 
     #[test]
@@ -224,10 +217,7 @@ mod tests {
         buf.put_u16(20); // 1 byte of body
         buf.put_u8(4);
         buf.put_u8(0);
-        assert!(matches!(
-            decode_message(&mut buf.freeze(), &cfg()),
-            Err(WireError::BadLength(_))
-        ));
+        assert!(matches!(decode_message(&mut buf.freeze(), &cfg()), Err(WireError::BadLength(_))));
     }
 
     #[test]

@@ -228,10 +228,7 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(3);
         buf.put_slice(&[0; 9]);
-        assert_eq!(
-            OpenMessage::decode_body(&mut buf.freeze()),
-            Err(WireError::BadVersion(3))
-        );
+        assert_eq!(OpenMessage::decode_body(&mut buf.freeze()), Err(WireError::BadVersion(3)));
     }
 
     #[test]

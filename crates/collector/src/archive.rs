@@ -138,11 +138,7 @@ impl UpdateArchive {
     /// Reads an MRT stream back into an archive. `collector` names the
     /// collector the stream came from; `epoch_seconds` anchors relative
     /// time (records earlier than it are clamped to 0).
-    pub fn read_mrt<R: Read>(
-        r: R,
-        collector: &str,
-        epoch_seconds: u32,
-    ) -> Result<Self, MrtError> {
+    pub fn read_mrt<R: Read>(r: R, collector: &str, epoch_seconds: u32) -> Result<Self, MrtError> {
         let mut archive = UpdateArchive::new(epoch_seconds);
         for record in MrtReader::new(r) {
             let record = record?;
@@ -275,11 +271,7 @@ mod tests {
     fn second_granularity_sessions_lose_micros() {
         let mut a = UpdateArchive::new(100);
         let k = key(20_205, "192.0.2.9");
-        a.add_session(PeerMeta {
-            key: k.clone(),
-            route_server: false,
-            second_granularity: true,
-        });
+        a.add_session(PeerMeta { key: k.clone(), route_server: false, second_granularity: true });
         a.record(&k, announce(1_234_567, "20205 12654"));
         let mut buf = Vec::new();
         a.write_mrt(&mut buf).unwrap();
@@ -298,10 +290,7 @@ mod tests {
             next_hop: "2001:db8::1".parse().unwrap(),
             ..Default::default()
         };
-        a.record(
-            &k,
-            RouteUpdate::announce(500, "2001:7fb:fe00::/48".parse().unwrap(), attrs),
-        );
+        a.record(&k, RouteUpdate::announce(500, "2001:7fb:fe00::/48".parse().unwrap(), attrs));
         let mut buf = Vec::new();
         a.write_mrt(&mut buf).unwrap();
         let b = UpdateArchive::read_mrt(&buf[..], "rrc00", 0).unwrap();

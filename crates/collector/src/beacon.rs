@@ -112,9 +112,7 @@ impl BeaconSchedule {
 /// The 15 RIPE-style beacon prefixes the paper selects (one per
 /// collector): `84.205.64.0/24` … `84.205.78.0/24`.
 pub fn ripe_beacon_prefixes() -> Vec<Prefix> {
-    (0u8..15)
-        .map(|i| Prefix::v4_unchecked(84, 205, 64 + i, 0, 24))
-        .collect()
+    (0u8..15).map(|i| Prefix::v4_unchecked(84, 205, 64 + i, 0, 24)).collect()
 }
 
 #[cfg(test)]

@@ -80,9 +80,11 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = [SessionKey::new("rrc01", Asn(2), "10.0.0.1".parse().unwrap()),
+        let mut v = [
+            SessionKey::new("rrc01", Asn(2), "10.0.0.1".parse().unwrap()),
             SessionKey::new("rrc00", Asn(1), "10.0.0.1".parse().unwrap()),
-            SessionKey::new("rrc00", Asn(1), "10.0.0.2".parse().unwrap())];
+            SessionKey::new("rrc00", Asn(1), "10.0.0.2".parse().unwrap()),
+        ];
         v.sort();
         assert_eq!(v[0].collector, "rrc00");
         assert_eq!(v[0].peer_ip.to_string(), "10.0.0.1");

@@ -21,9 +21,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use kcc_bgp_types::{Community, MessageKind, Prefix};
 #[cfg(test)]
 use kcc_bgp_types::Asn;
+use kcc_bgp_types::{Community, MessageKind, Prefix};
 use kcc_collector::{SessionKey, UpdateArchive};
 
 /// What kind of anomaly was flagged.
@@ -117,10 +117,7 @@ impl CommunityProfiler {
                 let MessageKind::Announcement(attrs) = &u.kind else { continue };
                 let stream = (key.clone(), u.prefix);
                 for c in attrs.communities.iter_classic() {
-                    self.namespace_values
-                        .entry(c.asn_part())
-                        .or_default()
-                        .insert(c.value_part());
+                    self.namespace_values.entry(c.asn_part()).or_default().insert(c.value_part());
                     if c.well_known_name().is_some() {
                         self.stream_has_action.insert(stream.clone(), true);
                     }
@@ -132,10 +129,7 @@ impl CommunityProfiler {
                     .insert(attrs.communities.canonical_key());
             }
             for (prefix, attrs) in per_stream_attrs {
-                let e = self
-                    .stream_attr_count
-                    .entry((key.clone(), prefix))
-                    .or_insert(0);
+                let e = self.stream_attr_count.entry((key.clone(), prefix)).or_insert(0);
                 *e = (*e).max(attrs.len());
             }
         }
@@ -187,12 +181,8 @@ impl CommunityProfiler {
                 per_stream_first_burst_time.entry(u.prefix).or_insert(u.time_us);
             }
             for (prefix, attrs) in per_stream_attrs {
-                let baseline = self
-                    .stream_attr_count
-                    .get(&(key.clone(), prefix))
-                    .copied()
-                    .unwrap_or(1)
-                    .max(1);
+                let baseline =
+                    self.stream_attr_count.get(&(key.clone(), prefix)).copied().unwrap_or(1).max(1);
                 if attrs.len() >= cfg.burst_min_observed
                     && attrs.len() > cfg.burst_factor * baseline
                 {
@@ -200,10 +190,7 @@ impl CommunityProfiler {
                         session: key.clone(),
                         prefix,
                         time_us: per_stream_first_burst_time.get(&prefix).copied().unwrap_or(0),
-                        kind: AnomalyKind::ExplorationBurst {
-                            observed: attrs.len(),
-                            baseline,
-                        },
+                        kind: AnomalyKind::ExplorationBurst { observed: attrs.len(), baseline },
                     });
                 }
             }
@@ -281,27 +268,18 @@ mod tests {
         test.record(&key(), announce(100, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]));
         let found = p.detect(&test, &AnomalyConfig::default());
         assert_eq!(found.len(), 1);
-        assert!(matches!(
-            found[0].kind,
-            AnomalyKind::ActionSignal { name: "BLACKHOLE", .. }
-        ));
+        assert!(matches!(found[0].kind, AnomalyKind::ActionSignal { name: "BLACKHOLE", .. }));
     }
 
     #[test]
     fn trained_action_stream_not_flagged() {
         // A stream that already used blackholing in training is normal.
         let mut a = training_archive();
-        a.record(
-            &key(),
-            announce(10, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]),
-        );
+        a.record(&key(), announce(10, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]));
         let mut p = CommunityProfiler::new();
         p.train(&a);
         let mut test = UpdateArchive::new(0);
-        test.record(
-            &key(),
-            announce(100, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]),
-        );
+        test.record(&key(), announce(100, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]));
         assert!(p.detect(&test, &AnomalyConfig::default()).is_empty());
     }
 

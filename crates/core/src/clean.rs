@@ -190,14 +190,8 @@ mod tests {
         let report = clean_archive(&mut a, &registry(), &CleaningConfig::default());
         assert_eq!(report.route_server_insertions, 1);
         let updates = &a.session(&k).unwrap().updates;
-        assert_eq!(
-            updates[0].attributes().unwrap().as_path.to_string(),
-            "20205 3356 12654"
-        );
-        assert_eq!(
-            updates[1].attributes().unwrap().as_path.to_string(),
-            "20205 3356 12654"
-        );
+        assert_eq!(updates[0].attributes().unwrap().as_path.to_string(), "20205 3356 12654");
+        assert_eq!(updates[1].attributes().unwrap().as_path.to_string(), "20205 3356 12654");
     }
 
     #[test]

@@ -68,17 +68,18 @@ pub fn detect(
             let EventKind::Classified { atype, .. } = &e.kind else {
                 continue;
             };
-            let episode = episodes
-                .entry((key.clone(), e.prefix, day, phase))
-                .or_insert_with(|| ExplorationEvent {
-                    session: key.clone(),
-                    prefix: e.prefix,
-                    day,
-                    phase,
-                    pc_count: 0,
-                    nc_count: 0,
-                    nn_count: 0,
-                    locations: Vec::new(),
+            let episode =
+                episodes.entry((key.clone(), e.prefix, day, phase)).or_insert_with(|| {
+                    ExplorationEvent {
+                        session: key.clone(),
+                        prefix: e.prefix,
+                        day,
+                        phase,
+                        pc_count: 0,
+                        nc_count: 0,
+                        nn_count: 0,
+                        locations: Vec::new(),
+                    }
                 });
             match atype {
                 AnnouncementType::Pc | AnnouncementType::Xc => episode.pc_count += 1,
@@ -183,8 +184,7 @@ mod tests {
         assert_eq!(e.nc_count, 2);
         assert!(e.is_exploration());
         // 3 cities + 1 country + 1 continent from AS3356.
-        let cities: Vec<_> =
-            e.locations.iter().filter(|(_, s, _)| *s == GeoScope::City).collect();
+        let cities: Vec<_> = e.locations.iter().filter(|(_, s, _)| *s == GeoScope::City).collect();
         assert_eq!(cities.len(), 3);
         assert!(e.locations.iter().all(|(asn, _, _)| *asn == 3356));
     }
@@ -197,9 +197,7 @@ mod tests {
         // Single announcement at 01:00, outside any withdrawal phase.
         a.record(&k, RouteUpdate::announce(HOUR_US, prefix, PathAttributes::default()));
         let mut classified = ClassifiedArchive::default();
-        classified
-            .per_session
-            .insert(k.clone(), classify_session(&a.session(&k).unwrap().updates));
+        classified.per_session.insert(k.clone(), classify_session(&a.session(&k).unwrap().updates));
         let episodes = detect(&classified, &BeaconSchedule::default(), &[prefix]);
         assert!(episodes.is_empty());
     }
@@ -208,9 +206,7 @@ mod tests {
     fn summary_aggregates() {
         let (a, prefix, k) = fig4_archive();
         let mut classified = ClassifiedArchive::default();
-        classified
-            .per_session
-            .insert(k.clone(), classify_session(&a.session(&k).unwrap().updates));
+        classified.per_session.insert(k.clone(), classify_session(&a.session(&k).unwrap().updates));
         let episodes = detect(&classified, &BeaconSchedule::default(), &[prefix]);
         let s = summarize(&episodes);
         assert_eq!(s.episodes, 1);

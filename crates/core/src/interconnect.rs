@@ -127,17 +127,10 @@ mod tests {
     fn non_geo_communities_reveal_nothing() {
         let mut a = UpdateArchive::new(0);
         let k = SessionKey::new("rrc00", Asn(100), "10.0.0.1".parse().unwrap());
-        let mut attrs = PathAttributes {
-            as_path: "100 3356 900".parse().unwrap(),
-            ..Default::default()
-        };
-        attrs
-            .communities
-            .insert(kcc_bgp_types::Community::from_parts(3356, 70)); // not geo
-        a.record(
-            &k,
-            RouteUpdate::announce(1, "84.205.64.0/24".parse::<Prefix>().unwrap(), attrs),
-        );
+        let mut attrs =
+            PathAttributes { as_path: "100 3356 900".parse().unwrap(), ..Default::default() };
+        attrs.communities.insert(kcc_bgp_types::Community::from_parts(3356, 70)); // not geo
+        a.record(&k, RouteUpdate::announce(1, "84.205.64.0/24".parse::<Prefix>().unwrap(), attrs));
         assert!(infer_interconnections(&a).is_empty());
     }
 

@@ -40,11 +40,7 @@ impl LongitudinalSeries {
         counts: TypeCounts,
         revealed: RevealedStats,
     ) {
-        self.points.push(SeriesPoint {
-            label: label.into(),
-            counts,
-            revealed: Some(revealed),
-        });
+        self.points.push(SeriesPoint { label: label.into(), counts, revealed: Some(revealed) });
     }
 
     /// Fig. 2 data: CSV with one row per day, one column per type.
@@ -102,11 +98,8 @@ impl LongitudinalSeries {
     /// Mean withdrawal-exclusive ratio across days with revealed stats —
     /// the paper's "stable ratio of about 60%".
     pub fn mean_withdrawal_ratio(&self) -> f64 {
-        let ratios: Vec<f64> = self
-            .points
-            .iter()
-            .filter_map(|p| p.revealed.map(|r| r.withdrawal_ratio()))
-            .collect();
+        let ratios: Vec<f64> =
+            self.points.iter().filter_map(|p| p.revealed.map(|r| r.withdrawal_ratio())).collect();
         if ratios.is_empty() {
             return 0.0;
         }

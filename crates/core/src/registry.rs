@@ -50,9 +50,7 @@ impl AllocationRegistry {
 
     /// True if `prefix` falls inside a block allocated at time `at_us`.
     pub fn prefix_allocated(&self, prefix: &Prefix, at_us: u64) -> bool {
-        self.blocks
-            .iter()
-            .any(|(block, from)| *from <= at_us && block.contains(prefix))
+        self.blocks.iter().any(|(block, from)| *from <= at_us && block.contains(prefix))
     }
 
     /// Number of registered ASNs.

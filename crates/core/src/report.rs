@@ -103,10 +103,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["type", "share"],
-            &[
-                vec!["pc".into(), "33.7%".into()],
-                vec!["nn".into(), "25.7%".into()],
-            ],
+            &[vec!["pc".into(), "33.7%".into()], vec!["nn".into(), "25.7%".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, 2 rows

@@ -173,14 +173,7 @@ mod tests {
         let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
         let k = SessionKey::new("rrc00", Asn(1), "10.0.0.1".parse().unwrap());
         let mut a = UpdateArchive::new(0);
-        a.record(
-            &k,
-            RouteUpdate::announce(
-                2 * HOUR_US + 1,
-                prefix,
-                attrs(&[(1, 1), (2, 2)]),
-            ),
-        );
+        a.record(&k, RouteUpdate::announce(2 * HOUR_US + 1, prefix, attrs(&[(1, 1), (2, 2)])));
         a.record(
             &k,
             RouteUpdate::announce(

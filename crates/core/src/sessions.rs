@@ -39,9 +39,7 @@ pub fn session_type_distribution(
         }
     }
     rows.sort_by(|a, b| {
-        b.1.announcement_total()
-            .cmp(&a.1.announcement_total())
-            .then_with(|| a.0.cmp(&b.0))
+        b.1.announcement_total().cmp(&a.1.announcement_total()).then_with(|| a.0.cmp(&b.0))
     });
     rows
 }
@@ -87,8 +85,7 @@ pub fn render_stacked_bars(rows: &[(SessionKey, TypeCounts)], height: usize) -> 
     for (_, c) in rows {
         let mut col = Vec::new();
         for t in AnnouncementType::ALL {
-            let cells =
-                (c.get(t) as usize * height).div_ceil(max_total as usize);
+            let cells = (c.get(t) as usize * height).div_ceil(max_total as usize);
             for _ in 0..cells.min(height - col.len().min(height)) {
                 col.push(glyph(t));
             }

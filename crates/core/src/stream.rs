@@ -232,10 +232,8 @@ mod tests {
         let a1 = attrs("1 2", &[]);
         let mut a2 = a1.clone();
         a2.med = Some(7);
-        let updates = vec![
-            RouteUpdate::announce(1, prefix, a1),
-            RouteUpdate::announce(2, prefix, a2),
-        ];
+        let updates =
+            vec![RouteUpdate::announce(1, prefix, a1), RouteUpdate::announce(2, prefix, a2)];
         let events = classify_session(&updates);
         assert_eq!(
             events[1].kind,

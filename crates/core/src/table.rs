@@ -169,16 +169,10 @@ mod tests {
         let mut a = UpdateArchive::new(0);
         let k1 = SessionKey::new("rrc00", Asn(20_205), "10.0.0.1".parse().unwrap());
         let k2 = SessionKey::new("rrc00", Asn(20_811), "10.0.0.2".parse().unwrap());
-        let mut attrs = PathAttributes {
-            as_path: "20205 3356 12654".parse().unwrap(),
-            ..Default::default()
-        };
-        a.record(
-            &k1,
-            RouteUpdate::announce(1, "84.205.64.0/24".parse().unwrap(), attrs.clone()),
-        );
-        attrs.communities =
-            CommunitySet::from_classic([Community::from_parts(3356, 2501)]);
+        let mut attrs =
+            PathAttributes { as_path: "20205 3356 12654".parse().unwrap(), ..Default::default() };
+        a.record(&k1, RouteUpdate::announce(1, "84.205.64.0/24".parse().unwrap(), attrs.clone()));
+        attrs.communities = CommunitySet::from_classic([Community::from_parts(3356, 2501)]);
         a.record(
             &k1,
             RouteUpdate::announce(2, "2001:7fb:fe00::/48".parse().unwrap(), attrs.clone()),
@@ -191,10 +185,7 @@ mod tests {
             ]),
             ..Default::default()
         };
-        a.record(
-            &k2,
-            RouteUpdate::announce(3, "84.205.64.0/24".parse().unwrap(), attrs2),
-        );
+        a.record(&k2, RouteUpdate::announce(3, "84.205.64.0/24".parse().unwrap(), attrs2));
         a.record(&k2, RouteUpdate::withdraw(4, "84.205.64.0/24".parse().unwrap()));
         a
     }

@@ -108,12 +108,8 @@ fn collect_own_namespace(archive: &UpdateArchive) -> BTreeMap<u16, BehaviorEvide
     for (_, rec) in archive.sessions() {
         for u in &rec.updates {
             let MessageKind::Announcement(attrs) = &u.kind else { continue };
-            let on_path: HashSet<u16> = attrs
-                .as_path
-                .asns()
-                .filter(|a| a.is_16bit())
-                .map(|a| a.value() as u16)
-                .collect();
+            let on_path: HashSet<u16> =
+                attrs.as_path.asns().filter(|a| a.is_16bit()).map(|a| a.value() as u16).collect();
             for c in attrs.communities.iter_classic() {
                 let owner = c.asn_part();
                 // Only communities plausibly *added by an on-path AS*
@@ -149,12 +145,8 @@ pub fn infer_behaviors(
     for (_, rec) in archive.sessions() {
         for u in &rec.updates {
             let MessageKind::Announcement(attrs) = &u.kind else { continue };
-            let path: Vec<u16> = attrs
-                .as_path
-                .asns()
-                .filter(|a| a.is_16bit())
-                .map(|a| a.value() as u16)
-                .collect();
+            let path: Vec<u16> =
+                attrs.as_path.asns().filter(|a| a.is_16bit()).map(|a| a.value() as u16).collect();
             // Find the deepest (origin-most) tagger on the path.
             for (i, &t) in path.iter().enumerate() {
                 if !taggers.contains(&t) || i == 0 {
@@ -164,12 +156,10 @@ pub fn infer_behaviors(
                 if between.is_empty() {
                     continue;
                 }
-                let t_present =
-                    attrs.communities.iter_classic().any(|c| c.asn_part() == t);
+                let t_present = attrs.communities.iter_classic().any(|c| c.asn_part() == t);
                 // Dedup consecutive prepends.
                 let mut seen: HashSet<u16> = HashSet::new();
-                let uniq: Vec<u16> =
-                    between.iter().copied().filter(|a| seen.insert(*a)).collect();
+                let uniq: Vec<u16> = between.iter().copied().filter(|a| seen.insert(*a)).collect();
                 let share = 1.0 / uniq.len() as f64;
                 for a in uniq {
                     let e = evidence.entry(a).or_default();
@@ -194,24 +184,27 @@ pub fn infer_behaviors(
                 InferredClass::Tagger
             } else if e.samples >= cfg.min_samples && filter_score >= cfg.filter_threshold {
                 InferredClass::Filter
-            } else if e.samples >= cfg.min_samples && propagate_score >= cfg.propagate_threshold
-            {
+            } else if e.samples >= cfg.min_samples && propagate_score >= cfg.propagate_threshold {
                 InferredClass::Propagator
             } else {
                 InferredClass::Unknown
             };
             (
                 Asn(asn16 as u32),
-                InferredBehavior { asn: Asn(asn16 as u32), evidence: e, class, filter_score, propagate_score },
+                InferredBehavior {
+                    asn: Asn(asn16 as u32),
+                    evidence: e,
+                    class,
+                    filter_score,
+                    propagate_score,
+                },
             )
         })
         .collect()
 }
 
 /// Convenience view: the ASes inferred per class.
-pub fn classify_ases(
-    inferred: &BTreeMap<Asn, InferredBehavior>,
-) -> (Vec<Asn>, Vec<Asn>, Vec<Asn>) {
+pub fn classify_ases(inferred: &BTreeMap<Asn, InferredBehavior>) -> (Vec<Asn>, Vec<Asn>, Vec<Asn>) {
     let mut taggers = Vec::new();
     let mut filters = Vec::new();
     let mut propagators = Vec::new();
@@ -233,10 +226,7 @@ mod tests {
     use kcc_collector::SessionKey;
 
     fn announce(path: &str, tagger: Option<(u16, u16)>) -> RouteUpdate {
-        let mut attrs = PathAttributes {
-            as_path: path.parse().unwrap(),
-            ..Default::default()
-        };
+        let mut attrs = PathAttributes { as_path: path.parse().unwrap(), ..Default::default() };
         if let Some((asn, city)) = tagger {
             GeoTag::new(4, 10, city).tag(asn, &mut attrs.communities);
         }
@@ -303,7 +293,9 @@ mod tests {
             a.record(&k, announce("100 200 900", Some((555, city))));
         }
         let inferred = infer_behaviors(&a, &TomographyConfig::default());
-        assert!(!inferred.contains_key(&Asn(555)) || inferred[&Asn(555)].class != InferredClass::Tagger);
+        assert!(
+            !inferred.contains_key(&Asn(555)) || inferred[&Asn(555)].class != InferredClass::Tagger
+        );
     }
 
     #[test]

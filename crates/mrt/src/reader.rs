@@ -141,20 +141,14 @@ mod tests {
                 attrs,
             )),
         };
-        let msg_plain = Bgp4mpMessage {
-            timestamp: MrtTimestamp::seconds(1_584_230_401),
-            ..msg.clone()
-        };
+        let msg_plain =
+            Bgp4mpMessage { timestamp: MrtTimestamp::seconds(1_584_230_401), ..msg.clone() };
         let wd = Bgp4mpMessage {
             timestamp: MrtTimestamp::micros(1_584_230_402, 0),
             message: Message::Update(UpdatePacket::withdraw("84.205.64.0/24".parse().unwrap())),
             ..msg.clone()
         };
-        vec![
-            MrtRecord::Message(msg),
-            MrtRecord::Message(msg_plain),
-            MrtRecord::Message(wd),
-        ]
+        vec![MrtRecord::Message(msg), MrtRecord::Message(msg_plain), MrtRecord::Message(wd)]
     }
 
     #[test]

@@ -4,7 +4,6 @@ use std::io::Write;
 
 use bytes::{BufMut, BytesMut};
 
-
 use crate::error::MrtError;
 use crate::record::MrtRecord;
 use crate::tabledump;

@@ -107,19 +107,16 @@ fn random_continent(rng: &mut StdRng) -> u8 {
 
 fn random_location(rng: &mut StdRng, continent: u8) -> GeoTag {
     // Countries are blocked per continent (50 ids each); cities per country.
-    let country = (continent as u16 - 1) * 50 + rng.gen_range(0..50);
-    let city = country * 8 + rng.gen_range(0..8);
+    let country = (continent as u16 - 1) * 50 + rng.gen_range(0u16..50);
+    let city = country * 8 + rng.gen_range(0u16..8);
     GeoTag::new(continent, country, city)
 }
 
 fn make_routers(rng: &mut StdRng, n: u16, home: u8, spread: bool) -> Vec<RouterSpec> {
     (0..n)
         .map(|index| {
-            let continent = if spread && index > 0 && rng.gen_bool(0.5) {
-                random_continent(rng)
-            } else {
-                home
-            };
+            let continent =
+                if spread && index > 0 && rng.gen_bool(0.5) { random_continent(rng) } else { home };
             RouterSpec { index, location: random_location(rng, continent) }
         })
         .collect()
@@ -255,9 +252,8 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
         let asn = Asn(40_000 + i as u32);
         let home = random_continent(&mut rng);
         let n_prefixes = range_sample_usize(&mut rng, cfg.prefixes_per_stub);
-        let prefixes = (0..n_prefixes)
-            .map(|k| stub_prefix(i, k, rng.gen_bool(cfg.ipv6_share)))
-            .collect();
+        let prefixes =
+            (0..n_prefixes).map(|k| stub_prefix(i, k, rng.gen_bool(cfg.ipv6_share))).collect();
         topo.add_node(AsNode {
             asn,
             tier: Tier::Stub,
@@ -366,15 +362,11 @@ mod tests {
     fn tier1_forms_clique() {
         let cfg = TopologyConfig::default();
         let t = generate(&cfg);
-        let tier1: Vec<Asn> =
-            t.nodes().filter(|n| n.tier == Tier::Tier1).map(|n| n.asn).collect();
+        let tier1: Vec<Asn> = t.nodes().filter(|n| n.tier == Tier::Tier1).map(|n| n.asn).collect();
         assert_eq!(tier1.len(), cfg.n_tier1);
         for (i, &a) in tier1.iter().enumerate() {
             for &b in &tier1[i + 1..] {
-                assert!(
-                    t.interconnection_count(a, b) >= 1,
-                    "tier1 {a} and {b} must interconnect"
-                );
+                assert!(t.interconnection_count(a, b) >= 1, "tier1 {a} and {b} must interconnect");
                 assert_eq!(t.neighbor_kind(a, b), Some(RouteSource::Peer));
             }
         }
@@ -424,10 +416,7 @@ mod tests {
     #[test]
     fn some_transits_geo_tag_with_default_mix() {
         let t = generate(&TopologyConfig::default());
-        let taggers = t
-            .nodes()
-            .filter(|n| n.tier != Tier::Stub && n.behavior.tags_geo)
-            .count();
+        let taggers = t.nodes().filter(|n| n.tier != Tier::Stub && n.behavior.tags_geo).count();
         assert!(taggers > 0, "default mix should produce geo-taggers");
     }
 

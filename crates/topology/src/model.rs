@@ -198,14 +198,8 @@ impl Topology {
     pub fn add_edge(&mut self, edge: AsEdge) {
         let a = self.nodes.get(&edge.a).expect("edge endpoint a must exist");
         let b = self.nodes.get(&edge.b).expect("edge endpoint b must exist");
-        assert!(
-            (edge.a_router as usize) < a.routers.len(),
-            "attachment router on a out of range"
-        );
-        assert!(
-            (edge.b_router as usize) < b.routers.len(),
-            "attachment router on b out of range"
-        );
+        assert!((edge.a_router as usize) < a.routers.len(), "attachment router on a out of range");
+        assert!((edge.b_router as usize) < b.routers.len(), "attachment router on b out of range");
         self.edges.push(edge);
     }
 
@@ -249,10 +243,7 @@ impl Topology {
 
     /// Number of parallel interconnections between two ASes.
     pub fn interconnection_count(&self, a: Asn, b: Asn) -> usize {
-        self.edges
-            .iter()
-            .filter(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
-            .count()
+        self.edges.iter().filter(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a)).count()
     }
 
     /// The relationship of `neighbor` from `asn`'s point of view (first

@@ -12,9 +12,9 @@ use kcc_collector::{BeaconEvent, BeaconSchedule};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use crate::streams::StreamTemplate;
 #[cfg(test)]
 use crate::streams::StreamClass;
+use crate::streams::StreamTemplate;
 
 /// Beacon burst shape parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +34,7 @@ impl Default for BeaconBurstConfig {
         BeaconBurstConfig {
             path_steps: (1, 3),
             comm_steps: (0, 1),
-            start_jitter_us: 45_000_000,          // ≤ 45 s
+            start_jitter_us: 45_000_000,              // ≤ 45 s
             step_spacing_us: (5_000_000, 60_000_000), // 5–60 s (MRAI-ish)
         }
     }
@@ -66,8 +66,9 @@ pub fn generate_beacon_stream(
             }
             BeaconEvent::Withdraw => {
                 let mut t = t0;
-                let spacing =
-                    |rng: &mut StdRng| rng.gen_range(burst.step_spacing_us.0..=burst.step_spacing_us.1);
+                let spacing = |rng: &mut StdRng| {
+                    rng.gen_range(burst.step_spacing_us.0..=burst.step_spacing_us.1)
+                };
                 let path_steps = rng.gen_range(burst.path_steps.0..=burst.path_steps.1);
                 let comm_steps = rng.gen_range(burst.comm_steps.0..=burst.comm_steps.1);
                 for _ in 0..path_steps {

@@ -8,7 +8,7 @@
 //! announcements, the default here is 300 k (a ~1/3400 scale model with
 //! the same per-stream statistics).
 
-use kcc_bgp_types::{Asn, AsPath, PathAttributes, Prefix, RouteUpdate};
+use kcc_bgp_types::{AsPath, Asn, PathAttributes, Prefix, RouteUpdate};
 use kcc_collector::beacon::ripe_beacon_prefixes;
 use kcc_collector::{BeaconSchedule, PeerMeta, UpdateArchive};
 use kcc_core::AllocationRegistry;
@@ -169,8 +169,7 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
                     class,
                     key.peer_ip,
                 );
-                let n_events =
-                    sample_event_count(&mut rng, cfg.mean_events_per_stream, 200);
+                let n_events = sample_event_count(&mut rng, cfg.mean_events_per_stream, 200);
                 generate_stream(
                     &mut rng,
                     &template,
@@ -183,8 +182,7 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
             }
 
             // Bogons: unallocated ASN in the path or unallocated prefix.
-            let n_bogons =
-                (streams_per_session as f64 * cfg.bogon_rate * 10.0).round() as usize;
+            let n_bogons = (streams_per_session as f64 * cfg.bogon_rate * 10.0).round() as usize;
             for _ in 0..n_bogons {
                 let t = rng.gen_range(0..DAY_US);
                 if rng.gen_bool(0.5) {
@@ -249,12 +247,7 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
         }
     }
 
-    GenOutput {
-        archive,
-        registry,
-        universe,
-        beacon_prefixes: cfg.beacon_prefixes.clone(),
-    }
+    GenOutput { archive, registry, universe, beacon_prefixes: cfg.beacon_prefixes.clone() }
 }
 
 #[cfg(test)]

@@ -13,13 +13,13 @@
 //! | duplicate    | `nn`          | `nn`                    |
 //! | prepend      | `xn`/`xc`     | `xn`                    |
 
-use kcc_bgp_types::{Asn, AsPath, Community, CommunitySet, GeoTag, PathAttributes, RouteUpdate};
+use kcc_bgp_types::{AsPath, Asn, Community, CommunitySet, GeoTag, PathAttributes, RouteUpdate};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use crate::universe::{PeerSpec, PrefixSpec, TransitSpec};
 #[cfg(test)]
 use crate::universe::Universe;
+use crate::universe::{PeerSpec, PrefixSpec, TransitSpec};
 
 /// Maps a city id to its full geo tag (continent/country derived
 /// deterministically, consistent with the topology generator's blocking).
@@ -165,8 +165,10 @@ impl StreamTemplate {
         if class != StreamClass::Untagged {
             // A static relation tag from the first transit.
             if let Some(first) = paths[0].as_path.asns().nth(1) {
-                base_communities
-                    .insert(Community::from_parts(first.value() as u16, 100 + (peer.asn.value() % 50) as u16));
+                base_communities.insert(Community::from_parts(
+                    first.value() as u16,
+                    100 + (peer.asn.value() % 50) as u16,
+                ));
             }
         }
         StreamTemplate {
@@ -279,9 +281,7 @@ pub fn generate_stream(
     let t0 = rng.gen_range(0..60_000_000u64);
     out.push(RouteUpdate::announce(t0, prefix, template.attrs(&state)));
 
-    let mut times: Vec<u64> = (0..n_events)
-        .map(|_| rng.gen_range(60_000_000..day_us))
-        .collect();
+    let mut times: Vec<u64> = (0..n_events).map(|_| rng.gen_range(60_000_000..day_us)).collect();
     times.sort_unstable();
 
     let weights = match template.class {
@@ -298,7 +298,7 @@ pub fn generate_stream(
                 out.push(RouteUpdate::withdraw(t, prefix));
                 template.advance_path(rng, &mut state);
                 out.push(RouteUpdate::announce(
-                    t + rng.gen_range(1_000_000..5_000_000),
+                    t + rng.gen_range(1_000_000u64..5_000_000),
                     prefix,
                     template.attrs(&state),
                 ));
@@ -320,8 +320,7 @@ pub fn generate_stream(
             out.push(RouteUpdate::announce(t, prefix, template.attrs(&state)));
         } else {
             state.prepended = !state.prepended;
-            if template.class == StreamClass::TaggedVisible && rng.gen_bool(cfg.xc_given_prepend)
-            {
+            if template.class == StreamClass::TaggedVisible && rng.gen_bool(cfg.xc_given_prepend) {
                 template.churn_community(rng, &mut state);
             }
             out.push(RouteUpdate::announce(t, prefix, template.attrs(&state)));

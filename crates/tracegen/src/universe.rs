@@ -139,8 +139,9 @@ pub fn build_universe(cfg: &UniverseConfig) -> (Universe, CollectorTraits) {
     for i in 0..cfg.n_transits {
         let asn = Asn(2_000 + i as u32 * 7 % 30_000);
         let tags_geo = rng.gen_bool(cfg.transit_tags_prob);
-        let n_cities =
-            rng.gen_range(cfg.cities_per_transit.0..=cfg.cities_per_transit.1.max(cfg.cities_per_transit.0));
+        let n_cities = rng.gen_range(
+            cfg.cities_per_transit.0..=cfg.cities_per_transit.1.max(cfg.cities_per_transit.0),
+        );
         let cities = (0..n_cities).map(|_| rng.gen_range(0..3_500)).collect();
         u.transits.push(TransitSpec { asn, tags_geo, cities });
     }
@@ -182,9 +183,8 @@ pub fn build_universe(cfg: &UniverseConfig) -> (Universe, CollectorTraits) {
     }
     for i in 0..cfg.n_prefixes_v6 {
         let origin = u.origins[(i * 7) % u.origins.len()];
-        let prefix: Prefix = format!("2001:db8:{:x}::/48", i & 0xFFFF)
-            .parse()
-            .expect("generated v6 prefix");
+        let prefix: Prefix =
+            format!("2001:db8:{:x}::/48", i & 0xFFFF).parse().expect("generated v6 prefix");
         u.prefixes.push(PrefixSpec { prefix, origin });
     }
 
@@ -194,10 +194,7 @@ pub fn build_universe(cfg: &UniverseConfig) -> (Universe, CollectorTraits) {
 impl Universe {
     /// All session keys across peers.
     pub fn all_sessions(&self) -> Vec<(&PeerSpec, &SessionKey)> {
-        self.peers
-            .iter()
-            .flat_map(|p| p.sessions.iter().map(move |s| (p, s)))
-            .collect()
+        self.peers.iter().flat_map(|p| p.sessions.iter().map(move |s| (p, s))).collect()
     }
 
     /// Whether a collector has second-granularity timestamps.

@@ -7,11 +7,11 @@
 //!
 //! Run with `cargo run --release --example beacon_study`.
 
+use keep_communities_clean::adapter::capture_to_archive;
 use keep_communities_clean::analysis::exploration::{detect, summarize};
 use keep_communities_clean::analysis::revealed::revealed_attributes;
 use keep_communities_clean::analysis::sessions::{render_distribution, session_type_distribution};
 use keep_communities_clean::analysis::{classify_archive, AnnouncementType};
-use keep_communities_clean::adapter::capture_to_archive;
 use keep_communities_clean::collector::{BeaconEvent, BeaconSchedule};
 use keep_communities_clean::sim::{Network, SimConfig, SimDuration, SimTime};
 use keep_communities_clean::topology::{generate, RouterId, Tier, TopologyConfig};
@@ -34,11 +34,8 @@ fn main() {
         ..Default::default()
     });
     let mut net = Network::from_topology(&topo, SimConfig::default());
-    let peers: Vec<RouterId> = topo
-        .nodes()
-        .filter(|n| n.tier == Tier::Transit)
-        .map(|n| n.router_id(0))
-        .collect();
+    let peers: Vec<RouterId> =
+        topo.nodes().filter(|n| n.tier == Tier::Transit).map(|n| n.router_id(0)).collect();
     let (collector, _) = net.attach_collector(Asn(3333), &peers);
 
     // Converge, park the beacon in withdrawn state, then play one day of

@@ -73,10 +73,8 @@ fn main() {
     let (key, _) = perturbed.sessions().next().map(|(k, r)| (k.clone(), r.clone())).unwrap();
     {
         let rec = perturbed.sessions_mut().find(|(k, _)| **k == key).map(|(_, r)| r).unwrap();
-        if let Some(u) = rec
-            .updates
-            .iter_mut()
-            .find(|u| matches!(u.kind, MessageKind::Announcement(_)))
+        if let Some(u) =
+            rec.updates.iter_mut().find(|u| matches!(u.kind, MessageKind::Announcement(_)))
         {
             if let MessageKind::Announcement(attrs) = &mut u.kind {
                 attrs

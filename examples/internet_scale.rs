@@ -14,10 +14,7 @@ use keep_communities_clean::collector::UpdateArchive;
 use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
 
 fn main() {
-    let target: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+    let target: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
 
     println!("generating a synthetic collector day (~{target} announcements)…");
     let cfg = Mar20Config { target_announcements: target, ..Default::default() };

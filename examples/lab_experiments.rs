@@ -26,9 +26,9 @@ fn main() {
                 "As Exp2, but X1 removes all communities on egress toward the\n\
                  collector."
             ),
-            LabExperiment::Exp4 => println!(
-                "As Exp3, but X1 removes communities on ingress from Y1 instead."
-            ),
+            LabExperiment::Exp4 => {
+                println!("As Exp3, but X1 removes communities on ingress from Y1 instead.")
+            }
         }
         println!();
         for vendor in VendorProfile::ALL {

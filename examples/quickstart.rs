@@ -31,9 +31,7 @@ fn main() {
     let mut previous = at_collector.clone();
     previous.communities = before.communities.clone();
     previous.communities.clear();
-    previous
-        .communities
-        .insert(keep_communities_clean::types::Community::from_parts(65_002, 300));
+    previous.communities.insert(keep_communities_clean::types::Community::from_parts(65_002, 300));
     let atype = classify_pair(&previous, at_collector);
     println!("  announcement type at collector: {atype} (community only — an unnecessary update)");
 

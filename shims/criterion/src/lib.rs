@@ -1,0 +1,182 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://docs.rs/criterion) benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the surface the workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, sample_size, bench_function, finish}`,
+//! `Bencher::iter`, [`Throughput`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of Criterion's full
+//! statistical analysis it runs a short warm-up followed by timed samples
+//! and reports the median per-iteration time (plus throughput when
+//! configured) on stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration calibration: target ~5ms samples.
+        // Calibrate on the fastest of a few warm-up calls — the first call
+        // often pays one-time costs (allocator growth, lazy init, cold
+        // caches) that would undersize iters_per_sample for steady state.
+        let mut one = Duration::MAX;
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        for _ in 0..5 {
+            let start = Instant::now();
+            black_box(routine());
+            one = one.min(start.elapsed());
+            if Instant::now() > warmup_deadline {
+                break;
+            }
+        }
+        let one = one.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the target measurement time (accepted for API parity; the
+    /// shim's sample calibration ignores it).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count: self.sample_size };
+        f(&mut bencher);
+        let median = bencher.median();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("  ({per_sec:.0} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let per_sec = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  ({per_sec:.1} MiB/s)")
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} median {:>12.3?}{}", self.name, id, median, rate);
+        self
+    }
+
+    /// Finish the group (upstream emits summary output here; the shim prints
+    /// per-benchmark lines eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmarking group `{name}`");
+        BenchmarkGroup { name, throughput: None, sample_size: 10, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, mirroring upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100)).sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -52,8 +52,7 @@ pub fn all_captures_to_archive(net: &Network, epoch_seconds: u32) -> UpdateArchi
 /// The analysis-side session key for a simulated peer router on a named
 /// collector.
 pub fn session_key_for(net: &Network, collector_name: &str, peer: RouterId) -> Option<SessionKey> {
-    net.router(peer)
-        .map(|r| SessionKey::new(collector_name, peer.asn, r.ip))
+    net.router(peer).map(|r| SessionKey::new(collector_name, peer.asn, r.ip))
 }
 
 /// Dumps a collector's per-peer routing table as TABLE_DUMP_V2 MRT
@@ -158,10 +157,11 @@ mod tests {
         let archive = all_captures_to_archive(&net, 0);
         assert_eq!(archive.session_count(), 1); // one collector, one peer
         assert!(session_key_for(&net, "rrc00", ids.x1).is_some());
-        assert!(session_key_for(&net, "rrc00", RouterId {
-            asn: kcc_bgp_types::Asn(99_999),
-            index: 0
-        })
+        assert!(session_key_for(
+            &net,
+            "rrc00",
+            RouterId { asn: kcc_bgp_types::Asn(99_999), index: 0 }
+        )
         .is_none());
     }
 }

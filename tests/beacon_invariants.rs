@@ -2,9 +2,9 @@
 
 use keep_communities_clean::adapter::capture_to_archive;
 use keep_communities_clean::analysis::beacon_phase::{label_archive, phase_counts};
+use keep_communities_clean::analysis::classify_archive;
 use keep_communities_clean::analysis::exploration::detect;
 use keep_communities_clean::analysis::revealed::revealed_attributes;
-use keep_communities_clean::analysis::classify_archive;
 use keep_communities_clean::collector::{BeaconEvent, BeaconSchedule};
 use keep_communities_clean::sim::{Network, SimConfig, SimDuration, SimTime};
 use keep_communities_clean::topology::{generate, RouterId, Tier, TopologyConfig};
@@ -30,11 +30,8 @@ fn run_beacon_day(seed: u64) -> BeaconDay {
         ..Default::default()
     });
     let mut net = Network::from_topology(&topo, SimConfig { seed, ..Default::default() });
-    let peers: Vec<RouterId> = topo
-        .nodes()
-        .filter(|n| n.tier == Tier::Transit)
-        .map(|n| n.router_id(0))
-        .collect();
+    let peers: Vec<RouterId> =
+        topo.nodes().filter(|n| n.tier == Tier::Transit).map(|n| n.router_id(0)).collect();
     let (collector, _) = net.attach_collector(Asn(3333), &peers);
     net.announce_all_origins(&topo, SimTime::ZERO);
     net.run_until_quiet();
@@ -106,10 +103,7 @@ fn majority_of_attributes_revealed_in_withdrawal_phases() {
     let revealed = revealed_attributes(&day.archive, &BeaconSchedule::default(), &[day.beacon]);
     assert!(revealed.total > 0, "no community attributes revealed at all");
     let ratio = revealed.withdrawal_ratio();
-    assert!(
-        ratio >= 0.3,
-        "withdrawal-exclusive ratio {ratio:.2} too low (paper: ~0.6)"
-    );
+    assert!(ratio >= 0.3, "withdrawal-exclusive ratio {ratio:.2} too low (paper: ~0.6)");
 }
 
 #[test]

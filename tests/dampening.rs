@@ -37,10 +37,7 @@ fn dampening_reduces_collector_traffic_under_flapping() {
     let (with, d1) = run_flaps(6, true);
     assert_eq!(d0, 0, "no dampening counter without dampening");
     assert!(d1 > 0, "dampening must engage under rapid flaps");
-    assert!(
-        with < without,
-        "dampening must cut collector traffic: {with} vs {without}"
-    );
+    assert!(with < without, "dampening must cut collector traffic: {with} vs {without}");
 }
 
 #[test]

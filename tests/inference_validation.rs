@@ -37,13 +37,8 @@ fn tomography_recovers_taggers() {
     let out = generated_day(11);
     let inferred = infer_behaviors(&out.archive, &TomographyConfig::default());
 
-    let true_taggers: Vec<Asn> = out
-        .universe
-        .transits
-        .iter()
-        .filter(|t| t.tags_geo)
-        .map(|t| t.asn)
-        .collect();
+    let true_taggers: Vec<Asn> =
+        out.universe.transits.iter().filter(|t| t.tags_geo).map(|t| t.asn).collect();
     assert!(!true_taggers.is_empty());
 
     // Precision: every inferred tagger truly tags.
@@ -158,10 +153,7 @@ fn interconnections_bounded_by_city_pools() {
         assert!(spec.tags_geo, "only taggers can reveal interconnections");
         // Revealed cities are a subset of the tagger's actual city pool.
         for city in &est.cities {
-            assert!(
-                spec.cities.contains(city),
-                "revealed city {city} not in AS{tagger}'s pool"
-            );
+            assert!(spec.cities.contains(city), "revealed city {city} not in AS{tagger}'s pool");
         }
         assert!(est.min_interconnections() >= 1);
     }
@@ -172,8 +164,5 @@ fn multi_city_adjacencies_detected() {
     let out = generated_day(15);
     let inferred = infer_interconnections(&out.archive);
     let multi = inferred.values().filter(|e| e.cities.len() > 1).count();
-    assert!(
-        multi > 0,
-        "community exploration must reveal multi-city interconnections"
-    );
+    assert!(multi > 0, "community exploration must reveal multi-city interconnections");
 }

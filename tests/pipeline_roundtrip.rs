@@ -9,8 +9,8 @@ use keep_communities_clean::analysis::{
     classify_archive, clean_archive, AnnouncementType, CleaningConfig,
 };
 use keep_communities_clean::collector::UpdateArchive;
-use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
 use keep_communities_clean::tracegen::universe::UniverseConfig;
+use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
 
 fn small_config(seed: u64) -> Mar20Config {
     Mar20Config {

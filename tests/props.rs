@@ -9,9 +9,11 @@ use keep_communities_clean::collector::timestamps::normalize_timestamps;
 use keep_communities_clean::collector::{SessionKey, UpdateArchive};
 use keep_communities_clean::types::attrs::Origin;
 use keep_communities_clean::types::{
-    Asn, AsPath, Community, CommunitySet, PathAttributes, Prefix, RouteUpdate,
+    AsPath, Asn, Community, CommunitySet, PathAttributes, Prefix, RouteUpdate,
 };
-use keep_communities_clean::wire::{decode_message, encode_message, Message, SessionConfig, UpdatePacket};
+use keep_communities_clean::wire::{
+    decode_message, encode_message, Message, SessionConfig, UpdatePacket,
+};
 
 fn arb_asn() -> impl Strategy<Value = Asn> {
     // Mix of 2-byte and 4-byte ASNs.
@@ -30,9 +32,8 @@ fn arb_prefix() -> impl Strategy<Value = Prefix> {
 }
 
 fn arb_communities() -> impl Strategy<Value = CommunitySet> {
-    vec(any::<u32>(), 0..12).prop_map(|values| {
-        CommunitySet::from_classic(values.into_iter().map(Community))
-    })
+    vec(any::<u32>(), 0..12)
+        .prop_map(|values| CommunitySet::from_classic(values.into_iter().map(Community)))
 }
 
 fn arb_attrs() -> impl Strategy<Value = PathAttributes> {

@@ -8,18 +8,11 @@ use keep_communities_clean::topology::{generate, Tier, TopologyConfig};
 use keep_communities_clean::types::Asn;
 
 fn converged_network() -> (Network, kcc_topology_reexp::RouterId, usize) {
-    let topo = generate(&TopologyConfig {
-        n_tier1: 2,
-        n_transit: 4,
-        n_stub: 6,
-        ..Default::default()
-    });
+    let topo =
+        generate(&TopologyConfig { n_tier1: 2, n_transit: 4, n_stub: 6, ..Default::default() });
     let mut net = Network::from_topology(&topo, SimConfig::default());
-    let peers: Vec<_> = topo
-        .nodes()
-        .filter(|n| n.tier == Tier::Transit)
-        .map(|n| n.router_id(0))
-        .collect();
+    let peers: Vec<_> =
+        topo.nodes().filter(|n| n.tier == Tier::Transit).map(|n| n.router_id(0)).collect();
     let n_peers = peers.len();
     let (collector, _) = net.attach_collector(Asn(3333), &peers);
     net.announce_all_origins(&topo, SimTime::ZERO);
@@ -42,10 +35,7 @@ fn dump_contains_peer_table_and_all_prefixes() {
     assert_eq!(table.view_name, "synthetic-bview");
 
     // Every prefix the collector knows appears exactly once.
-    let rib_count = records
-        .iter()
-        .filter(|r| matches!(r, MrtRecord::RibSnapshot(_)))
-        .count();
+    let rib_count = records.iter().filter(|r| matches!(r, MrtRecord::RibSnapshot(_))).count();
     let known = net.router(collector).expect("collector").loc_rib_len();
     assert_eq!(rib_count, known);
 }
@@ -58,8 +48,7 @@ fn dump_roundtrips_through_mrt_bytes() {
     let mut writer = MrtWriter::new(Vec::new());
     writer.write_all(&records).expect("write bview");
     let raw = writer.into_inner();
-    let parsed: Vec<MrtRecord> =
-        MrtReader::new(&raw[..]).map(|r| r.expect("parse")).collect();
+    let parsed: Vec<MrtRecord> = MrtReader::new(&raw[..]).map(|r| r.expect("parse")).collect();
     assert_eq!(parsed, records, "bview must round-trip bit-exactly");
 }
 

@@ -9,7 +9,10 @@ use keep_communities_clean::sim::{SimDuration, SimTime, VendorProfile};
 /// Runs a lab experiment with *two* link flaps so the collector stream
 /// has enough history for the classifier (first flap establishes the
 /// predecessor announcement, second one is classified).
-fn archive_for(exp: LabExperiment, vendor: VendorProfile) -> keep_communities_clean::collector::UpdateArchive {
+fn archive_for(
+    exp: LabExperiment,
+    vendor: VendorProfile,
+) -> keep_communities_clean::collector::UpdateArchive {
     let LabNetwork { mut net, ids } = build_lab(exp, vendor);
     net.schedule_announce(SimTime::ZERO, ids.z1, lab_prefix());
     net.run_until_quiet();
