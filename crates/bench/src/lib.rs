@@ -8,6 +8,7 @@
 //! | binary | regenerates |
 //! |---|---|
 //! | `exp_lab` | §3 Exp1–Exp4 across all vendor profiles |
+//! | `sweep` | parallel scenario sweep: vendor × cleaning × MRAI × size |
 //! | `table1` | Table 1 (*d_mar20* overview) |
 //! | `table2` | Table 2 (type shares, *d_mar20* and *d_beacon*) |
 //! | `fig2` | Fig. 2 (daily announcements per type, 2010–2020) |
@@ -24,7 +25,9 @@
 pub mod args;
 pub mod beacon_day;
 pub mod compare;
+pub mod sweep;
 
 pub use args::Args;
 pub use beacon_day::{run_beacon_day, BeaconDayConfig, BeaconDayOutput};
 pub use compare::Comparison;
+pub use sweep::{run_cell, run_sweep, CellResult, CleaningPlacement, SweepCell, SweepConfig};

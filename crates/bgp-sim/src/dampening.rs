@@ -158,6 +158,78 @@ mod tests {
     }
 
     #[test]
+    fn penalty_exactly_at_suppress_threshold_suppresses() {
+        // The comparison is `>=`: landing exactly on the threshold
+        // suppresses (RFC 2439's cutoff is inclusive).
+        let exact = DampeningConfig { penalty_per_flap: 2_000.0, ..DampeningConfig::default() };
+        let mut s = DampeningState::new(SimTime::ZERO);
+        assert!(s.record_flap(SimTime::ZERO, &exact), "penalty == threshold must suppress");
+        // One unit below must not.
+        let below = DampeningConfig { penalty_per_flap: 1_999.0, ..DampeningConfig::default() };
+        let mut s = DampeningState::new(SimTime::ZERO);
+        assert!(!s.record_flap(SimTime::ZERO, &below));
+    }
+
+    #[test]
+    fn penalty_exactly_at_reuse_threshold_stays_suppressed() {
+        // Reuse requires decaying strictly *below* the threshold. With
+        // penalty 1500, reuse 750 and one exact half-life elapsed, the
+        // decayed penalty is exactly 750 — still suppressed; a moment
+        // later it is not.
+        let cfg = DampeningConfig {
+            penalty_per_flap: 1_500.0,
+            suppress_threshold: 1_500.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_secs(60),
+        };
+        let mut s = DampeningState::new(SimTime::ZERO);
+        assert!(s.record_flap(SimTime::ZERO, &cfg));
+        let one_half_life = SimTime::from_secs(60);
+        assert!(
+            (s.penalty_at(one_half_life, &cfg) - 750.0).abs() < 1e-9,
+            "exactly one half-life must halve the penalty exactly"
+        );
+        assert!(s.is_suppressed(one_half_life, &cfg), "== reuse threshold is still suppressed");
+        assert!(!s.is_suppressed(SimTime::from_secs(61), &cfg), "below the threshold is reusable");
+    }
+
+    #[test]
+    fn zero_half_life_disables_decay() {
+        // A degenerate half-life of zero must not divide by zero; the
+        // penalty is simply frozen.
+        let cfg = DampeningConfig { half_life: SimDuration::ZERO, ..DampeningConfig::default() };
+        let mut s = DampeningState::new(SimTime::ZERO);
+        s.record_flap(SimTime::ZERO, &cfg);
+        assert!((s.penalty_at(SimTime::from_secs(86_400), &cfg) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn penalty_decays_toward_zero_without_crossing() {
+        // Exponential decay approaches zero asymptotically; even after
+        // an absurd interval the penalty stays non-negative and the
+        // suppression state machine keeps working.
+        let mut s = DampeningState::new(SimTime::ZERO);
+        s.record_flap(SimTime::ZERO, &cfg());
+        let far = SimTime::from_secs(365 * 86_400);
+        let p = s.penalty_at(far, &cfg());
+        assert!(p >= 0.0, "penalty must never cross zero: {p}");
+        assert!(p < 1e-6, "a year of decay leaves nothing: {p}");
+        // A new flap from the fully-decayed state behaves like the first.
+        assert!(!s.record_flap(far, &cfg()));
+    }
+
+    #[test]
+    fn reuse_time_is_last_update_when_already_reusable() {
+        let mut s = DampeningState::new(SimTime::ZERO);
+        s.record_flap(SimTime::from_secs(5), &cfg());
+        // One flap: penalty 1000 > reuse 750, so reuse is in the future…
+        assert!(s.reuse_time(&cfg()) > SimTime::from_secs(5));
+        // …but with a reuse threshold above the penalty it is immediate.
+        let lax = DampeningConfig { reuse_threshold: 1_500.0, ..cfg() };
+        assert_eq!(s.reuse_time(&lax), SimTime::from_secs(5));
+    }
+
+    #[test]
     fn spaced_flaps_never_suppress() {
         let mut s = DampeningState::new(SimTime::ZERO);
         for i in 0..10u64 {

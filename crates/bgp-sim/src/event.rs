@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use kcc_bgp_types::Prefix;
 use kcc_topology::RouterId;
 
+use crate::policy::{ExportPolicy, ImportPolicy};
 use crate::route::SimUpdate;
 use crate::session::SessionId;
 use crate::time::SimTime;
@@ -62,6 +63,30 @@ pub enum EventKind {
         session: SessionId,
         /// The dampened prefix.
         prefix: Prefix,
+    },
+    /// A router replaces the import policy it applies on a session — the
+    /// scenario engine's "community rewrite" knob. On eBGP sessions the
+    /// peer then replays its Adj-RIB-Out (an RFC 2918 route refresh) so
+    /// the new policy takes effect without waiting for other churn.
+    SetImportPolicy {
+        /// The reconfigured session.
+        session: SessionId,
+        /// The endpoint whose import policy changes.
+        router: RouterId,
+        /// The replacement policy.
+        policy: ImportPolicy,
+    },
+    /// A router replaces the export policy it applies on a session, then
+    /// re-advertises its Loc-RIB there (a soft reset out). Announcements
+    /// whose wire form is unchanged follow the vendor's duplicate policy:
+    /// Junos stays silent, everything else re-sends.
+    SetExportPolicy {
+        /// The reconfigured session.
+        session: SessionId,
+        /// The endpoint whose export policy changes.
+        router: RouterId,
+        /// The replacement policy.
+        policy: ExportPolicy,
     },
 }
 

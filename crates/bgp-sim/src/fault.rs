@@ -28,6 +28,14 @@ impl Default for FaultConfig {
     }
 }
 
+impl FaultConfig {
+    /// A config that drops messages with `drop_chance` under `seed`, with
+    /// no extra delay — the scenario specs' shorthand for lossy networks.
+    pub fn lossy(drop_chance: f64, seed: u64) -> Self {
+        FaultConfig { drop_chance, max_extra_delay: SimDuration::ZERO, seed }
+    }
+}
+
 /// Stateful fault injector.
 #[derive(Debug)]
 pub struct FaultInjector {
@@ -77,6 +85,14 @@ mod tests {
             assert_eq!(f.extra_delay(), SimDuration::ZERO);
         }
         assert_eq!(f.dropped, 0);
+    }
+
+    #[test]
+    fn lossy_shorthand_sets_only_drops() {
+        let f = FaultConfig::lossy(0.25, 9);
+        assert!((f.drop_chance - 0.25).abs() < 1e-12);
+        assert_eq!(f.max_extra_delay, SimDuration::ZERO);
+        assert_eq!(f.seed, 9);
     }
 
     #[test]

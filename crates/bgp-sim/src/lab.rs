@@ -18,18 +18,29 @@
 //! * **Exp4** (`X1` cleans on *ingress*): the update stops at `X1`; the
 //!   collector stays silent. Ingress and egress cleaning are
 //!   distinguishable from message traffic.
+//!
+//! Each experiment is expressed as a declarative [`ScenarioSpec`] (see
+//! [`LabExperiment::spec`]) and interpreted by the shared
+//! [`crate::scenario`] engine: the Figure 1 wiring is an
+//! [`TopologyTemplate::Explicit`] router/session list, the
+//! converge-then-perturb protocol is a two-phase timeline, and the
+//! paper's published outcomes are [`Expectation`]s carried by the spec
+//! itself.
 
 use std::net::IpAddr;
 
-use kcc_bgp_types::{Asn, Community, PathAttributes, Prefix};
+use kcc_bgp_types::{Asn, Community, Prefix};
 use kcc_topology::{IgpMap, RouteSource, RouterId};
 
 use crate::capture::CapturedUpdate;
 use crate::network::{Network, SimConfig};
 use crate::policy::{ExportPolicy, ImportPolicy};
-use crate::router::Router;
-use crate::session::{Session, SessionId, SessionKind};
-use crate::time::{SimDuration, SimTime};
+use crate::scenario::{
+    self, CountBound, Expectation, Phase, RouterDecl, ScenarioAction, ScenarioEvent, ScenarioSpec,
+    SessionDecl, TopologyTemplate,
+};
+use crate::session::{SessionId, SessionKind};
+use crate::time::SimDuration;
 use crate::vendor::VendorProfile;
 
 /// AS numbers of the lab topology.
@@ -77,6 +88,170 @@ impl LabExperiment {
             LabExperiment::Exp3 => "Exp3",
             LabExperiment::Exp4 => "Exp4",
         }
+    }
+
+    /// The experiment as a declarative scenario with every router running
+    /// `vendor`, including the paper's published outcome as expectations.
+    pub fn spec(self, vendor: VendorProfile) -> ScenarioSpec {
+        let p = lab_prefix();
+        let c1 = rid(asns::C, 0);
+        let x1 = rid(asns::X, 0);
+        let y1 = rid(asns::Y, 0);
+        let y2 = rid(asns::Y, 1);
+        let y3 = rid(asns::Y, 2);
+        let z1 = rid(asns::Z, 0);
+
+        // Y's IGP prefers Y1→Y2 (cost 5) over Y1→Y3 (cost 10).
+        let y_igp = IgpMap::matrix(3, vec![0, 5, 10, 5, 0, 5, 10, 5, 0]);
+        let routers = vec![
+            RouterDecl { is_collector: true, ..RouterDecl::new(c1, ip(198, 51, 100, 1)) },
+            RouterDecl::new(x1, ip(10, 1, 0, 1)),
+            RouterDecl { igp: y_igp.clone(), ..RouterDecl::new(y1, ip(10, 2, 0, 1)) },
+            RouterDecl { igp: y_igp.clone(), ..RouterDecl::new(y2, ip(10, 2, 0, 2)) },
+            RouterDecl { igp: y_igp, ..RouterDecl::new(y3, ip(10, 2, 0, 3)) },
+            RouterDecl::new(z1, ip(10, 3, 0, 1)),
+        ];
+
+        let plain = |kind: RouteSource| ImportPolicy::for_neighbor(kind);
+        // X1–C1: X exports everything to the collector, cleaning on
+        // egress in Exp3/Exp4.
+        let x1_export_to_c = ExportPolicy {
+            clean_communities: matches!(self, LabExperiment::Exp3 | LabExperiment::Exp4),
+            ..Default::default()
+        };
+        // X1–Y1: Y is X's customer; Exp4 adds ingress cleaning.
+        let x1_import_from_y = ImportPolicy {
+            clean_communities: self == LabExperiment::Exp4,
+            ..plain(RouteSource::Customer)
+        };
+        // Y2–Z1 and Y3–Z1: Z is Y's customer. Exp2+ adds ingress tags.
+        let with_tags = !matches!(self, LabExperiment::Exp1);
+        let y_asn16 = asns::Y.value() as u16;
+        let ingress_tag = |value: u16| ImportPolicy {
+            add_communities: if with_tags {
+                vec![Community::from_parts(y_asn16, value)]
+            } else {
+                Vec::new()
+            },
+            ..plain(RouteSource::Customer)
+        };
+        let sessions = vec![
+            SessionDecl::ibgp(y1, y2),
+            SessionDecl::ibgp(y1, y3),
+            SessionDecl::ibgp(y2, y3),
+            SessionDecl {
+                a_export: x1_export_to_c,
+                ..SessionDecl::ebgp_customer_with_imports(
+                    x1,
+                    c1,
+                    ImportPolicy::default(),
+                    ImportPolicy::default(),
+                )
+            },
+            SessionDecl::ebgp_customer_with_imports(
+                x1,
+                y1,
+                x1_import_from_y,
+                plain(RouteSource::Provider),
+            ),
+            SessionDecl::ebgp_customer_with_imports(
+                y2,
+                z1,
+                ingress_tag(300),
+                plain(RouteSource::Provider),
+            ),
+            SessionDecl::ebgp_customer_with_imports(
+                y3,
+                z1,
+                ingress_tag(400),
+                plain(RouteSource::Provider),
+            ),
+        ];
+
+        ScenarioSpec {
+            name: format!("{}/{}", self.name(), vendor.name),
+            sim: SimConfig {
+                // The lab is fully deterministic: fixed small delays, no
+                // faults.
+                base_link_delay: SimDuration::from_millis(2),
+                delay_spread: SimDuration::ZERO,
+                default_vendor: vendor,
+                ..Default::default()
+            },
+            topology: TopologyTemplate::Explicit { routers, sessions },
+            monitors: vec![(x1, y1)],
+            watch: vec![(x1, p)],
+            phases: vec![
+                Phase::new(
+                    "converge",
+                    vec![ScenarioEvent::immediately(ScenarioAction::Announce {
+                        router: z1,
+                        prefix: p,
+                    })],
+                ),
+                Phase::new(
+                    "perturb",
+                    vec![ScenarioEvent::after(
+                        SimDuration::from_secs(60),
+                        ScenarioAction::LinkDown { a: y1, b: y2 },
+                    )],
+                ),
+            ],
+            expectations: self.expectations(vendor),
+        }
+    }
+
+    /// The paper's §3 findings for this experiment under `vendor`,
+    /// phrased over the perturbation phase (index 1).
+    fn expectations(self, vendor: VendorProfile) -> Vec<Expectation> {
+        let p = lab_prefix();
+        let c1 = rid(asns::C, 0);
+        let x1 = rid(asns::X, 0);
+        let y1 = rid(asns::Y, 0);
+        let suppresses = vendor.suppresses_duplicates;
+        // Messages crossing Y1→X1: suppressed only in Exp1 on Junos (the
+        // community change of Exp2+ is a genuine update everywhere).
+        let on_wire = if self == LabExperiment::Exp1 && suppresses { 0 } else { 1 };
+        // Messages reaching the collector.
+        let at_collector = match self {
+            LabExperiment::Exp1 | LabExperiment::Exp4 => 0,
+            LabExperiment::Exp2 => 1,
+            LabExperiment::Exp3 => usize::from(!suppresses),
+        };
+        // X1's post-policy RIB changes whenever the community change
+        // survives X1's ingress policy.
+        let rib_changed = matches!(self, LabExperiment::Exp2 | LabExperiment::Exp3);
+        let mut expectations = vec![
+            Expectation::MonitorTraffic {
+                phase: 1,
+                a: x1,
+                b: y1,
+                to: Some(x1),
+                bound: CountBound::Exactly(on_wire),
+            },
+            Expectation::CollectorTraffic {
+                phase: 1,
+                collector: c1,
+                bound: CountBound::Exactly(at_collector),
+            },
+            Expectation::WatchedRouteChanged {
+                phase: 1,
+                router: x1,
+                prefix: p,
+                changed: rib_changed,
+            },
+        ];
+        if suppresses && matches!(self, LabExperiment::Exp1 | LabExperiment::Exp3) {
+            expectations.push(Expectation::DuplicatesSuppressed {
+                phase: 1,
+                bound: CountBound::AtLeast(1),
+            });
+        }
+        if !suppresses && self == LabExperiment::Exp1 {
+            expectations
+                .push(Expectation::DuplicatesSent { phase: 1, bound: CountBound::AtLeast(1) });
+        }
+        expectations
     }
 }
 
@@ -140,192 +315,82 @@ fn ip(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
     IpAddr::V4(std::net::Ipv4Addr::new(a, b, c, d))
 }
 
-/// Builds the Figure 1 network with every router running `vendor` and the
-/// community configuration of `experiment`.
-pub fn build_lab(experiment: LabExperiment, vendor: VendorProfile) -> LabNetwork {
-    let mut net = Network::new(SimConfig {
-        // The lab is fully deterministic: fixed small delays, no faults.
-        base_link_delay: SimDuration::from_millis(2),
-        delay_spread: SimDuration::ZERO,
-        ..Default::default()
-    });
+impl SessionDecl {
+    /// An eBGP session where `b` is `a`'s customer, with explicit import
+    /// policies per side (the lab's sessions all follow this shape).
+    fn ebgp_customer_with_imports(
+        a: RouterId,
+        b: RouterId,
+        a_import: ImportPolicy,
+        b_import: ImportPolicy,
+    ) -> Self {
+        SessionDecl {
+            a,
+            b,
+            kind: SessionKind::Ebgp,
+            a_import,
+            a_export: ExportPolicy::default(),
+            b_import,
+            b_export: ExportPolicy::default(),
+            a_view_of_b: Some(RouteSource::Customer),
+            b_view_of_a: Some(RouteSource::Provider),
+            delay: None,
+        }
+    }
+}
 
+/// Builds the Figure 1 network with every router running `vendor` and the
+/// community configuration of `experiment`, by compiling the experiment's
+/// [`ScenarioSpec`].
+pub fn build_lab(experiment: LabExperiment, vendor: VendorProfile) -> LabNetwork {
+    let spec = experiment.spec(vendor);
+    let built = scenario::build(&spec);
+    let net = built.net;
     let c1 = rid(asns::C, 0);
     let x1 = rid(asns::X, 0);
     let y1 = rid(asns::Y, 0);
     let y2 = rid(asns::Y, 1);
     let y3 = rid(asns::Y, 2);
     let z1 = rid(asns::Z, 0);
-
-    // Y's IGP prefers Y1→Y2 (cost 5) over Y1→Y3 (cost 10).
-    let y_igp = IgpMap::matrix(3, vec![0, 5, 10, 5, 0, 5, 10, 5, 0]);
-
-    let mut collector = Router::new(c1, ip(198, 51, 100, 1), vendor, IgpMap::ring(1));
-    collector.is_collector = true;
-    net.add_router(collector);
-    net.add_router(Router::new(x1, ip(10, 1, 0, 1), vendor, IgpMap::ring(1)));
-    net.add_router(Router::new(y1, ip(10, 2, 0, 1), vendor, y_igp.clone()));
-    net.add_router(Router::new(y2, ip(10, 2, 0, 2), vendor, y_igp.clone()));
-    net.add_router(Router::new(y3, ip(10, 2, 0, 3), vendor, y_igp));
-    net.add_router(Router::new(z1, ip(10, 3, 0, 1), vendor, IgpMap::ring(1)));
-
-    let plain = |kind: RouteSource| ImportPolicy::for_neighbor(kind);
-    let delay = SimDuration::from_millis(2);
-    let ibgp = |a: RouterId, b: RouterId| Session {
-        id: SessionId(0),
-        kind: SessionKind::Ibgp,
-        a,
-        b,
-        a_import: ImportPolicy::default(),
-        a_export: ExportPolicy::default(),
-        b_import: ImportPolicy::default(),
-        b_export: ExportPolicy::default(),
-        a_view_of_b: None,
-        b_view_of_a: None,
-        delay,
-        up: true,
+    let ids = LabIds {
+        c1,
+        x1,
+        y1,
+        y2,
+        y3,
+        z1,
+        x1_y1: net.find_session(x1, y1).expect("lab session X1-Y1"),
+        x1_c1: net.find_session(x1, c1).expect("lab session X1-C1"),
+        y1_y2: net.find_session(y1, y2).expect("lab session Y1-Y2"),
     };
-
-    // iBGP full mesh in Y.
-    let y1_y2 = net.add_session(ibgp(y1, y2));
-    net.add_session(ibgp(y1, y3));
-    net.add_session(ibgp(y2, y3));
-
-    // X1–C1: X exports everything to the collector.
-    let x1_export_to_c = ExportPolicy {
-        clean_communities: matches!(experiment, LabExperiment::Exp3 | LabExperiment::Exp4),
-        ..Default::default()
-    };
-    let x1_c1 = net.add_session(Session {
-        id: SessionId(0),
-        kind: SessionKind::Ebgp,
-        a: x1,
-        b: c1,
-        a_import: ImportPolicy::default(),
-        a_export: x1_export_to_c,
-        b_import: ImportPolicy::default(),
-        b_export: ExportPolicy::default(),
-        a_view_of_b: Some(RouteSource::Customer),
-        b_view_of_a: Some(RouteSource::Provider),
-        delay,
-        up: true,
-    });
-
-    // X1–Y1: Y is X's customer.
-    let x1_import_from_y = ImportPolicy {
-        clean_communities: experiment == LabExperiment::Exp4,
-        ..plain(RouteSource::Customer)
-    };
-    let x1_y1 = net.add_session(Session {
-        id: SessionId(0),
-        kind: SessionKind::Ebgp,
-        a: x1,
-        b: y1,
-        a_import: x1_import_from_y,
-        a_export: ExportPolicy::default(),
-        b_import: plain(RouteSource::Provider),
-        b_export: ExportPolicy::default(),
-        a_view_of_b: Some(RouteSource::Customer),
-        b_view_of_a: Some(RouteSource::Provider),
-        delay,
-        up: true,
-    });
-
-    // Y2–Z1 and Y3–Z1: Z is Y's customer. Exp2+ adds ingress tags.
-    let with_tags = !matches!(experiment, LabExperiment::Exp1);
-    let y_asn16 = asns::Y.value() as u16;
-    let y2_import_from_z = ImportPolicy {
-        add_communities: if with_tags {
-            vec![Community::from_parts(y_asn16, 300)]
-        } else {
-            Vec::new()
-        },
-        ..plain(RouteSource::Customer)
-    };
-    let y3_import_from_z = ImportPolicy {
-        add_communities: if with_tags {
-            vec![Community::from_parts(y_asn16, 400)]
-        } else {
-            Vec::new()
-        },
-        ..plain(RouteSource::Customer)
-    };
-    net.add_session(Session {
-        id: SessionId(0),
-        kind: SessionKind::Ebgp,
-        a: y2,
-        b: z1,
-        a_import: y2_import_from_z,
-        a_export: ExportPolicy::default(),
-        b_import: plain(RouteSource::Provider),
-        b_export: ExportPolicy::default(),
-        a_view_of_b: Some(RouteSource::Customer),
-        b_view_of_a: Some(RouteSource::Provider),
-        delay,
-        up: true,
-    });
-    net.add_session(Session {
-        id: SessionId(0),
-        kind: SessionKind::Ebgp,
-        a: y3,
-        b: z1,
-        a_import: y3_import_from_z,
-        a_export: ExportPolicy::default(),
-        b_import: plain(RouteSource::Provider),
-        b_export: ExportPolicy::default(),
-        a_view_of_b: Some(RouteSource::Customer),
-        b_view_of_a: Some(RouteSource::Provider),
-        delay,
-        up: true,
-    });
-
-    net.monitor_session(x1_y1);
-
-    LabNetwork { net, ids: LabIds { c1, x1, y1, y2, y3, z1, x1_y1, x1_c1, y1_y2 } }
+    LabNetwork { net, ids }
 }
 
-/// Runs one experiment with one vendor and reports what was observed.
+/// Runs one experiment with one vendor and reports what was observed, by
+/// interpreting the experiment's [`ScenarioSpec`] with the scenario
+/// engine.
 pub fn run_experiment(experiment: LabExperiment, vendor: VendorProfile) -> LabReport {
-    let LabNetwork { mut net, ids } = build_lab(experiment, vendor);
+    let spec = experiment.spec(vendor);
+    let outcome = scenario::run(&spec);
     let p = lab_prefix();
+    let c1 = rid(asns::C, 0);
+    let x1 = rid(asns::X, 0);
+    let y1 = rid(asns::Y, 0);
 
-    // Converge.
-    net.schedule_announce(SimTime::ZERO, ids.z1, p);
-    net.run_until_quiet();
-
-    // Sanity: quiet means quiet (the paper verifies only keepalives flow).
-    let x1_before: Option<PathAttributes> =
-        net.router(ids.x1).and_then(|r| r.best_route(&p)).map(|e| e.attrs.clone());
-    net.clear_captures();
-    let dup_sent_before: u64 = net.routers().map(|r| r.counters.duplicates_sent).sum();
-    let dup_supp_before: u64 = net.routers().map(|r| r.counters.duplicates_suppressed).sum();
-
-    // Perturb: disable the Y1–Y2 session.
-    let t = net.now() + SimDuration::from_secs(60);
-    net.schedule_link_down(t, ids.y1_y2);
-    net.run_until_quiet();
-
-    let x1_after: Option<PathAttributes> =
-        net.router(ids.x1).and_then(|r| r.best_route(&p)).map(|e| e.attrs.clone());
-
-    let y1_to_x1: Vec<CapturedUpdate> = net
-        .monitored(ids.x1_y1)
-        .map(|c| c.entries().iter().filter(|e| e.to == ids.x1).cloned().collect())
-        .unwrap_or_default();
-    let at_collector: Vec<CapturedUpdate> =
-        net.capture(ids.c1).map(|c| c.entries().to_vec()).unwrap_or_default();
-
-    let dup_sent_after: u64 = net.routers().map(|r| r.counters.duplicates_sent).sum();
-    let dup_supp_after: u64 = net.routers().map(|r| r.counters.duplicates_suppressed).sum();
+    let y1_to_x1: Vec<CapturedUpdate> =
+        outcome.monitored_in_phase(1, x1, y1).iter().filter(|e| e.to == x1).cloned().collect();
+    let at_collector = outcome.collected_in_phase(1, c1).to_vec();
+    let x1_rib_changed = outcome.watched_attrs(0, x1, p) != outcome.watched_attrs(1, x1, p);
+    let perturb = &outcome.phases[1].counters;
 
     LabReport {
         experiment,
         vendor,
         y1_to_x1,
         at_collector,
-        x1_rib_changed: x1_before != x1_after,
-        duplicates_suppressed: dup_supp_after - dup_supp_before,
-        duplicates_sent: dup_sent_after - dup_sent_before,
+        x1_rib_changed,
+        duplicates_suppressed: perturb.duplicates_suppressed,
+        duplicates_sent: perturb.duplicates_sent,
     }
 }
 
@@ -333,6 +398,7 @@ pub fn run_experiment(experiment: LabExperiment, vendor: VendorProfile) -> LabRe
 mod tests {
     use super::*;
     use crate::route::UpdateBody;
+    use crate::time::SimTime;
 
     fn community(v: u16) -> Community {
         Community::from_parts(asns::Y.value() as u16, v)
@@ -430,6 +496,20 @@ mod tests {
                 let r = run_experiment(exp, vendor);
                 // The Y1→X1 link sees at most one message per run.
                 assert!(r.y1_to_x1.len() <= 1, "{exp:?}/{vendor}: unexpected extra messages");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_expectations_hold_for_every_cell() {
+        // The paper's §3 table, phrased as declarative expectations and
+        // checked by the engine — every experiment × vendor cell.
+        for exp in LabExperiment::ALL {
+            for vendor in VendorProfile::ALL {
+                let spec = exp.spec(vendor);
+                let outcome = scenario::run(&spec);
+                let violations = outcome.check(&spec.expectations);
+                assert!(violations.is_empty(), "{violations:#?}");
             }
         }
     }

@@ -23,8 +23,11 @@
 //!   ([`fault`]),
 //! * **capture** at collector routers and on monitored sessions
 //!   ([`capture`]),
-//! * the paper's **Figure 1 lab topology** and Exp1–Exp4 scenario drivers
-//!   ([`lab`]).
+//! * a **declarative scenario engine** ([`scenario`]): topology template +
+//!   scripted event timeline (announces, withdraws, link faults, community
+//!   rewrites) + capture expectations, all as data,
+//! * the paper's **Figure 1 lab topology** and Exp1–Exp4, expressed as
+//!   four scenario specs ([`lab`]).
 //!
 //! Determinism: all event ordering is `(time, sequence)`; all randomness is
 //! seeded. The same inputs always produce byte-identical captures.
@@ -42,6 +45,7 @@ pub mod network;
 pub mod policy;
 pub mod route;
 pub mod router;
+pub mod scenario;
 pub mod session;
 pub mod time;
 pub mod vendor;
@@ -53,6 +57,10 @@ pub use network::{Network, SimConfig};
 pub use policy::{ExportPolicy, ImportPolicy};
 pub use route::{RibEntry, SimUpdate, UpdateBody};
 pub use router::Router;
+pub use scenario::{
+    CountBound, Expectation, Phase, ScenarioAction, ScenarioEvent, ScenarioOutcome, ScenarioSpec,
+    TopologyTemplate,
+};
 pub use session::{Session, SessionId, SessionKind};
 pub use time::{SimDuration, SimTime};
 pub use vendor::VendorProfile;

@@ -78,6 +78,9 @@ pub struct Network {
     sessions: Vec<Session>,
     queue: EventQueue,
     now: SimTime,
+    /// Time of the last event actually processed (distinct from `now`,
+    /// which `run_until` may advance past the final event).
+    last_event: SimTime,
     captures: BTreeMap<RouterId, Capture>,
     monitors: BTreeMap<SessionId, Capture>,
     fault: FaultInjector,
@@ -94,6 +97,7 @@ impl Network {
             sessions: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            last_event: SimTime::ZERO,
             captures: BTreeMap::new(),
             monitors: BTreeMap::new(),
             fault: FaultInjector::new(config.fault),
@@ -163,6 +167,19 @@ impl Network {
             .map(|s| s.id)
     }
 
+    /// Every eBGP session between two ASes — generated topologies create
+    /// parallel interconnections at different routers, and an inter-AS
+    /// adjacency failure must take all of them down.
+    pub fn find_ebgp_sessions(&self, a: Asn, b: Asn) -> Vec<SessionId> {
+        self.sessions
+            .iter()
+            .filter(|s| {
+                s.is_ebgp() && ((s.a.asn == a && s.b.asn == b) || (s.a.asn == b && s.b.asn == a))
+            })
+            .map(|s| s.id)
+            .collect()
+    }
+
     /// Marks a session to be watched: every message delivered on it is
     /// recorded (the lab's "packet capture between X1 and Y1").
     pub fn monitor_session(&mut self, id: SessionId) {
@@ -219,12 +236,43 @@ impl Network {
         self.schedule(at, EventKind::LinkUp { session });
     }
 
+    /// Schedules a replacement of the import policy `router` applies on
+    /// its session with `peer` (panics if no such session exists).
+    pub fn schedule_import_policy(
+        &mut self,
+        at: SimTime,
+        router: RouterId,
+        peer: RouterId,
+        policy: ImportPolicy,
+    ) {
+        let session = self
+            .find_session(router, peer)
+            .unwrap_or_else(|| panic!("no session between {router} and {peer}"));
+        self.schedule(at, EventKind::SetImportPolicy { session, router, policy });
+    }
+
+    /// Schedules a replacement of the export policy `router` applies on
+    /// its session with `peer` (panics if no such session exists).
+    pub fn schedule_export_policy(
+        &mut self,
+        at: SimTime,
+        router: RouterId,
+        peer: RouterId,
+        policy: ExportPolicy,
+    ) {
+        let session = self
+            .find_session(router, peer)
+            .unwrap_or_else(|| panic!("no session between {router} and {peer}"));
+        self.schedule(at, EventKind::SetExportPolicy { session, router, policy });
+    }
+
     /// Processes one event; `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
         self.now = ev.at;
+        self.last_event = ev.at;
         self.stats.events_processed += 1;
         match ev.kind {
             EventKind::Deliver { session, to, update } => self.on_deliver(session, to, update),
@@ -270,11 +318,20 @@ impl Network {
                 };
                 self.apply_actions(router, actions);
             }
+            EventKind::SetImportPolicy { session, router, policy } => {
+                self.on_set_import_policy(session, router, policy);
+            }
+            EventKind::SetExportPolicy { session, router, policy } => {
+                self.on_set_export_policy(session, router, policy);
+            }
         }
         true
     }
 
-    /// Runs until no events remain. Returns the quiescence time.
+    /// Runs until no events remain. Returns the time of the last event
+    /// actually processed — the network's convergence time — rather than
+    /// the queue-empty poll time (`now` may sit past the final event after
+    /// a [`Network::run_until`] call with a generous bound).
     ///
     /// Panics if `max_events` is exceeded — quiet networks must converge,
     /// so an overrun is a correctness bug, not a load condition.
@@ -287,7 +344,7 @@ impl Network {
                 "event budget exceeded: likely routing oscillation"
             );
         }
-        self.now
+        self.last_event
     }
 
     /// Runs until simulated time reaches `t` (events at exactly `t` are
@@ -373,6 +430,77 @@ impl Network {
             };
             self.apply_actions(endpoint, actions);
         }
+    }
+
+    /// Replaces `router`'s import policy on a session. On eBGP sessions
+    /// the peer then replays its Adj-RIB-Out for the session (an RFC 2918
+    /// route refresh), so the rewrite is observable without other churn;
+    /// the receiver's post-policy no-change check absorbs replays the new
+    /// policy leaves untouched. iBGP rewrites apply lazily (the refresh
+    /// replay cannot reconstruct the sim-internal iBGP source hint).
+    fn on_set_import_policy(
+        &mut self,
+        session_id: SessionId,
+        router: RouterId,
+        policy: ImportPolicy,
+    ) {
+        let session = &mut self.sessions[session_id.0];
+        if session.a == router {
+            session.a_import = policy;
+        } else {
+            session.b_import = policy;
+        }
+        if !session.up || !session.is_ebgp() {
+            return;
+        }
+        let peer = session.other(router);
+        let Some(peer_router) = self.routers.get(&peer) else {
+            return;
+        };
+        // The replay travels the normal transmission path (fault
+        // injection, link delay, sender counters) like any other update.
+        let actions: Vec<Action> = peer_router
+            .advertised_on(session_id)
+            .into_iter()
+            .map(|(prefix, attrs)| Action::Send {
+                session: session_id,
+                update: SimUpdate::announce(prefix, attrs),
+            })
+            .collect();
+        if let Some(peer_router) = self.routers.get_mut(&peer) {
+            peer_router.counters.updates_sent += actions.len() as u64;
+        }
+        self.apply_actions(peer, actions);
+    }
+
+    /// Replaces `router`'s export policy on a session, then re-runs the
+    /// export path for its whole Loc-RIB there (a soft reset out).
+    /// Announcements whose wire form the new policy does not change follow
+    /// the vendor's duplicate behavior — Junos stays silent, the rest
+    /// re-send — exactly the §3 vendor split.
+    fn on_set_export_policy(
+        &mut self,
+        session_id: SessionId,
+        router: RouterId,
+        policy: ExportPolicy,
+    ) {
+        let session = &mut self.sessions[session_id.0];
+        if session.a == router {
+            session.a_export = policy;
+        } else {
+            session.b_export = policy;
+        }
+        if !session.up {
+            return;
+        }
+        let actions = {
+            let sessions = &self.sessions;
+            let Some(r) = self.routers.get_mut(&router) else {
+                return;
+            };
+            r.handle_session_up(self.now, session_id, sessions)
+        };
+        self.apply_actions(router, actions);
     }
 
     /// Interprets a router's actions: schedules transmissions (with link
@@ -726,5 +854,75 @@ mod tests {
         assert_eq!(net.stats.messages_delivered, 0);
         net.run_until_quiet();
         assert!(net.stats.messages_delivered > 0);
+    }
+
+    #[test]
+    fn convergence_time_is_deterministic_across_runs() {
+        // Two identical runs must report the same quiescence time — the
+        // comparison every sweep cell and golden trace relies on.
+        let converge = || {
+            let topo = tiny_topology();
+            let mut net = Network::from_topology(&topo, SimConfig::default());
+            net.announce_all_origins(&topo, SimTime::ZERO);
+            net.run_until_quiet()
+        };
+        let a = converge();
+        let b = converge();
+        assert_eq!(a, b);
+        assert!(a > SimTime::ZERO);
+    }
+
+    #[test]
+    fn quiet_time_is_last_event_not_poll_time() {
+        // Draining the queue through `run_until` with a generous bound
+        // advances `now` to the bound; `run_until_quiet` must still
+        // report when the last event actually fired.
+        let topo = tiny_topology();
+        let mut reference = Network::from_topology(&topo, SimConfig::default());
+        reference.announce_all_origins(&topo, SimTime::ZERO);
+        let converged_at = reference.run_until_quiet();
+
+        let mut probed = Network::from_topology(&topo, SimConfig::default());
+        probed.announce_all_origins(&topo, SimTime::ZERO);
+        probed.run_until(SimTime::from_secs(10_000));
+        assert_eq!(probed.now(), SimTime::from_secs(10_000), "run_until advances the clock");
+        assert_eq!(
+            probed.run_until_quiet(),
+            converged_at,
+            "quiescence time must be the last processed event, not the poll time"
+        );
+    }
+
+    #[test]
+    fn import_policy_rewrite_refreshes_route() {
+        // A community rewrite at ingress must become visible via the
+        // route-refresh replay, without any other churn.
+        let topo = tiny_topology();
+        let mut net = Network::from_topology(&topo, SimConfig::default());
+        net.announce_all_origins(&topo, SimTime::ZERO);
+        net.run_until_quiet();
+
+        // Pick an eBGP session and rewrite the a-side import policy to
+        // tag everything with a marker community.
+        let (sid, a, b) = net
+            .sessions()
+            .iter()
+            .find(|s| s.is_ebgp())
+            .map(|s| (s.id, s.a, s.b))
+            .expect("an ebgp session");
+        let marker = kcc_bgp_types::Community::from_parts(65_432, 1);
+        let kind = net.sessions()[sid.0].neighbor_kind_for(a).unwrap();
+        let policy =
+            ImportPolicy { add_communities: vec![marker], ..ImportPolicy::for_neighbor(kind) };
+        net.schedule_import_policy(net.now() + SimDuration::from_secs(10), a, b, policy);
+        net.run_until_quiet();
+
+        let tagged = net
+            .router(a)
+            .unwrap()
+            .adj_rib_in()
+            .filter(|((s, _), e)| *s == sid && e.attrs.communities.contains(&marker))
+            .count();
+        assert!(tagged > 0, "refresh must re-import at least one route with the marker");
     }
 }

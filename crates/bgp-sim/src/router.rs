@@ -128,6 +128,19 @@ impl Router {
         self.adj_rib_out.get(&(session, *prefix))
     }
 
+    /// Everything last transmitted on `session`, sorted by prefix — the
+    /// Adj-RIB-Out slice a route-refresh request replays.
+    pub fn advertised_on(&self, session: SessionId) -> Vec<(Prefix, PathAttributes)> {
+        let mut out: Vec<(Prefix, PathAttributes)> = self
+            .adj_rib_out
+            .iter()
+            .filter(|((s, _), _)| *s == session)
+            .map(|((_, p), a)| (*p, a.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(p, _)| *p);
+        out
+    }
+
     /// Iterates the Adj-RIB-In (post-import-policy routes per session) —
     /// the per-peer state a collector's TABLE_DUMP_V2 snapshot records.
     pub fn adj_rib_in(&self) -> impl Iterator<Item = (&(SessionId, Prefix), &RibEntry)> {

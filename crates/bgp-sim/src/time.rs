@@ -122,6 +122,38 @@ mod tests {
     }
 
     #[test]
+    fn addition_saturates_at_the_end_of_time() {
+        // Scenario timelines add offsets to arbitrary phase-start times;
+        // overflow must pin at the maximum instead of wrapping (a wrapped
+        // event time would fire in the past and corrupt the queue order).
+        let eot = SimTime(u64::MAX);
+        assert_eq!(eot + SimDuration::from_secs(1), eot);
+        assert_eq!(SimTime(u64::MAX - 1) + SimDuration(5), eot);
+        let mut t = SimTime(u64::MAX - 2);
+        t += SimDuration::from_secs(10);
+        assert_eq!(t, eot);
+    }
+
+    #[test]
+    fn duration_addition_saturates() {
+        let huge = SimDuration(u64::MAX);
+        assert_eq!(huge + SimDuration::from_secs(1), huge);
+        assert_eq!(SimDuration(u64::MAX - 3) + SimDuration(10), huge);
+    }
+
+    #[test]
+    fn saturated_arithmetic_stays_ordered() {
+        // Saturation must not break the ordering invariants the event
+        // queue relies on: t + d >= t for every t, d.
+        for t in [0u64, 1, 1 << 32, u64::MAX - 1, u64::MAX] {
+            for d in [0u64, 1, 1 << 40, u64::MAX] {
+                let t = SimTime(t);
+                assert!(t + SimDuration(d) >= t, "t={t}, d={d}");
+            }
+        }
+    }
+
+    #[test]
     fn display_format() {
         assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
     }

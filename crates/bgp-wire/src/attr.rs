@@ -227,11 +227,25 @@ pub fn encode_attributes(
         if cfg.four_octet_as {
             put_attr_header(buf, flags::OPTIONAL | flags::TRANSITIVE, type_codes::AGGREGATOR, 8);
             buf.put_u32(agg.asn.value());
+            buf.put_slice(&agg.router_id.octets());
         } else {
             put_attr_header(buf, flags::OPTIONAL | flags::TRANSITIVE, type_codes::AGGREGATOR, 6);
             buf.put_u16(agg.asn.to_16bit_wire());
+            buf.put_slice(&agg.router_id.octets());
+            // RFC 6793 §4.2.2: a 4-octet aggregator ASN travels a 2-octet
+            // session as AS_TRANS plus an AS4_AGGREGATOR carrying the
+            // real value (mirrors the AS_PATH / AS4_PATH pair above).
+            if !agg.asn.is_16bit() {
+                put_attr_header(
+                    buf,
+                    flags::OPTIONAL | flags::TRANSITIVE,
+                    type_codes::AS4_AGGREGATOR,
+                    8,
+                );
+                buf.put_u32(agg.asn.value());
+                buf.put_slice(&agg.router_id.octets());
+            }
         }
-        buf.put_slice(&agg.router_id.octets());
     }
 
     let classic = attrs.communities.classic();
@@ -623,6 +637,39 @@ mod tests {
             b.advance(len);
         }
         assert!(!seen_as4);
+    }
+
+    #[test]
+    fn four_octet_aggregator_survives_two_octet_session() {
+        // RFC 6793 §4.2.2: the 2-octet AGGREGATOR carries AS_TRANS and an
+        // AS4_AGGREGATOR restores the real ASN on decode.
+        let mut a = attrs();
+        a.aggregator =
+            Some(Aggregator { asn: Asn(196_615), router_id: "10.0.0.1".parse().unwrap() });
+        let d = roundtrip(&a, &cfg2());
+        assert_eq!(d.attrs.aggregator, a.aggregator);
+        // A 16-bit aggregator must not grow an AS4_AGGREGATOR.
+        let mut small = attrs();
+        small.aggregator =
+            Some(Aggregator { asn: Asn(65_000), router_id: "10.0.0.1".parse().unwrap() });
+        let mut buf = BytesMut::new();
+        encode_attributes(&small, &[], &[], &[], true, &cfg2(), &mut buf);
+        let mut b = buf.freeze();
+        let mut seen_as4_agg = false;
+        while b.has_remaining() {
+            let fl = b.get_u8();
+            let code = b.get_u8();
+            let len = if fl & flags::EXTENDED_LENGTH != 0 {
+                b.get_u16() as usize
+            } else {
+                b.get_u8() as usize
+            };
+            if code == type_codes::AS4_AGGREGATOR {
+                seen_as4_agg = true;
+            }
+            b.advance(len);
+        }
+        assert!(!seen_as4_agg);
     }
 
     #[test]

@@ -60,6 +60,32 @@ pub struct TopologyConfig {
     pub beacon_prefixes: Vec<Prefix>,
 }
 
+impl TopologyConfig {
+    /// A configuration scaled to approximately `n_ases` total ASes,
+    /// keeping the default tier ratios (roughly 1 tier-1 : 4 transit :
+    /// 15 stub). Sweeps use this to turn "topology size" into a single
+    /// scalar dimension; at least two transits are always generated so a
+    /// collector and the beacon origin have distinct attachment points.
+    pub fn sized(n_ases: usize, seed: u64) -> Self {
+        let n_tier1 = (n_ases / 20).clamp(2, 8);
+        let n_transit = (n_ases / 5).max(2);
+        let n_stub = n_ases.saturating_sub(n_tier1 + n_transit).max(1);
+        TopologyConfig { seed, n_tier1, n_transit, n_stub, ..Default::default() }
+    }
+
+    /// Replaces the community behavior mix (builder style).
+    pub fn with_behavior_mix(mut self, mix: BehaviorMix) -> Self {
+        self.behavior_mix = mix;
+        self
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 impl Default for TopologyConfig {
     fn default() -> Self {
         TopologyConfig {
@@ -443,6 +469,38 @@ mod tests {
             .filter(|p| p.is_ipv6())
             .count();
         assert!(v6 > 0);
+    }
+
+    #[test]
+    fn sized_configs_scale_and_generate() {
+        for (n, seed) in [(20usize, 1u64), (60, 2), (200, 3)] {
+            let cfg = TopologyConfig::sized(n, seed);
+            assert_eq!(cfg.seed, seed);
+            assert!(cfg.n_transit >= 2, "collector needs two transit attachment points");
+            let total = cfg.n_tier1 + cfg.n_transit + cfg.n_stub;
+            assert!(total >= n.min(5) && total <= n + 5, "sized({n}) produced {total} ASes");
+            let t = generate(&cfg);
+            assert_eq!(t.node_count(), total + 1); // + beacon origin
+        }
+        // Larger sizes produce strictly larger topologies.
+        assert!(
+            TopologyConfig::sized(200, 0).n_stub > TopologyConfig::sized(40, 0).n_stub,
+            "stub count must grow with requested size"
+        );
+    }
+
+    #[test]
+    fn builder_helpers_replace_fields() {
+        let mix = BehaviorMix { transit_tags_geo: 1.0, cleans_egress: 0.0, cleans_ingress: 0.0 };
+        let cfg = TopologyConfig::sized(30, 9).with_behavior_mix(mix).with_seed(11);
+        assert_eq!(cfg.seed, 11);
+        assert!((cfg.behavior_mix.transit_tags_geo - 1.0).abs() < f64::EPSILON);
+        // The mix reaches the generated ASes: every non-stub tags geo.
+        let t = generate(&cfg);
+        let non_stub_taggers =
+            t.nodes().filter(|n| n.tier != Tier::Stub && n.behavior.tags_geo).count();
+        let non_stub = t.nodes().filter(|n| n.tier != Tier::Stub).count();
+        assert_eq!(non_stub_taggers, non_stub);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod igp;
 pub mod model;
 pub mod relationship;
 
-pub use behavior::CommunityBehavior;
+pub use behavior::{BehaviorMix, CommunityBehavior};
 pub use gen::{generate, TopologyConfig};
 pub use igp::IgpMap;
 pub use model::{AsEdge, AsNode, RouterId, RouterSpec, Tier, Topology};

@@ -1,0 +1,147 @@
+//! Golden-trace regression tests for the §3 laboratory.
+//!
+//! Every `LabExperiment × VendorProfile` cell's observable outcome — the
+//! exact update sequence on the monitored Y1–X1 link, the collector
+//! capture, the RIB verdict and the duplicate counters — is serialized to
+//! a canonical text form and diffed against the committed fixture
+//! `tests/fixtures/golden_lab.txt`. Engine refactors (the lab now runs on
+//! the declarative scenario engine) cannot silently change paper results:
+//! any drift in timing, attributes or message counts fails here with a
+//! line-level diff.
+//!
+//! To regenerate the fixture after an *intentional* behavior change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test golden_lab
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use keep_communities_clean::sim::lab::{run_experiment, LabExperiment, LabReport};
+use keep_communities_clean::sim::{CapturedUpdate, UpdateBody, VendorProfile};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_lab.txt")
+}
+
+/// One captured update in canonical single-line form. Everything that is
+/// wire- or analysis-visible is included: time, endpoints, prefix, kind,
+/// AS path, communities, next hop and MED.
+fn render_update(entry: &CapturedUpdate) -> String {
+    let mut line = format!("t={} {}->{} {} ", entry.at, entry.from, entry.to, entry.update.prefix);
+    match &entry.update.body {
+        UpdateBody::Announce { attrs, .. } => {
+            let med = attrs.med.map(|m| m.to_string()).unwrap_or_else(|| "-".into());
+            write!(
+                line,
+                "announce path=[{}] comms=[{}] next_hop={} med={}",
+                attrs.as_path, attrs.communities, attrs.next_hop, med
+            )
+            .expect("write to string");
+        }
+        UpdateBody::Withdraw => line.push_str("withdraw"),
+    }
+    line
+}
+
+fn render_report(report: &LabReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "== {} / {} ==", report.experiment.name(), report.vendor.name).unwrap();
+    if report.y1_to_x1.is_empty() {
+        writeln!(out, "y1->x1: (silent)").unwrap();
+    }
+    for (i, entry) in report.y1_to_x1.iter().enumerate() {
+        writeln!(out, "y1->x1[{i}]: {}", render_update(entry)).unwrap();
+    }
+    if report.at_collector.is_empty() {
+        writeln!(out, "collector: (silent)").unwrap();
+    }
+    for (i, entry) in report.at_collector.iter().enumerate() {
+        writeln!(out, "collector[{i}]: {}", render_update(entry)).unwrap();
+    }
+    writeln!(
+        out,
+        "x1_rib_changed={} duplicates_sent={} duplicates_suppressed={}",
+        report.x1_rib_changed, report.duplicates_sent, report.duplicates_suppressed
+    )
+    .unwrap();
+    out
+}
+
+/// The full golden document: all experiments × all vendors, in order.
+fn render_all() -> String {
+    let mut out = String::from(
+        "# Golden traces: §3 lab experiments, one section per experiment x vendor.\n\
+         # Regenerate with GOLDEN_REGEN=1 cargo test --test golden_lab -- and review the diff.\n\n",
+    );
+    for exp in LabExperiment::ALL {
+        for vendor in VendorProfile::ALL {
+            out.push_str(&render_report(&run_experiment(exp, vendor)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn lab_traces_match_committed_fixture() {
+    let rendered = render_all();
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with GOLDEN_REGEN=1 cargo test --test golden_lab",
+            path.display()
+        )
+    });
+    if committed != rendered {
+        let first_diff = committed
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}:\n  committed: {a}\n  rendered:  {b}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: committed {} vs rendered {}",
+                    committed.lines().count(),
+                    rendered.lines().count()
+                )
+            });
+        panic!(
+            "golden lab traces drifted from tests/fixtures/golden_lab.txt — the engine \
+             changed paper-visible behavior.\nFirst difference at {first_diff}\n\
+             If the change is intentional, regenerate with GOLDEN_REGEN=1 and review."
+        );
+    }
+}
+
+#[test]
+fn fixture_covers_every_cell() {
+    // The committed fixture must contain one section per experiment ×
+    // vendor — a truncated regeneration would otherwise pass silently.
+    let committed = std::fs::read_to_string(fixture_path()).expect("fixture present");
+    for exp in LabExperiment::ALL {
+        for vendor in VendorProfile::ALL {
+            let header = format!("== {} / {} ==", exp.name(), vendor.name);
+            assert!(committed.contains(&header), "fixture is missing section {header:?}");
+        }
+    }
+}
+
+#[test]
+fn golden_traces_are_stable_within_a_run() {
+    // The serialization itself must be deterministic: two back-to-back
+    // renders of the same cell are identical.
+    let a = render_report(&run_experiment(LabExperiment::Exp2, VendorProfile::CISCO_IOS));
+    let b = render_report(&run_experiment(LabExperiment::Exp2, VendorProfile::CISCO_IOS));
+    assert_eq!(a, b);
+}

@@ -7,7 +7,12 @@ use keep_communities_clean::analysis::classify_pair;
 use keep_communities_clean::analysis::AnnouncementType;
 use keep_communities_clean::collector::timestamps::normalize_timestamps;
 use keep_communities_clean::collector::{SessionKey, UpdateArchive};
-use keep_communities_clean::types::attrs::Origin;
+use keep_communities_clean::mrt::{
+    Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtReader, MrtRecord, MrtTimestamp, MrtWriter,
+};
+use keep_communities_clean::types::attrs::{Aggregator, Origin};
+use keep_communities_clean::types::extended::ExtendedCommunity;
+use keep_communities_clean::types::large::LargeCommunity;
 use keep_communities_clean::types::{
     AsPath, Asn, Community, CommunitySet, PathAttributes, Prefix, RouteUpdate,
 };
@@ -34,6 +39,73 @@ fn arb_prefix() -> impl Strategy<Value = Prefix> {
 fn arb_communities() -> impl Strategy<Value = CommunitySet> {
     vec(any::<u32>(), 0..12)
         .prop_map(|values| CommunitySet::from_classic(values.into_iter().map(Community)))
+}
+
+fn arb_extended() -> impl Strategy<Value = ExtendedCommunity> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(asn, value)| ExtendedCommunity::RouteTarget { asn, value }),
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(asn, value)| ExtendedCommunity::RouteOrigin { asn, value }),
+        // Raw communities in the opaque / non-transitive type space, so
+        // the wire decoder cannot re-interpret them as the structured
+        // variants above (that would change the value's *shape* while
+        // preserving its bytes).
+        (0u8..4, any::<u8>(), any::<u32>(), any::<u16>()).prop_map(|(t, sub, v, w)| {
+            let ty = 0x40 | t;
+            let vb = v.to_be_bytes();
+            let wb = w.to_be_bytes();
+            ExtendedCommunity::Raw([ty, sub, wb[0], wb[1], vb[0], vb[1], vb[2], vb[3]])
+        }),
+    ]
+}
+
+fn arb_large() -> impl Strategy<Value = LargeCommunity> {
+    (any::<u32>(), any::<u32>(), any::<u32>())
+        .prop_map(|(global, d1, d2)| LargeCommunity::new(global, d1, d2))
+}
+
+/// A community set spanning all three families (classic, RFC 4360
+/// extended, RFC 8092 large).
+fn arb_full_communities() -> impl Strategy<Value = CommunitySet> {
+    (vec(any::<u32>(), 0..8), vec(arb_extended(), 0..6), vec(arb_large(), 0..6)).prop_map(
+        |(classic, extended, large)| {
+            let mut set = CommunitySet::from_classic(classic.into_iter().map(Community));
+            for e in extended {
+                set.insert_extended(e);
+            }
+            for l in large {
+                set.insert_large(l);
+            }
+            set
+        },
+    )
+}
+
+/// Path attributes exercising every wire-encodable field: all community
+/// families, MED, ATOMIC_AGGREGATE and AGGREGATOR.
+fn arb_full_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        (vec(arb_asn(), 1..8), any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        arb_full_communities(),
+        0u8..3,
+        any::<bool>(),
+        proptest::option::of((arb_asn(), any::<u32>())),
+    )
+        .prop_map(|((asns, nh), med, communities, origin, atomic, agg)| PathAttributes {
+            origin: Origin::from_code(origin).expect("0..3"),
+            as_path: AsPath::from_asns(asns),
+            next_hop: std::net::IpAddr::V4(std::net::Ipv4Addr::from(nh)),
+            med,
+            local_pref: None,
+            atomic_aggregate: atomic,
+            aggregator: agg.map(|(asn, router)| Aggregator {
+                asn,
+                router_id: std::net::Ipv4Addr::from(router),
+            }),
+            communities,
+        })
 }
 
 fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
@@ -200,5 +272,108 @@ proptest! {
         let text = path.to_string();
         let parsed: AsPath = text.parse().expect("reparse");
         prop_assert_eq!(parsed, path);
+    }
+
+    /// UPDATE encode→decode→encode is the identity for attributes using
+    /// every wire-encodable field: classic, extended and large community
+    /// families, MED, ATOMIC_AGGREGATE and AGGREGATOR. The value
+    /// round-trips *and* the re-encoded bytes are identical, so the
+    /// canonical wire form is stable.
+    #[test]
+    fn wire_roundtrip_full_attributes(attrs in arb_full_attrs(), prefix in arb_prefix()) {
+        let mut attrs = attrs;
+        if prefix.is_ipv6() {
+            attrs.next_hop = "2001:db8::1".parse().unwrap();
+        }
+        let cfg = SessionConfig::default();
+        let msg = Message::Update(UpdatePacket::announce(prefix, attrs));
+        let mut first = bytes::BytesMut::new();
+        encode_message(&msg, &cfg, &mut first);
+        let first = first.freeze();
+        let decoded = decode_message(&mut first.clone(), &cfg).expect("decode");
+        prop_assert_eq!(&decoded, &msg);
+        let mut second = bytes::BytesMut::new();
+        encode_message(&decoded, &cfg, &mut second);
+        prop_assert_eq!(second.freeze(), first);
+    }
+
+    /// Withdrawals round-trip for both address families.
+    #[test]
+    fn wire_roundtrip_withdrawal(prefix in arb_prefix()) {
+        let cfg = SessionConfig::default();
+        let msg = Message::Update(UpdatePacket::withdraw(prefix));
+        let mut buf = bytes::BytesMut::new();
+        encode_message(&msg, &cfg, &mut buf);
+        let decoded = decode_message(&mut buf.freeze(), &cfg).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// MRT record streams survive write→read exactly: BGP4MP MESSAGE(_AS4)
+    /// records with full-attribute updates and STATE_CHANGE records, in
+    /// arbitrary interleavings. The AS4 subtype switch (forced by 4-byte
+    /// ASNs) must be transparent.
+    #[test]
+    fn mrt_record_stream_roundtrip(
+        cells in vec(
+            (
+                0u32..100_000, 0u32..1_000_000, arb_asn(), arb_full_attrs(),
+                any::<bool>(), any::<bool>(),
+            ),
+            1..20,
+        ),
+    ) {
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        let states = [
+            BgpState::Idle, BgpState::Connect, BgpState::Active,
+            BgpState::OpenSent, BgpState::OpenConfirm, BgpState::Established,
+        ];
+        let records: Vec<MrtRecord> = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, (secs, micros, peer_asn, attrs, withdraw, state_change))| {
+                let timestamp = MrtTimestamp::micros(secs, micros);
+                let peer_ip: std::net::IpAddr = "192.0.2.9".parse().unwrap();
+                let local_ip: std::net::IpAddr = "192.0.2.1".parse().unwrap();
+                if state_change {
+                    MrtRecord::StateChange(Bgp4mpStateChange {
+                        timestamp,
+                        peer_asn,
+                        local_asn: Asn(3333),
+                        ifindex: 0,
+                        peer_ip,
+                        local_ip,
+                        old_state: states[i % states.len()],
+                        new_state: states[(i + 1) % states.len()],
+                    })
+                } else {
+                    let packet = if withdraw {
+                        UpdatePacket::withdraw(prefix)
+                    } else {
+                        UpdatePacket::announce(prefix, attrs)
+                    };
+                    MrtRecord::Message(Bgp4mpMessage {
+                        timestamp,
+                        peer_asn,
+                        local_asn: Asn(3333),
+                        ifindex: 0,
+                        peer_ip,
+                        local_ip,
+                        message: Message::Update(packet),
+                    })
+                }
+            })
+            .collect();
+
+        let mut writer = MrtWriter::new(Vec::new());
+        writer.write_all(&records).expect("write records");
+        prop_assert_eq!(writer.records_written(), records.len() as u64);
+        let bytes = writer.into_inner();
+
+        let mut reader = MrtReader::new(&bytes[..]);
+        let mut parsed = Vec::new();
+        while let Some(record) = reader.next_record().expect("read record") {
+            parsed.push(record);
+        }
+        prop_assert_eq!(parsed, records);
     }
 }
