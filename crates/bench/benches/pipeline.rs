@@ -1,0 +1,50 @@
+//! Streaming-pipeline throughput: classify updates/sec from MRT bytes at
+//! 10k / 100k / 1M announcements, with batch-vs-streaming comparison.
+//!
+//! The batch comparison stops at 100k — at 1M the materialized archive is
+//! exactly the memory footprint the streaming redesign exists to avoid
+//! (the `stream-scale` CI job pins that with a hard address-space cap).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcc_bench::mrt_day;
+use kcc_collector::UpdateArchive;
+use kcc_core::{classify_archive, run_pipeline, CountsSink, MrtSource};
+use kcc_tracegen::Mar20Config;
+
+fn stream_counts(bytes: &[u8], epoch: u32) -> kcc_core::TypeCounts {
+    let source = MrtSource::new(bytes, "rrc00", epoch);
+    run_pipeline(source, (), CountsSink::default())
+        .expect("in-memory MRT cannot fail")
+        .sink
+        .finish()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+
+    for &(label, target, samples, with_batch) in &[
+        ("10k", 10_000u64, 20usize, true),
+        ("100k", 100_000, 10, true),
+        ("1M", 1_000_000, 2, false),
+    ] {
+        let cfg = Mar20Config { target_announcements: target, ..Default::default() };
+        let (bytes, updates) = mrt_day(&cfg);
+        group.throughput(Throughput::Elements(updates));
+        group.sample_size(samples);
+        group.bench_function(format!("streaming_classify_{label}"), |b| {
+            b.iter(|| stream_counts(std::hint::black_box(&bytes), cfg.epoch_seconds))
+        });
+        if with_batch {
+            let mut source = MrtSource::new(&bytes[..], "rrc00", cfg.epoch_seconds);
+            let archive = UpdateArchive::from_source(&mut source, cfg.epoch_seconds)
+                .expect("in-memory MRT cannot fail");
+            group.bench_function(format!("batch_classify_{label}"), |b| {
+                b.iter(|| classify_archive(std::hint::black_box(&archive)).counts)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Pipeline throughput measurement with machine-readable output — the
+//! perf-trajectory anchor for the streaming redesign.
+//!
+//! Measures, per workload size: streaming one-pass analysis (cleaning +
+//! classification + Table 1/2 sinks) over MRT bytes, the sharded variant,
+//! and the batch path (materialize → clean → classify) for comparison.
+//! Emits `BENCH_pipeline.json` (or `--out <path>`) so CI can archive the
+//! numbers run over run.
+//!
+//! ```sh
+//! cargo run --release -p kcc_bench --bin bench_pipeline -- \
+//!     --sizes 10000,100000 --threads 4 --out BENCH_pipeline.json
+//! ```
+//!
+//! Batch runs are skipped above `--batch-cap` updates (default 200k):
+//! materializing the day at 1M+ is exactly what the streaming path
+//! exists to avoid.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kcc_bench::mrtgen::{generate_mrt_day, MrtDay};
+use kcc_collector::UpdateArchive;
+use kcc_core::table::{overview, OverviewSink};
+use kcc_core::{
+    classify_archive, clean_archive, run_pipeline, run_sharded, CleaningConfig, CleaningStage,
+    CountsSink, MrtSource,
+};
+use kcc_tracegen::Mar20Config;
+
+/// One measured mode.
+struct Measurement {
+    seconds: f64,
+    updates_per_sec: f64,
+}
+
+fn measure<F: FnOnce() -> u64>(f: F) -> Measurement {
+    let start = Instant::now();
+    let updates = f();
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    Measurement { seconds, updates_per_sec: updates as f64 / seconds }
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!("{{\"seconds\":{:.6},\"updates_per_sec\":{:.0}}}", m.seconds, m.updates_per_sec)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes: Vec<u64> = vec![10_000, 100_000];
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut threads = 4usize;
+    let mut batch_cap = 200_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => {
+                if let Some(v) = it.next() {
+                    sizes = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                }
+            }
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out_path = v.clone();
+                }
+            }
+            "--threads" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    threads = v;
+                }
+            }
+            "--batch-cap" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    batch_cap = v;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &target in &sizes {
+        let cfg = Mar20Config { target_announcements: target, ..Default::default() };
+        println!("== generating ~{target} announcements to MRT bytes ==");
+        let MrtDay { bytes, updates, registry, route_servers } = generate_mrt_day(&cfg);
+        println!("   {} updates, {:.1} MiB", updates, bytes.len() as f64 / (1024.0 * 1024.0));
+        let open = || {
+            MrtSource::new(&bytes[..], "rrc00", cfg.epoch_seconds)
+                .with_route_servers(route_servers.clone())
+        };
+
+        let streaming = measure(|| {
+            let stage = CleaningStage::new(&registry, CleaningConfig::default());
+            let out = run_pipeline(open(), stage, (OverviewSink::default(), CountsSink::default()))
+                .expect("in-memory MRT cannot fail");
+            out.stats.updates
+        });
+        println!(
+            "   streaming: {:.3}s  ({:.0} updates/s)",
+            streaming.seconds, streaming.updates_per_sec
+        );
+
+        let sharded = measure(|| {
+            let out = run_sharded(
+                open(),
+                threads,
+                || CleaningStage::new(&registry, CleaningConfig::default()),
+                || (OverviewSink::default(), CountsSink::default()),
+            )
+            .expect("in-memory MRT cannot fail");
+            out.stats.updates
+        });
+        println!(
+            "   sharded×{threads}: {:.3}s  ({:.0} updates/s)",
+            sharded.seconds, sharded.updates_per_sec
+        );
+
+        let batch = if updates <= batch_cap {
+            let m = measure(|| {
+                let mut archive = UpdateArchive::from_source(&mut open(), cfg.epoch_seconds)
+                    .expect("in-memory MRT cannot fail");
+                clean_archive(&mut archive, &registry, &CleaningConfig::default());
+                let _ = overview(&archive);
+                let _ = classify_archive(&archive).counts;
+                archive.update_count() as u64
+            });
+            println!("   batch:     {:.3}s  ({:.0} updates/s)", m.seconds, m.updates_per_sec);
+            Some(m)
+        } else {
+            println!("   batch:     skipped (> {batch_cap} updates; see --batch-cap)");
+            None
+        };
+
+        let mut row = format!(
+            "{{\"target_announcements\":{target},\"updates\":{updates},\"mrt_bytes\":{},\
+             \"streaming\":{},\"sharded\":{{\"threads\":{threads},\"result\":{}}}",
+            bytes.len(),
+            json_measurement(&streaming),
+            json_measurement(&sharded),
+        );
+        match &batch {
+            Some(m) => {
+                let _ = write!(row, ",\"batch\":{}}}", json_measurement(m));
+            }
+            None => row.push_str(",\"batch\":null}"),
+        }
+        rows.push(row);
+    }
+
+    let json = format!("{{\"bench\":\"pipeline\",\"results\":[{}]}}\n", rows.join(","));
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@
 //! | `fig6` | Fig. 6 (revealed community attributes over time) |
 //! | `ablation_cleaning` | cleaning-strategy ablation (§7 recommendation) |
 //! | `ablation_mrai` | MRAI pacing vs. exploration burst ablation |
+//! | `bench_pipeline` | streaming vs. batch pipeline throughput → `BENCH_pipeline.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +26,11 @@
 pub mod args;
 pub mod beacon_day;
 pub mod compare;
+pub mod mrtgen;
 pub mod sweep;
 
 pub use args::Args;
 pub use beacon_day::{run_beacon_day, BeaconDayConfig, BeaconDayOutput};
 pub use compare::Comparison;
+pub use mrtgen::{generate_mrt_day, mrt_day, MrtDay};
 pub use sweep::{run_cell, run_sweep, CellResult, CleaningPlacement, SweepCell, SweepConfig};

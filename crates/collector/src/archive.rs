@@ -112,24 +112,7 @@ impl UpdateArchive {
         index.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(b.1)).then(a.2.cmp(&b.2)));
         for (_, key, i) in index {
             let rec = &self.sessions[key];
-            let u = &rec.updates[i];
-            let seconds = self.epoch_seconds + (u.time_us / 1_000_000) as u32;
-            let timestamp = if rec.meta.second_granularity {
-                MrtTimestamp::seconds(seconds)
-            } else {
-                MrtTimestamp::micros(seconds, (u.time_us % 1_000_000) as u32)
-            };
-            let local_ip = collector_ip(&key.collector);
-            let message = Message::Update(UpdatePacket::from_route_update(u));
-            writer.write_record(&MrtRecord::Message(Bgp4mpMessage {
-                timestamp,
-                peer_asn: key.peer_asn,
-                local_asn: COLLECTOR_ASN,
-                ifindex: 0,
-                peer_ip: key.peer_ip,
-                local_ip: ip_family_match(local_ip, key.peer_ip),
-                message,
-            }))?;
+            writer.write_record(&mrt_record_for(&rec.meta, self.epoch_seconds, &rec.updates[i]))?;
         }
         writer.flush()?;
         Ok(writer.records_written())
@@ -190,6 +173,30 @@ impl UpdateArchive {
     pub fn withdrawal_count(&self) -> usize {
         self.update_count() - self.announcement_count()
     }
+}
+
+/// Builds the MRT record for one update on one session — the unit the
+/// streaming writers emit without materializing an archive. Sessions
+/// flagged `second_granularity` become plain `BGP4MP` records (whole
+/// seconds); the rest `BGP4MP_ET`.
+pub fn mrt_record_for(meta: &PeerMeta, epoch_seconds: u32, update: &RouteUpdate) -> MrtRecord {
+    let key = &meta.key;
+    let seconds = epoch_seconds + (update.time_us / 1_000_000) as u32;
+    let timestamp = if meta.second_granularity {
+        MrtTimestamp::seconds(seconds)
+    } else {
+        MrtTimestamp::micros(seconds, (update.time_us % 1_000_000) as u32)
+    };
+    let local_ip = collector_ip(&key.collector);
+    MrtRecord::Message(Bgp4mpMessage {
+        timestamp,
+        peer_asn: key.peer_asn,
+        local_asn: COLLECTOR_ASN,
+        ifindex: 0,
+        peer_ip: key.peer_ip,
+        local_ip: ip_family_match(local_ip, key.peer_ip),
+        message: Message::Update(UpdatePacket::from_route_update(update)),
+    })
 }
 
 /// A deterministic collector address from its name.

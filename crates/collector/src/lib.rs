@@ -15,7 +15,10 @@
 //!   classification with the paper's ±15-minute windows,
 //! * [`timestamps`]: the paper's normalization rule for collectors that
 //!   record at single-second granularity (preserve order, space
-//!   same-second arrivals 0.01 ms apart).
+//!   same-second arrivals 0.01 ms apart),
+//! * [`source`]: the [`UpdateSource`] abstraction the streaming analysis
+//!   pipeline pulls from — materialized archives and record-at-a-time MRT
+//!   byte streams behind one trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +26,11 @@
 pub mod archive;
 pub mod beacon;
 pub mod session;
+pub mod source;
 pub mod timestamps;
 
 pub use archive::UpdateArchive;
 pub use beacon::{BeaconEvent, BeaconPhase, BeaconSchedule};
 pub use session::{PeerMeta, SessionKey};
+pub use source::{ArchiveSource, MrtSource, SourceError, SourceItem, UpdateSource};
 pub use timestamps::normalize_timestamps;

@@ -23,8 +23,10 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 #[cfg(test)]
 use kcc_bgp_types::Asn;
-use kcc_bgp_types::{Community, MessageKind, Prefix};
-use kcc_collector::{SessionKey, UpdateArchive};
+use kcc_bgp_types::{Community, MessageKind, Prefix, RouteUpdate};
+use kcc_collector::{ArchiveSource, SessionKey, UpdateArchive};
+
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 
 /// What kind of anomaly was flagged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,66 +139,125 @@ impl CommunityProfiler {
     }
 
     /// Flags anomalies in a detection archive against the trained
-    /// profiles.
+    /// profiles — the batch wrapper over [`AnomalySink`].
     pub fn detect(&self, archive: &UpdateArchive, cfg: &AnomalyConfig) -> Vec<Anomaly> {
-        assert!(self.trained, "profiler must be trained before detection");
-        let mut anomalies = Vec::new();
-        for (key, rec) in archive.sessions() {
-            let mut per_stream_attrs: HashMap<Prefix, HashSet<String>> = HashMap::new();
-            let mut per_stream_first_burst_time: HashMap<Prefix, u64> = HashMap::new();
-            for u in &rec.updates {
-                let MessageKind::Announcement(attrs) = &u.kind else { continue };
-                let stream = (key.clone(), u.prefix);
-                for c in attrs.communities.iter_classic() {
-                    if let Some(name) = c.well_known_name() {
-                        let trained_action =
-                            self.stream_has_action.get(&stream).copied().unwrap_or(false);
-                        if !trained_action {
-                            anomalies.push(Anomaly {
-                                session: key.clone(),
-                                prefix: u.prefix,
-                                time_us: u.time_us,
-                                kind: AnomalyKind::ActionSignal { community: *c, name },
-                            });
-                        }
-                        continue;
-                    }
-                    if let Some(values) = self.namespace_values.get(&c.asn_part()) {
-                        if values.len() >= cfg.min_namespace_size
-                            && !values.contains(&c.value_part())
-                        {
-                            anomalies.push(Anomaly {
-                                session: key.clone(),
-                                prefix: u.prefix,
-                                time_us: u.time_us,
-                                kind: AnomalyKind::NovelValue { community: *c },
-                            });
-                        }
-                    }
-                }
-                per_stream_attrs
-                    .entry(u.prefix)
-                    .or_default()
-                    .insert(attrs.communities.canonical_key());
-                per_stream_first_burst_time.entry(u.prefix).or_insert(u.time_us);
+        run_pipeline(ArchiveSource::new(archive), (), AnomalySink::new(self, *cfg))
+            .expect("archive sources cannot fail")
+            .sink
+            .finish()
+    }
+}
+
+/// A deterministic total order on anomalies: by time, then stream, then
+/// kind — so serial and sharded runs report identical lists even when
+/// several anomalies share a timestamp.
+fn anomaly_sort_key(a: &Anomaly) -> (u64, SessionKey, Prefix, u8, u64) {
+    let (rank, detail) = match &a.kind {
+        AnomalyKind::NovelValue { community } => (0u8, community.0 as u64),
+        AnomalyKind::ActionSignal { community, .. } => (1, community.0 as u64),
+        AnomalyKind::ExplorationBurst { observed, .. } => (2, *observed as u64),
+    };
+    (a.time_us, a.session.clone(), a.prefix, rank, detail)
+}
+
+/// Streaming anomaly detection against a trained profiler. Per-stream
+/// state is the set of distinct community attributes seen (for the burst
+/// check) — bounded by attribute diversity, not update volume.
+#[derive(Debug)]
+pub struct AnomalySink<'a> {
+    profiler: &'a CommunityProfiler,
+    cfg: AnomalyConfig,
+    anomalies: Vec<Anomaly>,
+    per_stream_attrs: HashMap<(SessionKey, Prefix), HashSet<String>>,
+    first_seen: HashMap<(SessionKey, Prefix), u64>,
+}
+
+impl<'a> AnomalySink<'a> {
+    /// A detection sink over a trained profiler.
+    ///
+    /// # Panics
+    /// If the profiler was never trained.
+    pub fn new(profiler: &'a CommunityProfiler, cfg: AnomalyConfig) -> Self {
+        assert!(profiler.trained, "profiler must be trained before detection");
+        AnomalySink {
+            profiler,
+            cfg,
+            anomalies: Vec::new(),
+            per_stream_attrs: HashMap::new(),
+            first_seen: HashMap::new(),
+        }
+    }
+
+    /// All anomalies (point anomalies plus exploration bursts), in the
+    /// canonical order.
+    pub fn finish(self) -> Vec<Anomaly> {
+        let mut anomalies = self.anomalies;
+        for (stream, attrs) in &self.per_stream_attrs {
+            let baseline = self.profiler.stream_attr_count.get(stream).copied().unwrap_or(1).max(1);
+            if attrs.len() >= self.cfg.burst_min_observed
+                && attrs.len() > self.cfg.burst_factor * baseline
+            {
+                anomalies.push(Anomaly {
+                    session: stream.0.clone(),
+                    prefix: stream.1,
+                    time_us: self.first_seen.get(stream).copied().unwrap_or(0),
+                    kind: AnomalyKind::ExplorationBurst { observed: attrs.len(), baseline },
+                });
             }
-            for (prefix, attrs) in per_stream_attrs {
-                let baseline =
-                    self.stream_attr_count.get(&(key.clone(), prefix)).copied().unwrap_or(1).max(1);
-                if attrs.len() >= cfg.burst_min_observed
-                    && attrs.len() > cfg.burst_factor * baseline
-                {
-                    anomalies.push(Anomaly {
+        }
+        anomalies.sort_by_cached_key(anomaly_sort_key);
+        anomalies
+    }
+}
+
+impl AnalysisSink for AnomalySink<'_> {
+    fn on_update(&mut self, key: &SessionKey, u: &RouteUpdate) {
+        let MessageKind::Announcement(attrs) = &u.kind else { return };
+        let stream = (key.clone(), u.prefix);
+        for c in attrs.communities.iter_classic() {
+            if let Some(name) = c.well_known_name() {
+                let trained_action =
+                    self.profiler.stream_has_action.get(&stream).copied().unwrap_or(false);
+                if !trained_action {
+                    self.anomalies.push(Anomaly {
                         session: key.clone(),
-                        prefix,
-                        time_us: per_stream_first_burst_time.get(&prefix).copied().unwrap_or(0),
-                        kind: AnomalyKind::ExplorationBurst { observed: attrs.len(), baseline },
+                        prefix: u.prefix,
+                        time_us: u.time_us,
+                        kind: AnomalyKind::ActionSignal { community: *c, name },
+                    });
+                }
+                continue;
+            }
+            if let Some(values) = self.profiler.namespace_values.get(&c.asn_part()) {
+                if values.len() >= self.cfg.min_namespace_size && !values.contains(&c.value_part())
+                {
+                    self.anomalies.push(Anomaly {
+                        session: key.clone(),
+                        prefix: u.prefix,
+                        time_us: u.time_us,
+                        kind: AnomalyKind::NovelValue { community: *c },
                     });
                 }
             }
         }
-        anomalies.sort_by_key(|a| a.time_us);
-        anomalies
+        self.per_stream_attrs
+            .entry(stream.clone())
+            .or_default()
+            .insert(attrs.communities.canonical_key());
+        self.first_seen.entry(stream).or_insert(u.time_us);
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for AnomalySink<'_> {
+    fn merge(&mut self, mut other: Self) {
+        self.anomalies.append(&mut other.anomalies);
+        // Streams are keyed by session: disjoint across shards.
+        self.per_stream_attrs.extend(other.per_stream_attrs);
+        self.first_seen.extend(other.first_seen);
     }
 }
 

@@ -6,7 +6,9 @@
 //! begins."
 
 use kcc_bgp_types::{Prefix, RouteUpdate};
-use kcc_collector::{BeaconPhase, BeaconSchedule, SessionKey, UpdateArchive};
+use kcc_collector::{ArchiveSource, BeaconPhase, BeaconSchedule, SessionKey, UpdateArchive};
+
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 
 /// One update with its phase label.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,25 +24,106 @@ pub struct PhasedUpdate {
 /// Microseconds in a day.
 pub const DAY_US: u64 = 24 * 3600 * 1_000_000;
 
-/// Labels every update for the given beacon prefixes with its phase.
-/// Archive times are relative to day start, so time-of-day is `time_us`
-/// modulo a day (multi-day archives wrap correctly).
+/// Materializes phase-labeled beacon updates — [`label_archive`] as a
+/// streaming sink. Memory grows with the *beacon* traffic it retains;
+/// prefer [`PhaseCountSink`] when only the counts matter.
+#[derive(Debug, Clone)]
+pub struct LabelSink {
+    schedule: BeaconSchedule,
+    beacon_prefixes: Vec<Prefix>,
+    labeled: Vec<PhasedUpdate>,
+}
+
+impl LabelSink {
+    /// A sink labeling updates on `beacon_prefixes` against `schedule`.
+    pub fn new(schedule: BeaconSchedule, beacon_prefixes: &[Prefix]) -> Self {
+        LabelSink { schedule, beacon_prefixes: beacon_prefixes.to_vec(), labeled: Vec::new() }
+    }
+
+    /// The labeled updates, in arrival order per session.
+    pub fn finish(self) -> Vec<PhasedUpdate> {
+        self.labeled
+    }
+}
+
+impl AnalysisSink for LabelSink {
+    fn on_update(&mut self, session: &SessionKey, u: &RouteUpdate) {
+        if !self.beacon_prefixes.contains(&u.prefix) {
+            return;
+        }
+        let phase = self.schedule.phase_of(u.time_us % DAY_US);
+        self.labeled.push(PhasedUpdate { session: session.clone(), update: u.clone(), phase });
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for LabelSink {
+    fn merge(&mut self, mut other: Self) {
+        self.labeled.append(&mut other.labeled);
+    }
+}
+
+/// Labels every update for the given beacon prefixes with its phase —
+/// the batch wrapper over [`LabelSink`]. Archive times are relative to
+/// day start, so time-of-day is `time_us` modulo a day (multi-day
+/// archives wrap correctly).
 pub fn label_archive(
     archive: &UpdateArchive,
     schedule: &BeaconSchedule,
     beacon_prefixes: &[Prefix],
 ) -> Vec<PhasedUpdate> {
-    let mut out = Vec::new();
-    for (key, rec) in archive.sessions() {
-        for u in &rec.updates {
-            if !beacon_prefixes.contains(&u.prefix) {
-                continue;
-            }
-            let phase = schedule.phase_of(u.time_us % DAY_US);
-            out.push(PhasedUpdate { session: key.clone(), update: u.clone(), phase });
+    run_pipeline(ArchiveSource::new(archive), (), LabelSink::new(*schedule, beacon_prefixes))
+        .expect("archive sources cannot fail")
+        .sink
+        .finish()
+}
+
+/// Per-phase announcement counting as a constant-size streaming sink —
+/// [`label_archive`] + [`phase_counts`] without materializing anything.
+#[derive(Debug, Clone)]
+pub struct PhaseCountSink {
+    schedule: BeaconSchedule,
+    beacon_prefixes: Vec<Prefix>,
+    counts: PhaseCounts,
+}
+
+impl PhaseCountSink {
+    /// A sink counting phases of updates on `beacon_prefixes`.
+    pub fn new(schedule: BeaconSchedule, beacon_prefixes: &[Prefix]) -> Self {
+        PhaseCountSink {
+            schedule,
+            beacon_prefixes: beacon_prefixes.to_vec(),
+            counts: PhaseCounts::default(),
         }
     }
-    out
+
+    /// The accumulated counts.
+    pub fn finish(self) -> PhaseCounts {
+        self.counts
+    }
+}
+
+impl AnalysisSink for PhaseCountSink {
+    fn on_update(&mut self, _session: &SessionKey, u: &RouteUpdate) {
+        if !self.beacon_prefixes.contains(&u.prefix) {
+            return;
+        }
+        let phase = self.schedule.phase_of(u.time_us % DAY_US);
+        self.counts.observe(phase, u.is_announcement());
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for PhaseCountSink {
+    fn merge(&mut self, other: Self) {
+        self.counts.merge(other.counts);
+    }
 }
 
 /// Per-phase counts of announcements.
@@ -57,19 +140,36 @@ pub struct PhaseCounts {
     pub withdrawals_in_phase: u64,
 }
 
+impl PhaseCounts {
+    /// Accounts one labeled update — the single source of truth for the
+    /// phase-category counting rule (batch and streaming both use it).
+    pub fn observe(&mut self, phase: BeaconPhase, is_announcement: bool) {
+        if is_announcement {
+            match phase {
+                BeaconPhase::Announcement(_) => self.in_announcement += 1,
+                BeaconPhase::Withdrawal(_) => self.in_withdrawal += 1,
+                BeaconPhase::Outside => self.outside += 1,
+            }
+        } else if phase.is_withdrawal() {
+            self.withdrawals_in_phase += 1;
+        }
+    }
+}
+
+impl Merge for PhaseCounts {
+    fn merge(&mut self, other: Self) {
+        self.in_announcement += other.in_announcement;
+        self.in_withdrawal += other.in_withdrawal;
+        self.outside += other.outside;
+        self.withdrawals_in_phase += other.withdrawals_in_phase;
+    }
+}
+
 /// Counts announcements per phase category.
 pub fn phase_counts(labeled: &[PhasedUpdate]) -> PhaseCounts {
     let mut c = PhaseCounts::default();
     for pu in labeled {
-        if pu.update.is_announcement() {
-            match pu.phase {
-                BeaconPhase::Announcement(_) => c.in_announcement += 1,
-                BeaconPhase::Withdrawal(_) => c.in_withdrawal += 1,
-                BeaconPhase::Outside => c.outside += 1,
-            }
-        } else if pu.phase.is_withdrawal() {
-            c.withdrawals_in_phase += 1;
-        }
+        c.observe(pu.phase, pu.update.is_announcement());
     }
     c
 }

@@ -10,10 +10,13 @@
 //! 3. disambiguate same-second timestamps at second-granularity
 //!    collectors (order-preserving 0.01 ms spacing).
 
-use kcc_bgp_types::{MessageKind, RouteUpdate};
-use kcc_collector::timestamps::normalize_timestamps;
-use kcc_collector::UpdateArchive;
+use std::collections::HashMap;
 
+use kcc_bgp_types::{MessageKind, RouteUpdate};
+use kcc_collector::timestamps::DISAMBIGUATION_STEP_US;
+use kcc_collector::{PeerMeta, SessionKey, UpdateArchive};
+
+use crate::pipeline::{Merge, Stage};
 use crate::registry::AllocationRegistry;
 
 /// Which cleaning stages to run.
@@ -73,34 +76,111 @@ fn update_is_allocated(
     true
 }
 
-/// Runs the cleaning pipeline in place and reports what changed.
+impl Merge for CleaningReport {
+    fn merge(&mut self, other: Self) {
+        self.removed_unallocated_asn += other.removed_unallocated_asn;
+        self.removed_unallocated_prefix += other.removed_unallocated_prefix;
+        self.route_server_insertions += other.route_server_insertions;
+        self.sessions_normalized += other.sessions_normalized;
+        self.kept += other.kept;
+    }
+}
+
+/// The §4 cleaning pipeline as an incremental [`Stage`]: unallocated
+/// ASN/prefix filtering, route-server ASN insertion, and streaming
+/// timestamp disambiguation. Per-session state is one `u64` (the last
+/// emitted time of second-granularity sessions) — nothing scales with
+/// the day's length.
+#[derive(Debug)]
+pub struct CleaningStage<'a> {
+    registry: &'a AllocationRegistry,
+    config: CleaningConfig,
+    report: CleaningReport,
+    /// Last emitted time per second-granularity session; `None` until
+    /// its first update.
+    last_emitted: HashMap<SessionKey, Option<u64>>,
+}
+
+impl<'a> CleaningStage<'a> {
+    /// A stage applying `config` against `registry`.
+    pub fn new(registry: &'a AllocationRegistry, config: CleaningConfig) -> Self {
+        CleaningStage {
+            registry,
+            config,
+            report: CleaningReport::default(),
+            last_emitted: HashMap::new(),
+        }
+    }
+
+    /// What the stage has done so far.
+    pub fn report(&self) -> CleaningReport {
+        self.report
+    }
+}
+
+impl Stage for CleaningStage<'_> {
+    fn on_session(&mut self, meta: &PeerMeta) {
+        if self.config.normalize_timestamps
+            && meta.second_granularity
+            && !self.last_emitted.contains_key(&meta.key)
+        {
+            self.last_emitted.insert(meta.key.clone(), None);
+            self.report.sessions_normalized += 1;
+        }
+    }
+
+    fn process(&mut self, meta: &PeerMeta, mut update: RouteUpdate) -> Option<RouteUpdate> {
+        if self.config.filter_unallocated
+            && !update_is_allocated(&update, self.registry, &mut self.report)
+        {
+            return None;
+        }
+        if self.config.insert_route_server_asn && meta.route_server {
+            if let MessageKind::Announcement(attrs) = &mut update.kind {
+                if attrs.as_path.first() != Some(meta.key.peer_asn) {
+                    attrs.as_path = attrs.as_path.prepend(meta.key.peer_asn, 1);
+                    self.report.route_server_insertions += 1;
+                }
+            }
+        }
+        if self.config.normalize_timestamps && meta.second_granularity {
+            if let Some(slot) = self.last_emitted.get_mut(&meta.key) {
+                if let Some(prev) = *slot {
+                    if update.time_us <= prev {
+                        update.time_us = prev + DISAMBIGUATION_STEP_US;
+                    }
+                }
+                *slot = Some(update.time_us);
+            }
+        }
+        self.report.kept += 1;
+        Some(update)
+    }
+}
+
+impl Merge for CleaningStage<'_> {
+    fn merge(&mut self, other: Self) {
+        self.report.merge(other.report);
+        // Sessions are disjoint across shards.
+        self.last_emitted.extend(other.last_emitted);
+    }
+}
+
+/// Runs the cleaning pipeline in place and reports what changed — the
+/// batch wrapper over [`CleaningStage`], applied session by session.
 pub fn clean_archive(
     archive: &mut UpdateArchive,
     registry: &AllocationRegistry,
     config: &CleaningConfig,
 ) -> CleaningReport {
-    let mut report = CleaningReport::default();
-    for (key, rec) in archive.sessions_mut() {
-        if config.filter_unallocated {
-            rec.updates.retain(|u| update_is_allocated(u, registry, &mut report));
-        }
-        if config.insert_route_server_asn && rec.meta.route_server {
-            for u in &mut rec.updates {
-                if let MessageKind::Announcement(attrs) = &mut u.kind {
-                    if attrs.as_path.first() != Some(key.peer_asn) {
-                        attrs.as_path = attrs.as_path.prepend(key.peer_asn, 1);
-                        report.route_server_insertions += 1;
-                    }
-                }
-            }
-        }
-        if config.normalize_timestamps && rec.meta.second_granularity {
-            normalize_timestamps(&mut rec.updates);
-            report.sessions_normalized += 1;
-        }
-        report.kept += rec.updates.len() as u64;
+    let mut stage = CleaningStage::new(registry, *config);
+    for (_, rec) in archive.sessions_mut() {
+        let meta = rec.meta.clone();
+        stage.on_session(&meta);
+        let updates = std::mem::take(&mut rec.updates);
+        rec.updates = updates.into_iter().filter_map(|u| stage.process(&meta, u)).collect();
     }
-    report
+    stage.report()
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@ use kcc_bgp_types::{AsPath, Prefix};
 use kcc_collector::SessionKey;
 
 use crate::classify::AnnouncementType;
+use crate::pipeline::{feed_classified, AnalysisSink, Merge};
 use crate::report::render_csv;
-use crate::stream::{ClassifiedArchive, EventKind};
+use crate::stream::{ClassifiedArchive, ClassifiedEvent, EventKind};
 
 /// One plotted point.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,47 +68,76 @@ impl Timeline {
     }
 }
 
-/// Extracts the timeline of one `(session, prefix)` stream, keeping only
-/// announcements whose AS path equals `path_filter` when given.
+/// Builds the Fig. 4/5 timeline of one `(session, prefix)` stream
+/// incrementally. Constant state beyond the retained plot points.
+#[derive(Debug, Clone)]
+pub struct TimelineSink {
+    session: SessionKey,
+    prefix: Prefix,
+    path_filter: Option<AsPath>,
+    timeline: Timeline,
+}
+
+impl TimelineSink {
+    /// A sink for one stream, keeping only announcements whose AS path
+    /// equals `path_filter` when given.
+    pub fn new(session: SessionKey, prefix: Prefix, path_filter: Option<&AsPath>) -> Self {
+        TimelineSink {
+            session,
+            prefix,
+            path_filter: path_filter.cloned(),
+            timeline: Timeline::default(),
+        }
+    }
+
+    /// The accumulated timeline.
+    pub fn finish(self) -> Timeline {
+        self.timeline
+    }
+}
+
+impl AnalysisSink for TimelineSink {
+    fn on_event(&mut self, key: &SessionKey, e: &ClassifiedEvent) {
+        if *key != self.session || e.prefix != self.prefix {
+            return;
+        }
+        match &e.kind {
+            EventKind::Withdrawal => self.timeline.withdrawals.push(e.time_us),
+            EventKind::Classified { .. } | EventKind::Initial => {
+                let attrs = e.attrs.as_ref().expect("announcement events carry attrs");
+                if self.path_filter.as_ref().map(|p| attrs.as_path == *p).unwrap_or(true) {
+                    self.timeline.points.push(TimelinePoint {
+                        time_us: e.time_us,
+                        atype: e.atype(),
+                        cumulative: self.timeline.points.len() as u64 + 1,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Merge for TimelineSink {
+    fn merge(&mut self, other: Self) {
+        // The one watched stream lives on exactly one shard; every other
+        // shard's sink stays empty.
+        if self.timeline.points.is_empty() && self.timeline.withdrawals.is_empty() {
+            self.timeline = other.timeline;
+        }
+    }
+}
+
+/// Extracts the timeline of one `(session, prefix)` stream — the batch
+/// wrapper over [`TimelineSink`].
 pub fn path_timeline(
     classified: &ClassifiedArchive,
     session: &SessionKey,
     prefix: &Prefix,
     path_filter: Option<&AsPath>,
 ) -> Timeline {
-    let mut timeline = Timeline::default();
-    let Some(events) = classified.per_session.get(session) else {
-        return timeline;
-    };
-    let mut cumulative = 0u64;
-    for e in events.iter().filter(|e| e.prefix == *prefix) {
-        match &e.kind {
-            EventKind::Withdrawal => timeline.withdrawals.push(e.time_us),
-            EventKind::Classified { atype, .. } => {
-                let attrs = e.attrs.as_ref().expect("classified events carry attrs");
-                if path_filter.map(|p| attrs.as_path == *p).unwrap_or(true) {
-                    cumulative += 1;
-                    timeline.points.push(TimelinePoint {
-                        time_us: e.time_us,
-                        atype: Some(*atype),
-                        cumulative,
-                    });
-                }
-            }
-            EventKind::Initial => {
-                let attrs = e.attrs.as_ref().expect("initial events carry attrs");
-                if path_filter.map(|p| attrs.as_path == *p).unwrap_or(true) {
-                    cumulative += 1;
-                    timeline.points.push(TimelinePoint {
-                        time_us: e.time_us,
-                        atype: None,
-                        cumulative,
-                    });
-                }
-            }
-        }
-    }
-    timeline
+    let mut sink = TimelineSink::new(session.clone(), *prefix, path_filter);
+    feed_classified(classified, &mut sink);
+    sink.finish()
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@ use kcc_collector::{BeaconPhase, BeaconSchedule, SessionKey};
 
 use crate::beacon_phase::DAY_US;
 use crate::classify::AnnouncementType;
-use crate::stream::{ClassifiedArchive, EventKind};
+use crate::pipeline::{feed_classified, AnalysisSink, Merge};
+use crate::stream::{ClassifiedArchive, ClassifiedEvent, EventKind};
 
 /// One detected community-exploration episode: a withdrawal phase of one
 /// `(session, prefix)` stream containing `nc` traffic.
@@ -48,58 +49,95 @@ impl ExplorationEvent {
     }
 }
 
-/// Scans a classified archive for exploration episodes on the given
-/// beacon prefixes.
-pub fn detect(
-    classified: &ClassifiedArchive,
-    schedule: &BeaconSchedule,
-    beacon_prefixes: &[Prefix],
-) -> Vec<ExplorationEvent> {
-    let mut episodes: BTreeMap<(SessionKey, Prefix, u32, u8), ExplorationEvent> = BTreeMap::new();
-    for (key, events) in &classified.per_session {
-        for e in events {
-            if !beacon_prefixes.contains(&e.prefix) {
-                continue;
-            }
-            let day = (e.time_us / DAY_US) as u32;
-            let BeaconPhase::Withdrawal(phase) = schedule.phase_of(e.time_us % DAY_US) else {
-                continue;
-            };
-            let EventKind::Classified { atype, .. } = &e.kind else {
-                continue;
-            };
-            let episode =
-                episodes.entry((key.clone(), e.prefix, day, phase)).or_insert_with(|| {
-                    ExplorationEvent {
-                        session: key.clone(),
-                        prefix: e.prefix,
-                        day,
-                        phase,
-                        pc_count: 0,
-                        nc_count: 0,
-                        nn_count: 0,
-                        locations: Vec::new(),
-                    }
-                });
-            match atype {
-                AnnouncementType::Pc | AnnouncementType::Xc => episode.pc_count += 1,
-                AnnouncementType::Nc => episode.nc_count += 1,
-                AnnouncementType::Nn => episode.nn_count += 1,
-                _ => {}
-            }
-            if let Some(attrs) = &e.attrs {
-                for c in attrs.communities.iter_classic() {
-                    if let Some((scope, id)) = decode_geo(*c) {
-                        let loc = (c.asn_part(), scope, id);
-                        if !episode.locations.contains(&loc) {
-                            episode.locations.push(loc);
-                        }
+/// Detects community-exploration episodes incrementally from classified
+/// events. State is one counter set per *active episode* — bounded by
+/// beacon streams × phases, not by update volume.
+#[derive(Debug, Clone)]
+pub struct ExplorationSink {
+    schedule: BeaconSchedule,
+    beacon_prefixes: Vec<Prefix>,
+    episodes: BTreeMap<(SessionKey, Prefix, u32, u8), ExplorationEvent>,
+}
+
+impl ExplorationSink {
+    /// A detector over `schedule` for the given beacon prefixes.
+    pub fn new(schedule: BeaconSchedule, beacon_prefixes: &[Prefix]) -> Self {
+        ExplorationSink {
+            schedule,
+            beacon_prefixes: beacon_prefixes.to_vec(),
+            episodes: BTreeMap::new(),
+        }
+    }
+
+    /// The detected episodes, in canonical (session, prefix, day, phase)
+    /// order.
+    pub fn finish(self) -> Vec<ExplorationEvent> {
+        self.episodes.into_values().collect()
+    }
+}
+
+impl AnalysisSink for ExplorationSink {
+    fn on_event(&mut self, key: &SessionKey, e: &ClassifiedEvent) {
+        if !self.beacon_prefixes.contains(&e.prefix) {
+            return;
+        }
+        let day = (e.time_us / DAY_US) as u32;
+        let BeaconPhase::Withdrawal(phase) = self.schedule.phase_of(e.time_us % DAY_US) else {
+            return;
+        };
+        let EventKind::Classified { atype, .. } = &e.kind else {
+            return;
+        };
+        let episode =
+            self.episodes.entry((key.clone(), e.prefix, day, phase)).or_insert_with(|| {
+                ExplorationEvent {
+                    session: key.clone(),
+                    prefix: e.prefix,
+                    day,
+                    phase,
+                    pc_count: 0,
+                    nc_count: 0,
+                    nn_count: 0,
+                    locations: Vec::new(),
+                }
+            });
+        match atype {
+            AnnouncementType::Pc | AnnouncementType::Xc => episode.pc_count += 1,
+            AnnouncementType::Nc => episode.nc_count += 1,
+            AnnouncementType::Nn => episode.nn_count += 1,
+            _ => {}
+        }
+        if let Some(attrs) = &e.attrs {
+            for c in attrs.communities.iter_classic() {
+                if let Some((scope, id)) = decode_geo(*c) {
+                    let loc = (c.asn_part(), scope, id);
+                    if !episode.locations.contains(&loc) {
+                        episode.locations.push(loc);
                     }
                 }
             }
         }
     }
-    episodes.into_values().collect()
+}
+
+impl Merge for ExplorationSink {
+    fn merge(&mut self, other: Self) {
+        // Episode keys start with the session, and sessions are disjoint
+        // across shards.
+        self.episodes.extend(other.episodes);
+    }
+}
+
+/// Scans a classified archive for exploration episodes on the given
+/// beacon prefixes — the batch wrapper over [`ExplorationSink`].
+pub fn detect(
+    classified: &ClassifiedArchive,
+    schedule: &BeaconSchedule,
+    beacon_prefixes: &[Prefix],
+) -> Vec<ExplorationEvent> {
+    let mut sink = ExplorationSink::new(*schedule, beacon_prefixes);
+    feed_classified(classified, &mut sink);
+    sink.finish()
 }
 
 /// Summary over all episodes.

@@ -12,8 +12,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use kcc_bgp_types::geo::{decode_geo, GeoScope};
-use kcc_bgp_types::{Asn, MessageKind};
-use kcc_collector::UpdateArchive;
+use kcc_bgp_types::{Asn, MessageKind, RouteUpdate};
+use kcc_collector::{ArchiveSource, SessionKey, UpdateArchive};
+
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 
 /// What was learned about one ordered AS adjacency `(customer side,
 /// tagger side)`.
@@ -35,51 +37,85 @@ impl InterconnectEstimate {
     }
 }
 
-/// Scans an archive for tagger adjacencies and collects the locations
-/// revealed per `(neighbor, tagger)` pair.
-pub fn infer_interconnections(
-    archive: &UpdateArchive,
-) -> BTreeMap<(Asn, Asn), InterconnectEstimate> {
-    let mut out: BTreeMap<(Asn, Asn), InterconnectEstimate> = BTreeMap::new();
-    for (_, rec) in archive.sessions() {
-        for u in &rec.updates {
-            let MessageKind::Announcement(attrs) = &u.kind else { continue };
-            let path: Vec<Asn> = attrs.as_path.asns().collect();
-            for w in path.windows(2) {
-                let (neighbor, tagger) = (w[0], w[1]);
-                if neighbor == tagger || !tagger.is_16bit() {
+/// Collects revealed interconnection locations incrementally. State is
+/// one estimate per observed `(neighbor, tagger)` adjacency — bounded by
+/// the AS graph, not update volume.
+#[derive(Debug, Clone, Default)]
+pub struct InterconnectSink {
+    out: BTreeMap<(Asn, Asn), InterconnectEstimate>,
+}
+
+impl InterconnectSink {
+    /// The accumulated estimates.
+    pub fn finish(self) -> BTreeMap<(Asn, Asn), InterconnectEstimate> {
+        self.out
+    }
+}
+
+impl AnalysisSink for InterconnectSink {
+    fn on_update(&mut self, _session: &SessionKey, u: &RouteUpdate) {
+        let MessageKind::Announcement(attrs) = &u.kind else { return };
+        let path: Vec<Asn> = attrs.as_path.asns().collect();
+        for w in path.windows(2) {
+            let (neighbor, tagger) = (w[0], w[1]);
+            if neighbor == tagger || !tagger.is_16bit() {
+                continue;
+            }
+            let tagger16 = tagger.value() as u16;
+            let mut touched = false;
+            let mut entry_cities: Vec<u16> = Vec::new();
+            let mut entry_countries: Vec<u16> = Vec::new();
+            for c in attrs.communities.iter_classic() {
+                if c.asn_part() != tagger16 {
                     continue;
                 }
-                let tagger16 = tagger.value() as u16;
-                let mut touched = false;
-                let mut entry_cities: Vec<u16> = Vec::new();
-                let mut entry_countries: Vec<u16> = Vec::new();
-                for c in attrs.communities.iter_classic() {
-                    if c.asn_part() != tagger16 {
-                        continue;
+                match decode_geo(*c) {
+                    Some((GeoScope::City, id)) => {
+                        entry_cities.push(id);
+                        touched = true;
                     }
-                    match decode_geo(*c) {
-                        Some((GeoScope::City, id)) => {
-                            entry_cities.push(id);
-                            touched = true;
-                        }
-                        Some((GeoScope::Country, id)) => {
-                            entry_countries.push(id);
-                            touched = true;
-                        }
-                        _ => {}
+                    Some((GeoScope::Country, id)) => {
+                        entry_countries.push(id);
+                        touched = true;
                     }
+                    _ => {}
                 }
-                if touched {
-                    let e = out.entry((neighbor, tagger)).or_default();
-                    e.cities.extend(entry_cities);
-                    e.countries.extend(entry_countries);
-                    e.samples += 1;
-                }
+            }
+            if touched {
+                let e = self.out.entry((neighbor, tagger)).or_default();
+                e.cities.extend(entry_cities);
+                e.countries.extend(entry_countries);
+                e.samples += 1;
             }
         }
     }
-    out
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for InterconnectSink {
+    fn merge(&mut self, other: Self) {
+        for (pair, est) in other.out {
+            let e = self.out.entry(pair).or_default();
+            e.cities.extend(est.cities);
+            e.countries.extend(est.countries);
+            e.samples += est.samples;
+        }
+    }
+}
+
+/// Scans an archive for tagger adjacencies and collects the locations
+/// revealed per `(neighbor, tagger)` pair — the batch wrapper over
+/// [`InterconnectSink`].
+pub fn infer_interconnections(
+    archive: &UpdateArchive,
+) -> BTreeMap<(Asn, Asn), InterconnectEstimate> {
+    run_pipeline(ArchiveSource::new(archive), (), InterconnectSink::default())
+        .expect("archive sources cannot fail")
+        .sink
+        .finish()
 }
 
 #[cfg(test)]

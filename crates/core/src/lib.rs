@@ -34,6 +34,17 @@
 //! per-AS behavior inference ([`tomography`]: tag / filter / ignore),
 //! interconnection-count inference from geo tags ([`interconnect`]), and
 //! anomalous-community detection ([`anomaly`]).
+//!
+//! ## Streaming vs. batch
+//!
+//! Every analysis exists in two forms. The **streaming** form is an
+//! [`AnalysisSink`] driven by [`pipeline::Pipeline`] over any
+//! [`UpdateSource`] — one pass, constant memory per `(prefix, session)`
+//! stream, optionally sharded across threads with
+//! [`pipeline::run_sharded`]. The **batch** functions
+//! ([`classify_archive`], [`clean_archive`], [`table::overview`], …) are
+//! thin wrappers over that path, so their results — and the paper's
+//! golden outputs — are unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +57,7 @@ pub mod cumsum;
 pub mod exploration;
 pub mod interconnect;
 pub mod longitudinal;
+pub mod pipeline;
 pub mod registry;
 pub mod report;
 pub mod revealed;
@@ -55,7 +67,15 @@ pub mod table;
 pub mod tomography;
 
 pub use classify::{classify_pair, AnnouncementType, TypeCounts};
-pub use clean::{clean_archive, CleaningConfig, CleaningReport};
+pub use clean::{clean_archive, CleaningConfig, CleaningReport, CleaningStage};
+pub use kcc_collector::{ArchiveSource, MrtSource, SourceError, SourceItem, UpdateSource};
+pub use pipeline::{
+    feed_classified, run_pipeline, run_sharded, AnalysisSink, Merge, Pipeline, PipelineOutput,
+    PipelineStats, Stage,
+};
 pub use registry::AllocationRegistry;
-pub use stream::{classify_archive, ClassifiedArchive, ClassifiedEvent, EventKind};
-pub use table::{OverviewStats, TypeShares};
+pub use stream::{
+    classify_archive, ClassifiedArchive, ClassifiedArchiveSink, ClassifiedEvent, CountsSink,
+    EventKind, StreamClassifier,
+};
+pub use table::{OverviewSink, OverviewStats, TypeShares};

@@ -1,0 +1,544 @@
+//! The one-pass streaming analysis pipeline.
+//!
+//! The paper's measurement covers ~126 collector-days and >3.8 billion
+//! updates — a scale at which "load the day, then run each analysis over
+//! it" cannot work. This module turns the analysis surface inside out:
+//!
+//! * an [`UpdateSource`] (materialized archive, MRT bytes, simulator
+//!   capture, trace generator) is pulled **once**,
+//! * a chain of [`Stage`]s applies the §4 cleaning transforms
+//!   incrementally ([`crate::clean::CleaningStage`]),
+//! * a [`Pipeline`] keeps exactly one [`PathAttributes`] per active
+//!   `(session, prefix)` stream — the §5 classifier state, constant per
+//!   stream — and fans every surviving update plus its
+//!   [`ClassifiedEvent`] out to all registered [`AnalysisSink`]s.
+//!
+//! Every analysis in this crate (overview, phase counts, exploration,
+//! revealed information, per-session distributions, timelines, anomaly
+//! detection, tomography, interconnections, longitudinal day points)
+//! implements [`AnalysisSink`], so one pass drives them all; the
+//! pre-existing batch functions survive as thin wrappers over this path.
+//!
+//! Because `(session, prefix)` streams are independent, [`run_sharded`]
+//! hash-partitions sessions across `std::thread::scope` workers (the
+//! pattern proven by the sweep runner) and merges the per-shard sinks on
+//! finish — results are identical for any shard count.
+//!
+//! [`PathAttributes`]: kcc_bgp_types::PathAttributes
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc;
+
+use kcc_bgp_types::RouteUpdate;
+use kcc_collector::{PeerMeta, SessionKey, SourceError, SourceItem, UpdateSource};
+
+use crate::stream::{ClassifiedArchive, ClassifiedEvent, StreamClassifier};
+
+/// An incremental per-update transform (the §4 cleaning steps). Stages
+/// see each session's updates in arrival order and may drop or rewrite
+/// them; per-session state is the only state a stage should keep.
+pub trait Stage {
+    /// A session became known (always before its first update).
+    fn on_session(&mut self, _meta: &PeerMeta) {}
+
+    /// Transforms one update; `None` drops it.
+    fn process(&mut self, meta: &PeerMeta, update: RouteUpdate) -> Option<RouteUpdate>;
+}
+
+/// The identity stage.
+impl Stage for () {
+    fn process(&mut self, _meta: &PeerMeta, update: RouteUpdate) -> Option<RouteUpdate> {
+        Some(update)
+    }
+}
+
+impl<A: Stage, B: Stage> Stage for (A, B) {
+    fn on_session(&mut self, meta: &PeerMeta) {
+        self.0.on_session(meta);
+        self.1.on_session(meta);
+    }
+
+    fn process(&mut self, meta: &PeerMeta, update: RouteUpdate) -> Option<RouteUpdate> {
+        self.1.process(meta, self.0.process(meta, update)?)
+    }
+}
+
+impl<A: Stage, B: Stage, C: Stage> Stage for (A, B, C) {
+    fn on_session(&mut self, meta: &PeerMeta) {
+        self.0.on_session(meta);
+        self.1.on_session(meta);
+        self.2.on_session(meta);
+    }
+
+    fn process(&mut self, meta: &PeerMeta, update: RouteUpdate) -> Option<RouteUpdate> {
+        self.2.process(meta, self.1.process(meta, self.0.process(meta, update)?)?)
+    }
+}
+
+/// An incremental analysis consumer. Implementations accumulate whatever
+/// aggregate their analysis needs; the pipeline feeds them raw updates
+/// (post-cleaning) and classified events in one pass.
+pub trait AnalysisSink {
+    /// A session became known (always before its first update).
+    fn on_session(&mut self, _meta: &PeerMeta) {}
+
+    /// One update survived the stage chain.
+    fn on_update(&mut self, _session: &SessionKey, _update: &RouteUpdate) {}
+
+    /// The update's §5 classification against its stream predecessor.
+    fn on_event(&mut self, _session: &SessionKey, _event: &ClassifiedEvent) {}
+
+    /// Whether this sink consumes [`AnalysisSink::on_event`]. Sinks that
+    /// only need raw updates return `false`, letting the pipeline skip
+    /// the classifier (and its per-stream state) entirely.
+    fn wants_events(&self) -> bool {
+        true
+    }
+}
+
+/// Combine two partial results of the same shape — what [`run_sharded`]
+/// does to per-shard stages and sinks on finish. Merging must be
+/// insensitive to how sessions were partitioned: counts add, sets union,
+/// per-session maps (disjoint across shards) extend.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl Merge for () {
+    fn merge(&mut self, _other: ()) {}
+}
+
+impl Merge for crate::classify::TypeCounts {
+    fn merge(&mut self, other: Self) {
+        crate::classify::TypeCounts::merge(self, &other);
+    }
+}
+
+macro_rules! impl_sink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: AnalysisSink),+> AnalysisSink for ($($name,)+) {
+            fn on_session(&mut self, meta: &PeerMeta) {
+                $(self.$idx.on_session(meta);)+
+            }
+            fn on_update(&mut self, session: &SessionKey, update: &RouteUpdate) {
+                $(self.$idx.on_update(session, update);)+
+            }
+            fn on_event(&mut self, session: &SessionKey, event: &ClassifiedEvent) {
+                $(self.$idx.on_event(session, event);)+
+            }
+            fn wants_events(&self) -> bool {
+                $(self.$idx.wants_events())||+
+            }
+        }
+        impl<$($name: Merge),+> Merge for ($($name,)+) {
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+        }
+    };
+}
+
+impl_sink_tuple!(A: 0, B: 1);
+impl_sink_tuple!(A: 0, B: 1, C: 2);
+impl_sink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_sink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_sink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// What one pipeline run processed and how much state it held.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Sessions seen.
+    pub sessions: u64,
+    /// Updates pulled from the source.
+    pub updates: u64,
+    /// Updates surviving the stage chain.
+    pub kept: u64,
+    /// Distinct `(session, prefix)` streams with classifier state.
+    pub streams: u64,
+    /// Estimated bytes of resident classifier state (one set of path
+    /// attributes per stream) at finish.
+    pub state_bytes: u64,
+    /// Peak of `state_bytes` over the run — the "constant memory per
+    /// stream" number the streaming redesign exists for. Across shards
+    /// this sums the per-shard peaks (they are resident concurrently).
+    pub peak_state_bytes: u64,
+}
+
+impl Merge for PipelineStats {
+    fn merge(&mut self, other: Self) {
+        self.sessions += other.sessions;
+        self.updates += other.updates;
+        self.kept += other.kept;
+        self.streams += other.streams;
+        self.state_bytes += other.state_bytes;
+        self.peak_state_bytes += other.peak_state_bytes;
+    }
+}
+
+/// Everything a pipeline run returns: the (possibly merged) stage chain
+/// and sink, plus run statistics.
+#[derive(Debug)]
+pub struct PipelineOutput<St, S> {
+    /// The stage chain with its accumulated state (e.g. the cleaning
+    /// report).
+    pub stages: St,
+    /// The sink(s) with their accumulated analysis results.
+    pub sink: S,
+    /// Run statistics.
+    pub stats: PipelineStats,
+}
+
+/// The single-pass driver: source → stages → classifier → sinks.
+#[derive(Debug)]
+pub struct Pipeline<St, S> {
+    stages: St,
+    sink: S,
+    classify: bool,
+    classifiers: HashMap<SessionKey, StreamClassifier>,
+    stats: PipelineStats,
+}
+
+impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
+    /// A pipeline over the given stage chain and sink (tuples of sinks
+    /// fan out).
+    pub fn new(stages: St, sink: S) -> Self {
+        let classify = sink.wants_events();
+        Pipeline {
+            stages,
+            sink,
+            classify,
+            classifiers: HashMap::new(),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Feeds one source item through stages, classifier and sinks.
+    pub fn feed(&mut self, item: SourceItem) {
+        match item {
+            SourceItem::Session(meta) => self.register(&meta),
+            SourceItem::Update(meta, update) => {
+                self.register(&meta);
+                self.stats.updates += 1;
+                let Some(update) = self.stages.process(&meta, update) else {
+                    return;
+                };
+                self.stats.kept += 1;
+                self.sink.on_update(&meta.key, &update);
+                if self.classify {
+                    let classifier = self
+                        .classifiers
+                        .get_mut(&meta.key)
+                        .expect("session registered before its updates");
+                    let streams_before = classifier.stream_count() as u64;
+                    let bytes_before = classifier.state_bytes() as u64;
+                    let event = classifier.classify(&update);
+                    self.stats.streams += classifier.stream_count() as u64 - streams_before;
+                    self.stats.state_bytes =
+                        self.stats.state_bytes + classifier.state_bytes() as u64 - bytes_before;
+                    self.stats.peak_state_bytes =
+                        self.stats.peak_state_bytes.max(self.stats.state_bytes);
+                    self.sink.on_event(&meta.key, &event);
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, meta: &PeerMeta) {
+        // Sessions double as the seen-set even when the sink skips
+        // classification — an empty classifier costs nothing.
+        if self.classifiers.contains_key(&meta.key) {
+            return;
+        }
+        self.classifiers.insert(meta.key.clone(), StreamClassifier::new());
+        self.stats.sessions += 1;
+        self.stages.on_session(meta);
+        self.sink.on_session(meta);
+    }
+
+    /// Pulls a source dry through this pipeline.
+    pub fn run<Src: UpdateSource>(&mut self, mut source: Src) -> Result<(), SourceError> {
+        while let Some(item) = source.next_item()? {
+            self.feed(item);
+        }
+        Ok(())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Dismantles the pipeline into its results.
+    pub fn finish(self) -> PipelineOutput<St, S> {
+        PipelineOutput { stages: self.stages, sink: self.sink, stats: self.stats }
+    }
+}
+
+/// Runs one source through stages and sinks on the calling thread.
+pub fn run_pipeline<Src, St, S>(
+    source: Src,
+    stages: St,
+    sink: S,
+) -> Result<PipelineOutput<St, S>, SourceError>
+where
+    Src: UpdateSource,
+    St: Stage,
+    S: AnalysisSink,
+{
+    let mut pipeline = Pipeline::new(stages, sink);
+    pipeline.run(source)?;
+    Ok(pipeline.finish())
+}
+
+/// Feeds an already-classified archive's events into a sink — the bridge
+/// the batch wrappers over event-consuming analyses use.
+pub fn feed_classified<S: AnalysisSink>(classified: &ClassifiedArchive, sink: &mut S) {
+    for (key, events) in &classified.per_session {
+        for event in events {
+            sink.on_event(key, event);
+        }
+    }
+}
+
+/// Which shard owns a session. Streams are per-session, so partitioning
+/// by session key keeps every stream's state and events on one worker.
+fn shard_of(key: &SessionKey, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// Items per channel message: batching amortizes channel synchronization
+/// without hurting the constant-memory story (bounded by
+/// `BATCH × IN_FLIGHT × shards` updates in flight).
+const SHARD_BATCH: usize = 512;
+/// Bounded channel depth per shard.
+const SHARD_IN_FLIGHT: usize = 8;
+
+/// Runs one source across `shards` worker threads, hash-partitioned by
+/// [`SessionKey`], and merges the per-shard stages/sinks in shard order.
+///
+/// Results are **shard-count independent**: every `(session, prefix)`
+/// stream lives on exactly one worker (so per-stream state and event
+/// order are unaffected) and [`Merge`] implementations are
+/// partition-insensitive. On a single-core host this degrades to the
+/// serial path's results at roughly the serial path's speed; on
+/// multi-core hardware wall-clock scales with the shard count.
+pub fn run_sharded<Src, St, S, FSt, FS>(
+    mut source: Src,
+    shards: usize,
+    make_stages: FSt,
+    make_sink: FS,
+) -> Result<PipelineOutput<St, S>, SourceError>
+where
+    Src: UpdateSource,
+    St: Stage + Merge + Send,
+    S: AnalysisSink + Merge + Send,
+    FSt: Fn() -> St + Sync,
+    FS: Fn() -> S + Sync,
+{
+    if shards <= 1 {
+        return run_pipeline(source, make_stages(), make_sink());
+    }
+
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Vec<SourceItem>>(SHARD_IN_FLIGHT);
+            senders.push(tx);
+            let make_stages = &make_stages;
+            let make_sink = &make_sink;
+            handles.push(scope.spawn(move || {
+                let mut pipeline = Pipeline::new(make_stages(), make_sink());
+                while let Ok(batch) = rx.recv() {
+                    for item in batch {
+                        pipeline.feed(item);
+                    }
+                }
+                pipeline.finish()
+            }));
+        }
+
+        let mut buffers: Vec<Vec<SourceItem>> = (0..shards).map(|_| Vec::new()).collect();
+        let outcome = loop {
+            match source.next_item() {
+                Ok(Some(item)) => {
+                    let key = match &item {
+                        SourceItem::Session(meta) => &meta.key,
+                        SourceItem::Update(meta, _) => &meta.key,
+                    };
+                    let shard = shard_of(key, shards);
+                    buffers[shard].push(item);
+                    if buffers[shard].len() >= SHARD_BATCH {
+                        let batch = std::mem::take(&mut buffers[shard]);
+                        if senders[shard].send(batch).is_err() {
+                            break Err(SourceError::Other("pipeline worker exited early".into()));
+                        }
+                    }
+                }
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        for (shard, buffer) in buffers.into_iter().enumerate() {
+            if !buffer.is_empty() {
+                // A failed send means the worker panicked; joining below
+                // will surface that panic.
+                let _ = senders[shard].send(buffer);
+            }
+        }
+        drop(senders);
+
+        let mut merged: Option<PipelineOutput<St, S>> = None;
+        for handle in handles {
+            let part = handle.join().expect("pipeline worker panicked");
+            match &mut merged {
+                None => merged = Some(part),
+                Some(out) => {
+                    out.stages.merge(part.stages);
+                    out.sink.merge(part.sink);
+                    out.stats.merge(part.stats);
+                }
+            }
+        }
+        outcome.map(|()| merged.expect("at least one shard"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::TypeCounts;
+    use crate::stream::{classify_archive, CountsSink};
+    use crate::table::{overview, OverviewSink};
+    use kcc_bgp_types::{Asn, Community, CommunitySet, PathAttributes, Prefix};
+    use kcc_collector::{ArchiveSource, UpdateArchive};
+
+    fn attrs(path: &str, comm: u16) -> PathAttributes {
+        PathAttributes {
+            as_path: path.parse().unwrap(),
+            communities: CommunitySet::from_classic([Community::from_parts(3356, comm)]),
+            ..Default::default()
+        }
+    }
+
+    fn archive() -> UpdateArchive {
+        let mut a = UpdateArchive::new(0);
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        let other: Prefix = "84.205.65.0/24".parse().unwrap();
+        for peer in 0..6u32 {
+            let key = SessionKey::new(
+                "rrc00",
+                Asn(100 + peer),
+                format!("10.0.0.{}", peer + 1).parse().unwrap(),
+            );
+            for i in 0..10u64 {
+                a.record(&key, RouteUpdate::announce(i, prefix, attrs("1 2 3", i as u16 % 3)));
+                a.record(&key, RouteUpdate::announce(i, other, attrs("1 9 3", 7)));
+            }
+            a.record(&key, RouteUpdate::withdraw(100, prefix));
+        }
+        a
+    }
+
+    #[test]
+    fn one_pass_drives_multiple_sinks() {
+        let a = archive();
+        let out = run_pipeline(
+            ArchiveSource::new(&a),
+            (),
+            (CountsSink::default(), OverviewSink::default()),
+        )
+        .unwrap();
+        let (counts, overview_sink) = out.sink;
+        assert_eq!(counts.finish(), classify_archive(&a).counts);
+        assert_eq!(overview_sink.finish(), overview(&a));
+        assert_eq!(out.stats.sessions, 6);
+        assert_eq!(out.stats.updates, a.update_count() as u64);
+        assert_eq!(out.stats.streams, 12, "2 prefixes × 6 sessions");
+        assert!(out.stats.peak_state_bytes > 0);
+    }
+
+    #[test]
+    fn update_only_sinks_skip_classifier_state() {
+        let a = archive();
+        let out = run_pipeline(ArchiveSource::new(&a), (), OverviewSink::default()).unwrap();
+        assert_eq!(out.stats.streams, 0, "no classifier state for update-only sinks");
+        assert_eq!(out.sink.finish(), overview(&a));
+    }
+
+    #[test]
+    fn sharded_equals_serial() {
+        let a = archive();
+        let serial = run_pipeline(
+            ArchiveSource::new(&a),
+            (),
+            (CountsSink::default(), OverviewSink::default()),
+        )
+        .unwrap();
+        for shards in [2, 3, 5] {
+            let sharded = run_sharded(
+                ArchiveSource::new(&a),
+                shards,
+                || (),
+                || (CountsSink::default(), OverviewSink::default()),
+            )
+            .unwrap();
+            assert_eq!(
+                sharded.sink.0.finish(),
+                serial.sink.0.finish(),
+                "{shards} shards: counts diverged"
+            );
+            assert_eq!(
+                sharded.sink.1.clone().finish(),
+                serial.sink.1.clone().finish(),
+                "{shards} shards: overview diverged"
+            );
+            assert_eq!(sharded.stats.sessions, serial.stats.sessions);
+            assert_eq!(sharded.stats.updates, serial.stats.updates);
+            assert_eq!(sharded.stats.streams, serial.stats.streams);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_sessions_is_fine() {
+        let a = archive();
+        let out = run_sharded(ArchiveSource::new(&a), 64, || (), CountsSink::default).unwrap();
+        assert_eq!(out.sink.finish(), classify_archive(&a).counts);
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = PipelineStats {
+            sessions: 1,
+            updates: 10,
+            kept: 9,
+            streams: 2,
+            state_bytes: 100,
+            peak_state_bytes: 120,
+        };
+        a.merge(PipelineStats {
+            sessions: 2,
+            updates: 5,
+            kept: 5,
+            streams: 1,
+            state_bytes: 50,
+            peak_state_bytes: 60,
+        });
+        assert_eq!(a.sessions, 3);
+        assert_eq!(a.updates, 15);
+        assert_eq!(a.peak_state_bytes, 180);
+    }
+
+    #[test]
+    fn counts_merge_is_typecounts_merge() {
+        let mut a = TypeCounts { pc: 1, ..Default::default() };
+        Merge::merge(&mut a, TypeCounts { pc: 2, nn: 3, ..Default::default() });
+        assert_eq!(a.pc, 3);
+        assert_eq!(a.nn, 3);
+    }
+}

@@ -12,10 +12,11 @@
 
 use std::collections::HashMap;
 
-use kcc_bgp_types::{MessageKind, Prefix};
-use kcc_collector::{BeaconPhase, BeaconSchedule, UpdateArchive};
+use kcc_bgp_types::{MessageKind, Prefix, RouteUpdate};
+use kcc_collector::{ArchiveSource, BeaconPhase, BeaconSchedule, SessionKey, UpdateArchive};
 
 use crate::beacon_phase::DAY_US;
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 
 /// Phase-category bit flags an attribute was seen in.
 mod seen {
@@ -52,43 +53,85 @@ impl RevealedStats {
     }
 }
 
-/// Computes revealed-attribute statistics over the archive, restricted to
-/// `beacon_prefixes` when non-empty (the paper's d_beacon view).
+/// Tracks which phase categories every unique community attribute was
+/// seen in — Fig. 6 as a streaming sink. State is one byte of flags per
+/// *unique attribute*, independent of update volume.
+#[derive(Debug, Clone)]
+pub struct RevealedSink {
+    schedule: BeaconSchedule,
+    beacon_prefixes: Vec<Prefix>,
+    attrs_seen: HashMap<String, u8>,
+}
+
+impl RevealedSink {
+    /// A sink over `schedule`, restricted to `beacon_prefixes` when
+    /// non-empty (the paper's d_beacon view).
+    pub fn new(schedule: BeaconSchedule, beacon_prefixes: &[Prefix]) -> Self {
+        RevealedSink {
+            schedule,
+            beacon_prefixes: beacon_prefixes.to_vec(),
+            attrs_seen: HashMap::new(),
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn finish(&self) -> RevealedStats {
+        let mut stats = RevealedStats { total: self.attrs_seen.len() as u64, ..Default::default() };
+        for flags in self.attrs_seen.values() {
+            match *flags {
+                f if f == seen::WITHDRAWAL => stats.withdrawal_only += 1,
+                f if f == seen::ANNOUNCEMENT => stats.announcement_only += 1,
+                f if f == seen::OUTSIDE => stats.outside_only += 1,
+                _ => stats.ambiguous += 1,
+            }
+        }
+        stats
+    }
+}
+
+impl AnalysisSink for RevealedSink {
+    fn on_update(&mut self, _session: &SessionKey, u: &RouteUpdate) {
+        if !self.beacon_prefixes.is_empty() && !self.beacon_prefixes.contains(&u.prefix) {
+            return;
+        }
+        let MessageKind::Announcement(attrs) = &u.kind else {
+            return;
+        };
+        if attrs.communities.is_empty() {
+            return; // an empty attribute reveals nothing
+        }
+        let flag = match self.schedule.phase_of(u.time_us % DAY_US) {
+            BeaconPhase::Withdrawal(_) => seen::WITHDRAWAL,
+            BeaconPhase::Announcement(_) => seen::ANNOUNCEMENT,
+            BeaconPhase::Outside => seen::OUTSIDE,
+        };
+        *self.attrs_seen.entry(attrs.communities.canonical_key()).or_insert(0) |= flag;
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for RevealedSink {
+    fn merge(&mut self, other: Self) {
+        for (key, flags) in other.attrs_seen {
+            *self.attrs_seen.entry(key).or_insert(0) |= flags;
+        }
+    }
+}
+
+/// Computes revealed-attribute statistics over the archive — the batch
+/// wrapper over [`RevealedSink`].
 pub fn revealed_attributes(
     archive: &UpdateArchive,
     schedule: &BeaconSchedule,
     beacon_prefixes: &[Prefix],
 ) -> RevealedStats {
-    let mut attrs_seen: HashMap<String, u8> = HashMap::new();
-    for (_, rec) in archive.sessions() {
-        for u in &rec.updates {
-            if !beacon_prefixes.is_empty() && !beacon_prefixes.contains(&u.prefix) {
-                continue;
-            }
-            let MessageKind::Announcement(attrs) = &u.kind else {
-                continue;
-            };
-            if attrs.communities.is_empty() {
-                continue; // an empty attribute reveals nothing
-            }
-            let flag = match schedule.phase_of(u.time_us % DAY_US) {
-                BeaconPhase::Withdrawal(_) => seen::WITHDRAWAL,
-                BeaconPhase::Announcement(_) => seen::ANNOUNCEMENT,
-                BeaconPhase::Outside => seen::OUTSIDE,
-            };
-            *attrs_seen.entry(attrs.communities.canonical_key()).or_insert(0) |= flag;
-        }
-    }
-    let mut stats = RevealedStats { total: attrs_seen.len() as u64, ..Default::default() };
-    for (_, flags) in attrs_seen {
-        match flags {
-            f if f == seen::WITHDRAWAL => stats.withdrawal_only += 1,
-            f if f == seen::ANNOUNCEMENT => stats.announcement_only += 1,
-            f if f == seen::OUTSIDE => stats.outside_only += 1,
-            _ => stats.ambiguous += 1,
-        }
-    }
-    stats
+    run_pipeline(ArchiveSource::new(archive), (), RevealedSink::new(*schedule, beacon_prefixes))
+        .expect("archive sources cannot fail")
+        .sink
+        .finish()
 }
 
 #[cfg(test)]

@@ -5,43 +5,84 @@
 //! that "each session shows a diverse distribution of announcement
 //! types, despite looking only at a single beacon prefix".
 
+use std::collections::BTreeMap;
+
 use kcc_bgp_types::Prefix;
 use kcc_collector::SessionKey;
 
 use crate::classify::{AnnouncementType, TypeCounts};
+use crate::pipeline::{feed_classified, AnalysisSink, Merge};
 use crate::report::render_table;
-use crate::stream::{ClassifiedArchive, EventKind};
+use crate::stream::{ClassifiedArchive, ClassifiedEvent, EventKind};
+
+/// Accumulates per-session type counts for one prefix — Fig. 3 as a
+/// streaming sink. State is one [`TypeCounts`] per session that touched
+/// the prefix.
+#[derive(Debug, Clone)]
+pub struct SessionDistributionSink {
+    prefix: Prefix,
+    collector: Option<String>,
+    per_session: BTreeMap<SessionKey, TypeCounts>,
+}
+
+impl SessionDistributionSink {
+    /// A sink for `prefix`, optionally restricted to one collector.
+    pub fn new(prefix: Prefix, collector: Option<&str>) -> Self {
+        SessionDistributionSink {
+            prefix,
+            collector: collector.map(str::to_owned),
+            per_session: BTreeMap::new(),
+        }
+    }
+
+    /// The rows with announcements, sorted by announcement volume
+    /// (descending) — the Fig. 3 x-axis order.
+    pub fn finish(self) -> Vec<(SessionKey, TypeCounts)> {
+        let mut rows: Vec<(SessionKey, TypeCounts)> =
+            self.per_session.into_iter().filter(|(_, c)| c.announcement_total() > 0).collect();
+        rows.sort_by(|a, b| {
+            b.1.announcement_total().cmp(&a.1.announcement_total()).then_with(|| a.0.cmp(&b.0))
+        });
+        rows
+    }
+}
+
+impl AnalysisSink for SessionDistributionSink {
+    fn on_event(&mut self, key: &SessionKey, e: &ClassifiedEvent) {
+        if e.prefix != self.prefix {
+            return;
+        }
+        if let Some(c) = &self.collector {
+            if key.collector != *c {
+                return;
+            }
+        }
+        let counts = self.per_session.entry(key.clone()).or_default();
+        match &e.kind {
+            EventKind::Classified { atype, .. } => counts.add(*atype),
+            EventKind::Initial => counts.initial += 1,
+            EventKind::Withdrawal => counts.withdrawals += 1,
+        }
+    }
+}
+
+impl Merge for SessionDistributionSink {
+    fn merge(&mut self, other: Self) {
+        // Sessions are disjoint across shards.
+        self.per_session.extend(other.per_session);
+    }
+}
 
 /// Per-session counts for one prefix, sorted by announcement volume
-/// (descending) — the Fig. 3 x-axis order.
+/// (descending) — the batch wrapper over [`SessionDistributionSink`].
 pub fn session_type_distribution(
     classified: &ClassifiedArchive,
     prefix: &Prefix,
     collector: Option<&str>,
 ) -> Vec<(SessionKey, TypeCounts)> {
-    let mut rows: Vec<(SessionKey, TypeCounts)> = Vec::new();
-    for (key, events) in &classified.per_session {
-        if let Some(c) = collector {
-            if key.collector != c {
-                continue;
-            }
-        }
-        let mut counts = TypeCounts::default();
-        for e in events.iter().filter(|e| e.prefix == *prefix) {
-            match &e.kind {
-                EventKind::Classified { atype, .. } => counts.add(*atype),
-                EventKind::Initial => counts.initial += 1,
-                EventKind::Withdrawal => counts.withdrawals += 1,
-            }
-        }
-        if counts.announcement_total() > 0 {
-            rows.push((key.clone(), counts));
-        }
-    }
-    rows.sort_by(|a, b| {
-        b.1.announcement_total().cmp(&a.1.announcement_total()).then_with(|| a.0.cmp(&b.0))
-    });
-    rows
+    let mut sink = SessionDistributionSink::new(*prefix, collector);
+    feed_classified(classified, &mut sink);
+    sink.finish()
 }
 
 /// Renders the distribution as a text table (one row per session).

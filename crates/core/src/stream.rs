@@ -8,11 +8,13 @@
 //! against the last announcement before it.
 
 use std::collections::{BTreeMap, HashMap};
+use std::mem::size_of;
 
 use kcc_bgp_types::{MessageKind, PathAttributes, Prefix, RouteUpdate};
-use kcc_collector::{SessionKey, UpdateArchive};
+use kcc_collector::{ArchiveSource, PeerMeta, SessionKey, UpdateArchive};
 
 use crate::classify::{classify_pair, AnnouncementType, TypeCounts};
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 
 /// What one stream event was classified as.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,54 +109,156 @@ fn accumulate<'a, I: IntoIterator<Item = &'a ClassifiedEvent>>(c: &mut TypeCount
     }
 }
 
-/// Classifies one session's update stream.
-pub fn classify_session(updates: &[RouteUpdate]) -> Vec<ClassifiedEvent> {
-    let mut last: HashMap<Prefix, PathAttributes> = HashMap::new();
-    let mut out = Vec::with_capacity(updates.len());
-    for u in updates {
+/// Rough resident-size estimate of one stream's retained attributes —
+/// the per-stream state the constant-memory claim is about.
+fn attrs_footprint(attrs: &PathAttributes) -> usize {
+    size_of::<Prefix>()
+        + size_of::<PathAttributes>()
+        + attrs.as_path.asns().count() * size_of::<kcc_bgp_types::Asn>()
+        + attrs.communities.len() * size_of::<kcc_bgp_types::Community>()
+}
+
+/// The incremental §5 classifier for one session: retains exactly one
+/// [`PathAttributes`] per `(prefix)` stream — constant memory per stream
+/// no matter how long the day — and labels each update against it.
+#[derive(Debug, Default)]
+pub struct StreamClassifier {
+    last: HashMap<Prefix, PathAttributes>,
+    state_bytes: usize,
+}
+
+impl StreamClassifier {
+    /// A fresh classifier with no stream state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of streams with retained state.
+    pub fn stream_count(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Estimated bytes of retained state.
+    pub fn state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    /// Classifies one update against its stream predecessor and retains
+    /// the new state.
+    pub fn classify(&mut self, u: &RouteUpdate) -> ClassifiedEvent {
         match &u.kind {
             MessageKind::Announcement(attrs) => {
-                let kind = match last.get(&u.prefix) {
+                let kind = match self.last.get(&u.prefix) {
                     Some(prev) => EventKind::Classified {
                         atype: classify_pair(prev, attrs),
                         med_only: prev.differs_only_in_med(attrs),
                     },
                     None => EventKind::Initial,
                 };
-                last.insert(u.prefix, attrs.clone());
-                out.push(ClassifiedEvent {
+                self.state_bytes += attrs_footprint(attrs);
+                if let Some(prev) = self.last.insert(u.prefix, attrs.clone()) {
+                    self.state_bytes -= attrs_footprint(&prev);
+                }
+                ClassifiedEvent {
                     time_us: u.time_us,
                     prefix: u.prefix,
                     kind,
                     attrs: Some(attrs.clone()),
-                });
+                }
             }
             MessageKind::Withdrawal => {
-                // Withdrawals are recorded but do NOT reset `last`: the
+                // Withdrawals are recorded but do NOT reset the state: the
                 // next announcement is compared against the pre-withdrawal
-                // state, as in the paper's Fig. 4 (each phase "starts with
-                // a pc update").
-                out.push(ClassifiedEvent {
+                // attributes, as in the paper's Fig. 4 (each phase "starts
+                // with a pc update").
+                ClassifiedEvent {
                     time_us: u.time_us,
                     prefix: u.prefix,
                     kind: EventKind::Withdrawal,
                     attrs: None,
-                });
+                }
             }
         }
     }
-    out
 }
 
-/// Classifies a whole archive.
-pub fn classify_archive(archive: &UpdateArchive) -> ClassifiedArchive {
-    let mut result = ClassifiedArchive::default();
-    for (key, rec) in archive.sessions() {
-        let events = classify_session(&rec.updates);
-        accumulate(&mut result.counts, &events);
-        result.per_session.insert(key.clone(), events);
+/// Classifies one session's update stream — a fold over
+/// [`StreamClassifier`].
+pub fn classify_session(updates: &[RouteUpdate]) -> Vec<ClassifiedEvent> {
+    let mut classifier = StreamClassifier::new();
+    updates.iter().map(|u| classifier.classify(u)).collect()
+}
+
+/// Collects the full per-session classification — what
+/// [`classify_archive`] returns, as a streaming sink. Prefer aggregate
+/// sinks ([`CountsSink`] and friends) at scale: this one materializes
+/// every event.
+#[derive(Debug, Clone, Default)]
+pub struct ClassifiedArchiveSink {
+    result: ClassifiedArchive,
+}
+
+impl ClassifiedArchiveSink {
+    /// The collected classification.
+    pub fn finish(self) -> ClassifiedArchive {
+        self.result
     }
-    result
+}
+
+impl AnalysisSink for ClassifiedArchiveSink {
+    fn on_session(&mut self, meta: &PeerMeta) {
+        self.result.per_session.entry(meta.key.clone()).or_default();
+    }
+
+    fn on_event(&mut self, session: &SessionKey, event: &ClassifiedEvent) {
+        accumulate(&mut self.result.counts, std::iter::once(event));
+        self.result.per_session.entry(session.clone()).or_default().push(event.clone());
+    }
+}
+
+impl Merge for ClassifiedArchiveSink {
+    fn merge(&mut self, other: Self) {
+        // Sessions are disjoint across shards; counts add.
+        self.result.counts.merge(&other.result.counts);
+        for (key, mut events) in other.result.per_session {
+            self.result.per_session.entry(key).or_default().append(&mut events);
+        }
+    }
+}
+
+/// Aggregate [`TypeCounts`] over every classified event — the Table 2
+/// numbers as a constant-size sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountsSink {
+    counts: TypeCounts,
+}
+
+impl CountsSink {
+    /// The accumulated counts.
+    pub fn finish(self) -> TypeCounts {
+        self.counts
+    }
+}
+
+impl AnalysisSink for CountsSink {
+    fn on_event(&mut self, _session: &SessionKey, event: &ClassifiedEvent) {
+        accumulate(&mut self.counts, std::iter::once(event));
+    }
+}
+
+impl Merge for CountsSink {
+    fn merge(&mut self, other: Self) {
+        self.counts.merge(&other.counts);
+    }
+}
+
+/// Classifies a whole archive — the batch wrapper over the streaming
+/// pipeline ([`ArchiveSource`] → [`ClassifiedArchiveSink`]).
+pub fn classify_archive(archive: &UpdateArchive) -> ClassifiedArchive {
+    run_pipeline(ArchiveSource::new(archive), (), ClassifiedArchiveSink::default())
+        .expect("archive sources cannot fail")
+        .sink
+        .finish()
 }
 
 #[cfg(test)]

@@ -2,10 +2,11 @@
 
 use std::collections::HashSet;
 
-use kcc_bgp_types::{MessageKind, Prefix};
-use kcc_collector::UpdateArchive;
+use kcc_bgp_types::{Asn, MessageKind, Prefix, RouteUpdate};
+use kcc_collector::{ArchiveSource, PeerMeta, SessionKey, UpdateArchive};
 
 use crate::classify::{AnnouncementType, TypeCounts};
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 use crate::report::{fmt_count, render_table};
 
 /// The Table 1 summary of one dataset.
@@ -34,49 +35,98 @@ pub struct OverviewStats {
     pub withdrawals: u64,
 }
 
-/// Computes the Table 1 overview for an archive.
-pub fn overview(archive: &UpdateArchive) -> OverviewStats {
-    let mut v4: HashSet<Prefix> = HashSet::new();
-    let mut v6: HashSet<Prefix> = HashSet::new();
-    let mut ases: HashSet<u32> = HashSet::new();
-    let mut comm_asns: HashSet<u16> = HashSet::new();
-    let mut paths: HashSet<String> = HashSet::new();
-    let mut stats = OverviewStats {
-        sessions: archive.session_count() as u64,
-        peers: archive.peer_count() as u64,
-        ..Default::default()
-    };
-    for (_, rec) in archive.sessions() {
-        for u in &rec.updates {
-            match &u.kind {
-                MessageKind::Announcement(attrs) => {
-                    stats.announcements += 1;
-                    if u.prefix.is_ipv4() {
-                        v4.insert(u.prefix);
-                    } else {
-                        v6.insert(u.prefix);
-                    }
-                    for asn in attrs.as_path.asns() {
-                        ases.insert(asn.value());
-                    }
-                    paths.insert(attrs.as_path.to_string());
-                    if !attrs.communities.is_empty() {
-                        stats.with_communities += 1;
-                        for c in attrs.communities.iter_classic() {
-                            comm_asns.insert(c.asn_part());
-                        }
-                    }
-                }
-                MessageKind::Withdrawal => stats.withdrawals += 1,
-            }
+/// Accumulates the Table 1 overview incrementally. Distinct-count state
+/// (prefixes, ASes, paths) grows with the *universe*, not with the day's
+/// update volume — the inherent cost of "uniq." columns.
+#[derive(Debug, Clone, Default)]
+pub struct OverviewSink {
+    v4: HashSet<Prefix>,
+    v6: HashSet<Prefix>,
+    ases: HashSet<u32>,
+    comm_asns: HashSet<u16>,
+    paths: HashSet<String>,
+    sessions: HashSet<SessionKey>,
+    peers: HashSet<Asn>,
+    announcements: u64,
+    with_communities: u64,
+    withdrawals: u64,
+}
+
+impl OverviewSink {
+    /// The accumulated overview.
+    pub fn finish(self) -> OverviewStats {
+        OverviewStats {
+            ipv4_prefixes: self.v4.len() as u64,
+            ipv6_prefixes: self.v6.len() as u64,
+            ases: self.ases.len() as u64,
+            sessions: self.sessions.len() as u64,
+            peers: self.peers.len() as u64,
+            announcements: self.announcements,
+            with_communities: self.with_communities,
+            uniq_16bit: self.comm_asns.len() as u64,
+            uniq_as_paths: self.paths.len() as u64,
+            withdrawals: self.withdrawals,
         }
     }
-    stats.ipv4_prefixes = v4.len() as u64;
-    stats.ipv6_prefixes = v6.len() as u64;
-    stats.ases = ases.len() as u64;
-    stats.uniq_16bit = comm_asns.len() as u64;
-    stats.uniq_as_paths = paths.len() as u64;
-    stats
+}
+
+impl AnalysisSink for OverviewSink {
+    fn on_session(&mut self, meta: &PeerMeta) {
+        self.sessions.insert(meta.key.clone());
+        self.peers.insert(meta.key.peer_asn);
+    }
+
+    fn on_update(&mut self, _session: &SessionKey, u: &RouteUpdate) {
+        match &u.kind {
+            MessageKind::Announcement(attrs) => {
+                self.announcements += 1;
+                if u.prefix.is_ipv4() {
+                    self.v4.insert(u.prefix);
+                } else {
+                    self.v6.insert(u.prefix);
+                }
+                for asn in attrs.as_path.asns() {
+                    self.ases.insert(asn.value());
+                }
+                self.paths.insert(attrs.as_path.to_string());
+                if !attrs.communities.is_empty() {
+                    self.with_communities += 1;
+                    for c in attrs.communities.iter_classic() {
+                        self.comm_asns.insert(c.asn_part());
+                    }
+                }
+            }
+            MessageKind::Withdrawal => self.withdrawals += 1,
+        }
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for OverviewSink {
+    fn merge(&mut self, other: Self) {
+        self.v4.extend(other.v4);
+        self.v6.extend(other.v6);
+        self.ases.extend(other.ases);
+        self.comm_asns.extend(other.comm_asns);
+        self.paths.extend(other.paths);
+        self.sessions.extend(other.sessions);
+        self.peers.extend(other.peers);
+        self.announcements += other.announcements;
+        self.with_communities += other.with_communities;
+        self.withdrawals += other.withdrawals;
+    }
+}
+
+/// Computes the Table 1 overview for an archive — the batch wrapper over
+/// the streaming [`OverviewSink`].
+pub fn overview(archive: &UpdateArchive) -> OverviewStats {
+    run_pipeline(ArchiveSource::new(archive), (), OverviewSink::default())
+        .expect("archive sources cannot fail")
+        .sink
+        .finish()
 }
 
 impl OverviewStats {

@@ -25,8 +25,10 @@
 use std::collections::{BTreeMap, HashSet};
 
 use kcc_bgp_types::geo::decode_geo;
-use kcc_bgp_types::{Asn, MessageKind};
-use kcc_collector::UpdateArchive;
+use kcc_bgp_types::{Asn, Community, MessageKind, RouteUpdate};
+use kcc_collector::{ArchiveSource, SessionKey, UpdateArchive};
+
+use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
 
 /// Accumulated per-AS evidence.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -101,106 +103,188 @@ impl Default for TomographyConfig {
     }
 }
 
-/// Pass 1: find taggers — ASes whose namespace carries several distinct,
-/// mostly geo-decodable values on paths containing them.
-fn collect_own_namespace(archive: &UpdateArchive) -> BTreeMap<u16, BehaviorEvidence> {
-    let mut evidence: BTreeMap<u16, BehaviorEvidence> = BTreeMap::new();
-    for (_, rec) in archive.sessions() {
-        for u in &rec.updates {
-            let MessageKind::Announcement(attrs) = &u.kind else { continue };
-            let on_path: HashSet<u16> =
-                attrs.as_path.asns().filter(|a| a.is_16bit()).map(|a| a.value() as u16).collect();
-            for c in attrs.communities.iter_classic() {
-                let owner = c.asn_part();
-                // Only communities plausibly *added by an on-path AS*
-                // count as tagging evidence.
-                if !on_path.contains(&owner) {
-                    continue;
+/// Traversal evidence conditional on one *candidate* tagger: integer
+/// counters so merging shard partials is exact (no float-order drift).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PairEvidence {
+    /// Announcements where the candidate was upstream of this AS.
+    samples: u64,
+    /// ... and the candidate's communities were present.
+    passed: u64,
+    /// Blame events keyed by the between-set size `k` (each worth `1/k`).
+    blame: BTreeMap<u32, u64>,
+}
+
+impl PairEvidence {
+    fn merge(&mut self, other: &PairEvidence) {
+        self.samples += other.samples;
+        self.passed += other.passed;
+        for (&k, &n) in &other.blame {
+            *self.blame.entry(k).or_insert(0) += n;
+        }
+    }
+
+    fn blame_sum(&self) -> f64 {
+        // Ascending-k iteration keeps the float summation order
+        // deterministic across runs and shard counts.
+        self.blame.iter().map(|(&k, &n)| n as f64 / k as f64).sum()
+    }
+}
+
+/// Single-pass behavior inference. The batch version needed two passes
+/// (find taggers, then attribute traversals to them); the sink instead
+/// accumulates traversal evidence *conditionally on every candidate
+/// tagger* — a `(candidate, between-AS)`-keyed table bounded by AS
+/// adjacency, not update volume — and resolves which candidates really
+/// are taggers at [`TomographySink::finish`].
+#[derive(Debug, Clone)]
+pub struct TomographySink {
+    cfg: TomographyConfig,
+    own_values: BTreeMap<u16, HashSet<u16>>,
+    pairs: BTreeMap<(u16, u16), PairEvidence>,
+}
+
+impl TomographySink {
+    /// An inference sink with the given thresholds.
+    pub fn new(cfg: TomographyConfig) -> Self {
+        TomographySink { cfg, own_values: BTreeMap::new(), pairs: BTreeMap::new() }
+    }
+
+    /// Resolves taggers and folds the conditional evidence into the
+    /// final per-AS classification.
+    pub fn finish(self) -> BTreeMap<Asn, InferredBehavior> {
+        let taggers: HashSet<u16> = self
+            .own_values
+            .iter()
+            .filter(|(_, values)| values.len() >= self.cfg.min_tagger_values)
+            .map(|(&asn, _)| asn)
+            .collect();
+
+        let mut evidence: BTreeMap<u16, BehaviorEvidence> = BTreeMap::new();
+        for (owner, values) in self.own_values {
+            let e = evidence.entry(owner).or_default();
+            e.own_geo_values = values
+                .iter()
+                .filter(|&&v| decode_geo(Community::from_parts(owner, v)).is_some())
+                .count() as u64;
+            e.own_values = values;
+        }
+        for ((tagger, between), pair) in &self.pairs {
+            if !taggers.contains(tagger) {
+                continue;
+            }
+            let e = evidence.entry(*between).or_default();
+            e.samples += pair.samples as f64;
+            e.passed += pair.passed as f64;
+            e.cleaned_blame += pair.blame_sum();
+        }
+
+        evidence
+            .into_iter()
+            .map(|(asn16, e)| {
+                let filter_score = if e.samples > 0.0 { e.cleaned_blame / e.samples } else { 0.0 };
+                let propagate_score = if e.samples > 0.0 { e.passed / e.samples } else { 0.0 };
+                let is_tagger = e.own_values.len() >= self.cfg.min_tagger_values;
+                let class = if is_tagger {
+                    InferredClass::Tagger
+                } else if e.samples >= self.cfg.min_samples
+                    && filter_score >= self.cfg.filter_threshold
+                {
+                    InferredClass::Filter
+                } else if e.samples >= self.cfg.min_samples
+                    && propagate_score >= self.cfg.propagate_threshold
+                {
+                    InferredClass::Propagator
+                } else {
+                    InferredClass::Unknown
+                };
+                (
+                    Asn(asn16 as u32),
+                    InferredBehavior {
+                        asn: Asn(asn16 as u32),
+                        evidence: e,
+                        class,
+                        filter_score,
+                        propagate_score,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+impl AnalysisSink for TomographySink {
+    fn on_update(&mut self, _session: &SessionKey, u: &RouteUpdate) {
+        let MessageKind::Announcement(attrs) = &u.kind else { return };
+        let path: Vec<u16> =
+            attrs.as_path.asns().filter(|a| a.is_16bit()).map(|a| a.value() as u16).collect();
+        let on_path: HashSet<u16> = path.iter().copied().collect();
+
+        // Own-namespace evidence: only communities plausibly *added by an
+        // on-path AS* count toward taggerhood.
+        for c in attrs.communities.iter_classic() {
+            let owner = c.asn_part();
+            if on_path.contains(&owner) {
+                self.own_values.entry(owner).or_default().insert(c.value_part());
+            }
+        }
+
+        // Conditional traversal evidence for every candidate tagger on
+        // the path: the ASes strictly between the candidate and the
+        // collector either passed its communities or share the blame for
+        // their absence (resolved at finish once taggers are known).
+        // The deduped peer-side prefix grows incrementally and community
+        // owners are set-indexed once, keeping this hot loop O(path).
+        let owners: HashSet<u16> = attrs.communities.iter_classic().map(|c| c.asn_part()).collect();
+        let mut seen: HashSet<u16> = HashSet::new();
+        let mut uniq: Vec<u16> = Vec::new();
+        for (i, &t) in path.iter().enumerate() {
+            if i > 0 {
+                // `uniq` now holds path[..i] deduped, nearest first.
+                let t_present = owners.contains(&t);
+                let k = uniq.len() as u32;
+                for &a in &uniq {
+                    let pair = self.pairs.entry((t, a)).or_default();
+                    pair.samples += 1;
+                    if t_present {
+                        pair.passed += 1;
+                    } else {
+                        *pair.blame.entry(k).or_insert(0) += 1;
+                    }
                 }
-                let e = evidence.entry(owner).or_default();
-                if e.own_values.insert(c.value_part()) && decode_geo(*c).is_some() {
-                    e.own_geo_values += 1;
-                }
+            }
+            if seen.insert(t) {
+                uniq.push(t);
             }
         }
     }
-    evidence
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
-/// Runs the full inference over an archive.
+impl Merge for TomographySink {
+    fn merge(&mut self, other: Self) {
+        for (owner, values) in other.own_values {
+            self.own_values.entry(owner).or_default().extend(values);
+        }
+        for (key, pair) in other.pairs {
+            self.pairs.entry(key).or_default().merge(&pair);
+        }
+    }
+}
+
+/// Runs the full inference over an archive — the batch wrapper over
+/// [`TomographySink`].
 pub fn infer_behaviors(
     archive: &UpdateArchive,
     cfg: &TomographyConfig,
 ) -> BTreeMap<Asn, InferredBehavior> {
-    let mut evidence = collect_own_namespace(archive);
-    let taggers: HashSet<u16> = evidence
-        .iter()
-        .filter(|(_, e)| e.own_values.len() >= cfg.min_tagger_values)
-        .map(|(&asn, _)| asn)
-        .collect();
-
-    // Pass 2: traversal evidence. For each announcement and each known
-    // tagger T on its path, the ASes strictly between T and the collector
-    // either passed T's communities or share the blame for their absence.
-    for (_, rec) in archive.sessions() {
-        for u in &rec.updates {
-            let MessageKind::Announcement(attrs) = &u.kind else { continue };
-            let path: Vec<u16> =
-                attrs.as_path.asns().filter(|a| a.is_16bit()).map(|a| a.value() as u16).collect();
-            // Find the deepest (origin-most) tagger on the path.
-            for (i, &t) in path.iter().enumerate() {
-                if !taggers.contains(&t) || i == 0 {
-                    continue;
-                }
-                let between = &path[..i]; // peer-side ASes, nearest first
-                if between.is_empty() {
-                    continue;
-                }
-                let t_present = attrs.communities.iter_classic().any(|c| c.asn_part() == t);
-                // Dedup consecutive prepends.
-                let mut seen: HashSet<u16> = HashSet::new();
-                let uniq: Vec<u16> = between.iter().copied().filter(|a| seen.insert(*a)).collect();
-                let share = 1.0 / uniq.len() as f64;
-                for a in uniq {
-                    let e = evidence.entry(a).or_default();
-                    e.samples += 1.0;
-                    if t_present {
-                        e.passed += 1.0;
-                    } else {
-                        e.cleaned_blame += share;
-                    }
-                }
-            }
-        }
-    }
-
-    evidence
-        .into_iter()
-        .map(|(asn16, e)| {
-            let filter_score = if e.samples > 0.0 { e.cleaned_blame / e.samples } else { 0.0 };
-            let propagate_score = if e.samples > 0.0 { e.passed / e.samples } else { 0.0 };
-            let is_tagger = e.own_values.len() >= cfg.min_tagger_values;
-            let class = if is_tagger {
-                InferredClass::Tagger
-            } else if e.samples >= cfg.min_samples && filter_score >= cfg.filter_threshold {
-                InferredClass::Filter
-            } else if e.samples >= cfg.min_samples && propagate_score >= cfg.propagate_threshold {
-                InferredClass::Propagator
-            } else {
-                InferredClass::Unknown
-            };
-            (
-                Asn(asn16 as u32),
-                InferredBehavior {
-                    asn: Asn(asn16 as u32),
-                    evidence: e,
-                    class,
-                    filter_score,
-                    propagate_score,
-                },
-            )
-        })
-        .collect()
+    run_pipeline(ArchiveSource::new(archive), (), TomographySink::new(*cfg))
+        .expect("archive sources cannot fail")
+        .sink
+        .finish()
 }
 
 /// Convenience view: the ASes inferred per class.

@@ -32,6 +32,7 @@ pub mod bgp4mp;
 pub mod error;
 pub mod reader;
 pub mod record;
+pub mod stream;
 pub mod tabledump;
 pub mod writer;
 
@@ -39,6 +40,7 @@ pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState};
 pub use error::MrtError;
 pub use reader::MrtReader;
 pub use record::{MrtRecord, MrtTimestamp};
+pub use stream::{StreamedUpdate, UpdateStream};
 pub use tabledump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
 pub use writer::MrtWriter;
 

@@ -1,0 +1,196 @@
+//! Record-at-a-time update extraction from an MRT stream.
+//!
+//! [`UpdateStream`] flattens the BGP4MP MESSAGE records of an MRT byte
+//! stream into per-session [`RouteUpdate`]s without ever materializing the
+//! archive: one MRT record is decoded, exploded into its updates, yielded,
+//! and dropped before the next record is read. This is the building block
+//! the analysis pipeline's streaming sources are made of — a
+//! collector-day of any size is processed in memory proportional to one
+//! record.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::IpAddr;
+
+use kcc_bgp_types::{Asn, RouteUpdate};
+use kcc_bgp_wire::Message;
+
+use crate::error::MrtError;
+use crate::reader::MrtReader;
+use crate::record::MrtRecord;
+
+/// One update extracted from a BGP4MP MESSAGE record, with the session
+/// identity and timestamp granularity the record carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedUpdate {
+    /// The peer that sent the message.
+    pub peer_asn: Asn,
+    /// The peer's session address.
+    pub peer_ip: IpAddr,
+    /// True when the record carried only second resolution (plain
+    /// `BGP4MP`, not `_ET`) — the trigger for the paper's timestamp
+    /// disambiguation rule.
+    pub second_granularity: bool,
+    /// The update, with `time_us` relative to the stream's epoch.
+    pub update: RouteUpdate,
+}
+
+/// Streams [`RouteUpdate`]s out of MRT bytes, one record at a time.
+///
+/// Non-message records (state changes, RIB dumps) are skipped — they are
+/// not update traffic. Records earlier than `epoch_seconds` clamp to
+/// relative time 0, exactly as [`read_mrt`] does on the batch path.
+///
+/// [`read_mrt`]: https://docs.rs/kcc_collector
+#[derive(Debug)]
+pub struct UpdateStream<R: Read> {
+    reader: MrtReader<R>,
+    epoch_seconds: u32,
+    pending: VecDeque<StreamedUpdate>,
+}
+
+impl<R: Read> UpdateStream<R> {
+    /// Wraps an MRT byte stream; update times become microseconds since
+    /// `epoch_seconds`.
+    pub fn new(inner: R, epoch_seconds: u32) -> Self {
+        UpdateStream { reader: MrtReader::new(inner), epoch_seconds, pending: VecDeque::new() }
+    }
+
+    /// Number of MRT records consumed so far.
+    pub fn records_read(&self) -> u64 {
+        self.reader.records_read()
+    }
+
+    /// The next update; `Ok(None)` at clean EOF.
+    pub fn next_update(&mut self) -> Result<Option<StreamedUpdate>, MrtError> {
+        loop {
+            if let Some(u) = self.pending.pop_front() {
+                return Ok(Some(u));
+            }
+            let Some(record) = self.reader.next_record()? else {
+                return Ok(None);
+            };
+            let MrtRecord::Message(m) = record else {
+                continue; // state changes / RIB dumps are not update traffic
+            };
+            let Message::Update(packet) = &m.message else {
+                continue;
+            };
+            let ts = m.timestamp;
+            let rel_seconds = ts.seconds.saturating_sub(self.epoch_seconds) as u64;
+            let time_us = rel_seconds * 1_000_000 + ts.microseconds.unwrap_or(0) as u64;
+            for update in packet.explode(time_us) {
+                self.pending.push_back(StreamedUpdate {
+                    peer_asn: m.peer_asn,
+                    peer_ip: m.peer_ip,
+                    second_granularity: ts.is_second_granularity(),
+                    update,
+                });
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for UpdateStream<R> {
+    type Item = Result<StreamedUpdate, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_update().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MrtTimestamp;
+    use crate::writer::MrtWriter;
+    use crate::Bgp4mpMessage;
+    use kcc_bgp_types::PathAttributes;
+    use kcc_bgp_wire::UpdatePacket;
+
+    fn message(seconds: u32, micros: Option<u32>, withdraw: bool) -> MrtRecord {
+        let attrs = PathAttributes {
+            as_path: "20205 3356 12654".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        let prefix = "84.205.64.0/24".parse().unwrap();
+        let packet = if withdraw {
+            UpdatePacket::withdraw(prefix)
+        } else {
+            UpdatePacket::announce(prefix, attrs)
+        };
+        MrtRecord::Message(Bgp4mpMessage {
+            timestamp: match micros {
+                Some(us) => MrtTimestamp::micros(seconds, us),
+                None => MrtTimestamp::seconds(seconds),
+            },
+            peer_asn: Asn(20_205),
+            local_asn: Asn(3333),
+            ifindex: 0,
+            peer_ip: "192.0.2.9".parse().unwrap(),
+            local_ip: "192.0.2.1".parse().unwrap(),
+            message: Message::Update(packet),
+        })
+    }
+
+    #[test]
+    fn streams_updates_with_relative_times() {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&message(100, Some(250), false)).unwrap();
+        w.write_record(&message(101, None, true)).unwrap();
+        let bytes = w.into_inner();
+
+        let mut s = UpdateStream::new(&bytes[..], 100);
+        let first = s.next_update().unwrap().unwrap();
+        assert_eq!(first.update.time_us, 250);
+        assert!(!first.second_granularity);
+        assert!(first.update.is_announcement());
+        let second = s.next_update().unwrap().unwrap();
+        assert_eq!(second.update.time_us, 1_000_000);
+        assert!(second.second_granularity);
+        assert!(s.next_update().unwrap().is_none());
+        assert_eq!(s.records_read(), 2);
+    }
+
+    #[test]
+    fn pre_epoch_records_clamp_to_zero() {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&message(50, Some(7), false)).unwrap();
+        let bytes = w.into_inner();
+        let u = UpdateStream::new(&bytes[..], 100).next_update().unwrap().unwrap();
+        assert_eq!(u.update.time_us, 7);
+    }
+
+    #[test]
+    fn non_message_records_skipped() {
+        use crate::{Bgp4mpStateChange, BgpState};
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&MrtRecord::StateChange(Bgp4mpStateChange {
+            timestamp: MrtTimestamp::seconds(100),
+            peer_asn: Asn(20_205),
+            local_asn: Asn(3333),
+            ifindex: 0,
+            peer_ip: "192.0.2.9".parse().unwrap(),
+            local_ip: "192.0.2.1".parse().unwrap(),
+            old_state: BgpState::Idle,
+            new_state: BgpState::Established,
+        }))
+        .unwrap();
+        w.write_record(&message(100, Some(1), false)).unwrap();
+        let bytes = w.into_inner();
+        let got: Vec<_> = UpdateStream::new(&bytes[..], 100).map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].update.time_us, 1);
+    }
+
+    #[test]
+    fn torn_stream_surfaces_error() {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&message(100, Some(1), false)).unwrap();
+        let bytes = w.into_inner();
+        let torn = &bytes[..bytes.len() - 3];
+        let results: Vec<_> = UpdateStream::new(torn, 100).collect();
+        assert!(results.iter().any(|r| r.is_err()));
+    }
+}

@@ -34,5 +34,5 @@ pub mod mar20;
 pub mod streams;
 pub mod universe;
 
-pub use mar20::{generate_mar20, GenOutput, Mar20Config};
+pub use mar20::{generate_mar20, GenOutput, Mar20Config, Mar20Source};
 pub use universe::{PeerSpec, PrefixSpec, TransitSpec, Universe};

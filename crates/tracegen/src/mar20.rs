@@ -109,71 +109,142 @@ fn roll_class(rng: &mut StdRng, cfg: &Mar20Config, peer_cleans: bool) -> StreamC
     }
 }
 
-/// Generates the snapshot.
-pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
-    let (universe, traits) = build_universe(&cfg.universe);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Streams the snapshot session by session — the constant-memory form of
+/// [`generate_mar20`]. At any moment the source holds the universe, the
+/// registry and **one** session's updates; a 1-billion-announcement day
+/// never exists in memory at once.
+///
+/// The RNG consumption order is identical to the batch generator's (which
+/// is implemented as a collector over this source), so both produce
+/// byte-identical archives for the same [`Mar20Config`].
+#[derive(Debug)]
+pub struct Mar20Source {
+    cfg: Mar20Config,
+    universe: Universe,
+    traits: crate::universe::CollectorTraits,
+    registry: AllocationRegistry,
+    schedule: BeaconSchedule,
+    rng: StdRng,
+    streams_per_session: usize,
+    peer_idx: usize,
+    session_idx: usize,
+    pending: std::collections::VecDeque<kcc_collector::SourceItem>,
+}
 
-    // Allocation registry: the legitimate universe, allocated from day 0.
-    let mut registry = AllocationRegistry::new();
-    for p in &universe.peers {
-        registry.register_asn(p.asn, 0);
-    }
-    for t in &universe.transits {
-        registry.register_asn(t.asn, 0);
-    }
-    for &o in &universe.origins {
-        registry.register_asn(o, 0);
-    }
-    registry.register_asn(BEACON_ORIGIN, 0);
-    for spec in &universe.prefixes {
-        registry.register_block(spec.prefix, 0);
-    }
-    for bp in &cfg.beacon_prefixes {
-        registry.register_block(*bp, 0);
+impl Mar20Source {
+    /// Builds the universe and registry and positions the stream at the
+    /// first session.
+    pub fn new(cfg: &Mar20Config) -> Self {
+        let (universe, traits) = build_universe(&cfg.universe);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Allocation registry: the legitimate universe, allocated from
+        // day 0.
+        let mut registry = AllocationRegistry::new();
+        for p in &universe.peers {
+            registry.register_asn(p.asn, 0);
+        }
+        for t in &universe.transits {
+            registry.register_asn(t.asn, 0);
+        }
+        for &o in &universe.origins {
+            registry.register_asn(o, 0);
+        }
+        registry.register_asn(BEACON_ORIGIN, 0);
+        for spec in &universe.prefixes {
+            registry.register_block(spec.prefix, 0);
+        }
+        for bp in &cfg.beacon_prefixes {
+            registry.register_block(*bp, 0);
+        }
+
+        let total_sessions: usize = universe.peers.iter().map(|p| p.sessions.len()).sum();
+        let streams_per_session = ((cfg.target_announcements as f64
+            / total_sessions.max(1) as f64
+            / (cfg.mean_events_per_stream + 1.0))
+            .ceil() as usize)
+            .max(1);
+
+        Mar20Source {
+            cfg: cfg.clone(),
+            universe,
+            traits,
+            registry,
+            schedule: BeaconSchedule::default(),
+            rng,
+            streams_per_session,
+            peer_idx: 0,
+            session_idx: 0,
+            pending: std::collections::VecDeque::new(),
+        }
     }
 
-    let mut archive = UpdateArchive::new(cfg.epoch_seconds);
-    let schedule = BeaconSchedule::default();
+    /// The allocation registry covering the universe (bogons excluded) —
+    /// available before or during streaming, for the cleaning stage.
+    pub fn registry(&self) -> &AllocationRegistry {
+        &self.registry
+    }
 
-    let total_sessions: usize = universe.peers.iter().map(|p| p.sessions.len()).sum();
-    let streams_per_session = ((cfg.target_announcements as f64
-        / total_sessions.max(1) as f64
-        / (cfg.mean_events_per_stream + 1.0))
-        .ceil() as usize)
-        .max(1);
+    /// The generated universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
 
-    for peer in &universe.peers {
-        for key in &peer.sessions {
-            let second_granularity = universe
+    /// The `(ASN, IP)` endpoints of route-server peers — session
+    /// metadata MRT cannot carry, needed to rebuild `PeerMeta` when the
+    /// generated stream goes through MRT bytes.
+    pub fn route_server_peers(&self) -> Vec<(Asn, std::net::IpAddr)> {
+        self.universe
+            .peers
+            .iter()
+            .filter(|p| p.route_server)
+            .flat_map(|p| p.sessions.iter().map(|k| (k.peer_asn, k.peer_ip)))
+            .collect()
+    }
+
+    /// Generates one session's day and queues it.
+    fn generate_next_session(&mut self) {
+        while self.peer_idx < self.universe.peers.len() {
+            let peer = &self.universe.peers[self.peer_idx];
+            if self.session_idx >= peer.sessions.len() {
+                self.peer_idx += 1;
+                self.session_idx = 0;
+                continue;
+            }
+            let key = &peer.sessions[self.session_idx];
+            self.session_idx += 1;
+
+            let second_granularity = self
+                .universe
                 .collector_index(&key.collector)
-                .map(|i| traits.second_granularity[i])
+                .map(|i| self.traits.second_granularity[i])
                 .unwrap_or(false);
-            archive.add_session(PeerMeta {
+            let meta = std::sync::Arc::new(PeerMeta {
                 key: key.clone(),
                 route_server: peer.route_server,
                 second_granularity,
             });
 
             let mut session_updates: Vec<RouteUpdate> = Vec::new();
+            let rng = &mut self.rng;
 
             // Background streams.
-            for _ in 0..streams_per_session {
-                let spec = &universe.prefixes[rng.gen_range(0..universe.prefixes.len())];
-                let class = roll_class(&mut rng, cfg, peer.cleans_egress);
+            for _ in 0..self.streams_per_session {
+                let spec = &self.universe.prefixes[rng.gen_range(0..self.universe.prefixes.len())];
+                let class = roll_class(rng, &self.cfg, peer.cleans_egress);
                 let template = StreamTemplate::build(
-                    &mut rng,
+                    rng,
                     peer,
                     spec,
-                    &universe.transits,
+                    &self.universe.transits,
                     class,
                     key.peer_ip,
                 );
-                let n_events = sample_event_count(&mut rng, cfg.mean_events_per_stream, 200);
+                let n_events = sample_event_count(rng, self.cfg.mean_events_per_stream, 200);
                 generate_stream(
-                    &mut rng,
+                    rng,
                     &template,
-                    &cfg.process,
+                    &self.cfg.process,
                     spec.prefix,
                     n_events,
                     DAY_US,
@@ -182,7 +253,8 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
             }
 
             // Bogons: unallocated ASN in the path or unallocated prefix.
-            let n_bogons = (streams_per_session as f64 * cfg.bogon_rate * 10.0).round() as usize;
+            let n_bogons =
+                (self.streams_per_session as f64 * self.cfg.bogon_rate * 10.0).round() as usize;
             for _ in 0..n_bogons {
                 let t = rng.gen_range(0..DAY_US);
                 if rng.gen_bool(0.5) {
@@ -192,12 +264,13 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
                         next_hop: key.peer_ip,
                         ..Default::default()
                     };
-                    let spec = &universe.prefixes[rng.gen_range(0..universe.prefixes.len())];
+                    let spec =
+                        &self.universe.prefixes[rng.gen_range(0..self.universe.prefixes.len())];
                     session_updates.push(RouteUpdate::announce(t, spec.prefix, attrs));
                 } else {
                     // Unallocated prefix (TEST-NET-3 is never registered).
                     let attrs = PathAttributes {
-                        as_path: AsPath::from_asns([peer.asn, universe.origins[0]]),
+                        as_path: AsPath::from_asns([peer.asn, self.universe.origins[0]]),
                         next_hop: key.peer_ip,
                         ..Default::default()
                     };
@@ -207,8 +280,8 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
             }
 
             // Beacon streams on a subset of sessions.
-            if rng.gen_bool(cfg.beacon_session_fraction) {
-                for bp in &cfg.beacon_prefixes {
+            if rng.gen_bool(self.cfg.beacon_session_fraction) {
+                for bp in &self.cfg.beacon_prefixes {
                     let spec = crate::universe::PrefixSpec { prefix: *bp, origin: BEACON_ORIGIN };
                     let class = if peer.cleans_egress {
                         StreamClass::TaggedCleaned
@@ -218,18 +291,18 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
                         StreamClass::Untagged
                     };
                     let template = StreamTemplate::build(
-                        &mut rng,
+                        rng,
                         peer,
                         &spec,
-                        &universe.transits,
+                        &self.universe.transits,
                         class,
                         key.peer_ip,
                     );
                     generate_beacon_stream(
-                        &mut rng,
+                        rng,
                         &template,
-                        &schedule,
-                        &cfg.burst,
+                        &self.schedule,
+                        &self.cfg.burst,
                         *bp,
                         0,
                         &mut session_updates,
@@ -241,13 +314,48 @@ pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
             if second_granularity {
                 kcc_collector::timestamps::truncate_to_seconds(&mut session_updates);
             }
-            for u in session_updates {
-                archive.record(key, u);
-            }
+            self.pending
+                .push_back(kcc_collector::SourceItem::Session(std::sync::Arc::clone(&meta)));
+            self.pending.extend(
+                session_updates
+                    .into_iter()
+                    .map(|u| kcc_collector::SourceItem::Update(std::sync::Arc::clone(&meta), u)),
+            );
+            return;
         }
     }
+}
 
-    GenOutput { archive, registry, universe, beacon_prefixes: cfg.beacon_prefixes.clone() }
+impl kcc_collector::UpdateSource for Mar20Source {
+    fn next_item(
+        &mut self,
+    ) -> Result<Option<kcc_collector::SourceItem>, kcc_collector::SourceError> {
+        while self.pending.is_empty() && self.peer_idx < self.universe.peers.len() {
+            self.generate_next_session();
+        }
+        Ok(self.pending.pop_front())
+    }
+}
+
+/// Generates the snapshot — the batch wrapper that drains a
+/// [`Mar20Source`] into an archive.
+pub fn generate_mar20(cfg: &Mar20Config) -> GenOutput {
+    use kcc_collector::{SourceItem, UpdateSource};
+
+    let mut source = Mar20Source::new(cfg);
+    let mut archive = UpdateArchive::new(cfg.epoch_seconds);
+    while let Some(item) = source.next_item().expect("generated sources cannot fail") {
+        match item {
+            SourceItem::Session(meta) => archive.add_session((*meta).clone()),
+            SourceItem::Update(meta, update) => archive.record(&meta.key, update),
+        }
+    }
+    GenOutput {
+        archive,
+        registry: source.registry,
+        universe: source.universe,
+        beacon_prefixes: cfg.beacon_prefixes.clone(),
+    }
 }
 
 #[cfg(test)]

@@ -1,54 +1,92 @@
-//! Internet-scale pipeline: generate → MRT → clean → classify.
+//! Internet-scale pipeline: generate → MRT bytes → stream → analyze.
 //!
 //! Exercises the full measurement pipeline the paper applies to
-//! RouteViews/RIS data, at a configurable scale: synthesize a March-2020
-//! style collector day, serialize it to RFC 6396 MRT bytes, read it back
-//! (exactly as one would read a downloaded archive), run the §4 cleaning
-//! stages, and produce the Table 1 / Table 2 statistics.
+//! RouteViews/RIS data, at a configurable scale — **without ever holding
+//! the day in memory**. The trace generator streams one session at a
+//! time into an MRT file (what a real collector publishes); the analysis
+//! then streams those bytes record-at-a-time through the §4 cleaning
+//! stage and the §5 classifier into the Table 1 / Table 2 sinks in one
+//! pass. Peak resident analysis state is one `PathAttributes` per
+//! `(prefix, session)` stream, and the run prints that number next to
+//! the tables.
 //!
-//! Run with `cargo run --release --example internet_scale [-- <announcements>]`.
+//! Run with `cargo run --release --example internet_scale [-- <announcements> [--batch]]`.
+//!
+//! `--batch` runs the pre-redesign path instead (read the whole archive
+//! into memory, clean in place, classify) — useful for comparing memory
+//! footprints: under a fixed address-space cap (see the `stream-scale`
+//! CI job) the streaming path completes where the batch path cannot.
 
-use keep_communities_clean::analysis::table::{overview, TypeShares};
-use keep_communities_clean::analysis::{classify_archive, clean_archive, CleaningConfig};
-use keep_communities_clean::collector::UpdateArchive;
-use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use keep_communities_clean::analysis::table::{OverviewSink, TypeShares};
+use keep_communities_clean::analysis::{
+    clean_archive, run_pipeline, CleaningConfig, CleaningStage, CountsSink, MrtSource,
+};
+use keep_communities_clean::collector::archive::mrt_record_for;
+use keep_communities_clean::collector::{SourceItem, UpdateArchive, UpdateSource};
+use keep_communities_clean::mrt::MrtWriter;
+use keep_communities_clean::tracegen::{Mar20Config, Mar20Source};
 
 fn main() {
-    let target: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(100_000);
+    let batch = args.iter().any(|a| a == "--batch");
 
-    println!("generating a synthetic collector day (~{target} announcements)…");
     let cfg = Mar20Config { target_announcements: target, ..Default::default() };
-    let out = generate_mar20(&cfg);
+    let mrt_path = std::env::temp_dir().join(format!("kcc_internet_scale_{target}.mrt"));
 
-    // Serialize to MRT and read it back: the bytes are what a real
-    // collector would publish.
-    let mut mrt_bytes = Vec::new();
-    out.archive.write_mrt(&mut mrt_bytes).expect("MRT export");
+    // Phase 1: stream the synthetic collector day to MRT bytes, one
+    // session resident at a time.
     println!(
-        "MRT archive: {} records, {:.1} MiB",
-        out.archive.update_count(),
-        mrt_bytes.len() as f64 / (1024.0 * 1024.0)
+        "generating a synthetic collector day (~{target} announcements) to {}…",
+        mrt_path.display()
     );
-    let mut archive = UpdateArchive::read_mrt(&mrt_bytes[..], "rrc00", out.archive.epoch_seconds)
-        .expect("MRT import");
-
-    // §4 cleaning: unallocated ASN/prefix filtering, route-server ASN
-    // insertion, timestamp normalization.
-    // (Session metadata like the route-server flag is not expressible in
-    // MRT; carry it over from the generator, as the paper does from
-    // external peer lists.)
-    let rs_sessions: Vec<_> = out
-        .archive
-        .sessions()
-        .filter(|(_, rec)| rec.meta.route_server)
-        .map(|(k, _)| k.clone())
-        .collect();
-    for (key, rec) in archive.sessions_mut() {
-        if rs_sessions.iter().any(|k| k.peer_asn == key.peer_asn && k.peer_ip == key.peer_ip) {
-            rec.meta.route_server = true;
+    let mut gen = Mar20Source::new(&cfg);
+    let registry = gen.registry().clone();
+    let route_servers = gen.route_server_peers();
+    let mut writer =
+        MrtWriter::new(BufWriter::new(File::create(&mrt_path).expect("create MRT file")));
+    let mut generated = 0u64;
+    while let Some(item) = gen.next_item().expect("generated sources cannot fail") {
+        if let SourceItem::Update(meta, update) = item {
+            writer.write_record(&mrt_record_for(&meta, cfg.epoch_seconds, &update)).expect("write");
+            generated += 1;
         }
     }
-    let report = clean_archive(&mut archive, &out.registry, &CleaningConfig::default());
+    writer.flush().expect("flush");
+    drop(writer);
+    let mrt_bytes = std::fs::metadata(&mrt_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "MRT archive: {generated} records, {:.1} MiB on disk",
+        mrt_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // Phase 2: one streaming pass over the bytes — cleaning, classifier,
+    // Table 1 + Table 2 sinks together.
+    let open_source = || {
+        let file = BufReader::new(File::open(&mrt_path).expect("open MRT file"));
+        MrtSource::new(file, "rrc00", cfg.epoch_seconds).with_route_servers(route_servers.clone())
+    };
+
+    let (report, overview, counts, stats) = if batch {
+        // The pre-redesign path: materialize, clean in place, classify.
+        let mut archive =
+            UpdateArchive::from_source(&mut open_source(), cfg.epoch_seconds).expect("MRT import");
+        let report = clean_archive(&mut archive, &registry, &CleaningConfig::default());
+        let overview = keep_communities_clean::analysis::table::overview(&archive);
+        let counts = keep_communities_clean::analysis::classify_archive(&archive).counts;
+        (report, overview, counts, None)
+    } else {
+        let stage = CleaningStage::new(&registry, CleaningConfig::default());
+        let out =
+            run_pipeline(open_source(), stage, (OverviewSink::default(), CountsSink::default()))
+                .expect("MRT stream");
+        let (overview_sink, counts_sink) = out.sink;
+        (out.stages.report(), overview_sink.finish(), counts_sink.finish(), Some(out.stats))
+    };
+
     println!(
         "cleaning: -{} unallocated-ASN, -{} unallocated-prefix, {} RS insertions, {} sessions normalized",
         report.removed_unallocated_asn,
@@ -57,15 +95,26 @@ fn main() {
         report.sessions_normalized
     );
 
-    // Table 1 + Table 2.
-    let stats = overview(&archive);
-    println!("\n{}", stats.render("Table 1 — overview (synthetic scale model)"));
-    let classified = classify_archive(&archive);
-    let shares = TypeShares::new(vec![("d_mar20".into(), classified.counts)]);
+    println!("\n{}", overview.render("Table 1 — overview (synthetic scale model)"));
+    let shares = TypeShares::new(vec![("d_mar20".into(), counts)]);
     println!("{}", shares.render());
     println!(
         "no-path-change announcements: {:.1}% (the paper reports ~50%)",
-        classified.counts.share(keep_communities_clean::analysis::AnnouncementType::Nc)
-            + classified.counts.share(keep_communities_clean::analysis::AnnouncementType::Nn)
+        counts.share(keep_communities_clean::analysis::AnnouncementType::Nc)
+            + counts.share(keep_communities_clean::analysis::AnnouncementType::Nn)
     );
+
+    match stats {
+        Some(stats) => println!(
+            "\nstreaming state: {} sessions, {} (prefix, session) streams, \
+             peak resident stream state ≈ {:.1} MiB ({} updates in one pass, mode=streaming)",
+            stats.sessions,
+            stats.streams,
+            stats.peak_state_bytes as f64 / (1024.0 * 1024.0),
+            stats.updates,
+        ),
+        None => println!("\nmode=batch: whole archive materialized (no streaming state bound)"),
+    }
+
+    let _ = std::fs::remove_file(&mrt_path);
 }

@@ -7,29 +7,75 @@
 //! cleaning, classification, beacon phases — is agnostic about whether
 //! its input came from the simulator, the trace generator, or an MRT file.
 
-use kcc_bgp_sim::{Capture, Network};
-use kcc_collector::{PeerMeta, SessionKey, UpdateArchive};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kcc_bgp_sim::{Capture, CapturedUpdate, Network};
+use kcc_collector::{PeerMeta, SessionKey, SourceError, SourceItem, UpdateArchive, UpdateSource};
 use kcc_topology::RouterId;
 
-/// Converts one collector's capture into an archive. Sessions are keyed
-/// by the sending peer's AS and router IP.
+/// Streams a simulator capture as an [`UpdateSource`]: one pipeline item
+/// per captured message, sessions discovered on first sight — the same
+/// shape an MRT byte stream presents, so simulated traffic drives the
+/// streaming analysis pipeline directly.
+#[derive(Debug)]
+pub struct CaptureSource<'a> {
+    net: &'a Network,
+    collector_name: String,
+    entries: std::slice::Iter<'a, CapturedUpdate>,
+    sessions: HashMap<SessionKey, Arc<PeerMeta>>,
+    pending: Option<SourceItem>,
+}
+
+impl<'a> CaptureSource<'a> {
+    /// Wraps one collector's capture; `net` resolves peer router IPs.
+    pub fn new(net: &'a Network, collector_name: &str, capture: &'a Capture) -> Self {
+        CaptureSource {
+            net,
+            collector_name: collector_name.to_owned(),
+            entries: capture.entries().iter(),
+            sessions: HashMap::new(),
+            pending: None,
+        }
+    }
+}
+
+impl UpdateSource for CaptureSource<'_> {
+    fn next_item(&mut self) -> Result<Option<SourceItem>, SourceError> {
+        if let Some(item) = self.pending.take() {
+            return Ok(Some(item));
+        }
+        let Some(entry) = self.entries.next() else {
+            return Ok(None);
+        };
+        let peer_ip = self
+            .net
+            .router(entry.from)
+            .map(|r| r.ip)
+            .unwrap_or(std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED));
+        let key = SessionKey::new(&self.collector_name, entry.from.asn, peer_ip);
+        let update = entry.to_route_update();
+        if let Some(meta) = self.sessions.get(&key) {
+            return Ok(Some(SourceItem::Update(Arc::clone(meta), update)));
+        }
+        let meta = Arc::new(PeerMeta::normal(key.clone()));
+        self.sessions.insert(key, Arc::clone(&meta));
+        self.pending = Some(SourceItem::Update(Arc::clone(&meta), update));
+        Ok(Some(SourceItem::Session(meta)))
+    }
+}
+
+/// Converts one collector's capture into an archive — the batch wrapper
+/// over [`CaptureSource`]. Sessions are keyed by the sending peer's AS
+/// and router IP.
 pub fn capture_to_archive(
     net: &Network,
     collector_name: &str,
     capture: &Capture,
     epoch_seconds: u32,
 ) -> UpdateArchive {
-    let mut archive = UpdateArchive::new(epoch_seconds);
-    for entry in capture.entries() {
-        let peer_ip = net
-            .router(entry.from)
-            .map(|r| r.ip)
-            .unwrap_or(std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED));
-        let key = SessionKey::new(collector_name, entry.from.asn, peer_ip);
-        archive.add_session(PeerMeta::normal(key.clone()));
-        archive.record(&key, entry.to_route_update());
-    }
-    archive
+    let mut source = CaptureSource::new(net, collector_name, capture);
+    UpdateArchive::from_source(&mut source, epoch_seconds).expect("capture sources cannot fail")
 }
 
 /// Converts every collector capture in a network into one merged archive;

@@ -3,10 +3,13 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use keep_communities_clean::analysis::classify_pair;
-use keep_communities_clean::analysis::AnnouncementType;
+use keep_communities_clean::analysis::table::{overview, OverviewSink};
+use keep_communities_clean::analysis::{
+    classify_archive, classify_pair, run_pipeline, run_sharded, AnnouncementType,
+    ClassifiedArchiveSink, CountsSink, MrtSource, TypeCounts,
+};
 use keep_communities_clean::collector::timestamps::normalize_timestamps;
-use keep_communities_clean::collector::{SessionKey, UpdateArchive};
+use keep_communities_clean::collector::{ArchiveSource, SessionKey, UpdateArchive};
 use keep_communities_clean::mrt::{
     Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtReader, MrtRecord, MrtTimestamp, MrtWriter,
 };
@@ -128,7 +131,95 @@ fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
         })
 }
 
+/// An arbitrary multi-session archive: up to 4 sessions, each with an
+/// arbitrary interleaving of announcements and withdrawals over a small
+/// prefix pool — the adversarial input for streaming-vs-batch equality.
+fn arb_archive() -> impl Strategy<Value = UpdateArchive> {
+    let prefixes = ["84.205.64.0/24", "84.205.65.0/24", "2001:7fb:fe00::/48"];
+    let update = (0u8..3, 0u64..86_400, any::<bool>(), arb_attrs());
+    vec(vec(update, 0..40), 1..5).prop_map(move |sessions| {
+        let mut archive = UpdateArchive::new(0);
+        for (s, updates) in sessions.into_iter().enumerate() {
+            let key = SessionKey::new(
+                if s % 2 == 0 { "rrc00" } else { "rrc01" },
+                Asn(20_000 + s as u32),
+                format!("192.0.2.{}", s + 1).parse().unwrap(),
+            );
+            let mut sorted = updates;
+            sorted.sort_by_key(|(_, t, _, _)| *t);
+            for (p, t, withdraw, mut attrs) in sorted {
+                let prefix: Prefix = prefixes[p as usize].parse().unwrap();
+                if withdraw {
+                    archive.record(&key, RouteUpdate::withdraw(t * 1_000_000, prefix));
+                } else {
+                    if prefix.is_ipv6() {
+                        attrs.next_hop = "2001:db8::1".parse().unwrap();
+                    }
+                    archive.record(&key, RouteUpdate::announce(t * 1_000_000, prefix, attrs));
+                }
+            }
+        }
+        archive
+    })
+}
+
 proptest! {
+    /// Streaming pipeline results are identical to the batch
+    /// `classify_archive` / `overview` path on arbitrary archives, even
+    /// when the stream takes the MRT-bytes route (different source
+    /// implementation, same per-session streams).
+    #[test]
+    fn streaming_equals_batch_on_arbitrary_archives(archive in arb_archive()) {
+        let batch_classified = classify_archive(&archive);
+        let batch_overview = overview(&archive);
+
+        // Direct archive streaming: one pass, two sinks.
+        let out = run_pipeline(
+            ArchiveSource::new(&archive),
+            (),
+            (ClassifiedArchiveSink::default(), OverviewSink::default()),
+        ).expect("archive source");
+        let (classified_sink, overview_sink) = out.sink;
+        prop_assert_eq!(&classified_sink.finish().per_session, &batch_classified.per_session);
+        prop_assert_eq!(overview_sink.finish(), batch_overview);
+
+        // MRT-bytes streaming: write, then classify record-at-a-time.
+        let mut bytes = Vec::new();
+        archive.write_mrt(&mut bytes).expect("export");
+        let reread = UpdateArchive::read_mrt(&bytes[..], "rrc00", 0).expect("import");
+        let via_bytes = run_pipeline(
+            MrtSource::new(&bytes[..], "rrc00", 0),
+            (),
+            CountsSink::default(),
+        ).expect("mrt source");
+        prop_assert_eq!(via_bytes.sink.finish(), classify_archive(&reread).counts);
+    }
+
+    /// Sharded execution (N worker threads) produces exactly the serial
+    /// results, for several shard counts.
+    #[test]
+    fn sharded_equals_serial(archive in arb_archive(), shards in 2usize..5) {
+        let serial = run_pipeline(
+            ArchiveSource::new(&archive),
+            (),
+            (CountsSink::default(), OverviewSink::default()),
+        ).expect("archive source");
+        let sharded = run_sharded(
+            ArchiveSource::new(&archive),
+            shards,
+            || (),
+            || (CountsSink::default(), OverviewSink::default()),
+        ).expect("archive source");
+        let serial_counts: TypeCounts = serial.sink.0.finish();
+        prop_assert_eq!(sharded.sink.0.finish(), serial_counts);
+        prop_assert_eq!(sharded.sink.1.finish(), serial.sink.1.finish());
+        prop_assert_eq!(sharded.stats.sessions, serial.stats.sessions);
+        prop_assert_eq!(sharded.stats.updates, serial.stats.updates);
+        prop_assert_eq!(sharded.stats.kept, serial.stats.kept);
+        prop_assert_eq!(sharded.stats.streams, serial.stats.streams);
+        prop_assert_eq!(sharded.stats.state_bytes, serial.stats.state_bytes);
+    }
+
     /// Any announcement survives a wire encode/decode round-trip exactly.
     #[test]
     fn wire_roundtrip_announcement(attrs in arb_attrs(), prefix in arb_prefix()) {
