@@ -1,0 +1,126 @@
+//! Live-ingest throughput: loopback TCP BGP → FSM → pipeline, in
+//! updates/s, with machine-readable output (`BENCH_live.json`) — the
+//! perf anchor for the live collection subsystem, next to
+//! `BENCH_pipeline.json`'s offline numbers.
+//!
+//! Spawns an in-process collector daemon on a loopback socket plus
+//! `--peers` concurrent BGP speakers each blasting `--updates` UPDATE
+//! messages, and measures wall time from first dial to the pipeline
+//! having drained the feed.
+//!
+//! ```sh
+//! cargo run --release -p kcc_bench --bin bench_live -- \
+//!     --peers 4 --updates 25000 --out BENCH_live.json
+//! ```
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Instant;
+
+use kcc_bgp_sim::{replay_archive, BridgeConfig};
+use kcc_bgp_types::Asn;
+use kcc_collector::{SessionKey, UpdateArchive};
+use kcc_core::{run_live, CountsSink};
+use kcc_peer::{offline_reference, Collector, CollectorConfig, StampMode};
+use kcc_tracegen::{generate_mar20, Mar20Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut peers = 4usize;
+    let mut updates_per_peer = 25_000u64;
+    let mut out_path = String::from("BENCH_live.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--peers" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    peers = v;
+                }
+            }
+            "--updates" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    updates_per_peer = v;
+                }
+            }
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out_path = v.clone();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Workload: a generated day's updates, re-dealt onto `peers`
+    // sessions so every speaker has a realistic mix of announcements,
+    // withdrawals and community churn.
+    let total = peers as u64 * updates_per_peer;
+    let day = generate_mar20(&Mar20Config {
+        target_announcements: total + total / 4,
+        ..Default::default()
+    });
+    let mut workload = UpdateArchive::new(0);
+    let all = day.archive.all_updates();
+    let mut dealt = 0u64;
+    'deal: for (i, (_, update)) in all.iter().enumerate() {
+        let p = i % peers;
+        let key = SessionKey::new(
+            "bench",
+            Asn(64_512 + p as u32),
+            IpAddr::V4(Ipv4Addr::new(10, 99, (p >> 8) as u8, (p & 0xFF) as u8)),
+        );
+        workload.record(&key, update.clone());
+        dealt += 1;
+        if dealt >= total {
+            break 'deal;
+        }
+    }
+    let dealt_updates = workload.update_count() as u64;
+
+    let cfg = CollectorConfig::new("bench", Asn(3333), "198.51.100.1".parse().unwrap())
+        .with_stamp(StampMode::logical(1_000));
+    let mut collector = Collector::bind("127.0.0.1:0", cfg.clone()).expect("bind loopback");
+    let addr = collector.local_addr();
+    let source = collector.take_source();
+    let stop = source.shutdown_flag();
+
+    eprintln!("bench_live: {peers} peers × {updates_per_peer} updates → {addr}");
+    let start = Instant::now();
+    // Coordinator: replay everything, then shut the daemon down. The
+    // sessions drain naturally (peers close after Cease), the feed
+    // closes, and `run_live` below finishes with every update ingested.
+    let coordinator = {
+        let workload = workload.clone();
+        std::thread::spawn(move || {
+            let report = replay_archive(
+                addr,
+                &workload,
+                &BridgeConfig { max_concurrency: peers.max(1), ..Default::default() },
+            )
+            .expect("replay");
+            collector.shutdown();
+            (report, collector.join())
+        })
+    };
+    let out = run_live(source, (), CountsSink::default(), &stop).expect("live run");
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let (report, stats) = coordinator.join().expect("coordinator thread");
+
+    // Sanity: everything sent was ingested and classified identically to
+    // the offline path.
+    assert_eq!(report.updates_sent, dealt_updates, "bridge sent the whole workload");
+    assert_eq!(stats.updates, dealt_updates, "daemon ingested everything");
+    let reference = offline_reference(&workload, &cfg);
+    let offline = kcc_core::classify_archive(&reference).counts;
+    assert_eq!(out.sink.finish(), offline, "live classification != offline");
+
+    let updates_per_sec = dealt_updates as f64 / seconds;
+    let json = format!(
+        "{{\"peers\":{peers},\"updates\":{dealt_updates},\"seconds\":{seconds:.6},\"updates_per_sec\":{updates_per_sec:.0}}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("{json}");
+    eprintln!(
+        "bench_live: {dealt_updates} updates over {} sessions in {seconds:.3} s → {updates_per_sec:.0} upd/s",
+        stats.sessions
+    );
+}

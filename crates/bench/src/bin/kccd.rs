@@ -1,0 +1,174 @@
+//! `kccd` — the live BGP collector daemon.
+//!
+//! Accepts BGP sessions from any number of peers, runs the RFC 4271 FSM
+//! per session, streams every received UPDATE through the one-pass
+//! analysis pipeline (Table 1 overview + Table 2 type shares), and
+//! optionally tees the feed into rotating MRT dumps so the capture
+//! re-analyzes offline.
+//!
+//! ```sh
+//! kccd --listen 127.0.0.1:1790 --collector rrc00 --asn 3333 \
+//!      --mrt-dir ./dumps --mrt-rotate 100000 --duration 60
+//! ```
+//!
+//! `--duration 0` (default) runs until the process is killed; with a
+//! positive duration the daemon shuts down gracefully after that many
+//! seconds — Cease to every peer, feed drained, tables printed.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use kcc_bgp_types::Asn;
+use kcc_core::table::{OverviewSink, TypeShares};
+use kcc_core::{run_live, CountsSink};
+use kcc_peer::{Collector, CollectorConfig, RotateConfig, StampMode};
+
+struct Options {
+    listen: String,
+    cfg: CollectorConfig,
+    duration_secs: u64,
+}
+
+fn parse_args() -> Options {
+    let mut listen = String::from("127.0.0.1:1790");
+    let mut cfg = CollectorConfig::new("rrc00", Asn(3333), "198.51.100.1".parse().unwrap());
+    let mut duration_secs = 0u64;
+    let mut mrt_dir: Option<String> = None;
+    let mut mrt_rotate = 100_000u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().cloned().unwrap_or(listen),
+            "--collector" => {
+                if let Some(v) = it.next() {
+                    cfg.collector = v.clone();
+                }
+            }
+            "--asn" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.local_asn = Asn(v);
+                }
+            }
+            "--bgp-id" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.bgp_id = v;
+                }
+            }
+            "--hold" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.hold_time = v;
+                }
+            }
+            "--epoch" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.epoch_seconds = v;
+                }
+            }
+            "--stamp" => match it.next().map(String::as_str) {
+                Some("arrival") => cfg.stamp = StampMode::Arrival,
+                Some(s) if s.starts_with("logical") => {
+                    let spacing =
+                        s.split_once(':').and_then(|(_, v)| v.parse().ok()).unwrap_or(1_000);
+                    cfg.stamp = StampMode::logical(spacing);
+                }
+                other => {
+                    eprintln!(
+                        "kccd: --stamp wants 'arrival' or 'logical[:SPACING_US]', got {other:?}"
+                    );
+                    std::process::exit(2);
+                }
+            },
+            "--route-server" => {
+                // ASN@IP, repeatable.
+                if let Some((asn, ip)) = it.next().and_then(|v| v.split_once('@')) {
+                    if let (Ok(asn), Ok(ip)) = (asn.parse::<u32>(), ip.parse::<IpAddr>()) {
+                        cfg.route_servers.push((Asn(asn), ip));
+                    }
+                }
+            }
+            "--mrt-dir" => mrt_dir = it.next().cloned(),
+            "--mrt-rotate" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    mrt_rotate = v;
+                }
+            }
+            "--duration" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    duration_secs = v;
+                }
+            }
+            other => {
+                eprintln!("kccd: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(dir) = mrt_dir {
+        cfg.mrt = Some(RotateConfig::new(dir, mrt_rotate));
+    }
+    Options { listen, cfg, duration_secs }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut collector = match Collector::bind(&opts.listen, opts.cfg.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kccd: cannot bind {}: {e}", opts.listen);
+            std::process::exit(1);
+        }
+    };
+    let source = collector.take_source();
+    let stop = source.shutdown_flag();
+    println!(
+        "kccd: collector {} (AS{}) listening on {}",
+        opts.cfg.collector,
+        opts.cfg.local_asn,
+        collector.local_addr()
+    );
+
+    if opts.duration_secs > 0 {
+        // Trigger the *daemon* shutdown, not the source flag: sessions
+        // then drain what they already received, Cease, and the feed
+        // closes — so `run_live` below finishes with every in-flight
+        // update ingested instead of cutting the pipeline off early.
+        let handle = collector.shutdown_handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(opts.duration_secs));
+            handle.trigger();
+        });
+        println!("kccd: will shut down after {} s", opts.duration_secs);
+    }
+
+    // The pipeline runs on the main thread until shutdown; the daemon's
+    // accept/session/ingest threads feed it.
+    let out = run_live(source, (), (CountsSink::default(), OverviewSink::default()), &stop)
+        .expect("live sources do not fail");
+
+    // Shutdown: Cease every session, join every thread, then report.
+    collector.shutdown();
+    let stats = collector.join();
+    let (counts, overview) = out.sink;
+
+    println!();
+    println!("{}", overview.finish().render("Table 1 — live capture"));
+    println!();
+    println!("{}", TypeShares::new(vec![("live".into(), counts.finish())]).render());
+    println!();
+    println!(
+        "sessions: {} accepted, {} established, {} distinct, {} closed",
+        stats.accepted, stats.established, stats.sessions, stats.closed
+    );
+    println!(
+        "updates: {} ingested ({} kept by pipeline, {} streams, peak state {} B)",
+        stats.updates, out.stats.kept, out.stats.streams, out.stats.peak_state_bytes
+    );
+    if !stats.mrt_files.is_empty() {
+        println!("mrt: {} records over {} dump file(s)", stats.mrt_records, stats.mrt_files.len());
+        for f in &stats.mrt_files {
+            println!("  {}", f.display());
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! | `ablation_cleaning` | cleaning-strategy ablation (§7 recommendation) |
 //! | `ablation_mrai` | MRAI pacing vs. exploration burst ablation |
 //! | `bench_pipeline` | streaming vs. batch pipeline throughput → `BENCH_pipeline.json` |
+//! | `kccd` | the live BGP collector daemon (TCP sessions → pipeline → MRT dumps) |
+//! | `bench_live` | loopback TCP BGP ingest throughput → `BENCH_live.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

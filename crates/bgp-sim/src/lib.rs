@@ -27,7 +27,10 @@
 //!   scripted event timeline (announces, withdraws, link faults, community
 //!   rewrites) + capture expectations, all as data,
 //! * the paper's **Figure 1 lab topology** and Exp1–Exp4, expressed as
-//!   four scenario specs ([`lab`]).
+//!   four scenario specs ([`lab`]),
+//! * a **sim→TCP bridge** ([`bridge`]): every session of a captured (or
+//!   any) update archive becomes a real outbound BGP speaker against a
+//!   live collector daemon — the end-to-end rig for the live subsystem.
 //!
 //! Determinism: all event ordering is `(time, sequence)`; all randomness is
 //! seeded. The same inputs always produce byte-identical captures.
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod capture;
 pub mod dampening;
 pub mod decision;
@@ -50,6 +54,7 @@ pub mod session;
 pub mod time;
 pub mod vendor;
 
+pub use bridge::{replay_archive, BridgeConfig, BridgeReport};
 pub use capture::{Capture, CapturedUpdate};
 pub use dampening::DampeningConfig;
 pub use event::EventKind;

@@ -17,6 +17,8 @@
 //!   (RFC 4760) for IPv6.
 //! * NOTIFICATION with the RFC 4271 code registry.
 //! * KEEPALIVE.
+//! * ROUTE-REFRESH (RFC 2918) — a speaker that offers the capability
+//!   must accept the message.
 //! * RFC 7606-style error classification on decode ([`WireError`]
 //!   distinguishes session-reset from treat-as-withdraw conditions).
 //!
@@ -24,7 +26,7 @@
 //!
 //! * ADD-PATH (RFC 7911) — collector peers in the studied period
 //!   overwhelmingly did not negotiate it.
-//! * Graceful restart / route refresh message bodies.
+//! * Graceful restart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,8 +40,11 @@ pub mod open;
 pub mod update;
 
 pub use error::WireError;
-pub use message::{decode_message, encode_message, Message, MessageType, SessionConfig};
-pub use notification::Notification;
+pub use message::{
+    decode_message, encode_message, encode_update, Message, MessageType, RouteRefresh,
+    SessionConfig,
+};
+pub use notification::{Notification, NotificationCode, OpenErrorSubcode};
 pub use open::{Capability, OpenMessage};
 pub use update::UpdatePacket;
 

@@ -34,6 +34,8 @@ pub enum MessageType {
     Notification,
     /// KEEPALIVE (4).
     Keepalive,
+    /// ROUTE-REFRESH (5, RFC 2918).
+    RouteRefresh,
 }
 
 impl MessageType {
@@ -44,6 +46,7 @@ impl MessageType {
             MessageType::Update => 2,
             MessageType::Notification => 3,
             MessageType::Keepalive => 4,
+            MessageType::RouteRefresh => 5,
         }
     }
 
@@ -54,8 +57,40 @@ impl MessageType {
             2 => Some(MessageType::Update),
             3 => Some(MessageType::Notification),
             4 => Some(MessageType::Keepalive),
+            5 => Some(MessageType::RouteRefresh),
             _ => None,
         }
+    }
+}
+
+/// A ROUTE-REFRESH request (RFC 2918 §3): please re-advertise this
+/// AFI/SAFI. A speaker that offers the capability (our standard OPEN
+/// does) must accept the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRefresh {
+    /// Address family (raw code; 1 = IPv4, 2 = IPv6).
+    pub afi: u16,
+    /// Subsequent address family (1 = unicast).
+    pub safi: u8,
+}
+
+impl RouteRefresh {
+    /// Encodes the 4-byte body.
+    pub fn encode_body(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.afi);
+        buf.put_u8(0); // reserved
+        buf.put_u8(self.safi);
+    }
+
+    /// Decodes a 4-byte body.
+    pub fn decode_body<B: Buf>(buf: &mut B, len: usize) -> Result<Self, WireError> {
+        if len != 4 {
+            return Err(WireError::BadLength(len as u16));
+        }
+        let afi = buf.get_u16();
+        buf.advance(1); // reserved
+        let safi = buf.get_u8();
+        Ok(RouteRefresh { afi, safi })
     }
 }
 
@@ -70,6 +105,8 @@ pub enum Message {
     Notification(Notification),
     /// KEEPALIVE.
     Keepalive,
+    /// ROUTE-REFRESH.
+    RouteRefresh(RouteRefresh),
 }
 
 impl Message {
@@ -80,8 +117,17 @@ impl Message {
             Message::Update(_) => MessageType::Update,
             Message::Notification(_) => MessageType::Notification,
             Message::Keepalive => MessageType::Keepalive,
+            Message::RouteRefresh(_) => MessageType::RouteRefresh,
         }
     }
+}
+
+/// Wraps an encoded body in the fixed header (marker, length, type).
+fn frame(mtype: MessageType, body: &[u8], buf: &mut BytesMut) {
+    buf.put_slice(&[0xFF; 16]);
+    buf.put_u16((HEADER_LEN + body.len()) as u16);
+    buf.put_u8(mtype.code());
+    buf.put_slice(body);
 }
 
 /// Encodes a complete message (header + body) into `buf`.
@@ -92,11 +138,19 @@ pub fn encode_message(msg: &Message, cfg: &SessionConfig, buf: &mut BytesMut) {
         Message::Update(u) => u.encode_body(cfg, &mut body),
         Message::Notification(n) => n.encode_body(&mut body),
         Message::Keepalive => {}
+        Message::RouteRefresh(r) => r.encode_body(&mut body),
     }
-    buf.put_slice(&[0xFF; 16]);
-    buf.put_u16((HEADER_LEN + body.len()) as u16);
-    buf.put_u8(msg.message_type().code());
-    buf.put_slice(&body);
+    frame(msg.message_type(), &body, buf);
+}
+
+/// Encodes a complete UPDATE message from a borrowed packet — the
+/// hot-path variant that avoids cloning the packet into
+/// [`Message::Update`]. Byte-identical to
+/// `encode_message(&Message::Update(packet.clone()), …)`.
+pub fn encode_update(packet: &UpdatePacket, cfg: &SessionConfig, buf: &mut BytesMut) {
+    let mut body = BytesMut::new();
+    packet.encode_body(cfg, &mut body);
+    frame(MessageType::Update, &body, buf);
 }
 
 /// Decodes one complete message from `buf`, consuming exactly its bytes.
@@ -132,6 +186,9 @@ pub fn decode_message<B: Buf>(buf: &mut B, cfg: &SessionConfig) -> Result<Messag
                 return Err(WireError::BadLength(len));
             }
             Ok(Message::Keepalive)
+        }
+        MessageType::RouteRefresh => {
+            Ok(Message::RouteRefresh(RouteRefresh::decode_body(buf, body_len)?))
         }
     }
 }
@@ -180,6 +237,40 @@ mod tests {
     fn notification_roundtrips_via_framing() {
         let m = Message::Notification(Notification::cease_admin_shutdown());
         assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn encode_update_matches_encode_message() {
+        let attrs = PathAttributes {
+            as_path: "1 2 3".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        let packet = UpdatePacket::announce("10.0.0.0/8".parse().unwrap(), attrs);
+        let mut borrowed = BytesMut::new();
+        encode_update(&packet, &cfg(), &mut borrowed);
+        let mut owned = BytesMut::new();
+        encode_message(&Message::Update(packet), &cfg(), &mut owned);
+        assert_eq!(&borrowed[..], &owned[..]);
+    }
+
+    #[test]
+    fn route_refresh_roundtrips_via_framing() {
+        let m = Message::RouteRefresh(RouteRefresh { afi: 1, safi: 1 });
+        assert_eq!(roundtrip(&m), m);
+        let mut buf = BytesMut::new();
+        encode_message(&m, &cfg(), &mut buf);
+        assert_eq!(buf.len(), 23, "19-byte header + 4-byte body");
+    }
+
+    #[test]
+    fn route_refresh_bad_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0xFF; 16]);
+        buf.put_u16(21); // 2 bytes of body, must be 4
+        buf.put_u8(5);
+        buf.put_u16(1);
+        assert!(matches!(decode_message(&mut buf.freeze(), &cfg()), Err(WireError::BadLength(_))));
     }
 
     #[test]

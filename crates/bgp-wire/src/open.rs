@@ -133,6 +133,12 @@ impl OpenMessage {
         }
         let asn = Asn(buf.get_u16() as u32);
         let hold_time = buf.get_u16();
+        // RFC 4271 §4.2: the hold time MUST be either zero or at least
+        // three seconds; 1–2 s proposals are rejected so a live speaker
+        // can answer with an Unacceptable Hold Time NOTIFICATION.
+        if hold_time == 1 || hold_time == 2 {
+            return Err(WireError::BadValue { what: "hold time", value: hold_time as u32 });
+        }
         let mut id = [0u8; 4];
         buf.copy_to_slice(&mut id);
         let bgp_id = Ipv4Addr::from(id);
@@ -229,6 +235,25 @@ mod tests {
         buf.put_u8(3);
         buf.put_slice(&[0; 9]);
         assert_eq!(OpenMessage::decode_body(&mut buf.freeze()), Err(WireError::BadVersion(3)));
+    }
+
+    #[test]
+    fn unacceptable_hold_time_rejected() {
+        // RFC 4271 §4.2: hold time 1–2 s is illegal; 0 and ≥3 are fine.
+        for (hold, ok) in [(0u16, true), (1, false), (2, false), (3, true), (65_535, true)] {
+            let o = OpenMessage::standard(Asn(65_000), "10.0.0.1".parse().unwrap(), hold);
+            let mut buf = BytesMut::new();
+            o.encode_body(&mut buf);
+            let decoded = OpenMessage::decode_body(&mut buf.freeze());
+            if ok {
+                assert_eq!(decoded.unwrap().hold_time, hold);
+            } else {
+                assert_eq!(
+                    decoded,
+                    Err(WireError::BadValue { what: "hold time", value: hold as u32 })
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,19 +18,24 @@
 //!   same-second arrivals 0.01 ms apart),
 //! * [`source`]: the [`UpdateSource`] abstraction the streaming analysis
 //!   pipeline pulls from — materialized archives and record-at-a-time MRT
-//!   byte streams behind one trait.
+//!   byte streams behind one trait,
+//! * [`live`]: the live end of that abstraction — a channel-backed
+//!   [`LiveSource`] fed by a running collector daemon (`kcc_peer`), plus
+//!   the [`ShutdownFlag`] that lets unbounded runs finish gracefully.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;
 pub mod beacon;
+pub mod live;
 pub mod session;
 pub mod source;
 pub mod timestamps;
 
 pub use archive::UpdateArchive;
 pub use beacon::{BeaconEvent, BeaconPhase, BeaconSchedule};
+pub use live::{LiveSource, ShutdownFlag};
 pub use session::{PeerMeta, SessionKey};
 pub use source::{ArchiveSource, MrtSource, SourceError, SourceItem, UpdateSource};
 pub use timestamps::normalize_timestamps;

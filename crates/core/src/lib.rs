@@ -68,10 +68,12 @@ pub mod tomography;
 
 pub use classify::{classify_pair, AnnouncementType, TypeCounts};
 pub use clean::{clean_archive, CleaningConfig, CleaningReport, CleaningStage};
-pub use kcc_collector::{ArchiveSource, MrtSource, SourceError, SourceItem, UpdateSource};
+pub use kcc_collector::{
+    ArchiveSource, LiveSource, MrtSource, ShutdownFlag, SourceError, SourceItem, UpdateSource,
+};
 pub use pipeline::{
-    feed_classified, run_pipeline, run_sharded, AnalysisSink, Merge, Pipeline, PipelineOutput,
-    PipelineStats, Stage,
+    feed_classified, run_live, run_pipeline, run_sharded, AnalysisSink, Merge, Pipeline,
+    PipelineOutput, PipelineStats, Stage,
 };
 pub use registry::AllocationRegistry;
 pub use stream::{

@@ -32,7 +32,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::mpsc;
 
 use kcc_bgp_types::RouteUpdate;
-use kcc_collector::{PeerMeta, SessionKey, SourceError, SourceItem, UpdateSource};
+use kcc_collector::{PeerMeta, SessionKey, ShutdownFlag, SourceError, SourceItem, UpdateSource};
 
 use crate::stream::{ClassifiedArchive, ClassifiedEvent, StreamClassifier};
 
@@ -290,6 +290,44 @@ where
 {
     let mut pipeline = Pipeline::new(stages, sink);
     pipeline.run(source)?;
+    Ok(pipeline.finish())
+}
+
+/// Runs a live/unbounded source through stages and sinks — the pipeline
+/// entry a collector daemon uses. A live feed has no natural end, so the
+/// run is bounded by the shared [`ShutdownFlag`]: share the same flag
+/// with the source (`kcc_collector::LiveSource::shutdown_flag`) so that a
+/// trigger unblocks any pending `next_item` call, lets the source drain
+/// what it already buffered, and then reports end-of-stream — the
+/// pipeline finishes gracefully with every received update accounted
+/// for. The source ending on its own (offline sources, daemon feed
+/// closed) finishes the run the same way.
+pub fn run_live<Src, St, S>(
+    mut source: Src,
+    stages: St,
+    sink: S,
+    stop: &ShutdownFlag,
+) -> Result<PipelineOutput<St, S>, SourceError>
+where
+    Src: UpdateSource,
+    St: Stage,
+    S: AnalysisSink,
+{
+    let mut pipeline = Pipeline::new(stages, sink);
+    loop {
+        if stop.is_triggered() {
+            // Drain: a cooperating source returns None once its buffer
+            // is empty, so no received update is silently dropped.
+            while let Some(item) = source.next_item()? {
+                pipeline.feed(item);
+            }
+            break;
+        }
+        match source.next_item()? {
+            Some(item) => pipeline.feed(item),
+            None => break,
+        }
+    }
     Ok(pipeline.finish())
 }
 

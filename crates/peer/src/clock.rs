@@ -1,0 +1,99 @@
+//! Injectable millisecond clocks.
+//!
+//! The FSM never reads time itself — every transition takes `now_ms` as
+//! an argument — but the threads that *drive* FSMs (the session runner,
+//! the collector's arrival stamping) need a time source. [`Clock`]
+//! abstracts it so unit tests advance time by hand ([`ManualClock`])
+//! while production uses the monotonic wall clock ([`WallClock`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic millisecond clock. The zero point is arbitrary (clock
+/// creation for [`WallClock`]); only differences matter.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since the clock's zero point.
+    fn now_ms(&self) -> u64;
+}
+
+/// The real monotonic clock, zeroed at construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A wall clock starting at zero now.
+    pub fn new() -> Self {
+        WallClock { start: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// [`ManualClock::advance`] is called. Clones share the same time.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time.
+    pub fn set(&self, ms: u64) {
+        self.now.store(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_by_hand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ms(), 250);
+        let shared = c.clone();
+        shared.advance(50);
+        assert_eq!(c.now_ms(), 300, "clones share time");
+        c.set(1_000);
+        assert_eq!(shared.now_ms(), 1_000);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,527 @@
+//! The multi-peer live collector daemon.
+//!
+//! A [`Collector`] is the in-process form of `kccd`: it listens on a TCP
+//! socket, runs one RFC 4271 session per inbound connection (via
+//! [`crate::runner`]), stamps arriving UPDATEs, optionally tees them into
+//! rotating MRT dumps ([`crate::rotate`]), and feeds everything to a
+//! [`LiveSource`] so `kcc_core`'s pipeline — and with it every existing
+//! analysis sink — runs over live traffic unchanged.
+//!
+//! ## Session identity
+//!
+//! Offline, a session is `(collector, peer ASN, peer IP)`. Live, the
+//! transport source address is a poor identity: on a loopback deployment
+//! every peer connects from `127.0.0.1` with an ephemeral port. The
+//! daemon therefore defaults to keying sessions by the peer's **BGP
+//! identifier** — the stable, configured identity exchanged in the OPEN —
+//! and only uses the socket address when asked
+//! ([`SessionIdentity::SourceAddr`]).
+//!
+//! ## Arrival stamping
+//!
+//! BGP messages carry no timestamps; the collector assigns them
+//! ([`StampMode`]). `Arrival` uses the daemon's clock, like a real
+//! collector. `Logical` gives the *n*-th update of each session the
+//! deterministic time `n × spacing` — per-session TCP ordering makes this
+//! reproducible run over run, which is what lets the end-to-end loopback
+//! tests demand byte-identical results from the live and offline paths
+//! ([`offline_reference`] computes what the daemon will record).
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kcc_bgp_types::Asn;
+use kcc_collector::{LiveSource, PeerMeta, SessionKey, ShutdownFlag, SourceItem, UpdateArchive};
+
+use crate::clock::{Clock, WallClock};
+use crate::fsm::FsmConfig;
+use crate::rotate::{MrtRotator, RotateConfig};
+use crate::runner::{serve_inbound, SessionEvent};
+
+/// How arriving updates are timestamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StampMode {
+    /// The daemon's clock at arrival (microseconds = `now_ms × 1000`),
+    /// like a real collector.
+    Arrival,
+    /// The *n*-th update of each session gets `n × spacing_us` — fully
+    /// deterministic under per-session TCP ordering; the mode the
+    /// loopback round-trip tests use.
+    Logical {
+        /// Microseconds between consecutive per-session stamps.
+        spacing_us: u64,
+    },
+}
+
+impl StampMode {
+    /// Logical stamping with the given per-session spacing.
+    pub fn logical(spacing_us: u64) -> Self {
+        StampMode::Logical { spacing_us }
+    }
+}
+
+/// What identifies a live session in its [`SessionKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionIdentity {
+    /// The peer's BGP identifier from its OPEN (default; stable across
+    /// reconnects and loopback deployments).
+    BgpId,
+    /// The transport source address.
+    SourceAddr,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Collector name used in session keys and MRT re-analysis.
+    pub collector: String,
+    /// Our AS number.
+    pub local_asn: Asn,
+    /// Our BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// Proposed hold time (seconds).
+    pub hold_time: u16,
+    /// Epoch anchoring `time_us` (and MRT record seconds).
+    pub epoch_seconds: u32,
+    /// Timestamping of arriving updates.
+    pub stamp: StampMode,
+    /// Session identity rule.
+    pub identity: SessionIdentity,
+    /// Peers that are IXP route servers (metadata the wire cannot carry;
+    /// mirrors `MrtSource::with_route_servers`).
+    pub route_servers: Vec<(Asn, IpAddr)>,
+    /// Rotating MRT dumps, if wanted.
+    pub mrt: Option<RotateConfig>,
+}
+
+impl CollectorConfig {
+    /// A conventional configuration.
+    pub fn new(collector: &str, local_asn: Asn, bgp_id: Ipv4Addr) -> Self {
+        CollectorConfig {
+            collector: collector.to_owned(),
+            local_asn,
+            bgp_id,
+            hold_time: 90,
+            epoch_seconds: 0,
+            stamp: StampMode::Arrival,
+            identity: SessionIdentity::BgpId,
+            route_servers: Vec::new(),
+            mrt: None,
+        }
+    }
+
+    /// Sets the stamp mode.
+    pub fn with_stamp(mut self, stamp: StampMode) -> Self {
+        self.stamp = stamp;
+        self
+    }
+
+    /// Declares route-server peers.
+    pub fn with_route_servers<I: IntoIterator<Item = (Asn, IpAddr)>>(mut self, peers: I) -> Self {
+        self.route_servers = peers.into_iter().collect();
+        self
+    }
+
+    /// Enables rotating MRT dumps.
+    pub fn with_mrt(mut self, rotate: RotateConfig) -> Self {
+        self.mrt = Some(rotate);
+        self
+    }
+
+    /// Sets the proposed hold time (seconds).
+    pub fn with_hold_time(mut self, seconds: u16) -> Self {
+        self.hold_time = seconds;
+        self
+    }
+}
+
+/// What a collector run processed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Sessions that completed the handshake.
+    pub established: u64,
+    /// Distinct session keys seen.
+    pub sessions: u64,
+    /// Per-prefix updates ingested (UPDATE packets are exploded).
+    pub updates: u64,
+    /// Sessions that ended.
+    pub closed: u64,
+    /// MRT records written across all dump files.
+    pub mrt_records: u64,
+    /// Completed MRT dump files.
+    pub mrt_files: Vec<std::path::PathBuf>,
+}
+
+/// A running collector daemon. Obtain the [`LiveSource`] with
+/// [`Collector::take_source`], run the pipeline over it, and stop with
+/// [`Collector::shutdown`] + [`Collector::join`].
+pub struct Collector {
+    local_addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    source: Option<LiveSource>,
+    accept_handle: Option<JoinHandle<u64>>,
+    ingest_handle: Option<JoinHandle<CollectorStats>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl Collector {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting peers,
+    /// with the real wall clock.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: CollectorConfig) -> io::Result<Self> {
+        Self::bind_with_clock(addr, cfg, Arc::new(WallClock::new()))
+    }
+
+    /// [`Collector::bind`] with an injected clock (tests).
+    pub fn bind_with_clock<A: ToSocketAddrs>(
+        addr: A,
+        cfg: CollectorConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = ShutdownFlag::new();
+        let (event_tx, event_rx) = mpsc::channel::<SessionEvent>();
+        let (live_tx, live_source) = LiveSource::channel();
+
+        let accept_handle = {
+            let shutdown = shutdown.clone();
+            let clock = Arc::clone(&clock);
+            let fsm_cfg = FsmConfig::new(cfg.local_asn, cfg.bgp_id).with_hold_time(cfg.hold_time);
+            std::thread::spawn(move || accept_loop(listener, fsm_cfg, clock, event_tx, shutdown))
+        };
+
+        let ingest_handle = {
+            let rotator = match &cfg.mrt {
+                Some(rc) => match MrtRotator::new(rc.clone(), cfg.epoch_seconds) {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        return Err(io::Error::other(format!("MRT rotator: {e}")));
+                    }
+                },
+                None => None,
+            };
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || ingest_loop(cfg, clock, event_rx, live_tx, rotator))
+        };
+
+        Ok(Collector {
+            local_addr,
+            shutdown,
+            source: Some(live_source),
+            accept_handle: Some(accept_handle),
+            ingest_handle: Some(ingest_handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live update source. Panics if taken twice.
+    pub fn take_source(&mut self) -> LiveSource {
+        self.source.take().expect("LiveSource already taken")
+    }
+
+    /// Requests shutdown: stop accepting, Cease every session, close the
+    /// feed once in-flight updates are drained.
+    pub fn shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// A clonable handle other threads (a duration timer, a signal
+    /// handler) can use to request the same shutdown. Distinct from the
+    /// [`LiveSource`]'s own flag: this one drains sessions gracefully
+    /// and closes the feed, so a pipeline blocked on the source finishes
+    /// with everything ingested.
+    pub fn shutdown_handle(&self) -> ShutdownFlag {
+        self.shutdown.clone()
+    }
+
+    /// Waits for every thread to finish and returns the run's stats.
+    /// Call [`Collector::shutdown`] first (or have every peer disconnect
+    /// — the accept loop still needs the flag to stop).
+    pub fn join(mut self) -> CollectorStats {
+        let accepted = match self.accept_handle.take() {
+            Some(h) => h.join().unwrap_or(0),
+            None => 0,
+        };
+        let mut stats = CollectorStats::default();
+        if let Some(h) = self.ingest_handle.take() {
+            if let Ok(s) = h.join() {
+                stats = s;
+            }
+        }
+        stats.accepted = accepted;
+        stats
+    }
+}
+
+/// Accepts connections until shutdown; joins every session thread before
+/// returning. Returns the number of accepted connections.
+fn accept_loop(
+    listener: TcpListener,
+    fsm_cfg: FsmConfig,
+    clock: Arc<dyn Clock>,
+    events: Sender<SessionEvent>,
+    shutdown: ShutdownFlag,
+) -> u64 {
+    let mut accepted = 0u64;
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.is_triggered() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted += 1;
+                let _ = stream.set_nodelay(true);
+                let cfg = fsm_cfg.clone();
+                let clock = Arc::clone(&clock);
+                let tx = events.clone();
+                let flag = shutdown.clone();
+                sessions.push(std::thread::spawn(move || {
+                    serve_inbound(stream, cfg, clock, tx, flag);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => {
+                // Transient accept failures (peer reset before accept,
+                // fd pressure) must not kill a long-running daemon; back
+                // off and keep listening. The shutdown flag is the only
+                // way out.
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        // Reap finished session threads so a long-lived daemon does not
+        // accumulate handles.
+        sessions.retain(|h| !h.is_finished());
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+    accepted
+    // `events` drops here: with every session thread joined, the ingest
+    // channel closes and the ingest loop finishes.
+}
+
+struct LiveSession {
+    meta: Arc<PeerMeta>,
+    next_index: u64,
+}
+
+/// Converts session events into stamped `SourceItem`s (and MRT records)
+/// until every event sender is gone.
+fn ingest_loop(
+    cfg: CollectorConfig,
+    clock: Arc<dyn Clock>,
+    events: mpsc::Receiver<SessionEvent>,
+    live: Sender<SourceItem>,
+    mut rotator: Option<MrtRotator>,
+) -> CollectorStats {
+    let mut stats = CollectorStats::default();
+    // Keyed by the Copy pair (ASN, IP) — the collector name is constant
+    // for this daemon, and the full SessionKey would cost a String
+    // allocation per UPDATE on this single-threaded hot path.
+    let mut sessions: HashMap<(Asn, IpAddr), LiveSession> = HashMap::new();
+
+    while let Ok(event) = events.recv() {
+        match event {
+            SessionEvent::Established { info, remote } => {
+                stats.established += 1;
+                let peer_ip = match cfg.identity {
+                    SessionIdentity::BgpId => IpAddr::V4(info.peer_bgp_id),
+                    SessionIdentity::SourceAddr => remote.ip(),
+                };
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    sessions.entry((info.peer_asn, peer_ip))
+                {
+                    let route_server = cfg
+                        .route_servers
+                        .iter()
+                        .any(|&(asn, ip)| asn == info.peer_asn && ip == peer_ip);
+                    let meta = Arc::new(PeerMeta {
+                        key: SessionKey::new(&cfg.collector, info.peer_asn, peer_ip),
+                        route_server,
+                        second_granularity: false,
+                    });
+                    stats.sessions += 1;
+                    let _ = live.send(SourceItem::Session(Arc::clone(&meta)));
+                    e.insert(LiveSession { meta, next_index: 0 });
+                }
+            }
+            SessionEvent::Update { info, remote, packet } => {
+                let peer_ip = match cfg.identity {
+                    SessionIdentity::BgpId => IpAddr::V4(info.peer_bgp_id),
+                    SessionIdentity::SourceAddr => remote.ip(),
+                };
+                let Some(session) = sessions.get_mut(&(info.peer_asn, peer_ip)) else {
+                    continue; // update before establish cannot happen
+                };
+                // A packet may explode into several per-prefix updates;
+                // each gets its own stamp so `Logical` mode matches
+                // `offline_reference` exactly (the n-th per-session
+                // update is n × spacing, packet boundaries irrelevant).
+                for mut update in packet.explode(0) {
+                    update.time_us = match cfg.stamp {
+                        StampMode::Arrival => clock.now_ms() * 1_000,
+                        StampMode::Logical { spacing_us } => session.next_index * spacing_us,
+                    };
+                    if let Some(rot) = rotator.as_mut() {
+                        let _ = rot.write(&session.meta, &update);
+                    }
+                    stats.updates += 1;
+                    session.next_index += 1;
+                    let _ = live.send(SourceItem::Update(Arc::clone(&session.meta), update));
+                }
+            }
+            SessionEvent::Closed { reason, .. } => {
+                stats.closed += 1;
+                let _ = reason; // reasons are per-session diagnostics
+            }
+        }
+    }
+
+    if let Some(rot) = rotator {
+        stats.mrt_records = rot.total_records();
+        if let Ok(files) = rot.finish() {
+            stats.mrt_files = files;
+        }
+    }
+    stats
+}
+
+/// What the daemon will record for `input` under `cfg` — the offline
+/// reference the end-to-end loopback tests compare against, computed by
+/// applying the daemon's metadata and stamping rules to the same update
+/// set. Only [`StampMode::Logical`] yields a meaningful reference
+/// (`Arrival` depends on the wall clock).
+pub fn offline_reference(input: &UpdateArchive, cfg: &CollectorConfig) -> UpdateArchive {
+    let mut out = UpdateArchive::new(cfg.epoch_seconds);
+    let mut renamed = 0usize;
+    for (key, rec) in input.sessions() {
+        renamed += 1;
+        let key = SessionKey::new(&cfg.collector, key.peer_asn, key.peer_ip);
+        let route_server =
+            cfg.route_servers.iter().any(|&(asn, ip)| asn == key.peer_asn && ip == key.peer_ip);
+        out.add_session(PeerMeta { key: key.clone(), route_server, second_granularity: false });
+        for (i, u) in rec.updates.iter().enumerate() {
+            let mut u = u.clone();
+            u.time_us = match cfg.stamp {
+                StampMode::Logical { spacing_us } => i as u64 * spacing_us,
+                StampMode::Arrival => u.time_us,
+            };
+            out.record(&key, u);
+        }
+    }
+    assert_eq!(
+        out.session_count(),
+        renamed,
+        "distinct input sessions collided under one collector name — \
+         (peer ASN, peer IP) must be unique across the input"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{PathAttributes, RouteUpdate};
+    use kcc_bgp_wire::{Message, Notification, OpenMessage, SessionConfig, UpdatePacket};
+    use kcc_collector::UpdateSource;
+
+    /// A multi-prefix UPDATE packet explodes into per-prefix updates
+    /// that each advance the logical stamp — the invariant that keeps
+    /// live results byte-identical to `offline_reference`, which sees
+    /// one update per record and never a packet boundary.
+    #[test]
+    fn logical_stamping_advances_per_exploded_prefix() {
+        let cfg = CollectorConfig::new("rrc00", Asn(3333), "198.51.100.1".parse().unwrap())
+            .with_stamp(StampMode::logical(1_000));
+        let mut collector = Collector::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = collector.local_addr();
+        let mut source = collector.take_source();
+
+        // A hand-driven peer: handshake, then one UPDATE carrying two
+        // prefixes, then one with a single withdrawal.
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let wire_cfg = SessionConfig::default();
+        let open = OpenMessage::standard(Asn(65_001), "192.0.2.77".parse().unwrap(), 90);
+        crate::transport::write_message(&stream, &Message::Open(open), &wire_cfg).unwrap();
+        let mut reader =
+            crate::transport::MessageReader::new(stream.try_clone().unwrap(), wire_cfg, true);
+        assert!(matches!(reader.read_message().unwrap().unwrap(), Message::Open(_)));
+        crate::transport::write_message(&stream, &Message::Keepalive, &wire_cfg).unwrap();
+        assert_eq!(reader.read_message().unwrap().unwrap(), Message::Keepalive);
+
+        let attrs = PathAttributes {
+            as_path: "65001 3356".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        let mut two = UpdatePacket::announce("10.0.0.0/8".parse().unwrap(), attrs);
+        two.nlri.push("10.64.0.0/10".parse().unwrap());
+        crate::transport::write_message(&stream, &Message::Update(two), &wire_cfg).unwrap();
+        let one = UpdatePacket::withdraw("10.0.0.0/8".parse().unwrap());
+        crate::transport::write_message(&stream, &Message::Update(one), &wire_cfg).unwrap();
+        crate::transport::write_message(
+            &stream,
+            &Message::Notification(Notification::cease_admin_shutdown()),
+            &wire_cfg,
+        )
+        .unwrap();
+        drop(reader);
+        drop(stream);
+
+        collector.shutdown();
+        let stats = collector.join();
+        assert_eq!(stats.updates, 3, "2 exploded announcements + 1 withdrawal");
+
+        let mut stamps = Vec::new();
+        while let Some(item) = source.next_item().unwrap() {
+            if let SourceItem::Update(_, u) = item {
+                stamps.push(u.time_us);
+            }
+        }
+        assert_eq!(stamps, vec![0, 1_000, 2_000], "every exploded prefix advances the stamp");
+    }
+
+    #[test]
+    fn offline_reference_applies_stamping_and_metadata() {
+        let mut input = UpdateArchive::new(7);
+        let key = SessionKey::new("whatever", Asn(20_205), "192.0.2.9".parse().unwrap());
+        let attrs = PathAttributes {
+            as_path: "20205 3356".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        input.record(&key, RouteUpdate::announce(123, "10.0.0.0/8".parse().unwrap(), attrs));
+        input.record(&key, RouteUpdate::withdraw(456, "10.0.0.0/8".parse().unwrap()));
+
+        let cfg = CollectorConfig::new("rrc99", Asn(3333), "198.51.100.1".parse().unwrap())
+            .with_stamp(StampMode::logical(1_000))
+            .with_route_servers([(Asn(20_205), "192.0.2.9".parse().unwrap())]);
+        let reference = offline_reference(&input, &cfg);
+
+        assert_eq!(reference.epoch_seconds, 0);
+        let new_key = SessionKey::new("rrc99", Asn(20_205), "192.0.2.9".parse().unwrap());
+        let rec = reference.session(&new_key).expect("renamed session");
+        assert!(rec.meta.route_server, "route-server list applied");
+        assert!(!rec.meta.second_granularity);
+        let times: Vec<u64> = rec.updates.iter().map(|u| u.time_us).collect();
+        assert_eq!(times, vec![0, 1_000], "logical stamping replaces input times");
+    }
+}

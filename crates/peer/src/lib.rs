@@ -1,0 +1,50 @@
+//! # kcc-peer — live BGP sessions and the collector daemon
+//!
+//! The paper's entire measurement surface is route collectors holding
+//! long-lived BGP sessions with hundreds of peers. This crate is the live
+//! side of that infrastructure — everything between a TCP socket and the
+//! streaming analysis pipeline:
+//!
+//! * [`fsm`]: the RFC 4271 session state machine (Idle → Connect/Active →
+//!   OpenSent → OpenConfirm → Established) as a **pure, deterministic**
+//!   transition function: events in, actions out, timers as explicit
+//!   deadlines against a caller-supplied clock — no sleeps, no sockets,
+//!   unit-testable to the edge transitions,
+//! * [`clock`]: the injectable millisecond clock the FSM's timers are
+//!   measured against ([`WallClock`] in production, [`ManualClock`] in
+//!   tests),
+//! * [`transport`]: BGP message framing over `std::io` byte streams —
+//!   length-prefixed reads, capability-aware decode configuration,
+//! * [`runner`]: drives one inbound session over a real `TcpStream` with
+//!   a reader thread and the FSM loop,
+//! * [`active`]: the outbound speaker (used by the `bgp-sim` loopback
+//!   bridge and benchmarks): dial, handshake through the same FSM, then
+//!   stream UPDATEs,
+//! * [`rotate`]: periodic MRT dump rotation, so live capture round-trips
+//!   through the same offline files a RouteViews/RIS download would,
+//! * [`collector`]: the multi-peer collector daemon — accept loop,
+//!   per-session threads, arrival stamping, MRT rotation, and a
+//!   [`kcc_collector::LiveSource`] feeding `kcc_core`'s pipeline.
+//!
+//! Everything is `std`-only: threads and channels, no async runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod clock;
+pub mod collector;
+pub mod fsm;
+pub mod rotate;
+pub mod runner;
+pub mod transport;
+
+pub use active::{ActiveSpeaker, PeerError};
+pub use clock::{Clock, ManualClock, WallClock};
+pub use collector::{
+    offline_reference, Collector, CollectorConfig, CollectorStats, SessionIdentity, StampMode,
+};
+pub use fsm::{Action, DownReason, EstablishedInfo, Fsm, FsmConfig, FsmEvent, State};
+pub use rotate::{MrtRotator, RotateConfig};
+pub use runner::{serve_inbound, SessionEvent};
+pub use transport::{read_message, write_message, write_update, MessageReader};

@@ -1,0 +1,315 @@
+//! Drives one inbound BGP session over a real `TcpStream`.
+//!
+//! Layout per session: a **reader thread** turns the byte stream into
+//! decoded messages on a channel; the **session loop** (the calling
+//! thread — the collector spawns one thread per accepted connection)
+//! multiplexes those messages with FSM timer deadlines via
+//! `recv_timeout`, executes the FSM's actions against the socket, and
+//! reports [`SessionEvent`]s to the daemon. No async runtime: two OS
+//! threads per session, which at collector scale (hundreds of peers) is
+//! exactly the deployment shape the original RouteViews quaggas used.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kcc_bgp_wire::{Message, SessionConfig, UpdatePacket};
+use kcc_collector::ShutdownFlag;
+
+use crate::clock::Clock;
+use crate::fsm::{Action, DownReason, EstablishedInfo, Fsm, FsmConfig, FsmEvent};
+use crate::transport::{write_message, MessageReader, TransportError};
+
+/// What a session reports to the daemon, in order.
+#[derive(Debug)]
+pub enum SessionEvent {
+    /// The handshake completed.
+    Established {
+        /// Negotiated parameters.
+        info: EstablishedInfo,
+        /// The peer's transport address.
+        remote: SocketAddr,
+    },
+    /// An UPDATE arrived (only ever after `Established`).
+    Update {
+        /// Negotiated parameters of the session it arrived on.
+        info: EstablishedInfo,
+        /// The peer's transport address (same as its `Established`).
+        remote: SocketAddr,
+        /// The decoded packet (possibly many prefixes; boxed to keep the
+        /// event small on the channel).
+        packet: Box<UpdatePacket>,
+    },
+    /// The session ended.
+    Closed {
+        /// Negotiated parameters, if the handshake ever completed.
+        info: Option<EstablishedInfo>,
+        /// Why.
+        reason: DownReason,
+    },
+}
+
+/// How often the session loop wakes to check the shutdown flag when no
+/// FSM deadline is nearer.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+/// While stopping, how long an empty queue must stay empty before the
+/// session ceases (lets the reader thread finish an in-flight message).
+const STOP_DRAIN_POLL: Duration = Duration::from_millis(50);
+/// While stopping, cease after this long without processing a message —
+/// measured from the last *progress*, so a backlogged session on a slow
+/// host finishes its drain instead of dropping received updates.
+const STOP_GRACE_MS: u64 = 2_000;
+/// Absolute cap on the stopping drain, so a peer that floods forever
+/// cannot hold the daemon open.
+const STOP_HARD_CAP_MS: u64 = 30_000;
+
+enum ReaderItem {
+    Msg(Message),
+    Err(TransportError),
+    Eof,
+}
+
+/// Serves one accepted connection until the session closes, reporting
+/// progress on `events`. Returns when the session is down; the socket is
+/// closed on exit. `shutdown` requests a graceful Cease.
+pub fn serve_inbound(
+    stream: TcpStream,
+    cfg: FsmConfig,
+    clock: Arc<dyn Clock>,
+    events: Sender<SessionEvent>,
+    shutdown: ShutdownFlag,
+) {
+    let remote = match stream.peer_addr() {
+        Ok(a) => a,
+        Err(_) => {
+            let _ = events.send(SessionEvent::Closed { info: None, reason: DownReason::TcpFailed });
+            return;
+        }
+    };
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            let _ = events.send(SessionEvent::Closed { info: None, reason: DownReason::TcpFailed });
+            return;
+        }
+    };
+
+    let (tx, rx) = mpsc::channel::<ReaderItem>();
+    let reader = std::thread::spawn(move || {
+        let mut reader = MessageReader::new(reader_stream, SessionConfig::default(), true);
+        loop {
+            match reader.read_message() {
+                Ok(Some(m)) => {
+                    if tx.send(ReaderItem::Msg(m)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send(ReaderItem::Eof);
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send(ReaderItem::Err(e));
+                    return;
+                }
+            }
+        }
+    });
+
+    let mut fsm = Fsm::new(cfg.passive());
+    let mut info: Option<EstablishedInfo> = None;
+    let mut write_cfg = SessionConfig::default();
+    let now = clock.now_ms();
+    let mut pending = fsm.handle(FsmEvent::Start, now);
+    pending.extend(fsm.handle(FsmEvent::TcpConnected, now));
+
+    let down_reason: Option<DownReason>;
+    let mut stopping_since: Option<u64> = None;
+    let mut last_progress: u64 = clock.now_ms();
+    'session: loop {
+        for action in pending.drain(..) {
+            match action {
+                Action::Send(m) => {
+                    if write_message(&stream, &m, &write_cfg).is_err() {
+                        down_reason = Some(DownReason::TcpFailed);
+                        break 'session;
+                    }
+                }
+                Action::Up(i) => {
+                    write_cfg = i.config;
+                    info = Some(i.clone());
+                    let _ = events.send(SessionEvent::Established { info: i, remote });
+                }
+                Action::Deliver(packet) => {
+                    let i = info.clone().expect("Deliver only after Up");
+                    let _ = events.send(SessionEvent::Update {
+                        info: i,
+                        remote,
+                        packet: Box::new(packet),
+                    });
+                }
+                Action::Down(reason) => {
+                    down_reason = Some(reason);
+                    break 'session;
+                }
+                Action::StartConnect => unreachable!("passive sessions never dial"),
+            }
+        }
+
+        // Graceful stop: on shutdown, keep draining messages the peer
+        // already sent (through to EOF for peers that closed) so no
+        // received update is dropped, but cap the grace period so a
+        // still-flooding peer cannot hold the daemon open.
+        if shutdown.is_triggered() && stopping_since.is_none() {
+            let now = clock.now_ms();
+            stopping_since = Some(now);
+            last_progress = now;
+        }
+        if let Some(since) = stopping_since {
+            let now = clock.now_ms();
+            if now.saturating_sub(last_progress) >= STOP_GRACE_MS
+                || now.saturating_sub(since) >= STOP_HARD_CAP_MS
+            {
+                pending = fsm.handle(FsmEvent::Stop, now);
+                if pending.is_empty() {
+                    down_reason = Some(DownReason::AdminStop);
+                    break 'session;
+                }
+                continue;
+            }
+        }
+
+        // Fire due timers regardless of channel pressure: a peer that
+        // floods messages faster than the poll timeout must not starve
+        // our keepalive cadence (or, once it goes silent mid-flood, the
+        // hold timer).
+        let now = clock.now_ms();
+        if fsm.next_deadline().is_some_and(|d| now >= d) {
+            pending = fsm.handle(FsmEvent::Timer, now);
+            continue;
+        }
+        let wait = if stopping_since.is_some() {
+            STOP_DRAIN_POLL
+        } else {
+            match fsm.next_deadline() {
+                Some(d) => Duration::from_millis(d.saturating_sub(now)).min(SHUTDOWN_POLL),
+                None => SHUTDOWN_POLL,
+            }
+        };
+        pending = match rx.recv_timeout(wait) {
+            // Stopping and the queue is momentarily dry: keep polling —
+            // the loop top Ceases once the STOP_GRACE_MS quiet window
+            // (or the hard cap) elapses, so a peer that merely stalls
+            // mid-burst is not cut off after one 50 ms poll.
+            Err(RecvTimeoutError::Timeout) if stopping_since.is_some() => Vec::new(),
+            Ok(ReaderItem::Msg(m)) => {
+                last_progress = clock.now_ms();
+                fsm.handle(FsmEvent::Message(m), last_progress)
+            }
+            Ok(ReaderItem::Err(e)) => match e {
+                TransportError::Wire(w) => fsm.handle(FsmEvent::DecodeError(w), clock.now_ms()),
+                _ => fsm.handle(FsmEvent::TcpFailed, clock.now_ms()),
+            },
+            Ok(ReaderItem::Eof) => fsm.handle(FsmEvent::TcpFailed, clock.now_ms()),
+            Err(RecvTimeoutError::Timeout) => fsm.handle(FsmEvent::Timer, clock.now_ms()),
+            Err(RecvTimeoutError::Disconnected) => fsm.handle(FsmEvent::TcpFailed, clock.now_ms()),
+        };
+    }
+
+    // Closing both directions unblocks the reader thread.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+    let reason = down_reason.unwrap_or(DownReason::TcpFailed);
+    let _ = events.send(SessionEvent::Closed { info, reason });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::WallClock;
+    use kcc_bgp_types::Asn;
+    use kcc_bgp_wire::{Notification, OpenMessage};
+    use std::net::TcpListener;
+
+    fn collector_cfg() -> FsmConfig {
+        FsmConfig::new(Asn(3333), "198.51.100.1".parse().unwrap()).with_hold_time(30)
+    }
+
+    /// Full handshake + one UPDATE + Cease against a live runner thread,
+    /// with the test playing the peer over a real loopback socket.
+    #[test]
+    fn inbound_session_end_to_end_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let shutdown = ShutdownFlag::new();
+        let flag = shutdown.clone();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            serve_inbound(stream, collector_cfg(), Arc::new(WallClock::new()), tx, flag);
+        });
+
+        let peer = TcpStream::connect(addr).unwrap();
+        let cfg = SessionConfig::default();
+        // Peer sends its OPEN and reads the collector's.
+        let open = OpenMessage::standard(Asn(20_205), "192.0.2.9".parse().unwrap(), 90);
+        write_message(&peer, &Message::Open(open), &cfg).unwrap();
+        let mut reader = MessageReader::new(peer.try_clone().unwrap(), cfg, true);
+        let got = reader.read_message().unwrap().unwrap();
+        assert!(matches!(got, Message::Open(_)));
+        // Exchange keepalives.
+        write_message(&peer, &Message::Keepalive, &cfg).unwrap();
+        assert_eq!(reader.read_message().unwrap().unwrap(), Message::Keepalive);
+        let ev = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let SessionEvent::Established { info, .. } = ev else {
+            panic!("expected Established, got {ev:?}");
+        };
+        assert_eq!(info.peer_asn, Asn(20_205));
+        assert_eq!(info.hold_time, 30, "min(collector 30, peer 90)");
+
+        // One UPDATE flows through.
+        let packet = UpdatePacket::withdraw("10.0.0.0/8".parse().unwrap());
+        write_message(&peer, &Message::Update(packet.clone()), &cfg).unwrap();
+        let ev = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let SessionEvent::Update { packet: got, .. } = ev else {
+            panic!("expected Update, got {ev:?}");
+        };
+        assert_eq!(*got, packet);
+
+        // Cease tears the session down.
+        write_message(&peer, &Message::Notification(Notification::cease_admin_shutdown()), &cfg)
+            .unwrap();
+        let ev = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let SessionEvent::Closed { reason, info } = ev else {
+            panic!("expected Closed, got {ev:?}");
+        };
+        assert!(matches!(reason, DownReason::PeerNotification(_)));
+        assert!(info.is_some());
+        server.join().unwrap();
+    }
+
+    /// A peer that connects and vanishes produces a Closed event, not a
+    /// hang.
+    #[test]
+    fn abrupt_disconnect_reports_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            serve_inbound(
+                stream,
+                collector_cfg(),
+                Arc::new(WallClock::new()),
+                tx,
+                ShutdownFlag::new(),
+            );
+        });
+        let peer = TcpStream::connect(addr).unwrap();
+        drop(peer);
+        let ev = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(ev, SessionEvent::Closed { info: None, .. }));
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! BGP message framing over `std::io` byte streams.
+//!
+//! BGP messages are length-prefixed: a 19-byte header (16-byte marker,
+//! 2-byte length, 1-byte type) followed by up to 4077 body bytes.
+//! [`MessageReader`] reads exactly one message per call and hands the
+//! bytes to `kcc_bgp_wire`'s codec; a clean EOF *between* messages is a
+//! normal end-of-stream, while EOF mid-message is an error.
+//!
+//! Decode configuration: AS_PATH width in UPDATEs depends on the 4-octet
+//! capability negotiated in the OPEN exchange. The reader starts from the
+//! given [`SessionConfig`] and re-derives the width itself when it
+//! decodes the peer's OPEN — the OPEN's own encoding is width-independent
+//! and always precedes the first UPDATE, so the switch is race-free even
+//! when the reader runs on its own thread.
+
+use std::io::{ErrorKind, Read, Write};
+
+use bytes::{Buf, BytesMut};
+use kcc_bgp_wire::{
+    decode_message, encode_message, Message, SessionConfig, WireError, HEADER_LEN, MAX_MESSAGE_LEN,
+};
+
+/// Transport-level failures.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended in the middle of a message.
+    UnexpectedEof,
+    /// The bytes did not decode as a BGP message.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport I/O: {e}"),
+            TransportError::UnexpectedEof => write!(f, "stream ended mid-message"),
+            TransportError::Wire(e) => write!(f, "wire decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// Reads framed BGP messages from any byte stream.
+#[derive(Debug)]
+pub struct MessageReader<R: Read> {
+    inner: R,
+    cfg: SessionConfig,
+    /// Whether we announced the 4-octet capability (the negotiated width
+    /// is the AND of both sides).
+    we_offer_four_octet: bool,
+}
+
+impl<R: Read> MessageReader<R> {
+    /// Wraps a stream. `cfg` seeds the decode configuration; once the
+    /// peer's OPEN is seen the 4-octet width is re-derived from its
+    /// capabilities (ANDed with `we_offer_four_octet`).
+    pub fn new(inner: R, cfg: SessionConfig, we_offer_four_octet: bool) -> Self {
+        MessageReader { inner, cfg, we_offer_four_octet }
+    }
+
+    /// The current decode configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.cfg
+    }
+
+    /// Reads one complete message. `Ok(None)` on a clean EOF between
+    /// messages.
+    pub fn read_message(&mut self) -> Result<Option<Message>, TransportError> {
+        let mut header = [0u8; HEADER_LEN];
+        // First byte decides clean-EOF vs mid-message EOF.
+        match self.inner.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => return self.read_message(),
+            Err(e) => return Err(e.into()),
+        }
+        self.read_exact(&mut header[1..])?;
+        let len = u16::from_be_bytes([header[16], header[17]]) as usize;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+            return Err(WireError::BadLength(len as u16).into());
+        }
+        let mut frame = vec![0u8; len];
+        frame[..HEADER_LEN].copy_from_slice(&header);
+        self.read_exact(&mut frame[HEADER_LEN..])?;
+        let mut buf = &frame[..];
+        let message = decode_message(&mut buf, &self.cfg)?;
+        if buf.has_remaining() {
+            return Err(WireError::BadLength(len as u16).into());
+        }
+        if let Message::Open(open) = &message {
+            self.cfg.four_octet_as = self.we_offer_four_octet && open.supports_four_octet();
+        }
+        Ok(Some(message))
+    }
+
+    fn read_exact(&mut self, mut buf: &mut [u8]) -> Result<(), TransportError> {
+        while !buf.is_empty() {
+            match self.inner.read(buf) {
+                Ok(0) => return Err(TransportError::UnexpectedEof),
+                Ok(n) => buf = &mut buf[n..],
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads one message with a default-configured reader (handshake use).
+pub fn read_message<R: Read>(r: R, cfg: &SessionConfig) -> Result<Option<Message>, TransportError> {
+    MessageReader::new(r, *cfg, cfg.four_octet_as).read_message()
+}
+
+/// Encodes and writes one complete message.
+pub fn write_message<W: Write>(
+    mut w: W,
+    message: &Message,
+    cfg: &SessionConfig,
+) -> std::io::Result<()> {
+    let mut buf = BytesMut::new();
+    encode_message(message, cfg, &mut buf);
+    w.write_all(&buf)
+}
+
+/// Encodes and writes one UPDATE from a borrowed packet — the hot-path
+/// variant that skips cloning into [`Message::Update`].
+pub fn write_update<W: Write>(
+    mut w: W,
+    packet: &kcc_bgp_wire::UpdatePacket,
+    cfg: &SessionConfig,
+) -> std::io::Result<()> {
+    let mut buf = BytesMut::new();
+    kcc_bgp_wire::encode_update(packet, cfg, &mut buf);
+    w.write_all(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, PathAttributes};
+    use kcc_bgp_wire::{OpenMessage, UpdatePacket};
+
+    fn wire(messages: &[Message], cfg: &SessionConfig) -> Vec<u8> {
+        let mut out = Vec::new();
+        for m in messages {
+            write_message(&mut out, m, cfg).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn reads_back_to_back_messages_and_clean_eof() {
+        let cfg = SessionConfig::default();
+        let m1 = Message::Open(OpenMessage::standard(Asn(1), "1.1.1.1".parse().unwrap(), 90));
+        let m2 = Message::Keepalive;
+        let bytes = wire(&[m1.clone(), m2.clone()], &cfg);
+        let mut r = MessageReader::new(&bytes[..], cfg, true);
+        assert_eq!(r.read_message().unwrap(), Some(m1));
+        assert_eq!(r.read_message().unwrap(), Some(m2));
+        assert!(r.read_message().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_message_is_an_error() {
+        let cfg = SessionConfig::default();
+        let bytes = wire(&[Message::Keepalive], &cfg);
+        let mut r = MessageReader::new(&bytes[..10], cfg, true);
+        assert!(matches!(r.read_message(), Err(TransportError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn reader_rederives_as_width_from_peer_open() {
+        // Peer announces NO capabilities → 2-octet paths follow.
+        let open = Message::Open(OpenMessage {
+            asn: Asn(20_205),
+            hold_time: 90,
+            bgp_id: "192.0.2.9".parse().unwrap(),
+            capabilities: vec![],
+        });
+        let two_octet = SessionConfig { four_octet_as: false };
+        let attrs = PathAttributes {
+            as_path: "20205 3356".parse().unwrap(),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            ..Default::default()
+        };
+        let update = Message::Update(UpdatePacket::announce("10.0.0.0/8".parse().unwrap(), attrs));
+        let mut bytes = wire(&[open], &SessionConfig::default());
+        bytes.extend(wire(std::slice::from_ref(&update), &two_octet));
+
+        // Reader starts four-octet (our default offer) but must switch
+        // after the OPEN, or the UPDATE's 2-octet path misparses.
+        let mut r = MessageReader::new(&bytes[..], SessionConfig::default(), true);
+        assert!(matches!(r.read_message().unwrap(), Some(Message::Open(_))));
+        assert!(!r.config().four_octet_as);
+        assert_eq!(r.read_message().unwrap(), Some(update));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = vec![0xFF; 16];
+        bytes.extend([0xFF, 0xFF]); // length 65535
+        bytes.push(4);
+        let mut r = MessageReader::new(&bytes[..], SessionConfig::default(), true);
+        assert!(matches!(r.read_message(), Err(TransportError::Wire(WireError::BadLength(_)))));
+    }
+}

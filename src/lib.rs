@@ -13,6 +13,8 @@
 //! * [`sim`] — discrete-event BGP simulator with vendor profiles and the
 //!   paper's Figure 1 lab experiments,
 //! * [`collector`] — collector sessions, archives, routing beacons,
+//! * [`peer`] — live BGP sessions: the RFC 4271 FSM, TCP transport, and
+//!   the multi-peer collector daemon feeding the streaming pipeline,
 //! * [`tracegen`] — statistical RouteViews/RIS-scale trace generation,
 //! * [`analysis`] — the paper's analysis pipeline (cleaning, the
 //!   pc/pn/nc/nn/xc/xn classifier, community exploration, revealed
@@ -42,6 +44,7 @@ pub use kcc_bgp_wire as wire;
 pub use kcc_collector as collector;
 pub use kcc_core as analysis;
 pub use kcc_mrt as mrt;
+pub use kcc_peer as peer;
 pub use kcc_topology as topology;
 pub use kcc_tracegen as tracegen;
 

@@ -1,0 +1,237 @@
+//! End-to-end live collection: simulated/generated internets speak real
+//! BGP over loopback TCP into the collector daemon, and the live
+//! pipeline results must be **identical** to the offline `ArchiveSource`
+//! analysis of the same update set — including after round-tripping the
+//! daemon's rotated MRT dumps through `MrtSource`.
+//!
+//! Determinism: the daemon stamps arrivals in `Logical` mode (the n-th
+//! update of each session gets `n × spacing`), which TCP's per-session
+//! ordering makes reproducible; `offline_reference` applies the same
+//! rule to the input so both paths see byte-identical update sets.
+
+use keep_communities_clean::adapter::capture_to_archive;
+use keep_communities_clean::analysis::table::{OverviewSink, OverviewStats, TypeShares};
+use keep_communities_clean::analysis::{
+    run_live, run_pipeline, CleaningConfig, CleaningStage, CountsSink, MrtSource, TypeCounts,
+};
+use keep_communities_clean::collector::{ArchiveSource, UpdateArchive};
+use keep_communities_clean::peer::{
+    offline_reference, Collector, CollectorConfig, RotateConfig, StampMode,
+};
+use keep_communities_clean::sim::bridge::{replay_archive, BridgeConfig};
+use keep_communities_clean::sim::lab::{build_lab, lab_prefix, LabExperiment, LabNetwork};
+use keep_communities_clean::sim::{SimDuration, SimTime, VendorProfile};
+use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
+use keep_communities_clean::types::Asn;
+
+/// Collector config used by every test: logical stamping, route-server
+/// metadata lifted from the input archive (the daemon cannot learn it
+/// from the wire, exactly like MRT).
+fn collector_cfg(input: &UpdateArchive) -> CollectorConfig {
+    let route_servers: Vec<_> = input
+        .sessions()
+        .filter(|(_, rec)| rec.meta.route_server)
+        .map(|(k, _)| (k.peer_asn, k.peer_ip))
+        .collect();
+    CollectorConfig::new("rrc00", Asn(3333), "198.51.100.1".parse().unwrap())
+        .with_stamp(StampMode::logical(1_000))
+        .with_route_servers(route_servers)
+}
+
+/// Replays `input` into a fresh daemon and returns the live pipeline's
+/// (counts, overview) plus the daemon's stats.
+fn run_live_loopback(
+    input: &UpdateArchive,
+    cfg: CollectorConfig,
+) -> (TypeCounts, OverviewStats, keep_communities_clean::peer::CollectorStats) {
+    let mut collector = Collector::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = collector.local_addr();
+    let source = collector.take_source();
+    let stop = source.shutdown_flag();
+
+    let report = replay_archive(addr, input, &BridgeConfig::default()).expect("replay");
+    assert_eq!(report.updates_sent, input.update_count() as u64, "bridge sent everything");
+    assert_eq!(report.sessions, input.session_count() as u64);
+
+    collector.shutdown();
+    let stats = collector.join();
+    // The feed is closed and fully buffered; the pipeline drains it.
+    let out = run_live(source, (), (CountsSink::default(), OverviewSink::default()), &stop)
+        .expect("live sources do not fail");
+    let (counts, overview) = out.sink;
+    (counts.finish(), overview.finish(), stats)
+}
+
+/// Offline half of the comparison: `ArchiveSource` over the reference
+/// archive with the same sinks.
+fn run_offline(reference: &UpdateArchive) -> (TypeCounts, OverviewStats) {
+    let out = run_pipeline(
+        ArchiveSource::new(reference),
+        (),
+        (CountsSink::default(), OverviewSink::default()),
+    )
+    .expect("archive sources do not fail");
+    let (counts, overview) = out.sink;
+    (counts.finish(), overview.finish())
+}
+
+/// A lab-simulation capture: Exp2 with two link flaps (the sim→analysis
+/// suite's richest single-collector stream).
+fn sim_archive() -> UpdateArchive {
+    let LabNetwork { mut net, ids } = build_lab(LabExperiment::Exp2, VendorProfile::CISCO_IOS);
+    net.schedule_announce(SimTime::ZERO, ids.z1, lab_prefix());
+    net.run_until_quiet();
+    let t1 = net.now() + SimDuration::from_secs(60);
+    net.schedule_link_down(t1, ids.y1_y2);
+    net.run_until_quiet();
+    let t2 = net.now() + SimDuration::from_secs(60);
+    net.schedule_link_up(t2, ids.y1_y2);
+    net.run_until_quiet();
+    let capture = net.capture(ids.c1).expect("collector capture").clone();
+    capture_to_archive(&net, "rrc00", &capture, 0)
+}
+
+#[test]
+fn simulated_topology_over_tcp_matches_offline_analysis() {
+    let input = sim_archive();
+    assert!(input.update_count() > 0, "simulation produced traffic");
+    let cfg = collector_cfg(&input);
+    let reference = offline_reference(&input, &cfg);
+
+    let (live_counts, live_overview, stats) = run_live_loopback(&input, cfg);
+    let (offline_counts, offline_overview) = run_offline(&reference);
+
+    assert_eq!(stats.updates, input.update_count() as u64, "daemon ingested everything");
+    assert_eq!(live_counts, offline_counts, "type classification diverged");
+    assert_eq!(live_overview, offline_overview, "overview diverged");
+    // Byte-for-byte on the rendered paper tables.
+    assert_eq!(
+        live_overview.render("Table 1"),
+        offline_overview.render("Table 1"),
+        "rendered Table 1 diverged"
+    );
+    assert_eq!(
+        TypeShares::new(vec![("live".into(), live_counts)]).render(),
+        TypeShares::new(vec![("live".into(), offline_counts)]).render(),
+        "rendered Table 2 diverged"
+    );
+}
+
+#[test]
+fn generated_internet_over_tcp_matches_offline_with_cleaning() {
+    // A small generated collector day — many sessions, route servers,
+    // community churn — through the full path with the §4 cleaning stage
+    // on both sides.
+    let mut gen_cfg = Mar20Config { target_announcements: 2_500, ..Default::default() };
+    gen_cfg.universe.n_prefixes_v4 = 200;
+    gen_cfg.universe.n_sessions = 24;
+    let day = generate_mar20(&gen_cfg);
+    let input = day.archive;
+    let cfg = collector_cfg(&input);
+    let reference = offline_reference(&input, &cfg);
+
+    // Live: daemon → LiveSource → cleaning stage → sinks.
+    let mut collector = Collector::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = collector.local_addr();
+    let source = collector.take_source();
+    let stop = source.shutdown_flag();
+    replay_archive(addr, &input, &BridgeConfig::default()).expect("replay");
+    collector.shutdown();
+    collector.join();
+    let live = run_live(
+        source,
+        CleaningStage::new(&day.registry, CleaningConfig::default()),
+        (CountsSink::default(), OverviewSink::default()),
+        &stop,
+    )
+    .expect("live run");
+
+    // Offline: ArchiveSource over the reference with the same stage.
+    let offline = run_pipeline(
+        ArchiveSource::new(&reference),
+        CleaningStage::new(&day.registry, CleaningConfig::default()),
+        (CountsSink::default(), OverviewSink::default()),
+    )
+    .expect("offline run");
+
+    let (live_counts, live_overview) = live.sink;
+    let (off_counts, off_overview) = offline.sink;
+    assert_eq!(live_counts.finish(), off_counts.finish(), "cleaned classification diverged");
+    assert_eq!(live_overview.finish(), off_overview.finish(), "cleaned overview diverged");
+    assert_eq!(live.stats.updates, offline.stats.updates);
+    assert_eq!(live.stats.kept, offline.stats.kept, "cleaning dropped differently");
+}
+
+#[test]
+fn rotated_mrt_dumps_reanalyze_to_the_same_tables() {
+    let input = sim_archive();
+    let dir = std::env::temp_dir().join(format!("kcc_live_mrt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(input.update_count() >= 3, "need enough traffic to force a rotation");
+    let cfg = collector_cfg(&input).with_mrt(RotateConfig::new(&dir, 2));
+    let route_servers = cfg.route_servers.clone();
+    let reference = offline_reference(&input, &cfg);
+
+    let (live_counts, live_overview, stats) = run_live_loopback(&input, cfg);
+    assert_eq!(stats.mrt_records, input.update_count() as u64, "every update dumped");
+    assert!(stats.mrt_files.len() > 1, "rotation produced multiple files");
+
+    // Concatenate the rotated dumps and analyze them like a RouteViews
+    // download.
+    let bytes =
+        keep_communities_clean::peer::rotate::concat_dumps(&stats.mrt_files).expect("read dumps");
+    let out = run_pipeline(
+        MrtSource::new(&bytes[..], "rrc00", 0).with_route_servers(route_servers),
+        (),
+        (CountsSink::default(), OverviewSink::default()),
+    )
+    .expect("mrt reanalysis");
+    let (mrt_counts, mrt_overview) = out.sink;
+    assert_eq!(mrt_counts.finish(), live_counts, "MRT round-trip diverged from live");
+    assert_eq!(mrt_overview.finish(), live_overview, "MRT overview diverged from live");
+
+    // And the dumps decode to exactly the reference archive.
+    let from_mrt = UpdateArchive::read_mrt(&bytes[..], "rrc00", 0).expect("decode dumps");
+    assert_eq!(from_mrt.session_count(), reference.session_count());
+    for (key, rec) in reference.sessions() {
+        let got = from_mrt.session(key).expect("session in dumps");
+        assert_eq!(got.updates, rec.updates, "session {key} diverged in MRT");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reconnect_after_cease_continues_the_same_session() {
+    // Two sequential replays of the same single-session archive: the
+    // second TCP session reuses the same session key (identity = BGP
+    // id), the session is announced to the pipeline only once, and
+    // logical stamping continues where it left off.
+    let input = sim_archive();
+    let single: UpdateArchive = {
+        let mut a = UpdateArchive::new(0);
+        let (key, rec) = input.sessions().next().expect("one session");
+        a.add_session(rec.meta.clone());
+        for u in &rec.updates {
+            a.record(key, u.clone());
+        }
+        a
+    };
+    let cfg = collector_cfg(&single);
+    let mut collector = Collector::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = collector.local_addr();
+    let source = collector.take_source();
+    let stop = source.shutdown_flag();
+
+    replay_archive(addr, &single, &BridgeConfig::default()).expect("first life");
+    replay_archive(addr, &single, &BridgeConfig::default()).expect("second life");
+    collector.shutdown();
+    let stats = collector.join();
+
+    assert_eq!(stats.established, 2, "two TCP sessions");
+    assert_eq!(stats.sessions, 1, "one logical session");
+    assert_eq!(stats.updates, 2 * single.update_count() as u64);
+
+    let out = run_live(source, (), OverviewSink::default(), &stop).expect("live run");
+    assert_eq!(out.stats.sessions, 1, "pipeline saw one session, announced once");
+    assert_eq!(out.stats.updates, 2 * single.update_count() as u64);
+}

@@ -19,8 +19,9 @@ use keep_communities_clean::types::large::LargeCommunity;
 use keep_communities_clean::types::{
     AsPath, Asn, Community, CommunitySet, PathAttributes, Prefix, RouteUpdate,
 };
+use keep_communities_clean::wire::nlri::Afi;
 use keep_communities_clean::wire::{
-    decode_message, encode_message, Message, SessionConfig, UpdatePacket,
+    decode_message, encode_message, Capability, Message, OpenMessage, SessionConfig, UpdatePacket,
 };
 
 fn arb_asn() -> impl Strategy<Value = Asn> {
@@ -466,5 +467,83 @@ proptest! {
             parsed.push(record);
         }
         prop_assert_eq!(parsed, records);
+    }
+}
+
+/// One negotiable capability. `Unknown` codes stay clear of the decoded
+/// registry (1 = multiprotocol, 2 = route refresh, 65 = 4-octet AS) so
+/// decode cannot re-shape them, and their payloads respect the one-byte
+/// length field.
+fn arb_capability() -> impl Strategy<Value = Capability> {
+    prop_oneof![
+        (prop_oneof![Just(Afi::Ipv4), Just(Afi::Ipv6)], any::<u8>())
+            .prop_map(|(afi, safi)| Capability::Multiprotocol { afi, safi }),
+        Just(Capability::RouteRefresh),
+        any::<u32>().prop_map(|v| Capability::FourOctetAs(Asn(v))),
+        (100u8..=255, vec(any::<u8>(), 0..12))
+            .prop_map(|(code, value)| Capability::Unknown { code, value }),
+    ]
+}
+
+/// Legal hold times only: RFC 4271 §4.2 allows 0 or ≥ 3 seconds, with
+/// the boundaries (0, 3, 65535) always in the mix.
+fn arb_hold_time() -> impl Strategy<Value = u16> {
+    prop_oneof![Just(0u16), Just(3u16), Just(u16::MAX), 3u16..=u16::MAX]
+}
+
+proptest! {
+    /// OPEN encode → decode → re-encode is byte-stable across ASN widths
+    /// (2-octet, and 4-octet collapsing the header field to AS_TRANS),
+    /// unknown capability payloads, and hold-time boundaries.
+    #[test]
+    fn open_message_wire_roundtrip_is_byte_stable(
+        asn in arb_asn(),
+        hold_time in arb_hold_time(),
+        bgp_id in any::<u32>(),
+        capabilities in vec(arb_capability(), 0..6),
+    ) {
+        let open = OpenMessage {
+            asn,
+            hold_time,
+            bgp_id: std::net::Ipv4Addr::from(bgp_id),
+            capabilities,
+        };
+        let mut first = bytes::BytesMut::new();
+        open.encode_body(&mut first);
+        let decoded = OpenMessage::decode_body(&mut first.freeze())
+            .expect("legal OPEN must decode");
+        prop_assert_eq!(decoded.hold_time, hold_time);
+        prop_assert_eq!(&decoded.capabilities, &open.capabilities);
+        let mut second = bytes::BytesMut::new();
+        decoded.encode_body(&mut second);
+        let mut third_src = bytes::BytesMut::new();
+        open.encode_body(&mut third_src);
+        // Re-encoding the decoded OPEN must reproduce the bytes exactly.
+        prop_assert_eq!(second.freeze().to_vec(), third_src.freeze().to_vec());
+    }
+
+    /// The codec refuses the RFC 4271 §4.2 illegal hold times (1–2 s) at
+    /// decode, whatever else the OPEN carries.
+    #[test]
+    fn open_message_rejects_unacceptable_hold_times(
+        asn in arb_asn(),
+        hold_time in 1u16..=2,
+        capabilities in vec(arb_capability(), 0..4),
+    ) {
+        let open = OpenMessage {
+            asn,
+            hold_time,
+            bgp_id: "192.0.2.1".parse().unwrap(),
+            capabilities,
+        };
+        let mut buf = bytes::BytesMut::new();
+        open.encode_body(&mut buf);
+        prop_assert_eq!(
+            OpenMessage::decode_body(&mut buf.freeze()),
+            Err(keep_communities_clean::wire::WireError::BadValue {
+                what: "hold time",
+                value: hold_time as u32,
+            })
+        );
     }
 }
