@@ -47,6 +47,19 @@ pub fn mrt_day(cfg: &Mar20Config) -> (Vec<u8>, u64) {
     (day.bytes, day.updates)
 }
 
+/// One vantage of a multi-vantage day as MRT bytes — what that collector
+/// would publish. Returns the bytes, the update count and the vantage's
+/// route-server endpoints (side-band metadata MRT cannot carry).
+pub fn generate_vantage_mrt(
+    cfg: &kcc_tracegen::MultiVantageConfig,
+    collector: &str,
+) -> (Vec<u8>, u64, Vec<(Asn, std::net::IpAddr)>) {
+    let mut bytes = Vec::new();
+    let (updates, route_servers) = kcc_tracegen::write_vantage_mrt(cfg, collector, &mut bytes)
+        .expect("in-memory write cannot fail");
+    (bytes, updates, route_servers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ use std::net::{IpAddr, Ipv4Addr};
 
 use kcc_bgp_types::{Asn, MessageKind, RouteUpdate};
 use kcc_bgp_wire::{Message, UpdatePacket};
-use kcc_mrt::{Bgp4mpMessage, MrtError, MrtReader, MrtRecord, MrtTimestamp, MrtWriter};
+use kcc_mrt::{Bgp4mpMessage, MrtError, MrtRecord, MrtTimestamp, MrtWriter};
 
 use crate::session::{PeerMeta, SessionKey};
 
@@ -120,31 +120,25 @@ impl UpdateArchive {
 
     /// Reads an MRT stream back into an archive. `collector` names the
     /// collector the stream came from; `epoch_seconds` anchors relative
-    /// time (records earlier than it are clamped to 0).
+    /// time. Implemented over [`kcc_mrt::UpdateStream`], so the batch and
+    /// streaming readers cannot diverge: records timestamped before the
+    /// epoch surface [`kcc_mrt::MrtError::PreEpochRecord`] here too
+    /// instead of silently collapsing onto relative time 0 (callers that
+    /// knowingly use a mid-day epoch stream through
+    /// `MrtSource::with_pre_epoch_clamp` instead).
     pub fn read_mrt<R: Read>(r: R, collector: &str, epoch_seconds: u32) -> Result<Self, MrtError> {
         let mut archive = UpdateArchive::new(epoch_seconds);
-        for record in MrtReader::new(r) {
-            let record = record?;
-            let MrtRecord::Message(m) = record else {
-                continue; // state changes / RIB dumps are not update traffic
-            };
-            let Message::Update(packet) = &m.message else {
-                continue;
-            };
-            let ts = m.timestamp;
-            let rel_seconds = ts.seconds.saturating_sub(epoch_seconds) as u64;
-            let time_us = rel_seconds * 1_000_000 + ts.microseconds.unwrap_or(0) as u64;
-            let key = SessionKey::new(collector, m.peer_asn, m.peer_ip);
+        let mut stream = kcc_mrt::UpdateStream::new(r, epoch_seconds);
+        while let Some(streamed) = stream.next_update()? {
+            let key = SessionKey::new(collector, streamed.peer_asn, streamed.peer_ip);
             if !archive.sessions.contains_key(&key) {
                 archive.add_session(PeerMeta {
                     key: key.clone(),
                     route_server: false,
-                    second_granularity: ts.is_second_granularity(),
+                    second_granularity: streamed.second_granularity,
                 });
             }
-            for u in packet.explode(time_us) {
-                archive.record(&key, u);
-            }
+            archive.record(&key, streamed.update);
         }
         Ok(archive)
     }

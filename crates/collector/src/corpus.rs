@@ -1,0 +1,212 @@
+//! Multi-collector corpora — the input side of cross-vantage analysis.
+//!
+//! The paper's measurements are not single-vantage: Tables 1–3 aggregate
+//! update streams from many RIPE RIS and RouteViews collectors, with the
+//! §4 cleaning rules applied per collector before any cross-collector
+//! comparison. A [`Corpus`] is the unit that workload comes in: N
+//! *named* [`UpdateSource`]s — MRT files, directories of MRT files,
+//! in-memory archives, generated vantages, live feeds — one per
+//! collector. `kcc_core::pipeline::run_corpus` pulls each member through
+//! its own full pipeline (stages + sinks built per collector) in
+//! parallel and merges the results **in name order**, so the outcome is
+//! independent of both member insertion order and thread count.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::net::IpAddr;
+use std::path::Path;
+
+use kcc_bgp_types::Asn;
+
+use crate::source::{SourceError, SourceItem, UpdateSource};
+use crate::MrtSource;
+
+/// Per-file options for [`Corpus::push_mrt_file_with`].
+#[derive(Debug, Clone, Default)]
+pub struct MrtFileOptions {
+    /// Accept records timestamped before the epoch by clamping them onto
+    /// it (counted on the source) instead of failing the stream — see
+    /// [`MrtSource::with_pre_epoch_clamp`].
+    pub clamp_pre_epoch: bool,
+    /// This collector's IXP route-server endpoints — session metadata
+    /// MRT cannot carry (see [`MrtSource::with_route_servers`]).
+    pub route_servers: Vec<(Asn, IpAddr)>,
+}
+
+/// One collector's feed in a corpus: a display/merge name plus any
+/// boxed [`UpdateSource`].
+pub struct NamedSource<'a> {
+    /// The collector name — the merge key. Unique within a corpus.
+    pub name: String,
+    /// The feed.
+    pub source: Box<dyn UpdateSource + Send + 'a>,
+}
+
+impl<'a> NamedSource<'a> {
+    /// Wraps a source under a name.
+    pub fn new<S: UpdateSource + Send + 'a>(name: &str, source: S) -> Self {
+        NamedSource { name: name.to_owned(), source: Box::new(source) }
+    }
+}
+
+impl std::fmt::Debug for NamedSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamedSource").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl UpdateSource for NamedSource<'_> {
+    fn next_item(&mut self) -> Result<Option<SourceItem>, SourceError> {
+        self.source.next_item()
+    }
+}
+
+/// A set of named collector feeds analyzed together. Names must be
+/// unique — they key the deterministic merge order.
+#[derive(Debug, Default)]
+pub struct Corpus<'a> {
+    members: Vec<NamedSource<'a>>,
+}
+
+impl<'a> Corpus<'a> {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Adds a named source. Fails on a duplicate name: two feeds under
+    /// one name would silently interleave into one per-collector result.
+    pub fn push<S: UpdateSource + Send + 'a>(
+        &mut self,
+        name: &str,
+        source: S,
+    ) -> Result<(), SourceError> {
+        if self.members.iter().any(|m| m.name == name) {
+            return Err(SourceError::Other(format!("duplicate corpus member name: {name:?}")));
+        }
+        self.members.push(NamedSource::new(name, source));
+        Ok(())
+    }
+
+    /// Builder form of [`Corpus::push`].
+    pub fn with<S: UpdateSource + Send + 'a>(
+        mut self,
+        name: &str,
+        source: S,
+    ) -> Result<Self, SourceError> {
+        self.push(name, source)?;
+        Ok(self)
+    }
+
+    /// Adds one MRT file as a collector named after its file stem
+    /// (`rrc00.mrt` → `rrc00`) with default [`MrtFileOptions`]. The file
+    /// is streamed record-at-a-time; update times become microseconds
+    /// since `epoch_seconds`.
+    pub fn push_mrt_file(&mut self, path: &Path, epoch_seconds: u32) -> Result<(), SourceError> {
+        self.push_mrt_file_with(path, epoch_seconds, &MrtFileOptions::default())
+    }
+
+    /// [`Corpus::push_mrt_file`] with explicit per-file options (pre-epoch
+    /// clamp, route-server metadata MRT cannot carry).
+    pub fn push_mrt_file_with(
+        &mut self,
+        path: &Path,
+        epoch_seconds: u32,
+        options: &MrtFileOptions,
+    ) -> Result<(), SourceError> {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| SourceError::Other(format!("unnameable MRT path: {path:?}")))?
+            .to_owned();
+        let file = File::open(path)
+            .map_err(|e| SourceError::Other(format!("open {}: {e}", path.display())))?;
+        let mut source = MrtSource::new(BufReader::new(file), &name, epoch_seconds)
+            .with_route_servers(options.route_servers.iter().copied());
+        if options.clamp_pre_epoch {
+            source = source.with_pre_epoch_clamp();
+        }
+        self.push(&name, source)
+    }
+
+    /// Adds every `*.mrt` file of a directory, each as its own collector
+    /// (sorted by file name, though member order never affects results).
+    pub fn push_mrt_dir(&mut self, dir: &Path, epoch_seconds: u32) -> Result<usize, SourceError> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| SourceError::Other(format!("read dir {}: {e}", dir.display())))?;
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "mrt"))
+            .collect();
+        paths.sort();
+        let added = paths.len();
+        for p in &paths {
+            self.push_mrt_file(p, epoch_seconds)?;
+        }
+        Ok(added)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the corpus has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// Dismantles the corpus into its members (insertion order).
+    pub fn into_members(self) -> Vec<NamedSource<'a>> {
+        self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::UpdateArchive;
+    use crate::session::SessionKey;
+    use kcc_bgp_types::{Asn, RouteUpdate};
+
+    fn archive(collector: &str) -> UpdateArchive {
+        let mut a = UpdateArchive::new(0);
+        let k = SessionKey::new(collector, Asn(20_205), "192.0.2.9".parse().unwrap());
+        a.record(&k, RouteUpdate::withdraw(5, "84.205.64.0/24".parse().unwrap()));
+        a
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let a = archive("rrc00");
+        let b = archive("rrc00");
+        let mut c = Corpus::new();
+        c.push("rrc00", crate::source::ArchiveSource::new(&a)).unwrap();
+        let err = c.push("rrc00", crate::source::ArchiveSource::new(&b));
+        assert!(err.is_err());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn mrt_dir_expansion() {
+        let dir = std::env::temp_dir().join("kcc_corpus_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["rrc00", "rrc01"] {
+            let mut bytes = Vec::new();
+            archive(name).write_mrt(&mut bytes).unwrap();
+            std::fs::write(dir.join(format!("{name}.mrt")), bytes).unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let mut c = Corpus::new();
+        let added = c.push_mrt_dir(&dir, 0).unwrap();
+        assert_eq!(added, 2);
+        assert_eq!(c.names(), vec!["rrc00", "rrc01"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

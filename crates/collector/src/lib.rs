@@ -19,6 +19,10 @@
 //! * [`source`]: the [`UpdateSource`] abstraction the streaming analysis
 //!   pipeline pulls from — materialized archives and record-at-a-time MRT
 //!   byte streams behind one trait,
+//! * [`corpus`]: named multi-collector corpora — N [`UpdateSource`]s
+//!   (MRT files/dirs, archives, live feeds) grouped under collector
+//!   names for the parallel cross-vantage engine in
+//!   `kcc_core::pipeline::run_corpus`,
 //! * [`live`]: the live end of that abstraction — a channel-backed
 //!   [`LiveSource`] fed by a running collector daemon (`kcc_peer`), plus
 //!   the [`ShutdownFlag`] that lets unbounded runs finish gracefully.
@@ -28,6 +32,7 @@
 
 pub mod archive;
 pub mod beacon;
+pub mod corpus;
 pub mod live;
 pub mod session;
 pub mod source;
@@ -35,6 +40,7 @@ pub mod timestamps;
 
 pub use archive::UpdateArchive;
 pub use beacon::{BeaconEvent, BeaconPhase, BeaconSchedule};
+pub use corpus::{Corpus, MrtFileOptions, NamedSource};
 pub use live::{LiveSource, ShutdownFlag};
 pub use session::{PeerMeta, SessionKey};
 pub use source::{ArchiveSource, MrtSource, SourceError, SourceItem, UpdateSource};

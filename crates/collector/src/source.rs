@@ -83,6 +83,12 @@ impl<S: UpdateSource + ?Sized> UpdateSource for &mut S {
     }
 }
 
+impl<S: UpdateSource + ?Sized> UpdateSource for Box<S> {
+    fn next_item(&mut self) -> Result<Option<SourceItem>, SourceError> {
+        (**self).next_item()
+    }
+}
+
 /// Streams a materialized [`UpdateArchive`]: all sessions announced
 /// first (in key order), then each session's updates in arrival order,
 /// session-major. This is the adapter the batch wrappers in `kcc-core`
@@ -158,6 +164,21 @@ impl<R: Read> MrtSource<R> {
     pub fn with_route_servers<I: IntoIterator<Item = (Asn, IpAddr)>>(mut self, peers: I) -> Self {
         self.route_servers = peers.into_iter().collect();
         self
+    }
+
+    /// Accept records timestamped before the epoch by clamping them to
+    /// relative time 0 instead of failing the stream — the documented
+    /// escape hatch for mid-day epochs. Clamped records are counted in
+    /// [`MrtSource::pre_epoch_clamped`].
+    pub fn with_pre_epoch_clamp(mut self) -> Self {
+        self.stream = self.stream.with_pre_epoch_clamp();
+        self
+    }
+
+    /// Number of records clamped onto the epoch so far (only nonzero
+    /// after [`MrtSource::with_pre_epoch_clamp`]).
+    pub fn pre_epoch_clamped(&self) -> u64 {
+        self.stream.pre_epoch_clamped()
     }
 
     /// Sessions discovered so far.
@@ -333,6 +354,34 @@ mod tests {
         let streamed = UpdateArchive::from_source(&mut src, a.epoch_seconds).unwrap();
         assert!(streamed.session(&key(20_205, "192.0.2.9")).unwrap().meta.route_server);
         assert!(!streamed.session(&key(20_811, "192.0.2.10")).unwrap().meta.route_server);
+    }
+
+    #[test]
+    fn mrt_source_pre_epoch_strict_and_clamped() {
+        let a = sample_archive(); // epoch 1_584_230_400, updates at +1s/+1.5s/+2s
+        let mut bytes = Vec::new();
+        a.write_mrt(&mut bytes).unwrap();
+
+        // An epoch after the first record: strict mode errors…
+        let late_epoch = a.epoch_seconds + 2;
+        let mut strict = MrtSource::new(&bytes[..], "rrc00", late_epoch);
+        let mut err = None;
+        loop {
+            match strict.next_item() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(SourceError::Mrt(MrtError::PreEpochRecord { .. }))));
+
+        // …the documented clamp accepts and counts.
+        let mut clamped = MrtSource::new(&bytes[..], "rrc00", late_epoch).with_pre_epoch_clamp();
+        while clamped.next_item().unwrap().is_some() {}
+        assert_eq!(clamped.pre_epoch_clamped(), 2, "records at +1s and +1.5s precede +2s");
     }
 
     #[test]

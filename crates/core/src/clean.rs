@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use kcc_bgp_types::{MessageKind, RouteUpdate};
-use kcc_collector::timestamps::DISAMBIGUATION_STEP_US;
+use kcc_collector::timestamps::disambiguated;
 use kcc_collector::{PeerMeta, SessionKey, UpdateArchive};
 
 use crate::pipeline::{Merge, Stage};
@@ -145,11 +145,7 @@ impl Stage for CleaningStage<'_> {
         }
         if self.config.normalize_timestamps && meta.second_granularity {
             if let Some(slot) = self.last_emitted.get_mut(&meta.key) {
-                if let Some(prev) = *slot {
-                    if update.time_us <= prev {
-                        update.time_us = prev + DISAMBIGUATION_STEP_US;
-                    }
-                }
+                update.time_us = disambiguated(*slot, update.time_us);
                 *slot = Some(update.time_us);
             }
         }
@@ -285,6 +281,33 @@ mod tests {
         assert_eq!(report.sessions_normalized, 1);
         let updates = &a.session(&k).unwrap().updates;
         assert_eq!(updates[1].time_us, 5_000_010);
+    }
+
+    /// Regression: the streaming stage used to push a ≥100,000-update
+    /// same-second run past the next distinct second (run × 10 µs > 1 s),
+    /// reordering updates relative to the following second. The clamp in
+    /// `disambiguated` caps the spread inside the run's own second.
+    #[test]
+    fn streaming_normalization_never_crosses_next_second() {
+        let mut a = UpdateArchive::new(0);
+        let k = key();
+        a.add_session(PeerMeta { key: k.clone(), route_server: false, second_granularity: true });
+        let run_len = 100_050usize;
+        for _ in 0..run_len {
+            a.record(&k, RouteUpdate::withdraw(5_000_000, p("84.205.64.0/24")));
+        }
+        a.record(&k, RouteUpdate::withdraw(6_000_000, p("84.205.64.0/24")));
+        clean_archive(&mut a, &registry(), &CleaningConfig::default());
+        let updates = &a.session(&k).unwrap().updates;
+        for w in updates.windows(2) {
+            assert!(w[0].time_us <= w[1].time_us, "output must stay monotonic");
+        }
+        assert!(
+            updates[run_len - 1].time_us < 6_000_000,
+            "same-second run crossed into the next second: {}",
+            updates[run_len - 1].time_us
+        );
+        assert_eq!(updates[run_len].time_us, 6_000_000);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Cross-collector comparison — the analysis side of a multi-vantage
+//! corpus run.
+//!
+//! The paper's Tables 1–3 aggregate many RIPE RIS / RouteViews
+//! collectors, and related work (AS-level community-usage
+//! classification, CommunityWatch) treats *cross-collector agreement*
+//! as a signal in itself: a community seen at every vantage point is
+//! propagating globally, one seen at a single collector is scoped,
+//! filtered, or anomalous. This module turns one
+//! [`run_corpus`](crate::pipeline::run_corpus) pass into that
+//! comparison:
+//!
+//! * per-collector Table 1 and Table 2 columns side by side,
+//! * a per-community presence/agreement matrix over the collectors,
+//! * a deterministic disagreement list (communities visible at some but
+//!   not all vantage points),
+//! * the combined all-vantage table the per-collector results merge
+//!   into.
+//!
+//! Everything is derived from integer counters and ordered sets merged
+//! in collector-name order, so the report is byte-identical for any
+//! member order or thread count.
+
+use std::collections::BTreeSet;
+
+use kcc_bgp_types::{Community, MessageKind, RouteUpdate};
+use kcc_collector::{Corpus, SessionKey, SourceError};
+
+use crate::classify::TypeCounts;
+use crate::clean::{CleaningConfig, CleaningReport, CleaningStage};
+use crate::pipeline::{run_corpus, AnalysisSink, Merge, PipelineStats};
+use crate::registry::AllocationRegistry;
+use crate::report::{fmt_count, render_table};
+use crate::stream::CountsSink;
+use crate::table::{OverviewSink, OverviewStats, TypeShares};
+
+/// Collects the set of distinct classic communities seen on a feed —
+/// the per-collector half of the presence/agreement matrix. State grows
+/// with the community *universe* (tens of thousands at internet scale),
+/// never with update volume.
+#[derive(Debug, Clone, Default)]
+pub struct CommunitySetSink {
+    seen: BTreeSet<Community>,
+}
+
+impl CommunitySetSink {
+    /// The communities seen, in ascending order.
+    pub fn finish(self) -> BTreeSet<Community> {
+        self.seen
+    }
+}
+
+impl AnalysisSink for CommunitySetSink {
+    fn on_update(&mut self, _session: &SessionKey, u: &RouteUpdate) {
+        if let MessageKind::Announcement(attrs) = &u.kind {
+            self.seen.extend(attrs.communities.iter_classic().copied());
+        }
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+impl Merge for CommunitySetSink {
+    fn merge(&mut self, other: Self) {
+        self.seen.extend(other.seen);
+    }
+}
+
+/// The sink stack a corpus comparison runs per collector: Table 1,
+/// Table 2 and the community-presence set.
+pub type CorpusSink = (OverviewSink, CountsSink, CommunitySetSink);
+
+/// A fresh [`CorpusSink`] (the factory `run_corpus` wants).
+pub fn corpus_sink() -> CorpusSink {
+    (OverviewSink::default(), CountsSink::default(), CommunitySetSink::default())
+}
+
+/// One collector's column of the comparison.
+#[derive(Debug, Clone)]
+pub struct CollectorColumn {
+    /// Collector name.
+    pub name: String,
+    /// Its Table 1.
+    pub overview: OverviewStats,
+    /// Its Table 2 counts.
+    pub counts: TypeCounts,
+    /// What its §4 cleaning pass did.
+    pub cleaning: CleaningReport,
+    /// The distinct classic communities it observed.
+    pub communities: BTreeSet<Community>,
+    /// Its pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+/// The cross-collector comparison for one corpus run.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Per-collector columns, sorted by collector name.
+    pub collectors: Vec<CollectorColumn>,
+    /// The combined all-vantage Table 1.
+    pub combined_overview: OverviewStats,
+    /// The combined all-vantage Table 2 counts.
+    pub combined_counts: TypeCounts,
+    /// Combined pipeline statistics (name-order merge of the columns).
+    pub stats: PipelineStats,
+}
+
+/// How many disputed communities [`CorpusReport::render`] prints in the
+/// presence matrix before eliding the tail (the count is always shown).
+pub const MATRIX_RENDER_CAP: usize = 20;
+
+/// Runs a corpus through per-collector §4 cleaning and the
+/// [`CorpusSink`] stack, and folds the outputs into a [`CorpusReport`].
+/// One registry covers all collectors (allocation is global); cleaning
+/// state and reports stay per collector.
+pub fn run_corpus_report(
+    corpus: Corpus<'_>,
+    threads: usize,
+    registry: &AllocationRegistry,
+    cleaning: CleaningConfig,
+) -> Result<CorpusReport, SourceError> {
+    let out =
+        run_corpus(corpus, threads, |_| CleaningStage::new(registry, cleaning), |_| corpus_sink())?;
+    let (combined_overview, combined_counts, _) = out.combined;
+    let collectors = out
+        .per_collector
+        .into_iter()
+        .map(|(name, o)| {
+            let (overview, counts, communities) = o.sink;
+            CollectorColumn {
+                name,
+                overview: overview.finish(),
+                counts: counts.finish(),
+                cleaning: o.stages.report(),
+                communities: communities.finish(),
+                stats: o.stats,
+            }
+        })
+        .collect();
+    Ok(CorpusReport {
+        collectors,
+        combined_overview: combined_overview.finish(),
+        combined_counts: combined_counts.finish(),
+        stats: out.stats,
+    })
+}
+
+impl CorpusReport {
+    /// Number of collectors.
+    pub fn collector_count(&self) -> usize {
+        self.collectors.len()
+    }
+
+    /// The presence matrix: every community seen anywhere, ascending,
+    /// with one presence flag per collector (column order =
+    /// `self.collectors` order, i.e. sorted names).
+    pub fn presence(&self) -> Vec<(Community, Vec<bool>)> {
+        let mut all: BTreeSet<Community> = BTreeSet::new();
+        for c in &self.collectors {
+            all.extend(c.communities.iter().copied());
+        }
+        all.into_iter()
+            .map(|comm| {
+                let flags = self.collectors.iter().map(|c| c.communities.contains(&comm)).collect();
+                (comm, flags)
+            })
+            .collect()
+    }
+
+    /// A community row is disputed when some but not all collectors saw
+    /// it. (Every `presence()` row has at least one flag set.)
+    fn is_disputed(flags: &[bool]) -> bool {
+        !flags.iter().all(|&f| f)
+    }
+
+    /// Communities seen by at least one but not every collector —
+    /// the disagreement list, in ascending community order (total and
+    /// deterministic).
+    pub fn disagreements(&self) -> Vec<(Community, Vec<bool>)> {
+        self.presence().into_iter().filter(|(_, flags)| Self::is_disputed(flags)).collect()
+    }
+
+    /// `(distinct communities, seen by every collector, disputed)` —
+    /// `total = unanimous + disputed`.
+    pub fn agreement_summary(&self) -> (usize, usize, usize) {
+        Self::summarize(&self.presence())
+    }
+
+    fn summarize(presence: &[(Community, Vec<bool>)]) -> (usize, usize, usize) {
+        let total = presence.len();
+        let disputed = presence.iter().filter(|(_, flags)| Self::is_disputed(flags)).count();
+        (total, total - disputed, disputed)
+    }
+
+    /// Renders the full comparison: per-collector Table 1 + Table 2 side
+    /// by side (with the combined column), cleaning summary, agreement
+    /// summary and the disputed-community presence matrix (capped at
+    /// [`MATRIX_RENDER_CAP`] rows). Byte-identical for any member order
+    /// or thread count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> = self.collectors.iter().map(|c| c.name.as_str()).collect();
+        out.push_str(&format!(
+            "Corpus: {} collectors ({}), {} updates\n\n",
+            self.collectors.len(),
+            names.join(", "),
+            fmt_count(self.stats.updates),
+        ));
+
+        // Table 1, one column per collector plus the combined day.
+        let mut headers: Vec<&str> = vec!["Table 1"];
+        headers.extend(names.iter().copied());
+        headers.push("all");
+        type OverviewField = (&'static str, fn(&OverviewStats) -> u64);
+        let field_rows: [OverviewField; 10] = [
+            ("IPv4 prefixes", |s| s.ipv4_prefixes),
+            ("IPv6 prefixes", |s| s.ipv6_prefixes),
+            ("ASes", |s| s.ases),
+            ("Sessions", |s| s.sessions),
+            ("Peers", |s| s.peers),
+            ("Announcements", |s| s.announcements),
+            ("w/ communities", |s| s.with_communities),
+            ("uniq. 16 bits", |s| s.uniq_16bit),
+            ("uniq. AS paths", |s| s.uniq_as_paths),
+            ("Withdrawals", |s| s.withdrawals),
+        ];
+        let rows: Vec<Vec<String>> = field_rows
+            .iter()
+            .map(|(label, get)| {
+                let mut row = vec![label.to_string()];
+                row.extend(self.collectors.iter().map(|c| fmt_count(get(&c.overview))));
+                row.push(fmt_count(get(&self.combined_overview)));
+                row
+            })
+            .collect();
+        out.push_str(&render_table(&headers, &rows));
+        out.push('\n');
+
+        // §4 cleaning, per collector.
+        let mut headers: Vec<&str> = vec!["Cleaning"];
+        headers.extend(names.iter().copied());
+        type CleaningField = (&'static str, fn(&CleaningReport) -> u64);
+        let cleaning_rows: [CleaningField; 4] = [
+            ("kept", |r| r.kept),
+            ("bogon ASN drops", |r| r.removed_unallocated_asn),
+            ("bogon prefix drops", |r| r.removed_unallocated_prefix),
+            ("normalized sessions", |r| r.sessions_normalized),
+        ];
+        let rows: Vec<Vec<String>> = cleaning_rows
+            .iter()
+            .map(|(label, get)| {
+                let mut row = vec![label.to_string()];
+                row.extend(self.collectors.iter().map(|c| fmt_count(get(&c.cleaning))));
+                row
+            })
+            .collect();
+        out.push_str(&render_table(&headers, &rows));
+        out.push('\n');
+
+        // Table 2 side by side.
+        let mut columns: Vec<(String, TypeCounts)> =
+            self.collectors.iter().map(|c| (c.name.clone(), c.counts)).collect();
+        columns.push(("all".into(), self.combined_counts));
+        out.push_str(&TypeShares::new(columns).render());
+        out.push('\n');
+
+        // Community agreement (one presence-matrix pass feeds both the
+        // summary and the disagreement rows).
+        let presence = self.presence();
+        let (total, unanimous, disputed) = Self::summarize(&presence);
+        let share = if total == 0 { 0.0 } else { unanimous as f64 * 100.0 / total as f64 };
+        out.push_str(&format!(
+            "Community agreement: {total} distinct communities; {unanimous} \
+             ({share:.1}%) seen at all {} collectors; {disputed} disputed\n",
+            self.collectors.len(),
+        ));
+        let disagreements: Vec<&(Community, Vec<bool>)> =
+            presence.iter().filter(|(_, flags)| Self::is_disputed(flags)).collect();
+        if !disagreements.is_empty() {
+            let mut headers: Vec<&str> = vec!["community"];
+            headers.extend(names.iter().copied());
+            let rows: Vec<Vec<String>> = disagreements
+                .iter()
+                .take(MATRIX_RENDER_CAP)
+                .map(|(comm, flags)| {
+                    let mut row = vec![comm.to_string()];
+                    row.extend(flags.iter().map(|&f| (if f { "+" } else { "." }).to_string()));
+                    row
+                })
+                .collect();
+            out.push_str(&render_table(&headers, &rows));
+            if disagreements.len() > MATRIX_RENDER_CAP {
+                out.push_str(&format!(
+                    "… and {} more disputed communities\n",
+                    disagreements.len() - MATRIX_RENDER_CAP
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcc_bgp_types::{Asn, CommunitySet, PathAttributes, Prefix};
+    use kcc_collector::{ArchiveSource, UpdateArchive};
+
+    fn announce(t: u64, comms: &[(u16, u16)]) -> RouteUpdate {
+        let attrs = PathAttributes {
+            as_path: "20205 3356 12654".parse().unwrap(),
+            communities: CommunitySet::from_classic(
+                comms.iter().map(|&(a, v)| Community::from_parts(a, v)),
+            ),
+            ..Default::default()
+        };
+        RouteUpdate::announce(t, "84.205.64.0/24".parse().unwrap(), attrs)
+    }
+
+    fn archive(collector: &str, comms: &[&[(u16, u16)]]) -> UpdateArchive {
+        let mut a = UpdateArchive::new(0);
+        let k = SessionKey::new(collector, Asn(20_205), "192.0.2.9".parse().unwrap());
+        for (i, c) in comms.iter().enumerate() {
+            a.record(&k, announce(i as u64, c));
+        }
+        a
+    }
+
+    fn registry() -> AllocationRegistry {
+        let mut r = AllocationRegistry::new();
+        for asn in [20_205u32, 3356, 12_654] {
+            r.register_asn(Asn(asn), 0);
+        }
+        r.register_block("84.205.0.0/16".parse::<Prefix>().unwrap(), 0);
+        r
+    }
+
+    fn report() -> CorpusReport {
+        let a = archive("rrc00", &[&[(3356, 1)], &[(3356, 2)]]);
+        let b = archive("rrc01", &[&[(3356, 1)], &[(3356, 3)]]);
+        let corpus = Corpus::new()
+            .with("rrc01", ArchiveSource::new(&b))
+            .unwrap()
+            .with("rrc00", ArchiveSource::new(&a))
+            .unwrap();
+        run_corpus_report(corpus, 2, &registry(), CleaningConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn presence_and_disagreements() {
+        let r = report();
+        assert_eq!(r.collectors[0].name, "rrc00", "columns sorted by name");
+        let presence = r.presence();
+        assert_eq!(presence.len(), 3, "3356:1, 3356:2, 3356:3");
+        assert_eq!(presence[0], (Community::from_parts(3356, 1), vec![true, true]));
+        let disputes = r.disagreements();
+        assert_eq!(
+            disputes,
+            vec![
+                (Community::from_parts(3356, 2), vec![true, false]),
+                (Community::from_parts(3356, 3), vec![false, true]),
+            ]
+        );
+        assert_eq!(r.agreement_summary(), (3, 1, 2));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let r1 = report().render();
+        let r2 = report().render();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("Table 1"));
+        assert!(r1.contains("rrc00"));
+        assert!(r1.contains("rrc01"));
+        assert!(r1.contains("all"));
+        assert!(r1.contains("Community agreement: 3 distinct"));
+        assert!(r1.contains("3356:2"));
+    }
+
+    #[test]
+    fn combined_equals_merged_columns() {
+        let r = report();
+        assert_eq!(
+            r.combined_overview.announcements,
+            r.collectors.iter().map(|c| c.overview.announcements).sum::<u64>()
+        );
+        assert_eq!(r.stats.updates, 4);
+    }
+}

@@ -53,6 +53,7 @@ pub mod anomaly;
 pub mod beacon_phase;
 pub mod classify;
 pub mod clean;
+pub mod corpus;
 pub mod cumsum;
 pub mod exploration;
 pub mod interconnect;
@@ -68,12 +69,16 @@ pub mod tomography;
 
 pub use classify::{classify_pair, AnnouncementType, TypeCounts};
 pub use clean::{clean_archive, CleaningConfig, CleaningReport, CleaningStage};
+pub use corpus::{
+    corpus_sink, run_corpus_report, CollectorColumn, CommunitySetSink, CorpusReport, CorpusSink,
+};
 pub use kcc_collector::{
-    ArchiveSource, LiveSource, MrtSource, ShutdownFlag, SourceError, SourceItem, UpdateSource,
+    ArchiveSource, Corpus, LiveSource, MrtFileOptions, MrtSource, NamedSource, ShutdownFlag,
+    SourceError, SourceItem, UpdateSource,
 };
 pub use pipeline::{
-    feed_classified, run_live, run_pipeline, run_sharded, AnalysisSink, Merge, Pipeline,
-    PipelineOutput, PipelineStats, Stage,
+    feed_classified, run_corpus, run_live, run_pipeline, run_sharded, AnalysisSink, CorpusOutput,
+    Merge, Pipeline, PipelineOutput, PipelineStats, Stage,
 };
 pub use registry::AllocationRegistry;
 pub use stream::{

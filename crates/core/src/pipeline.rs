@@ -29,10 +29,13 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
 use kcc_bgp_types::RouteUpdate;
-use kcc_collector::{PeerMeta, SessionKey, ShutdownFlag, SourceError, SourceItem, UpdateSource};
+use kcc_collector::{
+    Corpus, PeerMeta, SessionKey, ShutdownFlag, SourceError, SourceItem, UpdateSource,
+};
 
 use crate::stream::{ClassifiedArchive, ClassifiedEvent, StreamClassifier};
 
@@ -447,6 +450,120 @@ where
     })
 }
 
+/// Everything a corpus run returns.
+#[derive(Debug)]
+pub struct CorpusOutput<St, S> {
+    /// One full pipeline output per collector, **sorted by collector
+    /// name** — the order every merge below used, so results are
+    /// insensitive to member insertion order and thread count.
+    pub per_collector: Vec<(String, PipelineOutput<St, S>)>,
+    /// All per-collector sinks merged in name order — the combined
+    /// all-vantage result.
+    pub combined: S,
+    /// All per-collector stats merged in name order.
+    pub stats: PipelineStats,
+}
+
+impl<St, S> CorpusOutput<St, S> {
+    /// One collector's output by name.
+    pub fn collector(&self, name: &str) -> Option<&PipelineOutput<St, S>> {
+        self.per_collector.iter().find(|(n, _)| n == name).map(|(_, out)| out)
+    }
+}
+
+/// Runs every member of a [`Corpus`] through its **own** full pipeline —
+/// per-collector stages (the §4 cleaning is applied per collector, as in
+/// the paper) and per-collector sinks, built by the factories from the
+/// collector name — fanning the members across up to `threads` workers
+/// with `std::thread::scope`. On finish, per-collector outputs are
+/// sorted by name and the sinks/stats additionally merged (in that same
+/// name order) into the combined all-vantage result.
+///
+/// Results are **collector-order- and thread-count-independent**: each
+/// member is a fully independent pipeline (sessions carry their
+/// collector, so no state is shared), workers only affect *which* thread
+/// runs a member, and every merge folds in sorted name order using the
+/// same integer-counter [`Merge`] discipline as [`run_sharded`]. A
+/// failing member surfaces the error of the smallest collector name so
+/// even the failure mode is deterministic.
+pub fn run_corpus<'scope, St, S, FSt, FS>(
+    corpus: Corpus<'scope>,
+    threads: usize,
+    make_stages: FSt,
+    make_sink: FS,
+) -> Result<CorpusOutput<St, S>, SourceError>
+where
+    St: Stage + Send,
+    S: AnalysisSink + Merge + Clone + Send,
+    FSt: Fn(&str) -> St + Sync,
+    FS: Fn(&str) -> S + Sync,
+{
+    type Slot<St, S> = Option<(String, Result<PipelineOutput<St, S>, SourceError>)>;
+    let members = corpus.into_members();
+    let n = members.len();
+    let slots: Mutex<Vec<Slot<St, S>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue = AtomicUsize::new(0);
+    let members: Vec<Mutex<Option<kcc_collector::NamedSource<'scope>>>> =
+        members.into_iter().map(|m| Mutex::new(Some(m))).collect();
+
+    std::thread::scope(|scope| {
+        let workers = threads.clamp(1, n.max(1));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let members = &members;
+            let make_stages = &make_stages;
+            let make_sink = &make_sink;
+            handles.push(scope.spawn(move || loop {
+                let idx = queue.fetch_add(1, Ordering::Relaxed);
+                if idx >= members.len() {
+                    return;
+                }
+                let member = members[idx]
+                    .lock()
+                    .expect("member mutex poisoned")
+                    .take()
+                    .expect("each member claimed exactly once");
+                let name = member.name.clone();
+                let result = run_pipeline(member.source, make_stages(&name), make_sink(&name));
+                slots.lock().expect("slot mutex poisoned")[idx] = Some((name, result));
+            }));
+        }
+        for h in handles {
+            h.join().expect("corpus worker panicked");
+        }
+    });
+
+    let mut outputs: Vec<(String, PipelineOutput<St, S>)> = Vec::with_capacity(n);
+    let mut failures: Vec<(String, SourceError)> = Vec::new();
+    for slot in slots.into_inner().expect("slot mutex poisoned") {
+        let (name, result) = slot.expect("every member ran");
+        match result {
+            Ok(out) => outputs.push((name, out)),
+            Err(e) => failures.push((name, e)),
+        }
+    }
+    if !failures.is_empty() {
+        failures.sort_by(|a, b| a.0.cmp(&b.0));
+        let (name, error) = failures.remove(0);
+        return Err(SourceError::Other(format!("collector {name}: {error}")));
+    }
+    outputs.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut combined: Option<S> = None;
+    let mut stats = PipelineStats::default();
+    for (_, out) in &outputs {
+        match &mut combined {
+            None => combined = Some(out.sink.clone()),
+            Some(c) => c.merge(out.sink.clone()),
+        }
+        stats.merge(out.stats);
+    }
+    let combined = combined.ok_or_else(|| SourceError::Other("corpus has no members".into()))?;
+    Ok(CorpusOutput { per_collector: outputs, combined, stats })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,6 +664,101 @@ mod tests {
         let a = archive();
         let out = run_sharded(ArchiveSource::new(&a), 64, || (), CountsSink::default).unwrap();
         assert_eq!(out.sink.finish(), classify_archive(&a).counts);
+    }
+
+    fn collector_archive(collector: &str, peers: std::ops::Range<u32>) -> UpdateArchive {
+        let mut a = UpdateArchive::new(0);
+        let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+        for peer in peers {
+            let key = SessionKey::new(
+                collector,
+                Asn(100 + peer),
+                format!("10.0.{}.{}", peer / 250, peer % 250 + 1).parse().unwrap(),
+            );
+            for i in 0..8u64 {
+                a.record(&key, RouteUpdate::announce(i, prefix, attrs("1 2 3", i as u16 % 4)));
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn corpus_is_order_and_thread_count_independent() {
+        let a = collector_archive("rrc00", 0..4);
+        let b = collector_archive("rrc01", 2..8);
+        let c = collector_archive("route-views2", 5..6);
+        let build = |order: &[usize]| {
+            let archives = [&a, &b, &c];
+            let names = ["rrc00", "rrc01", "route-views2"];
+            let mut corpus = Corpus::new();
+            for &i in order {
+                corpus.push(names[i], ArchiveSource::new(archives[i])).unwrap();
+            }
+            corpus
+        };
+        let reference =
+            run_corpus(build(&[0, 1, 2]), 1, |_| (), |_| CountsSink::default()).unwrap();
+        for order in [[2, 1, 0], [1, 0, 2]] {
+            for threads in [1, 2, 7] {
+                let out =
+                    run_corpus(build(&order), threads, |_| (), |_| CountsSink::default()).unwrap();
+                let names: Vec<&String> = out.per_collector.iter().map(|(n, _)| n).collect();
+                assert_eq!(names, vec!["route-views2", "rrc00", "rrc01"], "name-sorted");
+                assert_eq!(out.combined.finish(), reference.combined.finish());
+                assert_eq!(out.stats, reference.stats);
+                for ((n1, o1), (n2, o2)) in out.per_collector.iter().zip(&reference.per_collector) {
+                    assert_eq!(n1, n2);
+                    assert_eq!(o1.sink.finish(), o2.sink.finish());
+                    assert_eq!(o1.stats, o2.stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_corpus_equals_plain_pipeline() {
+        let a = collector_archive("rrc00", 0..5);
+        let direct = run_pipeline(ArchiveSource::new(&a), (), CountsSink::default()).unwrap();
+        let corpus = Corpus::new().with("rrc00", ArchiveSource::new(&a)).unwrap();
+        let out = run_corpus(corpus, 4, |_| (), |_| CountsSink::default()).unwrap();
+        assert_eq!(out.per_collector.len(), 1);
+        assert_eq!(out.combined.finish(), direct.sink.finish());
+        assert_eq!(out.stats, direct.stats);
+        assert_eq!(out.collector("rrc00").unwrap().stats, direct.stats);
+    }
+
+    #[test]
+    fn corpus_combined_merges_in_name_order() {
+        // Overview distinct-count merges must union across collectors.
+        let a = collector_archive("rrc00", 0..3);
+        let b = collector_archive("rrc01", 0..3);
+        let corpus = Corpus::new()
+            .with("rrc00", ArchiveSource::new(&a))
+            .unwrap()
+            .with("rrc01", ArchiveSource::new(&b))
+            .unwrap();
+        let out = run_corpus(corpus, 2, |_| (), |_| OverviewSink::default()).unwrap();
+        let merged = out.combined.finish();
+        assert_eq!(merged.sessions, 6, "3 sessions per collector, keys disjoint");
+        assert_eq!(merged.peers, 3, "same peer ASes union across collectors");
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        assert!(run_corpus(Corpus::new(), 2, |_| (), |_| CountsSink::default()).is_err());
+    }
+
+    #[test]
+    fn failing_member_reports_smallest_name() {
+        struct Failing;
+        impl UpdateSource for Failing {
+            fn next_item(&mut self) -> Result<Option<SourceItem>, SourceError> {
+                Err(SourceError::Other("boom".into()))
+            }
+        }
+        let corpus = Corpus::new().with("rrc07", Failing).unwrap().with("rrc03", Failing).unwrap();
+        let err = run_corpus(corpus, 2, |_| (), |_| CountsSink::default()).unwrap_err();
+        assert!(err.to_string().contains("rrc03"), "deterministic failure: {err}");
     }
 
     #[test]

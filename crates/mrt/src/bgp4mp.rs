@@ -163,15 +163,27 @@ impl Bgp4mpMessage {
         }
     }
 
-    /// Encodes the record body (everything after the MRT header).
+    /// Encodes the record body (everything after the MRT header) with the
+    /// auto-selected [`Bgp4mpMessage::subtype`].
     pub fn encode_body(&self, buf: &mut BytesMut) -> Result<(), MrtError> {
-        let as4 = self.subtype() == subtypes::MESSAGE_AS4;
+        self.encode_body_as(self.subtype(), buf)
+    }
+
+    /// Encodes the record body for an explicit subtype — how a collector
+    /// writes the legacy 2-octet `MESSAGE` form for a session that never
+    /// negotiated 4-octet AS support. On the 2-octet form, ASNs above
+    /// 65535 are emitted as `AS_TRANS` (23456) per RFC 6793 §4.2.2 —
+    /// **not** truncated with `as u16` (which encoded AS 196608 as AS 0)
+    /// — mirroring the AS_PATH/AS4_PATH and AGGREGATOR/AS4_AGGREGATOR
+    /// handling in `kcc_bgp_wire`.
+    pub fn encode_body_as(&self, subtype: u16, buf: &mut BytesMut) -> Result<(), MrtError> {
+        let as4 = subtype == subtypes::MESSAGE_AS4;
         if as4 {
             buf.put_u32(self.peer_asn.value());
             buf.put_u32(self.local_asn.value());
         } else {
-            buf.put_u16(self.peer_asn.value() as u16);
-            buf.put_u16(self.local_asn.value() as u16);
+            buf.put_u16(self.peer_asn.to_16bit_wire());
+            buf.put_u16(self.local_asn.to_16bit_wire());
         }
         buf.put_u16(self.ifindex);
         put_ip_pair(buf, self.peer_ip, self.local_ip)?;
@@ -214,15 +226,24 @@ impl Bgp4mpStateChange {
         }
     }
 
-    /// Encodes the record body.
+    /// Encodes the record body with the auto-selected
+    /// [`Bgp4mpStateChange::subtype`].
     pub fn encode_body(&self, buf: &mut BytesMut) -> Result<(), MrtError> {
-        let as4 = self.subtype() == subtypes::STATE_CHANGE_AS4;
+        self.encode_body_as(self.subtype(), buf)
+    }
+
+    /// Encodes the record body for an explicit subtype. As with
+    /// [`Bgp4mpMessage::encode_body_as`], 4-octet ASNs on the 2-octet
+    /// `STATE_CHANGE` form become `AS_TRANS` (RFC 6793 §4.2.2) instead of
+    /// being truncated.
+    pub fn encode_body_as(&self, subtype: u16, buf: &mut BytesMut) -> Result<(), MrtError> {
+        let as4 = subtype == subtypes::STATE_CHANGE_AS4;
         if as4 {
             buf.put_u32(self.peer_asn.value());
             buf.put_u32(self.local_asn.value());
         } else {
-            buf.put_u16(self.peer_asn.value() as u16);
-            buf.put_u16(self.local_asn.value() as u16);
+            buf.put_u16(self.peer_asn.to_16bit_wire());
+            buf.put_u16(self.local_asn.to_16bit_wire());
         }
         buf.put_u16(self.ifindex);
         put_ip_pair(buf, self.peer_ip, self.local_ip)?;
@@ -315,6 +336,48 @@ mod tests {
         m.encode_body(&mut buf).unwrap();
         let d = Bgp4mpMessage::decode_body(m.timestamp, m.subtype(), buf.freeze()).unwrap();
         assert_eq!(d, m);
+    }
+
+    /// Regression: the 2-octet MESSAGE encoder truncated 4-byte ASNs with
+    /// `as u16` (AS 196608 → AS 0). Per RFC 6793 §4.2.2 a 4-octet ASN on
+    /// the 2-octet form must appear as AS_TRANS (23456) — and the real
+    /// path still survives inside the embedded message via AS4_PATH.
+    #[test]
+    fn two_octet_message_collapses_big_asn_to_as_trans() {
+        let m = sample_message(196_608); // 0x30000: `as u16` truncates to 0
+        let mut buf = BytesMut::new();
+        m.encode_body_as(subtypes::MESSAGE, &mut buf).unwrap();
+        let d = Bgp4mpMessage::decode_body(m.timestamp, subtypes::MESSAGE, buf.freeze()).unwrap();
+        assert_eq!(
+            d.peer_asn,
+            kcc_bgp_types::asn::AS_TRANS,
+            "4-byte peer ASN must become AS_TRANS"
+        );
+        assert_ne!(d.peer_asn, Asn(0), "truncation would have produced AS 0");
+        assert_eq!(d.local_asn, Asn(12_345), "16-bit ASNs pass through unchanged");
+        // The embedded UPDATE was encoded for a 2-octet session: the
+        // 4-byte path ASNs ride AS4_PATH and reconstruct on decode.
+        assert_eq!(d.message, m.message);
+    }
+
+    #[test]
+    fn two_octet_state_change_collapses_big_asn_to_as_trans() {
+        let s = Bgp4mpStateChange {
+            timestamp: MrtTimestamp::seconds(0),
+            peer_asn: Asn(196_608),
+            local_asn: Asn(3333),
+            ifindex: 0,
+            peer_ip: "192.0.2.99".parse().unwrap(),
+            local_ip: "192.0.2.1".parse().unwrap(),
+            old_state: BgpState::Established,
+            new_state: BgpState::Idle,
+        };
+        let mut buf = BytesMut::new();
+        s.encode_body_as(subtypes::STATE_CHANGE, &mut buf).unwrap();
+        let d = Bgp4mpStateChange::decode_body(s.timestamp, subtypes::STATE_CHANGE, buf.freeze())
+            .unwrap();
+        assert_eq!(d.peer_asn, kcc_bgp_types::asn::AS_TRANS);
+        assert_eq!(d.old_state, BgpState::Established);
     }
 
     #[test]

@@ -28,6 +28,16 @@ pub enum MrtError {
         /// Offending value widened to u64.
         value: u64,
     },
+    /// A record timestamped before the stream's declared epoch. Silently
+    /// clamping such records onto the epoch would fabricate same-instant
+    /// runs; callers that really want the clamp must opt in
+    /// (`UpdateStream::with_pre_epoch_clamp`).
+    PreEpochRecord {
+        /// The record's timestamp (seconds since the UNIX epoch).
+        record_seconds: u32,
+        /// The stream's epoch (seconds since the UNIX epoch).
+        epoch_seconds: u32,
+    },
 }
 
 impl fmt::Display for MrtError {
@@ -40,6 +50,11 @@ impl fmt::Display for MrtError {
             }
             MrtError::Truncated(what) => write!(f, "truncated MRT record: {what}"),
             MrtError::BadField { what, value } => write!(f, "bad MRT field {what}: {value}"),
+            MrtError::PreEpochRecord { record_seconds, epoch_seconds } => write!(
+                f,
+                "record at {record_seconds}s precedes the stream epoch {epoch_seconds}s \
+                 (enable the explicit clamp to accept it)"
+            ),
         }
     }
 }

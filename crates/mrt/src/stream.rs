@@ -38,14 +38,20 @@ pub struct StreamedUpdate {
 /// Streams [`RouteUpdate`]s out of MRT bytes, one record at a time.
 ///
 /// Non-message records (state changes, RIB dumps) are skipped — they are
-/// not update traffic. Records earlier than `epoch_seconds` clamp to
-/// relative time 0, exactly as [`read_mrt`] does on the batch path.
-///
-/// [`read_mrt`]: https://docs.rs/kcc_collector
+/// not update traffic. Records timestamped **before** `epoch_seconds`
+/// surface [`MrtError::PreEpochRecord`]: silently collapsing them onto
+/// the epoch (the old `saturating_sub` behavior) fabricated same-instant
+/// runs out of distinct arrival times — exactly the shape the cleaning
+/// stage's same-second disambiguation then "fixes" into wrong data.
+/// Callers that knowingly feed a mid-day epoch can opt into the clamp
+/// with [`UpdateStream::with_pre_epoch_clamp`], which counts every
+/// clamped record in [`UpdateStream::pre_epoch_clamped`].
 #[derive(Debug)]
 pub struct UpdateStream<R: Read> {
     reader: MrtReader<R>,
     epoch_seconds: u32,
+    clamp_pre_epoch: bool,
+    pre_epoch_clamped: u64,
     pending: VecDeque<StreamedUpdate>,
 }
 
@@ -53,7 +59,29 @@ impl<R: Read> UpdateStream<R> {
     /// Wraps an MRT byte stream; update times become microseconds since
     /// `epoch_seconds`.
     pub fn new(inner: R, epoch_seconds: u32) -> Self {
-        UpdateStream { reader: MrtReader::new(inner), epoch_seconds, pending: VecDeque::new() }
+        UpdateStream {
+            reader: MrtReader::new(inner),
+            epoch_seconds,
+            clamp_pre_epoch: false,
+            pre_epoch_clamped: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Accept records timestamped before the epoch by clamping them to
+    /// relative time 0 (keeping their microsecond part), instead of
+    /// surfacing [`MrtError::PreEpochRecord`]. Every clamped record is
+    /// counted in [`UpdateStream::pre_epoch_clamped`] so the collapse is
+    /// never silent.
+    pub fn with_pre_epoch_clamp(mut self) -> Self {
+        self.clamp_pre_epoch = true;
+        self
+    }
+
+    /// Number of records clamped onto the epoch (only nonzero after
+    /// [`UpdateStream::with_pre_epoch_clamp`]).
+    pub fn pre_epoch_clamped(&self) -> u64 {
+        self.pre_epoch_clamped
     }
 
     /// Number of MRT records consumed so far.
@@ -77,6 +105,15 @@ impl<R: Read> UpdateStream<R> {
                 continue;
             };
             let ts = m.timestamp;
+            if ts.seconds < self.epoch_seconds {
+                if !self.clamp_pre_epoch {
+                    return Err(MrtError::PreEpochRecord {
+                        record_seconds: ts.seconds,
+                        epoch_seconds: self.epoch_seconds,
+                    });
+                }
+                self.pre_epoch_clamped += 1;
+            }
             let rel_seconds = ts.seconds.saturating_sub(self.epoch_seconds) as u64;
             let time_us = rel_seconds * 1_000_000 + ts.microseconds.unwrap_or(0) as u64;
             for update in packet.explode(time_us) {
@@ -153,13 +190,35 @@ mod tests {
         assert_eq!(s.records_read(), 2);
     }
 
+    /// Regression: `saturating_sub(epoch)` used to collapse every
+    /// pre-epoch record onto relative time 0, fabricating same-instant
+    /// runs. The default is now a decode error.
     #[test]
-    fn pre_epoch_records_clamp_to_zero() {
+    fn pre_epoch_records_error_by_default() {
         let mut w = MrtWriter::new(Vec::new());
         w.write_record(&message(50, Some(7), false)).unwrap();
         let bytes = w.into_inner();
-        let u = UpdateStream::new(&bytes[..], 100).next_update().unwrap().unwrap();
-        assert_eq!(u.update.time_us, 7);
+        let err = UpdateStream::new(&bytes[..], 100).next_update().unwrap_err();
+        assert!(
+            matches!(err, MrtError::PreEpochRecord { record_seconds: 50, epoch_seconds: 100 }),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    /// The explicit opt-in keeps the old clamp, but counts it.
+    #[test]
+    fn pre_epoch_clamp_optin_counts_records() {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&message(50, Some(7), false)).unwrap();
+        w.write_record(&message(100, Some(9), false)).unwrap();
+        let bytes = w.into_inner();
+        let mut s = UpdateStream::new(&bytes[..], 100).with_pre_epoch_clamp();
+        let first = s.next_update().unwrap().unwrap();
+        assert_eq!(first.update.time_us, 7, "clamped to the epoch, micros preserved");
+        let second = s.next_update().unwrap().unwrap();
+        assert_eq!(second.update.time_us, 9);
+        assert!(s.next_update().unwrap().is_none());
+        assert_eq!(s.pre_epoch_clamped(), 1, "exactly the pre-epoch record is counted");
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl PeerIndexTable {
             if as4 {
                 buf.put_u32(p.asn.value());
             } else {
-                buf.put_u16(p.asn.value() as u16);
+                // Guarded by the `as4` flag above, but spelled as the
+                // RFC 6793 collapse rather than a silent truncation.
+                buf.put_u16(p.asn.to_16bit_wire());
             }
         }
         Ok(())

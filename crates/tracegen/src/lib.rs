@@ -15,6 +15,9 @@
 //!   prepend toggles (`xc`/`xn`);
 //! * a March-2020-style snapshot ([`mar20`]) whose Table 1/Table 2
 //!   statistics match the paper's *shape* at `scale < 1`;
+//! * per-collector vantages of that same day ([`multi_vantage`]) — the
+//!   paper's "same day, many collectors" corpus with a configurable
+//!   second-granularity subset;
 //! * beacon streams ([`beacons`]) driven by the RIS announce/withdraw
 //!   timetable with community-exploration bursts during withdrawal
 //!   phases;
@@ -31,8 +34,12 @@
 pub mod beacons;
 pub mod hist;
 pub mod mar20;
+pub mod multi_vantage;
 pub mod streams;
 pub mod universe;
 
 pub use mar20::{generate_mar20, GenOutput, Mar20Config, Mar20Source};
+pub use multi_vantage::{
+    multi_vantage_corpus, vantage_names, write_vantage_mrt, MultiVantageConfig, VantageSource,
+};
 pub use universe::{PeerSpec, PrefixSpec, TransitSpec, Universe};

@@ -316,6 +316,41 @@ proptest! {
         }
     }
 
+    /// Same-second runs of arbitrary length stay monotonic and never
+    /// leave their own second — the regression class where a long run
+    /// (≥100,000 updates × 10 µs) used to cross the 1 s boundary and
+    /// overtake the next distinct timestamp.
+    #[test]
+    fn normalization_clamps_arbitrary_run_lengths(
+        runs in vec((0u64..12, 1usize..4_000), 1..5),
+    ) {
+        let prefix: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut runs = runs;
+        runs.sort_unstable();
+        runs.dedup_by_key(|r| r.0);
+        let mut updates = Vec::new();
+        let mut run_second = Vec::new();
+        for &(s, len) in &runs {
+            for _ in 0..len {
+                updates.push(RouteUpdate::withdraw(s * 1_000_000, prefix));
+                run_second.push(s);
+            }
+        }
+        normalize_timestamps(&mut updates);
+        for w in updates.windows(2) {
+            prop_assert!(w[0].time_us <= w[1].time_us, "order violated");
+        }
+        for (u, &s) in updates.iter().zip(&run_second) {
+            prop_assert!(u.time_us >= s * 1_000_000, "moved before its second");
+            prop_assert!(
+                u.time_us < (s + 1) * 1_000_000,
+                "crossed into the next second: t={} from second {}",
+                u.time_us,
+                s
+            );
+        }
+    }
+
     /// MRT archive round-trips preserve per-session update streams.
     #[test]
     fn mrt_archive_roundtrip(
