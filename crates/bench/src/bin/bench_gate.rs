@@ -1,0 +1,113 @@
+//! Throughput regression gate: compares a freshly measured `BENCH_*.json`
+//! against the committed baseline and fails on drift beyond a tolerance.
+//!
+//! Every `"updates_per_sec":N` value is extracted from both files in
+//! order; the gate fails if the counts differ (the bench shape changed
+//! without updating the baseline) or any pair deviates by more than the
+//! tolerance in either direction — a slowdown is a regression, and a
+//! large speedup means the committed numbers are stale.
+//!
+//! ```sh
+//! bench_gate BENCH_pipeline.json /tmp/fresh/BENCH_pipeline.json
+//! bench_gate --tolerance 0.25 baseline.json measured.json
+//! ```
+
+use std::process::ExitCode;
+
+/// All `"updates_per_sec":<number>` values, in file order.
+fn extract_rates(json: &str) -> Vec<f64> {
+    const NEEDLE: &str = "\"updates_per_sec\":";
+    let mut rates = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(NEEDLE) {
+        rest = &rest[pos + NEEDLE.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            rates.push(v);
+        }
+        rest = &rest[end..];
+    }
+    rates
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.25f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    tolerance = v;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate [--tolerance FRACTION] <baseline.json> <measured.json>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    let [baseline_path, measured_path] = files.as_slice() else {
+        eprintln!("bench_gate: expected exactly two files (baseline, measured); see --help");
+        return ExitCode::FAILURE;
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(measured)) = (read(baseline_path), read(measured_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let base_rates = extract_rates(&baseline);
+    let meas_rates = extract_rates(&measured);
+    if base_rates.is_empty() {
+        eprintln!("bench_gate: no updates_per_sec values in {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+    if base_rates.len() != meas_rates.len() {
+        eprintln!(
+            "bench_gate: shape mismatch — {} rates in {baseline_path}, {} in {measured_path} \
+             (bench changed? regenerate the committed baseline)",
+            base_rates.len(),
+            meas_rates.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut ok = true;
+    for (i, (b, m)) in base_rates.iter().zip(&meas_rates).enumerate() {
+        let ratio = m / b;
+        let within = ratio >= 1.0 - tolerance && ratio <= 1.0 + tolerance;
+        println!(
+            "rate[{i}]: baseline {b:.0}/s, measured {m:.0}/s, ratio {ratio:.2} {}",
+            if within { "ok" } else { "OUT OF RANGE" }
+        );
+        ok &= within;
+    }
+    if ok {
+        println!(
+            "bench_gate: {} rates within ±{:.0}% of {baseline_path}",
+            base_rates.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: throughput drifted beyond ±{:.0}% — investigate, or regenerate the \
+             committed baseline if the change is intended",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

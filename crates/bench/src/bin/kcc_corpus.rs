@@ -10,7 +10,12 @@
 //! ```sh
 //! kcc-corpus rrc00.mrt rrc01.mrt dumps/      # files and directories mix
 //! kcc-corpus --threads 8 --epoch 1584230400 dumps/
+//! kcc-corpus --watch dumps/                  # + CommunityWatch alerts
 //! ```
+//!
+//! With `--watch`, the same pass also runs the CommunityWatch detection
+//! sink per collector and appends the merged alert list (path, rate and
+//! outage checks; see `kcc-watch` for the full service CLI).
 //!
 //! Without `--epoch`, the day anchor is the earliest *first-record*
 //! timestamp across the inputs, floored to midnight UTC. Records
@@ -27,8 +32,8 @@ use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use kcc_core::corpus::run_corpus_report;
-use kcc_core::{AllocationRegistry, CleaningConfig, Corpus, MrtFileOptions};
+use kcc_core::corpus::{run_corpus_report, run_corpus_watch};
+use kcc_core::{AllocationRegistry, CleaningConfig, Corpus, MrtFileOptions, WatchConfig};
 
 /// Reads the timestamp (first header field) of a file's first MRT record
 /// — 4 bytes of I/O, never the file.
@@ -66,12 +71,14 @@ fn main() -> ExitCode {
     let mut epoch: Option<u32> = None;
     let mut threads = 4usize;
     let mut clamp = false;
+    let mut watch = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--epoch" => epoch = it.next().and_then(|s| s.parse().ok()),
             "--clamp" => clamp = true,
+            "--watch" => watch = true,
             "--threads" => {
                 if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                     threads = v;
@@ -79,7 +86,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: kcc-corpus [--epoch SECONDS] [--threads N] [--clamp] \
+                    "usage: kcc-corpus [--epoch SECONDS] [--threads N] [--clamp] [--watch] \
                      <file.mrt | dir>..."
                 );
                 return ExitCode::SUCCESS;
@@ -131,13 +138,37 @@ fn main() -> ExitCode {
         insert_route_server_asn: false,
         normalize_timestamps: true,
     };
-    match run_corpus_report(corpus, threads, &registry, cleaning) {
-        Ok(report) => {
+    let result = if watch {
+        run_corpus_watch(corpus, threads, &registry, cleaning, WatchConfig::default(), None)
+            .map(|(report, watch_report)| (report, Some(watch_report)))
+    } else {
+        run_corpus_report(corpus, threads, &registry, cleaning).map(|report| (report, None))
+    };
+    match result {
+        Ok((report, watch_report)) => {
             print!("{}", report.render());
             println!(
                 "\npipeline: {} sessions, {} streams, peak state {} bytes",
                 report.stats.sessions, report.stats.streams, report.stats.peak_state_bytes
             );
+            if let Some(wr) = watch_report {
+                println!();
+                for alert in &wr.alerts {
+                    println!("{}", alert.to_line());
+                }
+                let kinds: Vec<String> =
+                    wr.kind_counts().iter().map(|(k, n)| format!("{k} x{n}")).collect();
+                println!(
+                    "watch: {} alerts over {} windows{}",
+                    wr.alerts.len(),
+                    wr.windows,
+                    if kinds.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({})", kinds.join(", "))
+                    }
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

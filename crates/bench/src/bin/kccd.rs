@@ -14,19 +14,25 @@
 //! `--duration 0` (default) runs until the process is killed; with a
 //! positive duration the daemon shuts down gracefully after that many
 //! seconds — Cease to every peer, feed drained, tables printed.
+//!
+//! `--watch` adds the CommunityWatch detection sink to the live
+//! pipeline; the shutdown summary then ends with the typed alert list
+//! (path, rate and outage checks over the whole capture).
 
 use std::net::IpAddr;
 use std::time::Duration;
 
 use kcc_bgp_types::Asn;
+use kcc_core::pipeline::PipelineBuilder;
 use kcc_core::table::{OverviewSink, TypeShares};
-use kcc_core::{run_live, CountsSink};
+use kcc_core::{CountsSink, WatchConfig, WatchReport, WatchSink};
 use kcc_peer::{Collector, CollectorConfig, RotateConfig, StampMode};
 
 struct Options {
     listen: String,
     cfg: CollectorConfig,
     duration_secs: u64,
+    watch: bool,
 }
 
 fn parse_args() -> Options {
@@ -35,6 +41,7 @@ fn parse_args() -> Options {
     let mut duration_secs = 0u64;
     let mut mrt_dir: Option<String> = None;
     let mut mrt_rotate = 100_000u64;
+    let mut watch = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -99,6 +106,7 @@ fn parse_args() -> Options {
                     duration_secs = v;
                 }
             }
+            "--watch" => watch = true,
             other => {
                 eprintln!("kccd: unknown argument {other}");
                 std::process::exit(2);
@@ -108,7 +116,7 @@ fn parse_args() -> Options {
     if let Some(dir) = mrt_dir {
         cfg.mrt = Some(RotateConfig::new(dir, mrt_rotate));
     }
-    Options { listen, cfg, duration_secs }
+    Options { listen, cfg, duration_secs, watch }
 }
 
 fn main() {
@@ -144,13 +152,31 @@ fn main() {
 
     // The pipeline runs on the main thread until shutdown; the daemon's
     // accept/session/ingest threads feed it.
-    let out = run_live(source, (), (CountsSink::default(), OverviewSink::default()), &stop)
-        .expect("live sources do not fail");
+    let (counts, overview, watch_report, pipe_stats) = if opts.watch {
+        let out = PipelineBuilder::new(source)
+            .sink((
+                CountsSink::default(),
+                OverviewSink::default(),
+                WatchSink::new(WatchConfig::default()),
+            ))
+            .shutdown(&stop)
+            .run()
+            .expect("live sources do not fail");
+        let (counts, overview, watch) = out.sink;
+        (counts, overview, Some(watch.finish()), out.stats)
+    } else {
+        let out = PipelineBuilder::new(source)
+            .sink((CountsSink::default(), OverviewSink::default()))
+            .shutdown(&stop)
+            .run()
+            .expect("live sources do not fail");
+        let (counts, overview) = out.sink;
+        (counts, overview, None, out.stats)
+    };
 
     // Shutdown: Cease every session, join every thread, then report.
     collector.shutdown();
     let stats = collector.join();
-    let (counts, overview) = out.sink;
 
     println!();
     println!("{}", overview.finish().render("Table 1 — live capture"));
@@ -163,12 +189,36 @@ fn main() {
     );
     println!(
         "updates: {} ingested ({} kept by pipeline, {} streams, peak state {} B)",
-        stats.updates, out.stats.kept, out.stats.streams, out.stats.peak_state_bytes
+        stats.updates, pipe_stats.kept, pipe_stats.streams, pipe_stats.peak_state_bytes
     );
     if !stats.mrt_files.is_empty() {
         println!("mrt: {} records over {} dump file(s)", stats.mrt_records, stats.mrt_files.len());
         for f in &stats.mrt_files {
             println!("  {}", f.display());
         }
+    }
+    if let Some(report) = watch_report {
+        println!();
+        print_watch(&report);
+    }
+}
+
+/// The CommunityWatch section of the shutdown summary: every typed
+/// alert on its stable serialized line, then the per-kind totals.
+fn print_watch(report: &WatchReport) {
+    for alert in &report.alerts {
+        println!("{}", alert.to_line());
+    }
+    if report.alerts.is_empty() {
+        println!("watch: no alerts over {} windows", report.windows);
+    } else {
+        let kinds: Vec<String> =
+            report.kind_counts().iter().map(|(k, n)| format!("{k} x{n}")).collect();
+        println!(
+            "watch: {} alerts over {} windows ({})",
+            report.alerts.len(),
+            report.windows,
+            kinds.join(", ")
+        );
     }
 }

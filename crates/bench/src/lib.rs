@@ -21,6 +21,11 @@
 //! | `bench_pipeline` | streaming vs. batch pipeline throughput → `BENCH_pipeline.json` |
 //! | `kccd` | the live BGP collector daemon (TCP sessions → pipeline → MRT dumps) |
 //! | `bench_live` | loopback TCP BGP ingest throughput → `BENCH_live.json` |
+//! | `bench_corpus` | multi-collector corpus throughput → `BENCH_corpus.json` |
+//! | `kcc-corpus` | multi-collector corpus CLI (per-collector + combined reports) |
+//! | `kcc-watch` | the CommunityWatch service CLI (+ `--eval` / `--soak` gates) |
+//! | `bench_watch` | watch-sink throughput + eval timing → `BENCH_watch.json` |
+//! | `bench_gate` | ±tolerance updates/s regression gate over two BENCH files |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +35,11 @@ pub mod beacon_day;
 pub mod compare;
 pub mod mrtgen;
 pub mod sweep;
+pub mod watch_eval;
 
 pub use args::Args;
 pub use beacon_day::{run_beacon_day, BeaconDayConfig, BeaconDayOutput};
 pub use compare::Comparison;
 pub use mrtgen::{generate_mrt_day, mrt_day, MrtDay};
 pub use sweep::{run_cell, run_sweep, CellResult, CleaningPlacement, SweepCell, SweepConfig};
+pub use watch_eval::{eval_library, eval_scenario, EvalResult, EVAL_WINDOW_US};

@@ -28,6 +28,9 @@
 //!   rewrites) + capture expectations, all as data,
 //! * the paper's **Figure 1 lab topology** and Exp1–Exp4, expressed as
 //!   four scenario specs ([`lab`]),
+//! * a **labeled fault library** ([`faults`]): prefix hijack, route
+//!   leak, blackhole injection and collector outage as scenario specs
+//!   with ground-truth labels — the CommunityWatch detector's eval set,
 //! * a **sim→TCP bridge** ([`bridge`]): every session of a captured (or
 //!   any) update archive becomes a real outbound BGP speaker against a
 //!   live collector daemon — the end-to-end rig for the live subsystem.
@@ -44,6 +47,7 @@ pub mod dampening;
 pub mod decision;
 pub mod event;
 pub mod fault;
+pub mod faults;
 pub mod lab;
 pub mod network;
 pub mod policy;
@@ -58,6 +62,7 @@ pub use bridge::{replay_archive, BridgeConfig, BridgeReport};
 pub use capture::{Capture, CapturedUpdate};
 pub use dampening::DampeningConfig;
 pub use event::EventKind;
+pub use faults::{fault_library, FaultKind, FaultScenario};
 pub use network::{Network, SimConfig};
 pub use policy::{ExportPolicy, ImportPolicy};
 pub use route::{RibEntry, SimUpdate, UpdateBody};

@@ -25,7 +25,11 @@
 //!   `kcc_core::pipeline::run_corpus`,
 //! * [`live`]: the live end of that abstraction — a channel-backed
 //!   [`LiveSource`] fed by a running collector daemon (`kcc_peer`), plus
-//!   the [`ShutdownFlag`] that lets unbounded runs finish gracefully.
+//!   the [`ShutdownFlag`] that lets unbounded runs finish gracefully,
+//! * [`dir_source`]: a directory of rotated MRT dumps streamed as one
+//!   collector feed ([`MrtDirSource`]), optionally following the
+//!   directory for new files — the bridge between a daemon's on-disk
+//!   capture and an always-on analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@
 pub mod archive;
 pub mod beacon;
 pub mod corpus;
+pub mod dir_source;
 pub mod live;
 pub mod session;
 pub mod source;
@@ -41,6 +46,7 @@ pub mod timestamps;
 pub use archive::UpdateArchive;
 pub use beacon::{BeaconEvent, BeaconPhase, BeaconSchedule};
 pub use corpus::{Corpus, MrtFileOptions, NamedSource};
+pub use dir_source::MrtDirSource;
 pub use live::{LiveSource, ShutdownFlag};
 pub use session::{PeerMeta, SessionKey};
 pub use source::{ArchiveSource, MrtSource, SourceError, SourceItem, UpdateSource};

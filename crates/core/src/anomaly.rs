@@ -9,61 +9,32 @@
 //! The detector learns a per-AS *community profile* from a training
 //! window — which values each 16-bit namespace uses, how many distinct
 //! attributes a stream shows — then flags deviations in a detection
-//! window:
+//! window as typed [`Alert`]s:
 //!
-//! * **novel value**: a community value never seen in a namespace that
-//!   was otherwise stable (fat-fingered or injected tags; the attack
-//!   vector of Streibelt et al.),
-//! * **action signal**: a well-known action community (BLACKHOLE,
-//!   GRACEFUL_SHUTDOWN …) appearing on a stream that never carried one,
-//! * **exploration burst**: a stream revealing many more distinct
-//!   community attributes per phase than its training baseline.
+//! * [`AlertKind::NovelCommunity`]: a community value never seen in a
+//!   namespace that was otherwise stable (fat-fingered or injected tags;
+//!   the attack vector of Streibelt et al.),
+//! * [`AlertKind::BlackholeInjection`]: a well-known action community
+//!   (BLACKHOLE, GRACEFUL_SHUTDOWN …) appearing on a stream that never
+//!   carried one,
+//! * [`AlertKind::BaselineShift`] over
+//!   [`ShiftMetric::DistinctAttrs`](crate::alert::ShiftMetric::DistinctAttrs):
+//!   a stream revealing many more distinct community attributes per phase
+//!   than its training baseline (an exploration burst).
+//!
+//! The online service in [`watch`](crate::watch) runs the same checks
+//! over sliding windows; with a whole-day window its output is
+//! byte-equal to [`CommunityProfiler::detect`].
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 #[cfg(test)]
 use kcc_bgp_types::Asn;
-use kcc_bgp_types::{Community, MessageKind, Prefix, RouteUpdate};
+use kcc_bgp_types::{MessageKind, Prefix, RouteUpdate};
 use kcc_collector::{ArchiveSource, SessionKey, UpdateArchive};
 
+use crate::alert::{sort_alerts, Alert, AlertKind, ShiftMetric};
 use crate::pipeline::{run_pipeline, AnalysisSink, Merge};
-
-/// What kind of anomaly was flagged.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AnomalyKind {
-    /// A community value outside the namespace's learned value set.
-    NovelValue {
-        /// The offending community.
-        community: Community,
-    },
-    /// A well-known action community on a stream with none in training.
-    ActionSignal {
-        /// The action community.
-        community: Community,
-        /// Its IANA name.
-        name: &'static str,
-    },
-    /// Distinct-attribute rate far above the stream's baseline.
-    ExplorationBurst {
-        /// Distinct attributes seen in detection.
-        observed: usize,
-        /// Training baseline.
-        baseline: usize,
-    },
-}
-
-/// One flagged event.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Anomaly {
-    /// The session the anomalous announcement arrived on.
-    pub session: SessionKey,
-    /// The affected prefix.
-    pub prefix: Prefix,
-    /// Arrival time (µs).
-    pub time_us: u64,
-    /// What was anomalous.
-    pub kind: AnomalyKind,
-}
 
 /// Learned profiles.
 #[derive(Debug, Clone, Default)]
@@ -111,6 +82,22 @@ impl CommunityProfiler {
         self.namespace_values.len()
     }
 
+    /// The trained value set for a 16-bit namespace, if any.
+    pub(crate) fn namespace(&self, asn_part: u16) -> Option<&HashSet<u16>> {
+        self.namespace_values.get(&asn_part)
+    }
+
+    /// Whether a stream carried a well-known action community in training.
+    pub(crate) fn stream_trained_action(&self, stream: &(SessionKey, Prefix)) -> bool {
+        self.stream_has_action.get(stream).copied().unwrap_or(false)
+    }
+
+    /// A stream's distinct-attribute training baseline (≥ 1: unseen
+    /// streams get the most conservative baseline).
+    pub(crate) fn stream_baseline(&self, stream: &(SessionKey, Prefix)) -> usize {
+        self.stream_attr_count.get(stream).copied().unwrap_or(1).max(1)
+    }
+
     /// Learns profiles from a training archive (e.g. yesterday's data).
     pub fn train(&mut self, archive: &UpdateArchive) {
         for (key, rec) in archive.sessions() {
@@ -140,7 +127,7 @@ impl CommunityProfiler {
 
     /// Flags anomalies in a detection archive against the trained
     /// profiles — the batch wrapper over [`AnomalySink`].
-    pub fn detect(&self, archive: &UpdateArchive, cfg: &AnomalyConfig) -> Vec<Anomaly> {
+    pub fn detect(&self, archive: &UpdateArchive, cfg: &AnomalyConfig) -> Vec<Alert> {
         run_pipeline(ArchiveSource::new(archive), (), AnomalySink::new(self, *cfg))
             .expect("archive sources cannot fail")
             .sink
@@ -148,16 +135,69 @@ impl CommunityProfiler {
     }
 }
 
-/// A deterministic total order on anomalies: by time, then stream, then
-/// kind — so serial and sharded runs report identical lists even when
-/// several anomalies share a timestamp.
-fn anomaly_sort_key(a: &Anomaly) -> (u64, SessionKey, Prefix, u8, u64) {
-    let (rank, detail) = match &a.kind {
-        AnomalyKind::NovelValue { community } => (0u8, community.0 as u64),
-        AnomalyKind::ActionSignal { community, .. } => (1, community.0 as u64),
-        AnomalyKind::ExplorationBurst { observed, .. } => (2, *observed as u64),
-    };
-    (a.time_us, a.session.clone(), a.prefix, rank, detail)
+/// The point checks shared by the batch sink and the online watch
+/// service: novel namespace values and injected action communities on
+/// one announcement. Appends any alerts to `out`.
+pub(crate) fn point_checks(
+    profiler: &CommunityProfiler,
+    cfg: &AnomalyConfig,
+    key: &SessionKey,
+    u: &RouteUpdate,
+    out: &mut Vec<Alert>,
+) {
+    let MessageKind::Announcement(attrs) = &u.kind else { return };
+    let stream = (key.clone(), u.prefix);
+    for c in attrs.communities.iter_classic() {
+        if let Some(name) = c.well_known_name() {
+            if !profiler.stream_trained_action(&stream) {
+                out.push(Alert::new(
+                    u.time_us,
+                    Some(key.clone()),
+                    Some(u.prefix),
+                    AlertKind::BlackholeInjection { community: *c, name },
+                ));
+            }
+            continue;
+        }
+        if let Some(values) = profiler.namespace(c.asn_part()) {
+            if values.len() >= cfg.min_namespace_size && !values.contains(&c.value_part()) {
+                out.push(Alert::new(
+                    u.time_us,
+                    Some(key.clone()),
+                    Some(u.prefix),
+                    AlertKind::NovelCommunity { community: *c },
+                ));
+            }
+        }
+    }
+}
+
+/// The exploration-burst check shared by the batch sink and the online
+/// watch service: a stream's distinct-attribute count against its
+/// training baseline. Returns the alert if the burst fires.
+pub(crate) fn burst_check(
+    profiler: &CommunityProfiler,
+    cfg: &AnomalyConfig,
+    stream: &(SessionKey, Prefix),
+    observed: usize,
+    first_seen_us: u64,
+) -> Option<Alert> {
+    let baseline = profiler.stream_baseline(stream);
+    if observed >= cfg.burst_min_observed && observed > cfg.burst_factor * baseline {
+        Some(Alert::new(
+            first_seen_us,
+            Some(stream.0.clone()),
+            Some(stream.1),
+            AlertKind::BaselineShift {
+                metric: ShiftMetric::DistinctAttrs,
+                community: None,
+                observed: observed as u64,
+                baseline: baseline as u64,
+            },
+        ))
+    } else {
+        None
+    }
 }
 
 /// Streaming anomaly detection against a trained profiler. Per-stream
@@ -167,7 +207,7 @@ fn anomaly_sort_key(a: &Anomaly) -> (u64, SessionKey, Prefix, u8, u64) {
 pub struct AnomalySink<'a> {
     profiler: &'a CommunityProfiler,
     cfg: AnomalyConfig,
-    anomalies: Vec<Anomaly>,
+    alerts: Vec<Alert>,
     per_stream_attrs: HashMap<(SessionKey, Prefix), HashSet<String>>,
     first_seen: HashMap<(SessionKey, Prefix), u64>,
 }
@@ -182,64 +222,30 @@ impl<'a> AnomalySink<'a> {
         AnomalySink {
             profiler,
             cfg,
-            anomalies: Vec::new(),
+            alerts: Vec::new(),
             per_stream_attrs: HashMap::new(),
             first_seen: HashMap::new(),
         }
     }
 
-    /// All anomalies (point anomalies plus exploration bursts), in the
+    /// All alerts (point anomalies plus exploration bursts), in the
     /// canonical order.
-    pub fn finish(self) -> Vec<Anomaly> {
-        let mut anomalies = self.anomalies;
+    pub fn finish(self) -> Vec<Alert> {
+        let mut alerts = self.alerts;
         for (stream, attrs) in &self.per_stream_attrs {
-            let baseline = self.profiler.stream_attr_count.get(stream).copied().unwrap_or(1).max(1);
-            if attrs.len() >= self.cfg.burst_min_observed
-                && attrs.len() > self.cfg.burst_factor * baseline
-            {
-                anomalies.push(Anomaly {
-                    session: stream.0.clone(),
-                    prefix: stream.1,
-                    time_us: self.first_seen.get(stream).copied().unwrap_or(0),
-                    kind: AnomalyKind::ExplorationBurst { observed: attrs.len(), baseline },
-                });
-            }
+            let first = self.first_seen.get(stream).copied().unwrap_or(0);
+            alerts.extend(burst_check(self.profiler, &self.cfg, stream, attrs.len(), first));
         }
-        anomalies.sort_by_cached_key(anomaly_sort_key);
-        anomalies
+        sort_alerts(&mut alerts);
+        alerts
     }
 }
 
 impl AnalysisSink for AnomalySink<'_> {
     fn on_update(&mut self, key: &SessionKey, u: &RouteUpdate) {
         let MessageKind::Announcement(attrs) = &u.kind else { return };
+        point_checks(self.profiler, &self.cfg, key, u, &mut self.alerts);
         let stream = (key.clone(), u.prefix);
-        for c in attrs.communities.iter_classic() {
-            if let Some(name) = c.well_known_name() {
-                let trained_action =
-                    self.profiler.stream_has_action.get(&stream).copied().unwrap_or(false);
-                if !trained_action {
-                    self.anomalies.push(Anomaly {
-                        session: key.clone(),
-                        prefix: u.prefix,
-                        time_us: u.time_us,
-                        kind: AnomalyKind::ActionSignal { community: *c, name },
-                    });
-                }
-                continue;
-            }
-            if let Some(values) = self.profiler.namespace_values.get(&c.asn_part()) {
-                if values.len() >= self.cfg.min_namespace_size && !values.contains(&c.value_part())
-                {
-                    self.anomalies.push(Anomaly {
-                        session: key.clone(),
-                        prefix: u.prefix,
-                        time_us: u.time_us,
-                        kind: AnomalyKind::NovelValue { community: *c },
-                    });
-                }
-            }
-        }
         self.per_stream_attrs
             .entry(stream.clone())
             .or_default()
@@ -254,7 +260,7 @@ impl AnalysisSink for AnomalySink<'_> {
 
 impl Merge for AnomalySink<'_> {
     fn merge(&mut self, mut other: Self) {
-        self.anomalies.append(&mut other.anomalies);
+        self.alerts.append(&mut other.alerts);
         // Streams are keyed by session: disjoint across shards.
         self.per_stream_attrs.extend(other.per_stream_attrs);
         self.first_seen.extend(other.first_seen);
@@ -265,7 +271,7 @@ impl Merge for AnomalySink<'_> {
 mod tests {
     use super::*;
     use kcc_bgp_types::community::well_known::BLACKHOLE;
-    use kcc_bgp_types::{CommunitySet, PathAttributes};
+    use kcc_bgp_types::{Community, CommunitySet, PathAttributes};
 
     fn key() -> SessionKey {
         SessionKey::new("rrc00", Asn(100), "10.0.0.1".parse().unwrap())
@@ -305,8 +311,10 @@ mod tests {
         assert_eq!(found.len(), 1);
         assert_eq!(
             found[0].kind,
-            AnomalyKind::NovelValue { community: Community::from_parts(200, 7777) }
+            AlertKind::NovelCommunity { community: Community::from_parts(200, 7777) }
         );
+        assert_eq!(found[0].session.as_ref(), Some(&key()));
+        assert_eq!(found[0].prefix, Some(prefix()));
     }
 
     #[test]
@@ -329,7 +337,8 @@ mod tests {
         test.record(&key(), announce(100, &[(BLACKHOLE.asn_part(), BLACKHOLE.value_part())]));
         let found = p.detect(&test, &AnomalyConfig::default());
         assert_eq!(found.len(), 1);
-        assert!(matches!(found[0].kind, AnomalyKind::ActionSignal { name: "BLACKHOLE", .. }));
+        assert!(matches!(found[0].kind, AlertKind::BlackholeInjection { name: "BLACKHOLE", .. }));
+        assert_eq!(found[0].severity, crate::alert::Severity::Critical);
     }
 
     #[test]
@@ -354,15 +363,16 @@ mod tests {
         }
         let cfg = AnomalyConfig { burst_factor: 4, burst_min_observed: 8, ..Default::default() };
         let found = p.detect(&test, &cfg);
-        // 24 of the 30 values are novel + one burst anomaly.
-        let bursts: Vec<_> = found
-            .iter()
-            .filter(|a| matches!(a.kind, AnomalyKind::ExplorationBurst { .. }))
-            .collect();
+        // 24 of the 30 values are novel + one burst alert.
+        let bursts: Vec<_> =
+            found.iter().filter(|a| matches!(a.kind, AlertKind::BaselineShift { .. })).collect();
         assert_eq!(bursts.len(), 1);
-        if let AnomalyKind::ExplorationBurst { observed, baseline } = bursts[0].kind {
-            assert_eq!(observed, 30);
-            assert_eq!(baseline, 6);
+        if let AlertKind::BaselineShift { metric, observed, baseline, community } = &bursts[0].kind
+        {
+            assert_eq!(*metric, ShiftMetric::DistinctAttrs);
+            assert_eq!(*observed, 30);
+            assert_eq!(*baseline, 6);
+            assert_eq!(*community, None);
         }
     }
 

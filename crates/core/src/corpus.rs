@@ -21,18 +21,22 @@
 //! in collector-name order, so the report is byte-identical for any
 //! member order or thread count.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use kcc_bgp_types::{Community, MessageKind, RouteUpdate};
 use kcc_collector::{Corpus, SessionKey, SourceError};
 
+use std::sync::Arc;
+
+use crate::anomaly::CommunityProfiler;
 use crate::classify::TypeCounts;
 use crate::clean::{CleaningConfig, CleaningReport, CleaningStage};
-use crate::pipeline::{run_corpus, AnalysisSink, Merge, PipelineStats};
+use crate::pipeline::{AnalysisSink, CorpusOutput, Merge, PipelineBuilder, PipelineStats};
 use crate::registry::AllocationRegistry;
 use crate::report::{fmt_count, render_table};
 use crate::stream::CountsSink;
 use crate::table::{OverviewSink, OverviewStats, TypeShares};
+use crate::watch::{WatchConfig, WatchReport, WatchSink};
 
 /// Collects the set of distinct classic communities seen on a feed —
 /// the per-collector half of the presence/agreement matrix. State grows
@@ -65,6 +69,145 @@ impl AnalysisSink for CommunitySetSink {
 impl Merge for CommunitySetSink {
     fn merge(&mut self, other: Self) {
         self.seen.extend(other.seen);
+    }
+}
+
+/// The incremental cross-collector presence/agreement matrix: which
+/// collectors have seen which communities, and in which detection
+/// window each `(community, collector)` pair first appeared.
+///
+/// The batch corpus report builds one from the per-collector community
+/// sets; the online watch service feeds it per window via [`observe`]
+/// (every call is O(log n) — no whole-run recompute) and reads
+/// per-window deltas back with [`window_delta`]. Shard and collector
+/// merges take the earliest first-window per pair, so the matrix is
+/// identical for any member order or thread count.
+///
+/// [`observe`]: AgreementMatrix::observe
+/// [`window_delta`]: AgreementMatrix::window_delta
+#[derive(Debug, Clone, Default)]
+pub struct AgreementMatrix {
+    /// All known collectors (columns), sorted by name.
+    collectors: BTreeSet<String>,
+    /// Per community: the collectors that saw it, with the window index
+    /// of the first sighting.
+    rows: BTreeMap<Community, BTreeMap<String, u64>>,
+}
+
+impl AgreementMatrix {
+    /// An empty matrix; collectors register on first [`observe`] call.
+    ///
+    /// [`observe`]: AgreementMatrix::observe
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A matrix with a fixed collector column set — use when some
+    /// collectors may legitimately see nothing (their column must still
+    /// exist for agreement to be judged against them).
+    pub fn with_collectors<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Self {
+        AgreementMatrix {
+            collectors: names.into_iter().map(Into::into).collect(),
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a collector column without observations.
+    pub fn add_collector(&mut self, name: &str) {
+        if !self.collectors.contains(name) {
+            self.collectors.insert(name.to_owned());
+        }
+    }
+
+    /// Records that `collector` saw `community` in detection window
+    /// `window`. Returns `true` when this is the pair's first sighting
+    /// (the per-window delta), `false` for a repeat. Earlier windows win
+    /// if observations arrive out of order (merges replay shards).
+    pub fn observe(&mut self, collector: &str, community: Community, window: u64) -> bool {
+        self.add_collector(collector);
+        let row = self.rows.entry(community).or_default();
+        match row.get_mut(collector) {
+            Some(first) => {
+                if window < *first {
+                    *first = window;
+                }
+                false
+            }
+            None => {
+                row.insert(collector.to_owned(), window);
+                true
+            }
+        }
+    }
+
+    /// Collector column names, sorted.
+    pub fn collector_names(&self) -> impl Iterator<Item = &str> {
+        self.collectors.iter().map(String::as_str)
+    }
+
+    /// Number of collector columns.
+    pub fn collector_count(&self) -> usize {
+        self.collectors.len()
+    }
+
+    /// Number of distinct communities seen anywhere.
+    pub fn community_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The presence matrix: every community, ascending, with one flag
+    /// per collector (column order = sorted collector names).
+    pub fn presence(&self) -> Vec<(Community, Vec<bool>)> {
+        self.rows
+            .iter()
+            .map(|(comm, row)| {
+                (*comm, self.collectors.iter().map(|c| row.contains_key(c)).collect())
+            })
+            .collect()
+    }
+
+    /// Communities seen by at least one but not every collector, with
+    /// their presence flags, in ascending community order.
+    pub fn disagreements(&self) -> Vec<(Community, Vec<bool>)> {
+        self.presence().into_iter().filter(|(_, flags)| !flags.iter().all(|&f| f)).collect()
+    }
+
+    /// `(distinct communities, seen by every collector, disputed)`.
+    pub fn summary(&self) -> (usize, usize, usize) {
+        let total = self.rows.len();
+        let n = self.collectors.len();
+        let unanimous = self.rows.values().filter(|row| row.len() == n).count();
+        (total, unanimous, total - unanimous)
+    }
+
+    /// The `(community, collector)` pairs first sighted in `window`, in
+    /// ascending (community, collector) order — what changed in the
+    /// matrix that window.
+    pub fn window_delta(&self, window: u64) -> Vec<(Community, &str)> {
+        self.rows
+            .iter()
+            .flat_map(|(comm, row)| {
+                row.iter().filter(move |(_, &w)| w == window).map(|(c, _)| (*comm, c.as_str()))
+            })
+            .collect()
+    }
+
+    /// Folds another matrix in: collector columns union, first-window
+    /// per pair takes the minimum. Order-independent.
+    pub fn merge(&mut self, other: AgreementMatrix) {
+        self.collectors.extend(other.collectors);
+        for (comm, row) in other.rows {
+            let mine = self.rows.entry(comm).or_default();
+            for (collector, window) in row {
+                mine.entry(collector)
+                    .and_modify(|w| {
+                        if window < *w {
+                            *w = window;
+                        }
+                    })
+                    .or_insert(window);
+            }
+        }
     }
 }
 
@@ -103,6 +246,15 @@ pub struct CorpusReport {
     pub combined_overview: OverviewStats,
     /// The combined all-vantage Table 2 counts.
     pub combined_counts: TypeCounts,
+    /// The cross-collector presence/agreement matrix (built once from
+    /// the per-collector community sets; [`presence`],
+    /// [`disagreements`] and [`agreement_summary`] read it instead of
+    /// recomputing the union per call).
+    ///
+    /// [`presence`]: CorpusReport::presence
+    /// [`disagreements`]: CorpusReport::disagreements
+    /// [`agreement_summary`]: CorpusReport::agreement_summary
+    pub matrix: AgreementMatrix,
     /// Combined pipeline statistics (name-order merge of the columns).
     pub stats: PipelineStats,
 }
@@ -121,10 +273,65 @@ pub fn run_corpus_report(
     registry: &AllocationRegistry,
     cleaning: CleaningConfig,
 ) -> Result<CorpusReport, SourceError> {
-    let out =
-        run_corpus(corpus, threads, |_| CleaningStage::new(registry, cleaning), |_| corpus_sink())?;
+    let out = PipelineBuilder::collectors(corpus)
+        .threads(threads)
+        .stages_for(|_: &str| CleaningStage::new(registry, cleaning))
+        .sinks_for(|_: &str| corpus_sink())
+        .run()?;
+    Ok(fold_report(out))
+}
+
+/// Runs the corpus through the report stack *and* a per-collector
+/// [`WatchSink`] in the same pass: the batch comparison plus the
+/// always-on detection service's merged [`WatchReport`] (typed
+/// [`Alert`](crate::alert::Alert)s in canonical order). Attach a trained
+/// profiler to enable the §7 point checks on top of the path/rate/outage
+/// detections.
+pub fn run_corpus_watch(
+    corpus: Corpus<'_>,
+    threads: usize,
+    registry: &AllocationRegistry,
+    cleaning: CleaningConfig,
+    watch: WatchConfig,
+    profiler: Option<Arc<CommunityProfiler>>,
+) -> Result<(CorpusReport, WatchReport), SourceError> {
+    let out = PipelineBuilder::collectors(corpus)
+        .threads(threads)
+        .stages_for(|_: &str| CleaningStage::new(registry, cleaning))
+        .sinks_for(move |_: &str| {
+            let sink = WatchSink::new(watch);
+            let sink = match &profiler {
+                Some(p) => sink.with_profile(Arc::clone(p)),
+                None => sink,
+            };
+            (corpus_sink(), sink)
+        })
+        .run()?;
+    let (combined_report, combined_watch) = out.combined;
+    let per_collector = out
+        .per_collector
+        .into_iter()
+        .map(|(name, o)| {
+            let (report_sink, _watch) = o.sink;
+            (
+                name,
+                crate::pipeline::PipelineOutput {
+                    stages: o.stages,
+                    sink: report_sink,
+                    stats: o.stats,
+                },
+            )
+        })
+        .collect();
+    let report =
+        fold_report(CorpusOutput { per_collector, combined: combined_report, stats: out.stats });
+    Ok((report, combined_watch.finish()))
+}
+
+/// Folds one corpus run's per-collector outputs into the comparison.
+fn fold_report(out: CorpusOutput<CleaningStage<'_>, CorpusSink>) -> CorpusReport {
     let (combined_overview, combined_counts, _) = out.combined;
-    let collectors = out
+    let collectors: Vec<CollectorColumn> = out
         .per_collector
         .into_iter()
         .map(|(name, o)| {
@@ -139,12 +346,19 @@ pub fn run_corpus_report(
             }
         })
         .collect();
-    Ok(CorpusReport {
+    let mut matrix = AgreementMatrix::with_collectors(collectors.iter().map(|c| c.name.clone()));
+    for col in &collectors {
+        for comm in &col.communities {
+            matrix.observe(&col.name, *comm, 0);
+        }
+    }
+    CorpusReport {
         collectors,
         combined_overview: combined_overview.finish(),
         combined_counts: combined_counts.finish(),
+        matrix,
         stats: out.stats,
-    })
+    }
 }
 
 impl CorpusReport {
@@ -155,18 +369,10 @@ impl CorpusReport {
 
     /// The presence matrix: every community seen anywhere, ascending,
     /// with one presence flag per collector (column order =
-    /// `self.collectors` order, i.e. sorted names).
+    /// `self.collectors` order, i.e. sorted names). Reads the
+    /// incremental [`AgreementMatrix`] — no per-call union recompute.
     pub fn presence(&self) -> Vec<(Community, Vec<bool>)> {
-        let mut all: BTreeSet<Community> = BTreeSet::new();
-        for c in &self.collectors {
-            all.extend(c.communities.iter().copied());
-        }
-        all.into_iter()
-            .map(|comm| {
-                let flags = self.collectors.iter().map(|c| c.communities.contains(&comm)).collect();
-                (comm, flags)
-            })
-            .collect()
+        self.matrix.presence()
     }
 
     /// A community row is disputed when some but not all collectors saw
@@ -179,13 +385,13 @@ impl CorpusReport {
     /// the disagreement list, in ascending community order (total and
     /// deterministic).
     pub fn disagreements(&self) -> Vec<(Community, Vec<bool>)> {
-        self.presence().into_iter().filter(|(_, flags)| Self::is_disputed(flags)).collect()
+        self.matrix.disagreements()
     }
 
     /// `(distinct communities, seen by every collector, disputed)` —
     /// `total = unanimous + disputed`.
     pub fn agreement_summary(&self) -> (usize, usize, usize) {
-        Self::summarize(&self.presence())
+        self.matrix.summary()
     }
 
     fn summarize(presence: &[(Community, Vec<bool>)]) -> (usize, usize, usize) {
@@ -377,6 +583,57 @@ mod tests {
         assert!(r1.contains("all"));
         assert!(r1.contains("Community agreement: 3 distinct"));
         assert!(r1.contains("3356:2"));
+    }
+
+    #[test]
+    fn matrix_observe_reports_first_sightings_incrementally() {
+        let mut m = AgreementMatrix::new();
+        let c = Community::from_parts(3356, 1);
+        assert!(m.observe("rrc00", c, 3), "first sighting is a delta");
+        assert!(!m.observe("rrc00", c, 5), "repeat is not");
+        assert!(!m.observe("rrc00", c, 1), "earlier repeat is not a delta either");
+        assert_eq!(m.window_delta(1), vec![(c, "rrc00")], "…but it rewinds the first window");
+        assert!(m.window_delta(3).is_empty());
+        assert!(m.observe("rrc01", c, 4), "same community, new collector: a delta");
+        assert_eq!(m.summary(), (1, 1, 0));
+    }
+
+    #[test]
+    fn matrix_merge_is_order_independent() {
+        let a = Community::from_parts(3356, 1);
+        let b = Community::from_parts(3356, 2);
+        let mut left = AgreementMatrix::new();
+        left.observe("rrc00", a, 2);
+        left.observe("rrc00", b, 7);
+        let mut right = AgreementMatrix::new();
+        right.observe("rrc00", a, 5);
+        right.observe("rrc01", a, 1);
+
+        let mut fwd = left.clone();
+        fwd.merge(right.clone());
+        let mut rev = right;
+        rev.merge(left);
+        assert_eq!(fwd.presence(), rev.presence());
+        assert_eq!(fwd.window_delta(1), rev.window_delta(1));
+        assert_eq!(fwd.window_delta(2), vec![(a, "rrc00")], "min first-window wins");
+        assert_eq!(fwd.summary(), (2, 1, 1));
+    }
+
+    #[test]
+    fn matrix_keeps_empty_collector_columns() {
+        let mut m = AgreementMatrix::with_collectors(["rrc00", "rrc01"]);
+        m.observe("rrc00", Community::from_parts(3356, 1), 0);
+        // rrc01 saw nothing, but its column still makes the row disputed.
+        assert_eq!(m.summary(), (1, 0, 1));
+        assert_eq!(m.presence()[0].1, vec![true, false]);
+    }
+
+    #[test]
+    fn report_matrix_matches_column_sets() {
+        let r = report();
+        assert_eq!(r.matrix.collector_count(), 2);
+        assert_eq!(r.matrix.community_count(), 3);
+        assert_eq!(r.matrix.summary(), r.agreement_summary());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod anomaly;
 pub mod beacon_phase;
 pub mod classify;
@@ -66,19 +67,24 @@ pub mod sessions;
 pub mod stream;
 pub mod table;
 pub mod tomography;
+pub mod watch;
 
+pub use alert::{sort_alerts, Alert, AlertKind, Severity, ShiftMetric};
+pub use anomaly::{AnomalyConfig, AnomalySink, CommunityProfiler};
 pub use classify::{classify_pair, AnnouncementType, TypeCounts};
 pub use clean::{clean_archive, CleaningConfig, CleaningReport, CleaningStage};
 pub use corpus::{
-    corpus_sink, run_corpus_report, CollectorColumn, CommunitySetSink, CorpusReport, CorpusSink,
+    corpus_sink, run_corpus_report, run_corpus_watch, AgreementMatrix, CollectorColumn,
+    CommunitySetSink, CorpusReport, CorpusSink,
 };
 pub use kcc_collector::{
-    ArchiveSource, Corpus, LiveSource, MrtFileOptions, MrtSource, NamedSource, ShutdownFlag,
-    SourceError, SourceItem, UpdateSource,
+    ArchiveSource, Corpus, LiveSource, MrtDirSource, MrtFileOptions, MrtSource, NamedSource,
+    ShutdownFlag, SourceError, SourceItem, UpdateSource,
 };
 pub use pipeline::{
-    feed_classified, run_corpus, run_live, run_pipeline, run_sharded, AnalysisSink, CorpusOutput,
-    Merge, Pipeline, PipelineOutput, PipelineStats, Stage,
+    feed_classified, run_corpus, run_live, run_pipeline, run_sharded, AnalysisSink, CorpusBuilder,
+    CorpusOutput, Merge, NoSink, Pipeline, PipelineBuilder, PipelineOutput, PipelineStats,
+    ShardedPipelineBuilder, Stage,
 };
 pub use registry::AllocationRegistry;
 pub use stream::{
@@ -86,3 +92,4 @@ pub use stream::{
     EventKind, StreamClassifier,
 };
 pub use table::{OverviewSink, OverviewStats, TypeShares};
+pub use watch::{WatchConfig, WatchReport, WatchSink};

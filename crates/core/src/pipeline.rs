@@ -274,13 +274,269 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
         self.stats
     }
 
+    /// The sink mid-run — lets a driver inspect or drain incremental
+    /// results (e.g. stream alerts as they fire) without finishing.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
     /// Dismantles the pipeline into its results.
     pub fn finish(self) -> PipelineOutput<St, S> {
         PipelineOutput { stages: self.stages, sink: self.sink, stats: self.stats }
     }
 }
 
+/// The placeholder sink of a [`PipelineBuilder`] before
+/// [`sink`](PipelineBuilder::sink) is called. Deliberately **not** an
+/// [`AnalysisSink`]: a builder without a sink does not type-check at
+/// `.run()`, so forgetting the sink is a compile error rather than a
+/// silent no-op run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoSink;
+
+/// The fluent entry point to every pipeline shape — one builder replaces
+/// the four historically separate functions:
+///
+/// | call chain | replaces |
+/// |---|---|
+/// | `.stages(st).sink(s).run()` | `run_pipeline` |
+/// | `.stages(st).sink(s).shutdown(&stop).run()` | `run_live` |
+/// | `.stages(st).sink(s).shards(n).run()` | `run_sharded` |
+/// | `PipelineBuilder::collectors(corpus)…` | `run_corpus` |
+///
+/// ```
+/// # use kcc_core::pipeline::PipelineBuilder;
+/// # use kcc_core::stream::CountsSink;
+/// # use kcc_collector::{ArchiveSource, UpdateArchive};
+/// # let archive = UpdateArchive::new(0);
+/// let out = PipelineBuilder::new(ArchiveSource::new(&archive))
+///     .sink(CountsSink::default())
+///     .run()
+///     .unwrap();
+/// # let _ = out.sink.finish();
+/// ```
+#[derive(Debug)]
+pub struct PipelineBuilder<Src, St = (), S = NoSink> {
+    source: Src,
+    stages: St,
+    sink: S,
+    stop: Option<ShutdownFlag>,
+}
+
+impl<Src> PipelineBuilder<Src> {
+    /// A builder over one source, with the identity stage chain and no
+    /// sink yet.
+    pub fn new(source: Src) -> Self {
+        PipelineBuilder { source, stages: (), sink: NoSink, stop: None }
+    }
+}
+
+impl<Src, St, S> PipelineBuilder<Src, St, S> {
+    /// Sets the stage chain (tuples chain in order).
+    pub fn stages<St2>(self, stages: St2) -> PipelineBuilder<Src, St2, S> {
+        PipelineBuilder { source: self.source, stages, sink: self.sink, stop: self.stop }
+    }
+
+    /// Sets the sink (tuples of sinks fan out).
+    pub fn sink<S2>(self, sink: S2) -> PipelineBuilder<Src, St, S2> {
+        PipelineBuilder { source: self.source, stages: self.stages, sink, stop: self.stop }
+    }
+
+    /// Bounds the run by a shared [`ShutdownFlag`] — the live-daemon
+    /// shape. Share the same flag with the source
+    /// (`kcc_collector::LiveSource::shutdown_flag`) so a trigger unblocks
+    /// any pending `next_item` call, lets the source drain what it
+    /// already buffered, and then reports end-of-stream — the pipeline
+    /// finishes gracefully with every received update accounted for. The
+    /// source ending on its own finishes the run the same way.
+    pub fn shutdown(mut self, stop: &ShutdownFlag) -> Self {
+        self.stop = Some(stop.clone());
+        self
+    }
+
+    /// Runs the pipeline on the calling thread (honoring
+    /// [`shutdown`](PipelineBuilder::shutdown) if set) and returns the
+    /// stages, sink and statistics.
+    pub fn run(self) -> Result<PipelineOutput<St, S>, SourceError>
+    where
+        Src: UpdateSource,
+        St: Stage,
+        S: AnalysisSink,
+    {
+        let mut source = self.source;
+        let mut pipeline = Pipeline::new(self.stages, self.sink);
+        match self.stop {
+            None => pipeline.run(source)?,
+            Some(stop) => loop {
+                if stop.is_triggered() {
+                    // Drain: a cooperating source returns None once its
+                    // buffer is empty, so no received update is silently
+                    // dropped.
+                    while let Some(item) = source.next_item()? {
+                        pipeline.feed(item);
+                    }
+                    break;
+                }
+                match source.next_item()? {
+                    Some(item) => pipeline.feed(item),
+                    None => break,
+                }
+            },
+        }
+        Ok(pipeline.finish())
+    }
+
+    /// Fans the run out over `n` hash-partitioned worker threads. The
+    /// configured stages and sink become per-shard factories by cloning;
+    /// use [`ShardedPipelineBuilder::stages_with`] /
+    /// [`ShardedPipelineBuilder::sinks_with`] for non-`Clone` state
+    /// (e.g. a `CleaningStage` borrowing a registry). Sharded runs are
+    /// for bounded sources; a configured shutdown flag is ignored.
+    pub fn shards(
+        self,
+        n: usize,
+    ) -> ShardedPipelineBuilder<Src, impl Fn() -> St + Sync, impl Fn() -> S + Sync>
+    where
+        St: Clone + Sync,
+        S: Clone + Sync,
+    {
+        let stages = self.stages;
+        let sink = self.sink;
+        ShardedPipelineBuilder {
+            source: self.source,
+            shards: n,
+            make_stages: move || stages.clone(),
+            make_sink: move || sink.clone(),
+        }
+    }
+}
+
+/// The unconfigured corpus builder [`PipelineBuilder::collectors`]
+/// returns: identity stages and no sink for every member until
+/// [`CorpusBuilder::stages_for`] / [`CorpusBuilder::sinks_for`] replace
+/// the factories.
+pub type DefaultCorpusBuilder<'s> = CorpusBuilder<'s, fn(&str), fn(&str) -> NoSink>;
+
+impl<'s> PipelineBuilder<Corpus<'s>> {
+    /// A per-collector builder over a corpus — every member runs its own
+    /// full pipeline (the [`run_corpus`] shape). Configure with
+    /// [`CorpusBuilder::stages_for`] / [`CorpusBuilder::sinks_for`] /
+    /// [`CorpusBuilder::threads`], then [`CorpusBuilder::run`].
+    pub fn collectors(corpus: Corpus<'s>) -> DefaultCorpusBuilder<'s> {
+        CorpusBuilder { corpus, threads: 4, make_stages: |_| (), make_sink: |_| NoSink }
+    }
+}
+
+/// A [`PipelineBuilder`] fanned out over worker threads
+/// ([`PipelineBuilder::shards`]); per-shard stages and sinks come from
+/// factories so shards never share mutable state.
+#[derive(Debug)]
+pub struct ShardedPipelineBuilder<Src, FSt, FS> {
+    source: Src,
+    shards: usize,
+    make_stages: FSt,
+    make_sink: FS,
+}
+
+impl<Src, FSt, FS> ShardedPipelineBuilder<Src, FSt, FS> {
+    /// Replaces the per-shard stage factory — the route for stage chains
+    /// that are not `Clone` (e.g. `CleaningStage` borrowing a registry).
+    pub fn stages_with<F2>(self, make_stages: F2) -> ShardedPipelineBuilder<Src, F2, FS> {
+        ShardedPipelineBuilder {
+            source: self.source,
+            shards: self.shards,
+            make_stages,
+            make_sink: self.make_sink,
+        }
+    }
+
+    /// Replaces the per-shard sink factory.
+    pub fn sinks_with<F2>(self, make_sink: F2) -> ShardedPipelineBuilder<Src, FSt, F2> {
+        ShardedPipelineBuilder {
+            source: self.source,
+            shards: self.shards,
+            make_stages: self.make_stages,
+            make_sink,
+        }
+    }
+
+    /// Runs the source across the workers and merges the per-shard
+    /// stages/sinks in shard order. Results are **shard-count
+    /// independent** (see [`run_sharded`] for the argument).
+    pub fn run<St, S>(self) -> Result<PipelineOutput<St, S>, SourceError>
+    where
+        Src: UpdateSource,
+        St: Stage + Merge + Send,
+        S: AnalysisSink + Merge + Send,
+        FSt: Fn() -> St + Sync,
+        FS: Fn() -> S + Sync,
+    {
+        run_sharded_impl(self.source, self.shards, self.make_stages, self.make_sink)
+    }
+}
+
+/// A per-collector corpus run being configured
+/// ([`PipelineBuilder::collectors`]): each member gets its own stages and
+/// sink from the factories (built from the collector name), members fan
+/// out across up to `threads` workers, and outputs merge in collector
+/// name order.
+#[derive(Debug)]
+pub struct CorpusBuilder<'s, FSt, FS> {
+    corpus: Corpus<'s>,
+    threads: usize,
+    make_stages: FSt,
+    make_sink: FS,
+}
+
+impl<'s, FSt, FS> CorpusBuilder<'s, FSt, FS> {
+    /// Sets the worker-thread cap (default 4; clamped to the member
+    /// count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-collector stage factory (called with each collector
+    /// name).
+    pub fn stages_for<F2>(self, make_stages: F2) -> CorpusBuilder<'s, F2, FS> {
+        CorpusBuilder {
+            corpus: self.corpus,
+            threads: self.threads,
+            make_stages,
+            make_sink: self.make_sink,
+        }
+    }
+
+    /// Sets the per-collector sink factory (called with each collector
+    /// name).
+    pub fn sinks_for<F2>(self, make_sink: F2) -> CorpusBuilder<'s, FSt, F2> {
+        CorpusBuilder {
+            corpus: self.corpus,
+            threads: self.threads,
+            make_stages: self.make_stages,
+            make_sink,
+        }
+    }
+
+    /// Runs every member through its own pipeline and folds the outputs
+    /// into a [`CorpusOutput`]. Results are **collector-order- and
+    /// thread-count-independent** (see [`run_corpus`] for the argument).
+    pub fn run<St, S>(self) -> Result<CorpusOutput<St, S>, SourceError>
+    where
+        St: Stage + Send,
+        S: AnalysisSink + Merge + Clone + Send,
+        FSt: Fn(&str) -> St + Sync,
+        FS: Fn(&str) -> S + Sync,
+    {
+        run_corpus_impl(self.corpus, self.threads, self.make_stages, self.make_sink)
+    }
+}
+
 /// Runs one source through stages and sinks on the calling thread.
+///
+/// Note: prefer [`PipelineBuilder`] — `PipelineBuilder::new(source)
+/// .stages(stages).sink(sink).run()`. This function survives as a thin
+/// wrapper over the builder.
 pub fn run_pipeline<Src, St, S>(
     source: Src,
     stages: St,
@@ -291,22 +547,18 @@ where
     St: Stage,
     S: AnalysisSink,
 {
-    let mut pipeline = Pipeline::new(stages, sink);
-    pipeline.run(source)?;
-    Ok(pipeline.finish())
+    PipelineBuilder::new(source).stages(stages).sink(sink).run()
 }
 
 /// Runs a live/unbounded source through stages and sinks — the pipeline
-/// entry a collector daemon uses. A live feed has no natural end, so the
-/// run is bounded by the shared [`ShutdownFlag`]: share the same flag
-/// with the source (`kcc_collector::LiveSource::shutdown_flag`) so that a
-/// trigger unblocks any pending `next_item` call, lets the source drain
-/// what it already buffered, and then reports end-of-stream — the
-/// pipeline finishes gracefully with every received update accounted
-/// for. The source ending on its own (offline sources, daemon feed
-/// closed) finishes the run the same way.
+/// entry a collector daemon uses (see
+/// [`PipelineBuilder::shutdown`] for the drain semantics).
+///
+/// Note: prefer [`PipelineBuilder`] — `PipelineBuilder::new(source)
+/// .stages(stages).sink(sink).shutdown(stop).run()`. This function
+/// survives as a thin wrapper over the builder.
 pub fn run_live<Src, St, S>(
-    mut source: Src,
+    source: Src,
     stages: St,
     sink: S,
     stop: &ShutdownFlag,
@@ -316,22 +568,7 @@ where
     St: Stage,
     S: AnalysisSink,
 {
-    let mut pipeline = Pipeline::new(stages, sink);
-    loop {
-        if stop.is_triggered() {
-            // Drain: a cooperating source returns None once its buffer
-            // is empty, so no received update is silently dropped.
-            while let Some(item) = source.next_item()? {
-                pipeline.feed(item);
-            }
-            break;
-        }
-        match source.next_item()? {
-            Some(item) => pipeline.feed(item),
-            None => break,
-        }
-    }
-    Ok(pipeline.finish())
+    PipelineBuilder::new(source).stages(stages).sink(sink).shutdown(stop).run()
 }
 
 /// Feeds an already-classified archive's events into a sink — the bridge
@@ -368,7 +605,31 @@ const SHARD_IN_FLIGHT: usize = 8;
 /// partition-insensitive. On a single-core host this degrades to the
 /// serial path's results at roughly the serial path's speed; on
 /// multi-core hardware wall-clock scales with the shard count.
+///
+/// Note: prefer [`PipelineBuilder`] —
+/// `PipelineBuilder::new(source).stages(st).sink(s).shards(n).run()`
+/// (with [`ShardedPipelineBuilder::stages_with`] /
+/// [`ShardedPipelineBuilder::sinks_with`] for non-`Clone` state). This
+/// function survives as a thin wrapper over the builder.
 pub fn run_sharded<Src, St, S, FSt, FS>(
+    source: Src,
+    shards: usize,
+    make_stages: FSt,
+    make_sink: FS,
+) -> Result<PipelineOutput<St, S>, SourceError>
+where
+    Src: UpdateSource,
+    St: Stage + Merge + Send,
+    S: AnalysisSink + Merge + Send,
+    FSt: Fn() -> St + Sync,
+    FS: Fn() -> S + Sync,
+{
+    run_sharded_impl(source, shards, make_stages, make_sink)
+}
+
+/// The hash-partitioned fan-out shared by [`run_sharded`] and
+/// [`ShardedPipelineBuilder::run`].
+fn run_sharded_impl<Src, St, S, FSt, FS>(
     mut source: Src,
     shards: usize,
     make_stages: FSt,
@@ -486,7 +747,29 @@ impl<St, S> CorpusOutput<St, S> {
 /// same integer-counter [`Merge`] discipline as [`run_sharded`]. A
 /// failing member surfaces the error of the smallest collector name so
 /// even the failure mode is deterministic.
+///
+/// Note: prefer [`PipelineBuilder`] —
+/// `PipelineBuilder::collectors(corpus).threads(n)
+/// .stages_for(f).sinks_for(g).run()`. This function survives as a thin
+/// wrapper over the builder.
 pub fn run_corpus<'scope, St, S, FSt, FS>(
+    corpus: Corpus<'scope>,
+    threads: usize,
+    make_stages: FSt,
+    make_sink: FS,
+) -> Result<CorpusOutput<St, S>, SourceError>
+where
+    St: Stage + Send,
+    S: AnalysisSink + Merge + Clone + Send,
+    FSt: Fn(&str) -> St + Sync,
+    FS: Fn(&str) -> S + Sync,
+{
+    run_corpus_impl(corpus, threads, make_stages, make_sink)
+}
+
+/// The corpus fan-out shared by [`run_corpus`] and
+/// [`CorpusBuilder::run`].
+fn run_corpus_impl<'scope, St, S, FSt, FS>(
     corpus: Corpus<'scope>,
     threads: usize,
     make_stages: FSt,
@@ -782,6 +1065,89 @@ mod tests {
         assert_eq!(a.sessions, 3);
         assert_eq!(a.updates, 15);
         assert_eq!(a.peak_state_bytes, 180);
+    }
+
+    #[test]
+    fn builder_serial_equals_run_pipeline() {
+        let a = archive();
+        let built = PipelineBuilder::new(ArchiveSource::new(&a))
+            .sink((CountsSink::default(), OverviewSink::default()))
+            .run()
+            .unwrap();
+        let direct = run_pipeline(
+            ArchiveSource::new(&a),
+            (),
+            (CountsSink::default(), OverviewSink::default()),
+        )
+        .unwrap();
+        assert_eq!(built.sink.0.finish(), direct.sink.0.finish());
+        assert_eq!(built.sink.1.finish(), direct.sink.1.finish());
+        assert_eq!(built.stats, direct.stats);
+    }
+
+    #[test]
+    fn builder_shutdown_drains_bounded_sources() {
+        // A pre-triggered flag exercises the drain path: every item must
+        // still be consumed.
+        let a = archive();
+        let stop = ShutdownFlag::new();
+        stop.trigger();
+        let out = PipelineBuilder::new(ArchiveSource::new(&a))
+            .sink(CountsSink::default())
+            .shutdown(&stop)
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.updates, a.update_count() as u64);
+        assert_eq!(out.sink.finish(), classify_archive(&a).counts);
+    }
+
+    #[test]
+    fn builder_shards_by_cloning_sink() {
+        let a = archive();
+        let serial = run_pipeline(ArchiveSource::new(&a), (), CountsSink::default()).unwrap();
+        let sharded = PipelineBuilder::new(ArchiveSource::new(&a))
+            .sink(CountsSink::default())
+            .shards(3)
+            .run()
+            .unwrap();
+        assert_eq!(sharded.sink.finish(), serial.sink.finish());
+        assert_eq!(sharded.stats.updates, serial.stats.updates);
+    }
+
+    #[test]
+    fn builder_shards_with_factory_override() {
+        let a = archive();
+        let serial = run_pipeline(ArchiveSource::new(&a), (), CountsSink::default()).unwrap();
+        let sharded = PipelineBuilder::new(ArchiveSource::new(&a))
+            .sink(NoSink)
+            .shards(4)
+            .sinks_with(CountsSink::default)
+            .run()
+            .unwrap();
+        assert_eq!(sharded.sink.finish(), serial.sink.finish());
+    }
+
+    #[test]
+    fn builder_collectors_equals_run_corpus() {
+        let a = collector_archive("rrc00", 0..4);
+        let b = collector_archive("rrc01", 2..8);
+        let mk = || {
+            Corpus::new()
+                .with("rrc00", ArchiveSource::new(&a))
+                .unwrap()
+                .with("rrc01", ArchiveSource::new(&b))
+                .unwrap()
+        };
+        let direct = run_corpus(mk(), 2, |_| (), |_| CountsSink::default()).unwrap();
+        let built = PipelineBuilder::collectors(mk())
+            .threads(2)
+            .sinks_for(|_: &str| CountsSink::default())
+            .run()
+            .unwrap();
+        assert_eq!(built.combined.finish(), direct.combined.finish());
+        assert_eq!(built.stats, direct.stats);
+        let names: Vec<&String> = built.per_collector.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["rrc00", "rrc01"]);
     }
 
     #[test]

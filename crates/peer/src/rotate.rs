@@ -37,6 +37,12 @@ impl RotateConfig {
 }
 
 /// Writes live updates into rotating MRT files.
+///
+/// The file being written carries a `.part` suffix
+/// (`updates.00000.mrt.part`) and is renamed to its final `.mrt` name
+/// only when rotated out or finished — so a concurrent reader scanning
+/// the dump directory for `*.mrt` (e.g. `kcc_collector`'s directory
+/// source) only ever sees complete files.
 #[derive(Debug)]
 pub struct MrtRotator {
     cfg: RotateConfig,
@@ -68,9 +74,23 @@ impl MrtRotator {
     fn open_next(&mut self) -> Result<(), MrtError> {
         let path = self.cfg.dir.join(format!("{}.{:05}.mrt", self.cfg.prefix, self.seq));
         self.seq += 1;
-        self.writer = Some(MrtWriter::new(BufWriter::new(File::create(&path)?)));
+        self.writer = Some(MrtWriter::new(BufWriter::new(File::create(part_path(&path))?)));
         self.current_path = Some(path);
         self.records_in_file = 0;
+        Ok(())
+    }
+
+    /// Flushes and renames the in-progress `.part` file to its final
+    /// `.mrt` name, recording it as finished.
+    fn close_current(&mut self) -> Result<(), MrtError> {
+        if let Some(mut w) = self.writer.take() {
+            w.flush()?;
+            drop(w);
+            if let Some(p) = self.current_path.take() {
+                std::fs::rename(part_path(&p), &p)?;
+                self.finished.push(p);
+            }
+        }
         Ok(())
     }
 
@@ -91,12 +111,7 @@ impl MrtRotator {
 
     /// Closes the current file (if any) and opens the next one.
     pub fn rotate(&mut self) -> Result<(), MrtError> {
-        if let Some(mut w) = self.writer.take() {
-            w.flush()?;
-            if let Some(p) = self.current_path.take() {
-                self.finished.push(p);
-            }
-        }
+        self.close_current()?;
         self.open_next()
     }
 
@@ -113,14 +128,16 @@ impl MrtRotator {
     /// Flushes and closes the current file; returns every dump written,
     /// in order.
     pub fn finish(mut self) -> Result<Vec<PathBuf>, MrtError> {
-        if let Some(mut w) = self.writer.take() {
-            w.flush()?;
-            if let Some(p) = self.current_path.take() {
-                self.finished.push(p);
-            }
-        }
+        self.close_current()?;
         Ok(self.finished)
     }
+}
+
+/// The in-progress name for a dump file: `<final>.part`.
+fn part_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".part");
+    PathBuf::from(os)
 }
 
 /// Concatenates rotated dump files into one MRT byte stream — the shape
@@ -171,6 +188,31 @@ mod tests {
         let rec = archive.session(&m.key).unwrap();
         let times: Vec<u64> = rec.updates.iter().map(|u| u.time_us).collect();
         assert_eq!(times, (0..8).map(|i| i * 1_000_000).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_progress_file_carries_part_suffix() {
+        let dir = std::env::temp_dir().join(format!("kcc_rotate_part_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rot = MrtRotator::new(RotateConfig::new(&dir, 2), 0).unwrap();
+        let m = meta();
+        let names = |d: &Path| {
+            let mut v: Vec<String> = std::fs::read_dir(d)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            v.sort();
+            v
+        };
+        rot.write(&m, &announce(0)).unwrap();
+        assert_eq!(names(&dir), ["updates.00000.mrt.part"]);
+        rot.write(&m, &announce(1)).unwrap();
+        rot.write(&m, &announce(2)).unwrap(); // rotates the full file out
+        assert_eq!(names(&dir), ["updates.00000.mrt", "updates.00001.mrt.part"]);
+        let files = rot.finish().unwrap();
+        assert_eq!(names(&dir), ["updates.00000.mrt", "updates.00001.mrt"]);
+        assert!(files.iter().all(|f| f.extension().is_some_and(|e| e == "mrt")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

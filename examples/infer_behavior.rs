@@ -84,10 +84,10 @@ fn main() {
             }
         }
     }
-    let anomalies = profiler.detect(&perturbed, &AnomalyConfig::default());
-    println!("anomalies flagged in the perturbed day: {}", anomalies.len());
-    for a in anomalies.iter().take(5) {
-        println!("  {:?} on {} ({})", a.kind, a.prefix, a.session);
+    let alerts = profiler.detect(&perturbed, &AnomalyConfig::default());
+    println!("alerts raised on the perturbed day: {}", alerts.len());
+    for a in alerts.iter().take(5) {
+        println!("  {a}");
     }
-    assert!(!anomalies.is_empty(), "injected anomalies must be detected");
+    assert!(!alerts.is_empty(), "injected anomalies must be detected");
 }

@@ -22,7 +22,7 @@ use std::io::{BufReader, BufWriter};
 
 use keep_communities_clean::analysis::table::{OverviewSink, TypeShares};
 use keep_communities_clean::analysis::{
-    clean_archive, run_pipeline, CleaningConfig, CleaningStage, CountsSink, MrtSource,
+    clean_archive, CleaningConfig, CleaningStage, CountsSink, MrtSource, PipelineBuilder,
 };
 use keep_communities_clean::collector::archive::mrt_record_for;
 use keep_communities_clean::collector::{SourceItem, UpdateArchive, UpdateSource};
@@ -80,9 +80,11 @@ fn main() {
         (report, overview, counts, None)
     } else {
         let stage = CleaningStage::new(&registry, CleaningConfig::default());
-        let out =
-            run_pipeline(open_source(), stage, (OverviewSink::default(), CountsSink::default()))
-                .expect("MRT stream");
+        let out = PipelineBuilder::new(open_source())
+            .stages(stage)
+            .sink((OverviewSink::default(), CountsSink::default()))
+            .run()
+            .expect("MRT stream");
         let (overview_sink, counts_sink) = out.sink;
         (out.stages.report(), overview_sink.finish(), counts_sink.finish(), Some(out.stats))
     };

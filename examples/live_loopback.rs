@@ -16,7 +16,7 @@
 //! Run with `cargo run --release --example live_loopback [-- <announcements>]`.
 
 use keep_communities_clean::analysis::table::{OverviewSink, TypeShares};
-use keep_communities_clean::analysis::{run_live, run_pipeline, CountsSink, MrtSource};
+use keep_communities_clean::analysis::{CountsSink, MrtSource, PipelineBuilder};
 use keep_communities_clean::collector::ArchiveSource;
 use keep_communities_clean::peer::rotate::concat_dumps;
 use keep_communities_clean::peer::{
@@ -76,7 +76,10 @@ fn main() {
         stats.mrt_files.len()
     );
 
-    let live = run_live(source, (), (CountsSink::default(), OverviewSink::default()), &stop)
+    let live = PipelineBuilder::new(source)
+        .sink((CountsSink::default(), OverviewSink::default()))
+        .shutdown(&stop)
+        .run()
         .expect("live run");
     let (live_counts, live_overview) = live.sink;
     let live_counts = live_counts.finish();
@@ -84,12 +87,10 @@ fn main() {
 
     // Phase 3: the offline analysis of the same update set.
     let reference = offline_reference(&input, &cfg);
-    let offline = run_pipeline(
-        ArchiveSource::new(&reference),
-        (),
-        (CountsSink::default(), OverviewSink::default()),
-    )
-    .expect("offline run");
+    let offline = PipelineBuilder::new(ArchiveSource::new(&reference))
+        .sink((CountsSink::default(), OverviewSink::default()))
+        .run()
+        .expect("offline run");
     let (off_counts, off_overview) = offline.sink;
     let off_counts = off_counts.finish();
     let off_overview = off_overview.finish();
@@ -108,11 +109,11 @@ fn main() {
 
     // Phase 4: the rotated dumps re-analyze to the same tables.
     let bytes = concat_dumps(&stats.mrt_files).expect("read dumps");
-    let mrt = run_pipeline(
+    let mrt = PipelineBuilder::new(
         MrtSource::new(&bytes[..], "rrc00", 0).with_route_servers(route_servers),
-        (),
-        (CountsSink::default(), OverviewSink::default()),
     )
+    .sink((CountsSink::default(), OverviewSink::default()))
+    .run()
     .expect("mrt reanalysis");
     let (mrt_counts, mrt_overview) = mrt.sink;
     assert_eq!(mrt_counts.finish(), live_counts, "MRT round-trip Table 2 != live");

@@ -5,8 +5,9 @@
 //! fails here first — and the snippet's live results are checked against
 //! the offline path they claim to equal.
 
+use keep_communities_clean::analysis::pipeline::PipelineBuilder;
 use keep_communities_clean::analysis::table::{OverviewSink, TypeShares};
-use keep_communities_clean::analysis::{run_live, run_pipeline, CountsSink};
+use keep_communities_clean::analysis::{run_pipeline, CountsSink};
 use keep_communities_clean::collector::ArchiveSource;
 use keep_communities_clean::peer::{offline_reference, Collector, CollectorConfig, StampMode};
 use keep_communities_clean::sim::bridge::{replay_archive, BridgeConfig};
@@ -37,9 +38,13 @@ fn readme_live_example_runs_and_matches_offline() {
     assert_eq!(stats.updates, day.archive.update_count() as u64);
 
     // The live feed drives the same one-pass pipeline as any offline
-    // source.
-    let out =
-        run_live(source, (), (CountsSink::default(), OverviewSink::default()), &stop).unwrap();
+    // source; `.shutdown(&stop)` makes the run drain-and-finish on
+    // trigger.
+    let out = PipelineBuilder::new(source)
+        .sink((CountsSink::default(), OverviewSink::default()))
+        .shutdown(&stop)
+        .run()
+        .unwrap();
     let (counts, overview) = out.sink;
     let counts = counts.finish();
     let overview = overview.finish();

@@ -5,9 +5,10 @@
 //! documentation fails here first — and the snippet's results are
 //! checked against the batch wrappers they claim to generalize.
 
+use keep_communities_clean::analysis::pipeline::PipelineBuilder;
 use keep_communities_clean::analysis::table::{overview, OverviewSink, TypeShares};
 use keep_communities_clean::analysis::{
-    classify_archive, run_sharded, CleaningConfig, CleaningStage, CountsSink, MrtSource,
+    classify_archive, CleaningConfig, CleaningStage, CountsSink, MrtSource,
 };
 use keep_communities_clean::collector::UpdateArchive;
 use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
@@ -23,13 +24,12 @@ fn readme_streaming_example_runs_and_matches_batch() {
 
     // One pass, sharded across 4 workers by session key: §4 cleaning
     // runs as a stage, and both sinks see every surviving update.
-    let out = run_sharded(
-        MrtSource::new(&bytes[..], "rrc00", cfg.epoch_seconds),
-        4,
-        || CleaningStage::new(&day.registry, CleaningConfig::default()),
-        || (CountsSink::default(), OverviewSink::default()),
-    )
-    .unwrap();
+    let out = PipelineBuilder::new(MrtSource::new(&bytes[..], "rrc00", cfg.epoch_seconds))
+        .shards(4)
+        .stages_with(|| CleaningStage::new(&day.registry, CleaningConfig::default()))
+        .sinks_with(|| (CountsSink::default(), OverviewSink::default()))
+        .run()
+        .unwrap();
     let (counts, overview_sink) = out.sink;
     let counts = counts.finish();
     let stats = overview_sink.finish();

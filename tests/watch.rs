@@ -1,0 +1,254 @@
+//! CommunityWatch equivalence and determinism properties.
+//!
+//! The watch service's contract is threefold, and each clause gets a
+//! property test here:
+//!
+//! 1. **Online equals batch** — a `WatchSink` with a whole-day window
+//!    and an attached profiler produces byte-identical alert lines to
+//!    the batch `CommunityProfiler::detect` over the same archive.
+//! 2. **Shard-count independence** — fanning the watch sink across N
+//!    worker shards changes nothing: same alerts, same counters, for
+//!    any shard count.
+//! 3. **Collector-order independence** — a corpus watch run is a pure
+//!    function of the member set; insertion order and thread count must
+//!    not change one byte of the combined alert list.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use keep_communities_clean::analysis::pipeline::PipelineBuilder;
+use keep_communities_clean::analysis::{
+    run_pipeline, CommunityProfiler, Corpus, WatchConfig, WatchReport, WatchSink,
+};
+use keep_communities_clean::collector::{ArchiveSource, SessionKey, UpdateArchive};
+use keep_communities_clean::types::{
+    AsPath, Asn, Community, CommunitySet, MessageKind, Origin, PathAttributes, Prefix, RouteUpdate,
+};
+
+// ---------------------------------------------------------------------
+// strategies (the tests/props.rs idiom)
+// ---------------------------------------------------------------------
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    prop_oneof![(1u32..65_000).prop_map(Asn), (70_000u32..4_000_000).prop_map(Asn)]
+}
+
+fn arb_communities() -> impl Strategy<Value = CommunitySet> {
+    vec((1u16..64_000, any::<u16>()), 0..5).prop_map(|cs| {
+        CommunitySet::from_classic(cs.into_iter().map(|(a, b)| Community::from_parts(a, b)))
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (vec(arb_asn(), 1..8), arb_communities(), 0u8..3).prop_map(|(asns, communities, origin)| {
+        PathAttributes {
+            as_path: AsPath::from_asns(asns),
+            next_hop: "192.0.2.1".parse().unwrap(),
+            origin: Origin::from_code(origin).expect("0..3"),
+            communities,
+            ..Default::default()
+        }
+    })
+}
+
+/// An arbitrary multi-session archive over a small prefix pool — the
+/// adversarial input for the online/batch and sharding equivalences.
+/// Random per-update AS paths mean origins and on-path ASes genuinely
+/// churn across windows, so the path checks fire on real inputs, not
+/// just on the empty case.
+fn arb_archive() -> impl Strategy<Value = UpdateArchive> {
+    let prefixes = ["84.205.64.0/24", "84.205.65.0/24", "2001:7fb:fe00::/48"];
+    let update = (0u8..3, 0u64..86_400, any::<bool>(), arb_attrs());
+    vec(vec(update, 0..40), 1..5).prop_map(move |sessions| {
+        let mut archive = UpdateArchive::new(0);
+        for (s, updates) in sessions.into_iter().enumerate() {
+            let key = SessionKey::new(
+                if s % 2 == 0 { "rrc00" } else { "rrc01" },
+                Asn(20_000 + s as u32),
+                format!("192.0.2.{}", s + 1).parse().unwrap(),
+            );
+            let mut sorted = updates;
+            sorted.sort_by_key(|(_, t, _, _)| *t);
+            for (p, t, withdraw, mut attrs) in sorted {
+                let prefix: Prefix = prefixes[p as usize].parse().unwrap();
+                if withdraw {
+                    archive.record(&key, RouteUpdate::withdraw(t * 1_000_000, prefix));
+                } else {
+                    if prefix.is_ipv6() {
+                        attrs.next_hop = "2001:db8::1".parse().unwrap();
+                    }
+                    archive.record(&key, RouteUpdate::announce(t * 1_000_000, prefix, attrs));
+                }
+            }
+        }
+        archive
+    })
+}
+
+fn alert_lines(report: &WatchReport) -> Vec<String> {
+    report.alerts.iter().map(|a| a.to_line()).collect()
+}
+
+/// A deterministic per-collector day that *provokes* watch alerts: a
+/// stable origin for the first windows, then a variant-chosen hijacker
+/// origin — so the order-independence property is tested on non-empty
+/// alert lists.
+fn watch_collector_archive(collector: &str, variant: u64) -> UpdateArchive {
+    let window_us = WatchConfig::default().window_us;
+    let mut a = UpdateArchive::new(0);
+    let prefix: Prefix = "84.205.64.0/24".parse().unwrap();
+    for peer in 0..3u32 {
+        let key = SessionKey::new(
+            collector,
+            Asn(100 + peer),
+            format!("10.9.{}.{}", variant % 200, peer + 1).parse().unwrap(),
+        );
+        for w in 0..8u64 {
+            let origin = if w == 5 { 64_496 + (variant % 100) as u32 } else { 12_654 };
+            let attrs = PathAttributes {
+                as_path: format!("{} 3356 {origin}", 100 + peer).parse().unwrap(),
+                communities: CommunitySet::from_classic([Community::from_parts(
+                    3356,
+                    ((w + variant) % 5) as u16,
+                )]),
+                ..Default::default()
+            };
+            a.record(&key, RouteUpdate::announce(w * window_us + peer as u64, prefix, attrs));
+        }
+    }
+    a
+}
+
+// ---------------------------------------------------------------------
+// properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// With a whole-day window and an attached profiler, the online
+    /// watch service is byte-equal to the batch detector — the
+    /// equivalence `kcc_core::watch` promises in its module docs. The
+    /// profiler trains on the raw day; the detected day carries an
+    /// injected blackhole + fat-finger perturbation so the comparison
+    /// regularly covers non-empty alert lists.
+    #[test]
+    fn whole_day_online_equals_batch_detect(archive in arb_archive(), perturb in any::<bool>()) {
+        let mut profiler = CommunityProfiler::new();
+        profiler.train(&archive);
+        let profiler = Arc::new(profiler);
+
+        let mut day = archive;
+        if perturb {
+            if let Some((_, rec)) = day.sessions_mut().next() {
+                if let Some(u) = rec
+                    .updates
+                    .iter_mut()
+                    .find(|u| matches!(u.kind, MessageKind::Announcement(_)))
+                {
+                    if let MessageKind::Announcement(attrs) = &mut u.kind {
+                        attrs.communities.insert(
+                            keep_communities_clean::types::community::well_known::BLACKHOLE,
+                        );
+                        attrs.communities.insert(Community::from_parts(2007, 9_999));
+                    }
+                }
+            }
+        }
+
+        let cfg = WatchConfig::whole_day();
+        let batch = profiler.detect(&day, &cfg.anomaly);
+        let online = run_pipeline(
+            ArchiveSource::new(&day),
+            (),
+            WatchSink::new(cfg).with_profile(Arc::clone(&profiler)),
+        )
+        .expect("archive sources cannot fail")
+        .sink
+        .finish();
+
+        let batch_lines: Vec<String> = batch.iter().map(|a| a.to_line()).collect();
+        prop_assert_eq!(alert_lines(&online), batch_lines);
+    }
+
+    /// The watch report is shard-count independent: the same archive
+    /// through 1, 2, 3 or 5 hash-partitioned workers yields exactly the
+    /// serial alert list and counters.
+    #[test]
+    fn watch_report_is_shard_count_independent(archive in arb_archive()) {
+        let cfg = WatchConfig::default();
+        let serial = run_pipeline(ArchiveSource::new(&archive), (), WatchSink::new(cfg))
+            .expect("archive sources cannot fail")
+            .sink
+            .finish();
+
+        for shards in [1usize, 2, 3, 5] {
+            let sharded = PipelineBuilder::new(ArchiveSource::new(&archive))
+                .sink(WatchSink::new(cfg))
+                .shards(shards)
+                .run()
+                .expect("archive sources cannot fail")
+                .sink
+                .finish();
+            prop_assert_eq!(alert_lines(&sharded), alert_lines(&serial));
+            prop_assert_eq!(sharded.updates, serial.updates);
+            prop_assert_eq!(sharded.streams, serial.streams);
+            prop_assert_eq!(sharded.windows, serial.windows);
+            prop_assert_eq!(sharded.agreement_summary(), serial.agreement_summary());
+            prop_assert_eq!(sharded.kind_counts(), serial.kind_counts());
+        }
+    }
+
+    /// A corpus watch run is a pure function of the member set: any
+    /// collector insertion order and worker thread count produce the
+    /// byte-identical combined alert list.
+    #[test]
+    fn corpus_watch_is_collector_order_independent(
+        rotation in 0usize..6,
+        swap in any::<bool>(),
+        threads in 1usize..6,
+        variants in vec(0u64..40, 4..5),
+    ) {
+        let names = ["rrc10", "rrc04", "route-views3", "rrc21"];
+        let archives: Vec<UpdateArchive> = names
+            .iter()
+            .zip(&variants)
+            .map(|(n, &v)| watch_collector_archive(n, v))
+            .collect();
+        let cfg = WatchConfig::default();
+
+        let run = |insertion: &[usize], threads: usize| -> WatchReport {
+            let mut corpus = Corpus::new();
+            for &i in insertion {
+                corpus.push(names[i], ArchiveSource::new(&archives[i])).unwrap();
+            }
+            PipelineBuilder::collectors(corpus)
+                .threads(threads)
+                .stages_for(|_: &str| ())
+                .sinks_for(move |_: &str| WatchSink::new(cfg))
+                .run()
+                .expect("archive sources cannot fail")
+                .combined
+                .finish()
+        };
+
+        // Reference: sorted-name insertion, one worker.
+        let mut reference_order: Vec<usize> = (0..names.len()).collect();
+        reference_order.sort_by_key(|&i| names[i]);
+        let reference = run(&reference_order, 1);
+        // The provoked hijacks must actually be there, or this property
+        // only ever checks the empty list.
+        prop_assert!(!reference.alerts.is_empty());
+
+        let mut insertion: Vec<usize> = (0..names.len()).collect();
+        insertion.rotate_left(rotation % names.len());
+        if swap {
+            insertion.swap(0, names.len() - 1);
+        }
+        let shuffled = run(&insertion, threads);
+        prop_assert_eq!(alert_lines(&shuffled), alert_lines(&reference));
+        prop_assert_eq!(shuffled.windows, reference.windows);
+        prop_assert_eq!(shuffled.updates, reference.updates);
+        prop_assert_eq!(shuffled.agreement_summary(), reference.agreement_summary());
+    }
+}
