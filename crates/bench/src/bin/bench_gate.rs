@@ -1,40 +1,322 @@
 //! Throughput regression gate: compares a freshly measured `BENCH_*.json`
 //! against the committed baseline and fails on drift beyond a tolerance.
 //!
-//! Every `"updates_per_sec":N` value is extracted from both files in
-//! order; the gate fails if the counts differ (the bench shape changed
-//! without updating the baseline) or any pair deviates by more than the
-//! tolerance in either direction — a slowdown is a regression, and a
-//! large speedup means the committed numbers are stale.
+//! Both files are parsed **structurally** (a small recursive-descent JSON
+//! parser — no string scanning): every leaf is addressed by its path
+//! (`results[0].streaming.updates_per_sec`), so a renamed, moved or
+//! dropped key is a hard failure, not a silently re-paired comparison.
+//! Rates are matched baseline-path → fresh-path; any baseline key absent
+//! from the fresh run fails the gate.
+//!
+//! Each `updates_per_sec` pair is printed as a per-figure delta row
+//! (baseline, fresh, % change, verdict); `--summary FILE` additionally
+//! writes the table as markdown for CI artifacts.
 //!
 //! ```sh
 //! bench_gate BENCH_pipeline.json /tmp/fresh/BENCH_pipeline.json
-//! bench_gate --tolerance 0.25 baseline.json measured.json
+//! bench_gate --tolerance 0.25 --summary deltas.md baseline.json measured.json
 //! ```
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-/// All `"updates_per_sec":<number>` values, in file order.
-fn extract_rates(json: &str) -> Vec<f64> {
-    const NEEDLE: &str = "\"updates_per_sec\":";
-    let mut rates = Vec::new();
-    let mut rest = json;
-    while let Some(pos) = rest.find(NEEDLE) {
-        rest = &rest[pos + NEEDLE.len()..];
-        let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-            .unwrap_or(rest.len());
-        if let Ok(v) = rest[..end].parse::<f64>() {
-            rates.push(v);
-        }
-        rest = &rest[end..];
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (no dependencies).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved so report rows
+/// come out in file order.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Number(f64),
+    String(String),
+    Bool(bool),
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
     }
-    rates
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Bench files are ASCII; surrogate pairs are out
+                            // of scope — map unpaired surrogates to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                        self.pos += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                    );
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path flattening and comparison.
+// ---------------------------------------------------------------------
+
+/// Flattens a JSON tree into `(path, leaf)` pairs in file order, with
+/// paths like `results[0].streaming.updates_per_sec`.
+fn flatten(value: &Json, prefix: &str, out: &mut Vec<(String, Json)>) {
+    match value {
+        Json::Object(members) => {
+            for (key, v) in members {
+                let path = if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                flatten(v, &path, out);
+            }
+        }
+        Json::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        leaf => out.push((prefix.to_owned(), leaf.clone())),
+    }
+}
+
+/// One compared throughput figure.
+struct Delta {
+    path: String,
+    baseline: f64,
+    measured: f64,
+}
+
+impl Delta {
+    fn ratio(&self) -> f64 {
+        self.measured / self.baseline
+    }
+
+    fn percent(&self) -> f64 {
+        (self.ratio() - 1.0) * 100.0
+    }
+}
+
+/// The gate's verdict over two parsed files.
+struct Comparison {
+    deltas: Vec<Delta>,
+    /// Baseline leaf paths with no counterpart in the fresh run.
+    missing: Vec<String>,
+}
+
+fn compare(baseline: &Json, measured: &Json) -> Comparison {
+    let mut base_leaves = Vec::new();
+    let mut meas_leaves = Vec::new();
+    flatten(baseline, "", &mut base_leaves);
+    flatten(measured, "", &mut meas_leaves);
+
+    let mut missing = Vec::new();
+    let mut deltas = Vec::new();
+    for (path, value) in &base_leaves {
+        let Some((_, fresh)) = meas_leaves.iter().find(|(p, _)| p == path) else {
+            missing.push(path.clone());
+            continue;
+        };
+        if let (true, Json::Number(b), Json::Number(m)) =
+            (path.ends_with("updates_per_sec"), value, fresh)
+        {
+            deltas.push(Delta { path: path.clone(), baseline: *b, measured: *m });
+        }
+    }
+    Comparison { deltas, missing }
+}
+
+/// Renders the per-figure delta table (markdown — readable in job logs
+/// and as an uploaded artifact).
+fn render_summary(deltas: &[Delta], tolerance: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| figure | baseline /s | fresh /s | delta | verdict |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---|");
+    for d in deltas {
+        let within = (d.ratio() - 1.0).abs() <= tolerance;
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {:.0} | {:+.1}% | {} |",
+            d.path.trim_end_matches(".updates_per_sec"),
+            d.baseline,
+            d.measured,
+            d.percent(),
+            if within { "ok" } else { "OUT OF RANGE" }
+        );
+    }
+    out
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.25f64;
+    let mut summary_path: Option<String> = None;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -44,9 +326,11 @@ fn main() -> ExitCode {
                     tolerance = v;
                 }
             }
+            "--summary" => summary_path = it.next().cloned(),
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_gate [--tolerance FRACTION] <baseline.json> <measured.json>"
+                    "usage: bench_gate [--tolerance FRACTION] [--summary FILE] \
+                     <baseline.json> <measured.json>"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -58,47 +342,58 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let read = |path: &str| match std::fs::read_to_string(path) {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("bench_gate: read {path}: {e}");
-            None
+    let read_parse = |path: &str| -> Option<Json> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_gate: read {path}: {e}");
+                return None;
+            }
+        };
+        match Parser::parse(&text) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("bench_gate: parse {path}: {e}");
+                None
+            }
         }
     };
-    let (Some(baseline), Some(measured)) = (read(baseline_path), read(measured_path)) else {
+    let (Some(baseline), Some(measured)) = (read_parse(baseline_path), read_parse(measured_path))
+    else {
         return ExitCode::FAILURE;
     };
 
-    let base_rates = extract_rates(&baseline);
-    let meas_rates = extract_rates(&measured);
-    if base_rates.is_empty() {
-        eprintln!("bench_gate: no updates_per_sec values in {baseline_path}");
+    let cmp = compare(&baseline, &measured);
+    if !cmp.missing.is_empty() {
+        for path in &cmp.missing {
+            eprintln!("bench_gate: baseline key `{path}` missing from {measured_path}");
+        }
+        eprintln!(
+            "bench_gate: {} baseline key(s) absent from the fresh run — the bench shape \
+             changed; regenerate the committed baseline",
+            cmp.missing.len()
+        );
         return ExitCode::FAILURE;
     }
-    if base_rates.len() != meas_rates.len() {
-        eprintln!(
-            "bench_gate: shape mismatch — {} rates in {baseline_path}, {} in {measured_path} \
-             (bench changed? regenerate the committed baseline)",
-            base_rates.len(),
-            meas_rates.len()
-        );
+    if cmp.deltas.is_empty() {
+        eprintln!("bench_gate: no updates_per_sec figures in {baseline_path}");
         return ExitCode::FAILURE;
     }
 
-    let mut ok = true;
-    for (i, (b, m)) in base_rates.iter().zip(&meas_rates).enumerate() {
-        let ratio = m / b;
-        let within = ratio >= 1.0 - tolerance && ratio <= 1.0 + tolerance;
-        println!(
-            "rate[{i}]: baseline {b:.0}/s, measured {m:.0}/s, ratio {ratio:.2} {}",
-            if within { "ok" } else { "OUT OF RANGE" }
-        );
-        ok &= within;
+    let summary = render_summary(&cmp.deltas, tolerance);
+    print!("{summary}");
+    if let Some(path) = summary_path {
+        if let Err(e) = std::fs::write(&path, &summary) {
+            eprintln!("bench_gate: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+
+    let ok = cmp.deltas.iter().all(|d| (d.ratio() - 1.0).abs() <= tolerance);
     if ok {
         println!(
-            "bench_gate: {} rates within ±{:.0}% of {baseline_path}",
-            base_rates.len(),
+            "bench_gate: {} figures within ±{:.0}% of {baseline_path}",
+            cmp.deltas.len(),
             tolerance * 100.0
         );
         ExitCode::SUCCESS
@@ -109,5 +404,94 @@ fn main() -> ExitCode {
             tolerance * 100.0
         );
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(v: f64) -> Json {
+        Json::Number(v)
+    }
+
+    #[test]
+    fn parses_bench_shaped_json() {
+        let text = r#"{"bench":"pipeline","results":[{"updates":32130,
+            "streaming":{"seconds":0.06,"updates_per_sec":508458},
+            "ok":true,"note":null,"name":"a\nb"}]}"#;
+        let v = Parser::parse(text).unwrap();
+        let mut leaves = Vec::new();
+        flatten(&v, "", &mut leaves);
+        let find = |p: &str| leaves.iter().find(|(q, _)| q == p).map(|(_, v)| v.clone());
+        assert_eq!(find("bench"), Some(Json::String("pipeline".into())));
+        assert_eq!(find("results[0].streaming.updates_per_sec"), Some(num(508458.0)));
+        assert_eq!(find("results[0].ok"), Some(Json::Bool(true)));
+        assert_eq!(find("results[0].note"), Some(Json::Null));
+        assert_eq!(find("results[0].name"), Some(Json::String("a\nb".into())));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(Parser::parse("{\"a\":").is_err());
+        assert!(Parser::parse("[1,2,]").is_err());
+        assert!(Parser::parse("{} trailing").is_err());
+        assert!(Parser::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn matched_rates_compare_by_path() {
+        let base = Parser::parse(
+            r#"{"results":[{"streaming":{"updates_per_sec":100}},
+                           {"streaming":{"updates_per_sec":200}}]}"#,
+        )
+        .unwrap();
+        let meas = Parser::parse(
+            r#"{"results":[{"streaming":{"updates_per_sec":110}},
+                           {"streaming":{"updates_per_sec":150}}]}"#,
+        )
+        .unwrap();
+        let cmp = compare(&base, &meas);
+        assert!(cmp.missing.is_empty());
+        assert_eq!(cmp.deltas.len(), 2);
+        assert!((cmp.deltas[0].ratio() - 1.1).abs() < 1e-9);
+        assert!((cmp.deltas[1].ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renamed_key_is_reported_missing() {
+        // The old string-scanning gate paired these two rates silently;
+        // structurally, the rename is a missing baseline key.
+        let base = Parser::parse(
+            r#"{"streaming":{"updates_per_sec":100},"batch":{"updates_per_sec":90}}"#,
+        )
+        .unwrap();
+        let meas =
+            Parser::parse(r#"{"serial":{"updates_per_sec":100},"batch":{"updates_per_sec":90}}"#)
+                .unwrap();
+        let cmp = compare(&base, &meas);
+        assert_eq!(cmp.missing, vec!["streaming.updates_per_sec".to_string()]);
+        assert_eq!(cmp.deltas.len(), 1, "the surviving key still compares");
+    }
+
+    #[test]
+    fn dropped_array_entry_is_reported_missing() {
+        let base =
+            Parser::parse(r#"{"results":[{"updates_per_sec":100},{"updates_per_sec":200}]}"#)
+                .unwrap();
+        let meas = Parser::parse(r#"{"results":[{"updates_per_sec":100}]}"#).unwrap();
+        let cmp = compare(&base, &meas);
+        assert_eq!(cmp.missing, vec!["results[1].updates_per_sec".to_string()]);
+    }
+
+    #[test]
+    fn summary_marks_out_of_range_rows() {
+        let deltas = vec![
+            Delta { path: "a.updates_per_sec".into(), baseline: 100.0, measured: 120.0 },
+            Delta { path: "b.updates_per_sec".into(), baseline: 100.0, measured: 60.0 },
+        ];
+        let text = render_summary(&deltas, 0.25);
+        assert!(text.contains("| a | 100 | 120 | +20.0% | ok |"), "{text}");
+        assert!(text.contains("| b | 100 | 60 | -40.0% | OUT OF RANGE |"), "{text}");
     }
 }

@@ -254,10 +254,12 @@ fn stabilize(archive: &mut UpdateArchive, window_us: u64, learn_windows: u64) {
         for u in &mut rec.updates {
             if let MessageKind::Announcement(attrs) = &mut u.kind {
                 let path = canonical.entry(u.prefix).or_insert_with(|| attrs.as_path.clone());
-                attrs.as_path = path.clone();
+                if attrs.as_path != *path {
+                    std::sync::Arc::make_mut(attrs).as_path = path.clone();
+                }
             }
         }
-        let mut first_attrs: BTreeMap<Prefix, PathAttributes> = BTreeMap::new();
+        let mut first_attrs: BTreeMap<Prefix, std::sync::Arc<PathAttributes>> = BTreeMap::new();
         for u in &rec.updates {
             if let MessageKind::Announcement(attrs) = &u.kind {
                 first_attrs.entry(u.prefix).or_insert_with(|| attrs.clone());
@@ -369,7 +371,7 @@ fn run_soak(target: u64) -> ExitCode {
         };
         let mut asns: Vec<Asn> = template.as_path.asns().collect();
         *asns.last_mut().expect("non-empty path") = bogus;
-        let attrs = PathAttributes { as_path: AsPath::from_asns(asns), ..template };
+        let attrs = PathAttributes { as_path: AsPath::from_asns(asns), ..(*template).clone() };
         archive.record(&key, RouteUpdate::announce(hijack_at, prefix, attrs));
         for (_, rec) in archive.sessions_mut() {
             rec.updates.sort_by_key(|u| u.time_us);

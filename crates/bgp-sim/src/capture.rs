@@ -26,7 +26,9 @@ impl CapturedUpdate {
     /// Converts to the analysis pipeline's [`RouteUpdate`] shape.
     pub fn to_route_update(&self) -> RouteUpdate {
         let kind = match &self.update.body {
-            UpdateBody::Announce { attrs, .. } => MessageKind::Announcement(attrs.clone()),
+            UpdateBody::Announce { attrs, .. } => {
+                MessageKind::Announcement(std::sync::Arc::new(attrs.clone()))
+            }
             UpdateBody::Withdraw => MessageKind::Withdrawal,
         };
         RouteUpdate { time_us: self.at.as_micros(), prefix: self.update.prefix, kind }

@@ -186,6 +186,17 @@ impl AsPath {
         AsPath { segments }
     }
 
+    /// Heap bytes held by the path: the segment vector plus every
+    /// segment's ASN vector, counted at capacity.
+    pub fn heap_bytes(&self) -> usize {
+        self.segments.capacity() * std::mem::size_of::<PathSegment>()
+            + self
+                .segments
+                .iter()
+                .map(|s| s.asns.capacity() * std::mem::size_of::<Asn>())
+                .sum::<usize>()
+    }
+
     /// True if the path contains any prepending (a consecutive repeat).
     pub fn has_prepending(&self) -> bool {
         self.segments.iter().any(|s| {

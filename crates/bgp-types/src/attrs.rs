@@ -124,6 +124,15 @@ impl PathAttributes {
             && self.aggregator == other.aggregator
     }
 
+    /// Resident bytes of one owned attribute set: the struct itself plus
+    /// every heap allocation it holds (AS-path segments and all three
+    /// community families), counted at **capacity**, not length — this is
+    /// what the allocator actually reserved. The honest input to the
+    /// pipeline's constant-memory accounting.
+    pub fn deep_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.as_path.heap_bytes() + self.communities.heap_bytes()
+    }
+
     /// True if the attributes differ *only* in MED — the paper acknowledges
     /// MED changes as an alternative `nn` explanation at the wire level
     /// (MED is non-transitive and may be stripped before the collector).

@@ -44,6 +44,33 @@ impl CommunitySet {
         s
     }
 
+    /// Builds a set from possibly unsorted, possibly duplicated vectors of
+    /// all three families — one sort + dedup per family instead of a
+    /// `binary_search` + `Vec::insert` shuffle per element. This is the
+    /// decode-path constructor: a wire attribute's communities arrive as a
+    /// run, so building in bulk is O(n log n) with no mid-vector moves.
+    pub fn from_unsorted(
+        classic: Vec<Community>,
+        extended: Vec<ExtendedCommunity>,
+        large: Vec<LargeCommunity>,
+    ) -> Self {
+        let mut s = CommunitySet { classic, extended, large };
+        s.classic.sort_unstable();
+        s.classic.dedup();
+        s.extended.sort_unstable();
+        s.extended.dedup();
+        s.large.sort_unstable();
+        s.large.dedup();
+        s
+    }
+
+    /// Heap bytes held by the three family vectors, counted at capacity.
+    pub fn heap_bytes(&self) -> usize {
+        self.classic.capacity() * std::mem::size_of::<Community>()
+            + self.extended.capacity() * std::mem::size_of::<ExtendedCommunity>()
+            + self.large.capacity() * std::mem::size_of::<LargeCommunity>()
+    }
+
     /// True if no community of any family is present.
     pub fn is_empty(&self) -> bool {
         self.classic.is_empty() && self.extended.is_empty() && self.large.is_empty()

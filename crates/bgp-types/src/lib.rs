@@ -44,9 +44,11 @@ pub mod attrs;
 pub mod community;
 pub mod community_set;
 pub mod extended;
+pub mod fast_hash;
 pub mod geo;
 pub mod large;
 pub mod prefix;
+pub mod prefix_map;
 pub mod taxonomy;
 pub mod update;
 
@@ -56,8 +58,10 @@ pub use attrs::{Origin, PathAttributes};
 pub use community::Community;
 pub use community_set::CommunitySet;
 pub use extended::ExtendedCommunity;
+pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use geo::{GeoScope, GeoTag};
 pub use large::LargeCommunity;
 pub use prefix::Prefix;
+pub use prefix_map::PrefixMap;
 pub use taxonomy::CommunityClass;
 pub use update::{MessageKind, RouteUpdate};

@@ -8,15 +8,21 @@
 //! arrival order.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::attrs::PathAttributes;
 use crate::prefix::Prefix;
 
 /// Announcement or withdrawal.
+///
+/// Announcement attributes are shared behind an [`Arc`]: a wire UPDATE
+/// packs many prefixes onto one attribute set, and the classifier retains
+/// one set per `(prefix, session)` stream — hash-consing those into
+/// pointer copies is what keeps the hot path allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MessageKind {
-    /// A reachability announcement with path attributes.
-    Announcement(PathAttributes),
+    /// A reachability announcement with (shared) path attributes.
+    Announcement(Arc<PathAttributes>),
     /// An explicit withdrawal.
     Withdrawal,
 }
@@ -29,6 +35,15 @@ impl MessageKind {
 
     /// The attributes, if this is an announcement.
     pub fn attributes(&self) -> Option<&PathAttributes> {
+        match self {
+            MessageKind::Announcement(a) => Some(a),
+            MessageKind::Withdrawal => None,
+        }
+    }
+
+    /// The shared attribute handle, if this is an announcement — a
+    /// pointer copy away from retaining or forwarding the attributes.
+    pub fn attributes_shared(&self) -> Option<&Arc<PathAttributes>> {
         match self {
             MessageKind::Announcement(a) => Some(a),
             MessageKind::Withdrawal => None,
@@ -53,9 +68,10 @@ pub struct RouteUpdate {
 }
 
 impl RouteUpdate {
-    /// Creates an announcement update.
-    pub fn announce(time_us: u64, prefix: Prefix, attrs: PathAttributes) -> Self {
-        RouteUpdate { time_us, prefix, kind: MessageKind::Announcement(attrs) }
+    /// Creates an announcement update. Accepts owned attributes (wrapped
+    /// on the spot) or an existing `Arc` handle (a pointer copy).
+    pub fn announce(time_us: u64, prefix: Prefix, attrs: impl Into<Arc<PathAttributes>>) -> Self {
+        RouteUpdate { time_us, prefix, kind: MessageKind::Announcement(attrs.into()) }
     }
 
     /// Creates a withdrawal update.
@@ -76,6 +92,11 @@ impl RouteUpdate {
     /// The attributes, if this is an announcement.
     pub fn attributes(&self) -> Option<&PathAttributes> {
         self.kind.attributes()
+    }
+
+    /// The shared attribute handle, if this is an announcement.
+    pub fn attributes_shared(&self) -> Option<&Arc<PathAttributes>> {
+        self.kind.attributes_shared()
     }
 }
 

@@ -10,7 +10,8 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use kcc_bgp_types::attrs::{Aggregator, Origin, PathAttributes};
 use kcc_bgp_types::{
-    AsPath, Asn, Community, ExtendedCommunity, LargeCommunity, PathSegment, Prefix, SegmentKind,
+    AsPath, Asn, Community, CommunitySet, ExtendedCommunity, LargeCommunity, PathSegment, Prefix,
+    SegmentKind,
 };
 
 use crate::error::WireError;
@@ -372,6 +373,11 @@ pub fn decode_attributes<B: Buf>(
     let mut out = DecodedAttrs::default();
     let mut as4_path: Option<AsPath> = None;
     let mut as4_aggregator: Option<Aggregator> = None;
+    // Communities are collected raw and sorted/deduped once at the end —
+    // one bulk build instead of a binary_search + Vec::insert per element.
+    let mut classic: Vec<Community> = Vec::new();
+    let mut extended: Vec<ExtendedCommunity> = Vec::new();
+    let mut large: Vec<LargeCommunity> = Vec::new();
 
     while block.has_remaining() {
         if block.remaining() < 2 {
@@ -456,8 +462,9 @@ pub fn decode_attributes<B: Buf>(
                         detail: "COMMUNITIES length not multiple of 4",
                     });
                 }
+                classic.reserve_exact(body.len() / 4);
                 while body.has_remaining() {
-                    out.attrs.communities.insert(Community(body.get_u32()));
+                    classic.push(Community(body.get_u32()));
                 }
             }
             type_codes::EXTENDED_COMMUNITIES => {
@@ -467,10 +474,11 @@ pub fn decode_attributes<B: Buf>(
                         detail: "EXTENDED COMMUNITIES length not multiple of 8",
                     });
                 }
+                extended.reserve_exact(body.len() / 8);
                 while body.has_remaining() {
                     let mut oct = [0u8; 8];
                     body.copy_to_slice(&mut oct);
-                    out.attrs.communities.insert_extended(ExtendedCommunity::from_bytes(oct));
+                    extended.push(ExtendedCommunity::from_bytes(oct));
                 }
             }
             type_codes::LARGE_COMMUNITIES => {
@@ -480,11 +488,12 @@ pub fn decode_attributes<B: Buf>(
                         detail: "LARGE COMMUNITIES length not multiple of 12",
                     });
                 }
+                large.reserve_exact(body.len() / 12);
                 while body.has_remaining() {
                     let g = body.get_u32();
                     let d1 = body.get_u32();
                     let d2 = body.get_u32();
-                    out.attrs.communities.insert_large(LargeCommunity::new(g, d1, d2));
+                    large.push(LargeCommunity::new(g, d1, d2));
                 }
             }
             type_codes::MP_REACH_NLRI => {
@@ -542,6 +551,10 @@ pub fn decode_attributes<B: Buf>(
                 }
             }
         }
+    }
+
+    if !(classic.is_empty() && extended.is_empty() && large.is_empty()) {
+        out.attrs.communities = CommunitySet::from_unsorted(classic, extended, large);
     }
 
     // RFC 6793 §4.2.3 reconciliation: prefer the 4-octet path when present.

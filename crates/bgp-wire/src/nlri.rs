@@ -90,7 +90,40 @@ pub fn decode_prefix<B: Buf>(afi: Afi, buf: &mut B) -> Result<Prefix, WireError>
     }
 }
 
-/// Decodes prefixes until `buf` is exhausted.
+/// A streaming decoder over a run of prefixes: yields one
+/// `Result<Prefix, WireError>` per encoded prefix until the buffer is
+/// exhausted, without materializing a `Vec`. After the first error the
+/// iterator fuses (further calls yield `None`) — a malformed length byte
+/// leaves the rest of the run unframeable.
+#[derive(Debug)]
+pub struct PrefixRun<B> {
+    afi: Afi,
+    buf: B,
+    failed: bool,
+}
+
+impl<B: Buf> PrefixRun<B> {
+    /// Wraps a buffer holding back-to-back encoded prefixes of one family.
+    pub fn new(afi: Afi, buf: B) -> Self {
+        PrefixRun { afi, buf, failed: false }
+    }
+}
+
+impl<B: Buf> Iterator for PrefixRun<B> {
+    type Item = Result<Prefix, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || !self.buf.has_remaining() {
+            return None;
+        }
+        let item = decode_prefix(self.afi, &mut self.buf);
+        self.failed = item.is_err();
+        Some(item)
+    }
+}
+
+/// Decodes prefixes until `buf` is exhausted, collecting into a `Vec`.
+/// Prefer iterating [`PrefixRun`] on hot paths.
 pub fn decode_prefix_run<B: Buf>(afi: Afi, buf: &mut B) -> Result<Vec<Prefix>, WireError> {
     let mut out = Vec::new();
     while buf.has_remaining() {
@@ -175,6 +208,31 @@ mod tests {
         let out = decode_prefix_run(Afi::Ipv4, &mut buf.freeze()).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out[2].to_string(), "192.0.2.0/25");
+    }
+
+    #[test]
+    fn prefix_run_iterator_matches_collecting_decoder() {
+        let ps = ["84.205.64.0/24", "10.0.0.0/8", "192.0.2.0/25"];
+        let mut buf = BytesMut::new();
+        for p in ps {
+            encode_prefix(&p.parse().unwrap(), &mut buf);
+        }
+        let frozen = buf.freeze();
+        let collected = decode_prefix_run(Afi::Ipv4, &mut frozen.clone()).unwrap();
+        let iterated: Result<Vec<Prefix>, WireError> = PrefixRun::new(Afi::Ipv4, frozen).collect();
+        assert_eq!(iterated.unwrap(), collected);
+    }
+
+    #[test]
+    fn prefix_run_fuses_after_error() {
+        let mut buf = BytesMut::new();
+        encode_prefix(&"10.0.0.0/8".parse().unwrap(), &mut buf);
+        buf.put_u8(33); // invalid v4 length
+        buf.put_slice(&[1, 2, 3, 4, 5]);
+        let mut run = PrefixRun::new(Afi::Ipv4, buf.freeze());
+        assert!(run.next().unwrap().is_ok());
+        assert_eq!(run.next().unwrap(), Err(WireError::BadPrefixLength(33)));
+        assert!(run.next().is_none(), "iterator fuses after a decode error");
     }
 
     #[test]

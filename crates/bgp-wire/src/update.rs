@@ -1,5 +1,7 @@
 //! UPDATE messages: the wire packet and its per-prefix explosion.
 
+use std::sync::Arc;
+
 use bytes::{Buf, BufMut, BytesMut};
 use kcc_bgp_types::{MessageKind, PathAttributes, Prefix, RouteUpdate};
 
@@ -33,25 +35,45 @@ impl UpdatePacket {
         UpdatePacket { withdrawn: vec![prefix], ..Default::default() }
     }
 
-    /// Explodes the packet into per-prefix [`RouteUpdate`]s in wire order
-    /// (withdrawals first, then announcements), stamping each with `time_us`.
+    /// Streams the packet's per-prefix [`RouteUpdate`]s in wire order
+    /// (withdrawals first, then announcements), stamping each with
+    /// `time_us`. The attribute set is deep-copied **once** per packet and
+    /// shared across every announced prefix behind one `Arc` — the
+    /// many-prefixes-one-attribute shape of real UPDATEs becomes pointer
+    /// copies downstream.
+    pub fn route_updates(&self, time_us: u64) -> impl Iterator<Item = RouteUpdate> + '_ {
+        let shared = self.attrs.as_ref().map(|a| Arc::new(a.clone()));
+        self.withdrawn.iter().map(move |p| RouteUpdate::withdraw(time_us, *p)).chain(
+            self.nlri.iter().filter_map(move |p| {
+                shared.as_ref().map(|a| RouteUpdate::announce(time_us, *p, Arc::clone(a)))
+            }),
+        )
+    }
+
+    /// Explodes the packet into a `Vec` of per-prefix updates. Prefer
+    /// iterating [`route_updates`](Self::route_updates) on hot paths.
     pub fn explode(&self, time_us: u64) -> Vec<RouteUpdate> {
-        let mut out = Vec::with_capacity(self.withdrawn.len() + self.nlri.len());
-        for p in &self.withdrawn {
-            out.push(RouteUpdate::withdraw(time_us, *p));
-        }
-        if let Some(attrs) = &self.attrs {
-            for p in &self.nlri {
-                out.push(RouteUpdate::announce(time_us, *p, attrs.clone()));
-            }
-        }
-        out
+        self.route_updates(time_us).collect()
+    }
+
+    /// Consuming [`route_updates`](Self::route_updates): moves the
+    /// decoded attribute set straight into its shared `Arc` — no deep
+    /// copy at all. The right call when the packet came off the wire and
+    /// is not needed again.
+    pub fn into_route_updates(self, time_us: u64) -> impl Iterator<Item = RouteUpdate> {
+        let UpdatePacket { withdrawn, nlri, attrs, .. } = self;
+        let shared = attrs.map(Arc::new);
+        withdrawn.into_iter().map(move |p| RouteUpdate::withdraw(time_us, p)).chain(
+            nlri.into_iter().filter_map(move |p| {
+                shared.as_ref().map(|a| RouteUpdate::announce(time_us, p, Arc::clone(a)))
+            }),
+        )
     }
 
     /// Builds a packet from one logical update.
     pub fn from_route_update(u: &RouteUpdate) -> Self {
         match &u.kind {
-            MessageKind::Announcement(attrs) => Self::announce(u.prefix, attrs.clone()),
+            MessageKind::Announcement(attrs) => Self::announce(u.prefix, (**attrs).clone()),
             MessageKind::Withdrawal => Self::withdraw(u.prefix),
         }
     }
@@ -239,6 +261,20 @@ mod tests {
         assert!(updates[0].is_withdrawal());
         assert!(updates[1].is_announcement());
         assert!(updates.iter().all(|u| u.time_us == 42));
+    }
+
+    #[test]
+    fn explode_shares_one_attribute_allocation() {
+        let mut p = UpdatePacket::announce("84.205.64.0/24".parse().unwrap(), attrs());
+        p.nlri.push("84.205.65.0/24".parse().unwrap());
+        p.nlri.push("84.205.66.0/24".parse().unwrap());
+        let updates = p.explode(7);
+        let handles: Vec<_> = updates.iter().filter_map(|u| u.attributes_shared()).collect();
+        assert_eq!(handles.len(), 3);
+        assert!(
+            handles.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])),
+            "all announcements in one packet share a single Arc"
+        );
     }
 
     #[test]

@@ -20,14 +20,13 @@
 //! `kcc-core` is per-`(session, prefix)`-stream, so interleaving is free
 //! to follow whatever order the underlying medium provides.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Read;
 use std::net::IpAddr;
 use std::sync::Arc;
 
-use kcc_bgp_types::{Asn, RouteUpdate};
+use kcc_bgp_types::{Asn, FastHashMap, RouteUpdate};
 use kcc_mrt::{MrtError, UpdateStream};
 
 use crate::archive::{SessionRecord, UpdateArchive};
@@ -141,9 +140,12 @@ impl UpdateSource for ArchiveSource<'_> {
 pub struct MrtSource<R: Read> {
     stream: UpdateStream<R>,
     collector: String,
-    sessions: HashMap<SessionKey, Arc<PeerMeta>>,
+    // Keyed by the raw `(peer ASN, peer IP)` endpoint an MRT record
+    // carries — no per-record `SessionKey` (String) construction; the
+    // composite key is built once, when the session is first seen.
+    sessions: FastHashMap<(Asn, IpAddr), Arc<PeerMeta>>,
     route_servers: Vec<(Asn, IpAddr)>,
-    pending: Option<SourceItem>,
+    pending: VecDeque<SourceItem>,
 }
 
 impl<R: Read> MrtSource<R> {
@@ -153,9 +155,9 @@ impl<R: Read> MrtSource<R> {
         MrtSource {
             stream: UpdateStream::new(inner, epoch_seconds),
             collector: collector.to_owned(),
-            sessions: HashMap::new(),
+            sessions: FastHashMap::default(),
             route_servers: Vec::new(),
-            pending: None,
+            pending: VecDeque::new(),
         }
     }
 
@@ -189,32 +191,55 @@ impl<R: Read> MrtSource<R> {
 
 impl<R: Read> UpdateSource for MrtSource<R> {
     fn next_item(&mut self) -> Result<Option<SourceItem>, SourceError> {
-        if let Some(item) = self.pending.take() {
-            return Ok(Some(item));
-        }
-        let Some(streamed) = self.stream.next_update()? else {
-            return Ok(None);
-        };
-        let key = SessionKey::new(&self.collector, streamed.peer_asn, streamed.peer_ip);
-        match self.sessions.entry(key) {
-            Entry::Occupied(e) => {
-                Ok(Some(SourceItem::Update(Arc::clone(e.get()), streamed.update)))
+        loop {
+            if let Some(item) = self.pending.pop_front() {
+                return Ok(Some(item));
             }
-            Entry::Vacant(e) => {
-                // First record of this session: its timestamp granularity
-                // becomes the session's, exactly as `read_mrt` decides it.
-                let route_server = self
-                    .route_servers
-                    .iter()
-                    .any(|&(asn, ip)| asn == streamed.peer_asn && ip == streamed.peer_ip);
-                let meta = Arc::new(PeerMeta {
-                    key: e.key().clone(),
-                    route_server,
-                    second_granularity: streamed.second_granularity,
-                });
-                e.insert(Arc::clone(&meta));
-                self.pending = Some(SourceItem::Update(Arc::clone(&meta), streamed.update));
-                Ok(Some(SourceItem::Session(meta)))
+            // Record granularity: one session lookup per MRT record, then
+            // the whole packet explodes into the pending queue sharing one
+            // attribute `Arc` and one `PeerMeta` handle.
+            let Some(msg) = self.stream.next_message()? else {
+                return Ok(None);
+            };
+            let announced = if msg.packet.attrs.is_some() { msg.packet.nlri.len() } else { 0 };
+            if msg.packet.withdrawn.len() + announced == 0 {
+                // An empty UPDATE (end-of-RIB marker) carries no traffic
+                // and, like `read_mrt`, must not register a session.
+                continue;
+            }
+            let endpoint = (msg.peer_asn, msg.peer_ip);
+            let (meta, new_session) = match self.sessions.get(&endpoint) {
+                Some(meta) => (Arc::clone(meta), false),
+                None => {
+                    // First record of this session: its timestamp
+                    // granularity becomes the session's, exactly as
+                    // `read_mrt` decides it.
+                    let route_server = self.route_servers.contains(&endpoint);
+                    let meta = Arc::new(PeerMeta {
+                        key: SessionKey::new(&self.collector, msg.peer_asn, msg.peer_ip),
+                        route_server,
+                        second_granularity: msg.second_granularity,
+                    });
+                    self.sessions.insert(endpoint, Arc::clone(&meta));
+                    (meta, true)
+                }
+            };
+            let mut updates = msg
+                .packet
+                .into_route_updates(msg.time_us)
+                .map(|u| SourceItem::Update(Arc::clone(&meta), u));
+            if new_session {
+                // The session item must come out before its updates.
+                self.pending.push_back(SourceItem::Session(Arc::clone(&meta)));
+                self.pending.extend(updates);
+                continue;
+            }
+            // Known session (the common case): hand the first update
+            // straight out, queueing only a multi-prefix packet's tail.
+            let first = updates.next();
+            self.pending.extend(updates);
+            if first.is_some() {
+                return Ok(first);
             }
         }
     }

@@ -10,9 +10,7 @@
 //! 3. disambiguate same-second timestamps at second-granularity
 //!    collectors (order-preserving 0.01 ms spacing).
 
-use std::collections::HashMap;
-
-use kcc_bgp_types::{MessageKind, RouteUpdate};
+use kcc_bgp_types::{FastHashMap, MessageKind, RouteUpdate};
 use kcc_collector::timestamps::disambiguated;
 use kcc_collector::{PeerMeta, SessionKey, UpdateArchive};
 
@@ -98,7 +96,7 @@ pub struct CleaningStage<'a> {
     report: CleaningReport,
     /// Last emitted time per second-granularity session; `None` until
     /// its first update.
-    last_emitted: HashMap<SessionKey, Option<u64>>,
+    last_emitted: FastHashMap<SessionKey, Option<u64>>,
 }
 
 impl<'a> CleaningStage<'a> {
@@ -108,7 +106,7 @@ impl<'a> CleaningStage<'a> {
             registry,
             config,
             report: CleaningReport::default(),
-            last_emitted: HashMap::new(),
+            last_emitted: FastHashMap::default(),
         }
     }
 
@@ -138,6 +136,9 @@ impl Stage for CleaningStage<'_> {
         if self.config.insert_route_server_asn && meta.route_server {
             if let MessageKind::Announcement(attrs) = &mut update.kind {
                 if attrs.as_path.first() != Some(meta.key.peer_asn) {
+                    // Copy-on-write: only the corrected update's attrs
+                    // fork; siblings sharing the packet's Arc are intact.
+                    let attrs = std::sync::Arc::make_mut(attrs);
                     attrs.as_path = attrs.as_path.prepend(meta.key.peer_asn, 1);
                     self.report.route_server_insertions += 1;
                 }

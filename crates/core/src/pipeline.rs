@@ -27,12 +27,11 @@
 //! [`PathAttributes`]: kcc_bgp_types::PathAttributes
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
-use kcc_bgp_types::RouteUpdate;
+use kcc_bgp_types::{FastHashMap, RouteUpdate};
 use kcc_collector::{
     Corpus, PeerMeta, SessionKey, ShutdownFlag, SourceError, SourceItem, UpdateSource,
 };
@@ -200,7 +199,14 @@ pub struct Pipeline<St, S> {
     stages: St,
     sink: S,
     classify: bool,
-    classifiers: HashMap<SessionKey, StreamClassifier>,
+    // Classifiers live in a flat Vec; the String-keyed map is consulted
+    // only when the session changes. Sources deliver long same-session
+    // runs (MRT records explode to many updates on one session), so the
+    // `Arc::ptr_eq` cache below turns the per-update session lookup into
+    // a pointer compare.
+    classifier_ids: FastHashMap<SessionKey, usize>,
+    classifiers: Vec<StreamClassifier>,
+    current: Option<(std::sync::Arc<PeerMeta>, usize)>,
     stats: PipelineStats,
 }
 
@@ -213,7 +219,9 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
             stages,
             sink,
             classify,
-            classifiers: HashMap::new(),
+            classifier_ids: FastHashMap::default(),
+            classifiers: Vec::new(),
+            current: None,
             stats: PipelineStats::default(),
         }
     }
@@ -221,9 +229,11 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
     /// Feeds one source item through stages, classifier and sinks.
     pub fn feed(&mut self, item: SourceItem) {
         match item {
-            SourceItem::Session(meta) => self.register(&meta),
-            SourceItem::Update(meta, update) => {
+            SourceItem::Session(meta) => {
                 self.register(&meta);
+            }
+            SourceItem::Update(meta, update) => {
+                let slot = self.register(&meta);
                 self.stats.updates += 1;
                 let Some(update) = self.stages.process(&meta, update) else {
                     return;
@@ -231,10 +241,7 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
                 self.stats.kept += 1;
                 self.sink.on_update(&meta.key, &update);
                 if self.classify {
-                    let classifier = self
-                        .classifiers
-                        .get_mut(&meta.key)
-                        .expect("session registered before its updates");
+                    let classifier = &mut self.classifiers[slot];
                     let streams_before = classifier.stream_count() as u64;
                     let bytes_before = classifier.state_bytes() as u64;
                     let event = classifier.classify(&update);
@@ -249,16 +256,30 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
         }
     }
 
-    fn register(&mut self, meta: &PeerMeta) {
+    fn register(&mut self, meta: &std::sync::Arc<PeerMeta>) -> usize {
+        // Fast path: same `PeerMeta` handle as the previous item — no
+        // hashing at all.
+        if let Some((cached, slot)) = &self.current {
+            if std::sync::Arc::ptr_eq(cached, meta) {
+                return *slot;
+            }
+        }
         // Sessions double as the seen-set even when the sink skips
         // classification — an empty classifier costs nothing.
-        if self.classifiers.contains_key(&meta.key) {
-            return;
-        }
-        self.classifiers.insert(meta.key.clone(), StreamClassifier::new());
-        self.stats.sessions += 1;
-        self.stages.on_session(meta);
-        self.sink.on_session(meta);
+        let slot = match self.classifier_ids.get(&meta.key) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.classifiers.len();
+                self.classifiers.push(StreamClassifier::new());
+                self.classifier_ids.insert(meta.key.clone(), slot);
+                self.stats.sessions += 1;
+                self.stages.on_session(meta);
+                self.sink.on_session(meta);
+                slot
+            }
+        };
+        self.current = Some((std::sync::Arc::clone(meta), slot));
+        slot
     }
 
     /// Pulls a source dry through this pipeline.

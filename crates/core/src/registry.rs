@@ -8,16 +8,19 @@
 //! allocations, plus the structural reservations (private/documentation/
 //! reserved ranges) that are never allocatable.
 
-use std::collections::BTreeMap;
-
-use kcc_bgp_types::{Asn, Prefix};
+use kcc_bgp_types::{Asn, FastHashMap, Prefix, PrefixMap};
 
 /// A registry of allocations with epochs (µs since archive time zero, the
 /// same clock updates use; historical allocations are simply epoch 0).
+///
+/// Blocks live in a [`PrefixMap`] keyed by the block prefix with the
+/// earliest allocation epoch as the value, so the per-update
+/// `prefix_allocated` probe is one covering-chain walk instead of a
+/// linear scan over every registered block.
 #[derive(Debug, Clone, Default)]
 pub struct AllocationRegistry {
-    asns: BTreeMap<Asn, u64>,
-    blocks: Vec<(Prefix, u64)>,
+    asns: FastHashMap<Asn, u64>,
+    blocks: PrefixMap<u64>,
 }
 
 impl AllocationRegistry {
@@ -38,9 +41,15 @@ impl AllocationRegistry {
     }
 
     /// Registers a prefix block as allocated from `from_us`; any prefix
-    /// contained in the block counts as allocated.
+    /// contained in the block counts as allocated. Re-registering a
+    /// block keeps its earliest epoch.
     pub fn register_block(&mut self, block: Prefix, from_us: u64) {
-        self.blocks.push((block, from_us));
+        match self.blocks.get_mut(&block) {
+            Some(epoch) => *epoch = (*epoch).min(from_us),
+            None => {
+                self.blocks.insert(block, from_us);
+            }
+        }
     }
 
     /// True if `asn` was allocated at time `at_us`.
@@ -49,8 +58,10 @@ impl AllocationRegistry {
     }
 
     /// True if `prefix` falls inside a block allocated at time `at_us`.
+    /// Walks only the stored blocks covering `prefix` — a root-to-leaf
+    /// trie descent, independent of how many blocks are registered.
     pub fn prefix_allocated(&self, prefix: &Prefix, at_us: u64) -> bool {
-        self.blocks.iter().any(|(block, from)| *from <= at_us && block.contains(prefix))
+        self.blocks.covering(prefix).any(|&from| from <= at_us)
     }
 
     /// Number of registered ASNs.
@@ -58,7 +69,7 @@ impl AllocationRegistry {
         self.asns.len()
     }
 
-    /// Number of registered blocks.
+    /// Number of distinct registered blocks.
     pub fn block_count(&self) -> usize {
         self.blocks.len()
     }
@@ -123,6 +134,24 @@ mod tests {
         assert!(!r.prefix_allocated(&p("84.205.64.0/24"), 99));
         assert!(!r.prefix_allocated(&p("84.206.0.0/24"), 100));
         assert!(r.prefix_allocated(&p("84.205.0.0/16"), 100)); // block itself
+    }
+
+    #[test]
+    fn nested_blocks_with_different_epochs() {
+        // A /16 allocated early and a nested /24 allocated later: the
+        // /24's prefixes must count as allocated from the *earlier* /16
+        // epoch, because any covering block suffices.
+        let mut r = AllocationRegistry::new();
+        r.register_block(p("84.205.0.0/16"), 100);
+        r.register_block(p("84.205.64.0/24"), 500);
+        assert!(r.prefix_allocated(&p("84.205.64.0/24"), 100));
+        assert!(r.prefix_allocated(&p("84.205.64.0/25"), 100));
+        assert!(!r.prefix_allocated(&p("84.205.64.0/24"), 99));
+        assert_eq!(r.block_count(), 2);
+        // Re-registering the same block keeps the earliest epoch.
+        r.register_block(p("84.205.0.0/16"), 900);
+        assert!(r.prefix_allocated(&p("84.205.1.0/24"), 100));
+        assert_eq!(r.block_count(), 2);
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! the paper's Fig. 4 labels the first re-announcement after a withdrawal
 //! against the last announcement before it.
 
-use std::collections::{BTreeMap, HashMap};
+use std::borrow::Borrow;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::mem::size_of;
+use std::sync::Arc;
 
-use kcc_bgp_types::{MessageKind, PathAttributes, Prefix, RouteUpdate};
+use kcc_bgp_types::{FastHashMap, MessageKind, PathAttributes, Prefix, PrefixMap, RouteUpdate};
 use kcc_collector::{ArchiveSource, PeerMeta, SessionKey, UpdateArchive};
 
 use crate::classify::{classify_pair, AnnouncementType, TypeCounts};
@@ -41,8 +45,10 @@ pub struct ClassifiedEvent {
     pub prefix: Prefix,
     /// Classification.
     pub kind: EventKind,
-    /// The announcement's attributes (withdrawals: `None`).
-    pub attrs: Option<PathAttributes>,
+    /// The announcement's attributes (withdrawals: `None`), shared with
+    /// the classifier's interned state — retaining an event costs a
+    /// pointer, not a deep copy.
+    pub attrs: Option<Arc<PathAttributes>>,
 }
 
 impl ClassifiedEvent {
@@ -109,22 +115,77 @@ fn accumulate<'a, I: IntoIterator<Item = &'a ClassifiedEvent>>(c: &mut TypeCount
     }
 }
 
-/// Rough resident-size estimate of one stream's retained attributes —
-/// the per-stream state the constant-memory claim is about.
-fn attrs_footprint(attrs: &PathAttributes) -> usize {
-    size_of::<Prefix>()
-        + size_of::<PathAttributes>()
-        + attrs.as_path.asns().count() * size_of::<kcc_bgp_types::Asn>()
-        + attrs.communities.len() * size_of::<kcc_bgp_types::Community>()
+/// Hash-consing key: an `Arc<PathAttributes>` that hashes and compares
+/// by **value**, and can be probed with a plain `&PathAttributes`
+/// (via `Borrow`) so lookups never allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArcAttrs(Arc<PathAttributes>);
+
+impl Hash for ArcAttrs {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (*self.0).hash(state);
+    }
 }
 
+impl Borrow<PathAttributes> for ArcAttrs {
+    fn borrow(&self) -> &PathAttributes {
+        &self.0
+    }
+}
+
+/// A per-session hash-consed attribute store. Every distinct attribute
+/// set is held once; `bytes` is the exact deep footprint of the distinct
+/// sets currently referenced by stream slots. Refcounts are explicit
+/// (`Cell`, bumped on a shared `get_key_value` probe) rather than
+/// `Arc::strong_count` guesses, so sinks retaining event `Arc`s never
+/// distort the accounting.
+#[derive(Debug, Default)]
+struct AttrStore {
+    entries: FastHashMap<ArcAttrs, Cell<usize>>,
+    bytes: usize,
+}
+
+impl AttrStore {
+    /// The canonical shared handle for `attrs`, refcount bumped. One hash
+    /// lookup when the value is already interned.
+    fn acquire(&mut self, attrs: &Arc<PathAttributes>) -> Arc<PathAttributes> {
+        if let Some((key, count)) = self.entries.get_key_value(&**attrs) {
+            count.set(count.get() + 1);
+            return Arc::clone(&key.0);
+        }
+        self.bytes += attrs.deep_footprint();
+        self.entries.insert(ArcAttrs(Arc::clone(attrs)), Cell::new(1));
+        Arc::clone(attrs)
+    }
+
+    /// Drops one reference; the entry (and its bytes) leave the store
+    /// when the last stream slot stops pointing at it.
+    fn release(&mut self, attrs: &Arc<PathAttributes>) {
+        let count = self.entries.get(&**attrs).expect("released attrs must be interned");
+        let n = count.get();
+        if n > 1 {
+            count.set(n - 1);
+        } else {
+            self.bytes -= attrs.deep_footprint();
+            self.entries.remove(&**attrs);
+        }
+    }
+}
+
+/// Fixed per-stream cost beyond the (shared) attributes: the trie slot's
+/// key and its `Arc` handle.
+const PER_STREAM_OVERHEAD: usize = size_of::<Prefix>() + size_of::<Arc<PathAttributes>>();
+
 /// The incremental §5 classifier for one session: retains exactly one
-/// [`PathAttributes`] per `(prefix)` stream — constant memory per stream
-/// no matter how long the day — and labels each update against it.
+/// (interned, shared) [`PathAttributes`] per `(prefix)` stream — constant
+/// memory per stream no matter how long the day — and labels each update
+/// against it. The stream table is a prefix trie, so lookups walk bits
+/// instead of hashing a 20-byte key and iteration is in canonical prefix
+/// order for free.
 #[derive(Debug, Default)]
 pub struct StreamClassifier {
-    last: HashMap<Prefix, PathAttributes>,
-    state_bytes: usize,
+    last: PrefixMap<Arc<PathAttributes>>,
+    store: AttrStore,
 }
 
 impl StreamClassifier {
@@ -138,9 +199,27 @@ impl StreamClassifier {
         self.last.len()
     }
 
-    /// Estimated bytes of retained state.
+    /// Exact bytes of retained state: the deep footprint of each
+    /// *distinct* attribute set (struct + AS-path segments + all three
+    /// community families, at allocated capacity) counted once, plus a
+    /// fixed per-stream slot overhead.
     pub fn state_bytes(&self) -> usize {
-        self.state_bytes
+        self.store.bytes + self.last.len() * PER_STREAM_OVERHEAD
+    }
+
+    /// Recomputes [`state_bytes`](Self::state_bytes) from scratch by
+    /// walking every stream slot and deduplicating shared attribute sets
+    /// by pointer. The incremental account must always equal this — the
+    /// invariant the property tests pin.
+    pub fn audit_state_bytes(&self) -> usize {
+        let mut seen: HashSet<*const PathAttributes> = HashSet::new();
+        let mut bytes = 0;
+        for a in self.last.values() {
+            if seen.insert(Arc::as_ptr(a)) {
+                bytes += a.deep_footprint();
+            }
+        }
+        bytes + self.last.len() * PER_STREAM_OVERHEAD
     }
 
     /// Classifies one update against its stream predecessor and retains
@@ -148,22 +227,45 @@ impl StreamClassifier {
     pub fn classify(&mut self, u: &RouteUpdate) -> ClassifiedEvent {
         match &u.kind {
             MessageKind::Announcement(attrs) => {
-                let kind = match self.last.get(&u.prefix) {
-                    Some(prev) => EventKind::Classified {
-                        atype: classify_pair(prev, attrs),
-                        med_only: prev.differs_only_in_med(attrs),
-                    },
-                    None => EventKind::Initial,
+                let (kind, retained) = match self.last.get_mut(&u.prefix) {
+                    Some(prev) if Arc::ptr_eq(prev, attrs) => {
+                        // Same shared allocation — byte-identical attrs,
+                        // so this is `nn` with no MED change, and the
+                        // retained state doesn't move.
+                        let kind =
+                            EventKind::Classified { atype: AnnouncementType::Nn, med_only: false };
+                        (kind, Arc::clone(prev))
+                    }
+                    Some(prev) if **prev == **attrs => {
+                        // Value-equal but a different allocation (e.g. a
+                        // re-decoded duplicate): keep the interned copy —
+                        // the store never sees the new handle, so no
+                        // hash traffic and no refcount churn.
+                        let kind =
+                            EventKind::Classified { atype: AnnouncementType::Nn, med_only: false };
+                        (kind, Arc::clone(prev))
+                    }
+                    Some(prev) => {
+                        let kind = EventKind::Classified {
+                            atype: classify_pair(prev, attrs),
+                            med_only: prev.differs_only_in_med(attrs),
+                        };
+                        let shared = self.store.acquire(attrs);
+                        let old = std::mem::replace(prev, Arc::clone(&shared));
+                        self.store.release(&old);
+                        (kind, shared)
+                    }
+                    None => {
+                        let shared = self.store.acquire(attrs);
+                        self.last.insert(u.prefix, Arc::clone(&shared));
+                        (EventKind::Initial, shared)
+                    }
                 };
-                self.state_bytes += attrs_footprint(attrs);
-                if let Some(prev) = self.last.insert(u.prefix, attrs.clone()) {
-                    self.state_bytes -= attrs_footprint(&prev);
-                }
                 ClassifiedEvent {
                     time_us: u.time_us,
                     prefix: u.prefix,
                     kind,
-                    attrs: Some(attrs.clone()),
+                    attrs: Some(retained),
                 }
             }
             MessageKind::Withdrawal => {

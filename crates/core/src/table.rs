@@ -1,8 +1,6 @@
 //! Dataset overview (Table 1) and type shares (Table 2).
 
-use std::collections::HashSet;
-
-use kcc_bgp_types::{Asn, MessageKind, Prefix, RouteUpdate};
+use kcc_bgp_types::{AsPath, Asn, FastHashSet, MessageKind, Prefix, RouteUpdate};
 use kcc_collector::{ArchiveSource, PeerMeta, SessionKey, UpdateArchive};
 
 use crate::classify::{AnnouncementType, TypeCounts};
@@ -40,13 +38,13 @@ pub struct OverviewStats {
 /// update volume — the inherent cost of "uniq." columns.
 #[derive(Debug, Clone, Default)]
 pub struct OverviewSink {
-    v4: HashSet<Prefix>,
-    v6: HashSet<Prefix>,
-    ases: HashSet<u32>,
-    comm_asns: HashSet<u16>,
-    paths: HashSet<String>,
-    sessions: HashSet<SessionKey>,
-    peers: HashSet<Asn>,
+    v4: FastHashSet<Prefix>,
+    v6: FastHashSet<Prefix>,
+    ases: FastHashSet<u32>,
+    comm_asns: FastHashSet<u16>,
+    paths: FastHashSet<AsPath>,
+    sessions: FastHashSet<SessionKey>,
+    peers: FastHashSet<Asn>,
     announcements: u64,
     with_communities: u64,
     withdrawals: u64,
@@ -85,10 +83,15 @@ impl AnalysisSink for OverviewSink {
                 } else {
                     self.v6.insert(u.prefix);
                 }
-                for asn in attrs.as_path.asns() {
-                    self.ases.insert(asn.value());
+                // A path already in `paths` contributed all its ASNs
+                // before — skip the per-hop loop and the clone on the
+                // (dominant) repeat case.
+                if !self.paths.contains(&attrs.as_path) {
+                    for asn in attrs.as_path.asns() {
+                        self.ases.insert(asn.value());
+                    }
+                    self.paths.insert(attrs.as_path.clone());
                 }
-                self.paths.insert(attrs.as_path.to_string());
                 if !attrs.communities.is_empty() {
                     self.with_communities += 1;
                     for c in attrs.communities.iter_classic() {

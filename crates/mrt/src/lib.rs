@@ -40,7 +40,7 @@ pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState};
 pub use error::MrtError;
 pub use reader::MrtReader;
 pub use record::{MrtRecord, MrtTimestamp};
-pub use stream::{StreamedUpdate, UpdateStream};
+pub use stream::{StreamedMessage, StreamedUpdate, UpdateStream};
 pub use tabledump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
 pub use writer::MrtWriter;
 

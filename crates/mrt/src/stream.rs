@@ -13,11 +13,30 @@ use std::io::Read;
 use std::net::IpAddr;
 
 use kcc_bgp_types::{Asn, RouteUpdate};
-use kcc_bgp_wire::Message;
+use kcc_bgp_wire::{Message, UpdatePacket};
 
 use crate::error::MrtError;
 use crate::reader::MrtReader;
 use crate::record::MrtRecord;
+
+/// One whole BGP4MP MESSAGE record, pre-explosion: session identity,
+/// normalized timestamp, and the decoded UPDATE packet. Consuming at this
+/// granularity lets callers resolve the session **once per record**
+/// instead of once per prefix — real UPDATEs pack many prefixes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedMessage {
+    /// The peer that sent the message.
+    pub peer_asn: Asn,
+    /// The peer's session address.
+    pub peer_ip: IpAddr,
+    /// True when the record carried only second resolution (plain
+    /// `BGP4MP`, not `_ET`).
+    pub second_granularity: bool,
+    /// Microseconds since the stream's epoch.
+    pub time_us: u64,
+    /// The decoded UPDATE packet (possibly many prefixes).
+    pub packet: UpdatePacket,
+}
 
 /// One update extracted from a BGP4MP MESSAGE record, with the session
 /// identity and timestamp granularity the record carried.
@@ -89,19 +108,22 @@ impl<R: Read> UpdateStream<R> {
         self.reader.records_read()
     }
 
-    /// The next update; `Ok(None)` at clean EOF.
-    pub fn next_update(&mut self) -> Result<Option<StreamedUpdate>, MrtError> {
+    /// The next whole UPDATE message; `Ok(None)` at clean EOF.
+    ///
+    /// This is the record-granularity hot path: the packet is moved out of
+    /// the record (no copy), and the caller amortizes session resolution
+    /// over every prefix the packet carries. Do not interleave with
+    /// [`next_update`](Self::next_update) — that method queues exploded
+    /// updates which this one does not drain.
+    pub fn next_message(&mut self) -> Result<Option<StreamedMessage>, MrtError> {
         loop {
-            if let Some(u) = self.pending.pop_front() {
-                return Ok(Some(u));
-            }
             let Some(record) = self.reader.next_record()? else {
                 return Ok(None);
             };
             let MrtRecord::Message(m) = record else {
                 continue; // state changes / RIB dumps are not update traffic
             };
-            let Message::Update(packet) = &m.message else {
+            let Message::Update(packet) = m.message else {
                 continue;
             };
             let ts = m.timestamp;
@@ -116,11 +138,30 @@ impl<R: Read> UpdateStream<R> {
             }
             let rel_seconds = ts.seconds.saturating_sub(self.epoch_seconds) as u64;
             let time_us = rel_seconds * 1_000_000 + ts.microseconds.unwrap_or(0) as u64;
-            for update in packet.explode(time_us) {
+            return Ok(Some(StreamedMessage {
+                peer_asn: m.peer_asn,
+                peer_ip: m.peer_ip,
+                second_granularity: ts.is_second_granularity(),
+                time_us,
+                packet,
+            }));
+        }
+    }
+
+    /// The next update; `Ok(None)` at clean EOF.
+    pub fn next_update(&mut self) -> Result<Option<StreamedUpdate>, MrtError> {
+        loop {
+            if let Some(u) = self.pending.pop_front() {
+                return Ok(Some(u));
+            }
+            let Some(msg) = self.next_message()? else {
+                return Ok(None);
+            };
+            for update in msg.packet.into_route_updates(msg.time_us) {
                 self.pending.push_back(StreamedUpdate {
-                    peer_asn: m.peer_asn,
-                    peer_ip: m.peer_ip,
-                    second_granularity: ts.is_second_granularity(),
+                    peer_asn: msg.peer_asn,
+                    peer_ip: msg.peer_ip,
+                    second_granularity: msg.second_granularity,
                     update,
                 });
             }
@@ -219,6 +260,25 @@ mod tests {
         assert_eq!(second.update.time_us, 9);
         assert!(s.next_update().unwrap().is_none());
         assert_eq!(s.pre_epoch_clamped(), 1, "exactly the pre-epoch record is counted");
+    }
+
+    #[test]
+    fn next_message_yields_whole_packets() {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&message(100, Some(250), false)).unwrap();
+        w.write_record(&message(101, None, true)).unwrap();
+        let bytes = w.into_inner();
+
+        let mut s = UpdateStream::new(&bytes[..], 100);
+        let first = s.next_message().unwrap().unwrap();
+        assert_eq!(first.time_us, 250);
+        assert_eq!(first.peer_asn, Asn(20_205));
+        assert!(!first.second_granularity);
+        assert_eq!(first.packet.nlri.len(), 1);
+        let second = s.next_message().unwrap().unwrap();
+        assert_eq!(second.time_us, 1_000_000);
+        assert_eq!(second.packet.withdrawn.len(), 1);
+        assert!(s.next_message().unwrap().is_none());
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn main() {
             rec.updates.iter_mut().find(|u| matches!(u.kind, MessageKind::Announcement(_)))
         {
             if let MessageKind::Announcement(attrs) = &mut u.kind {
+                let attrs = std::sync::Arc::make_mut(attrs);
                 attrs
                     .communities
                     .insert(keep_communities_clean::types::community::well_known::BLACKHOLE);

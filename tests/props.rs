@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use keep_communities_clean::analysis::table::{overview, OverviewSink};
 use keep_communities_clean::analysis::{
     classify_archive, classify_pair, run_pipeline, run_sharded, AnnouncementType,
-    ClassifiedArchiveSink, CountsSink, MrtSource, TypeCounts,
+    ClassifiedArchiveSink, CountsSink, MrtSource, StreamClassifier, TypeCounts,
 };
 use keep_communities_clean::collector::timestamps::normalize_timestamps;
 use keep_communities_clean::collector::{ArchiveSource, SessionKey, UpdateArchive};
@@ -555,6 +555,109 @@ proptest! {
         open.encode_body(&mut third_src);
         // Re-encoding the decoded OPEN must reproduce the bytes exactly.
         prop_assert_eq!(second.freeze().to_vec(), third_src.freeze().to_vec());
+    }
+
+    /// The classifier's incremental memory account is exact: after every
+    /// step of an arbitrary announce/withdraw interleaving with
+    /// mixed-family community sets (classic + extended + large),
+    /// `state_bytes` equals the from-scratch recomputation over live
+    /// stream slots — the running sum never drifts or underflows, no
+    /// matter how attribute sets are shared, replaced or re-announced.
+    #[test]
+    fn state_bytes_always_equals_audit(
+        steps in vec((0u8..4, any::<bool>(), arb_full_attrs(), any::<bool>()), 0..60),
+    ) {
+        let prefixes = ["84.205.64.0/24", "84.205.65.0/24", "10.1.0.0/16", "2001:7fb:fe00::/48"];
+        let mut classifier = StreamClassifier::new();
+        let mut shared: Option<std::sync::Arc<PathAttributes>> = None;
+        for (i, (p, withdraw, attrs, reuse)) in steps.into_iter().enumerate() {
+            let prefix: Prefix = prefixes[p as usize].parse().unwrap();
+            let u = if withdraw {
+                RouteUpdate::withdraw(i as u64, prefix)
+            } else {
+                // Alternate fresh allocations with re-sent shared handles
+                // so the interner sees both replace and refcount paths.
+                let handle = match (&shared, reuse) {
+                    (Some(a), true) => std::sync::Arc::clone(a),
+                    _ => {
+                        let a = std::sync::Arc::new(attrs);
+                        shared = Some(std::sync::Arc::clone(&a));
+                        a
+                    }
+                };
+                RouteUpdate::announce(i as u64, prefix, handle)
+            };
+            classifier.classify(&u);
+            let (incremental, audited) = (classifier.state_bytes(), classifier.audit_state_bytes());
+            prop_assert!(
+                incremental == audited,
+                "incremental account drifted after step {}: {} != {}",
+                i,
+                incremental,
+                audited
+            );
+        }
+    }
+
+    /// Interning is invisible to classification: a stream whose
+    /// announcements share one allocation per attribute set produces the
+    /// identical event sequence to the same stream with every update
+    /// deep-copied into its own allocation.
+    #[test]
+    fn interned_and_owned_attrs_classify_identically(
+        steps in vec((0u8..3, any::<bool>(), arb_full_attrs(), any::<bool>()), 0..60),
+    ) {
+        let prefixes = ["84.205.64.0/24", "84.205.65.0/24", "2001:7fb:fe00::/48"];
+        let mut last: Option<std::sync::Arc<PathAttributes>> = None;
+        let updates: Vec<RouteUpdate> = steps
+            .into_iter()
+            .enumerate()
+            .map(|(i, (p, withdraw, attrs, reuse))| {
+                let prefix: Prefix = prefixes[p as usize].parse().unwrap();
+                if withdraw {
+                    RouteUpdate::withdraw(i as u64, prefix)
+                } else {
+                    let handle = match (&last, reuse) {
+                        (Some(a), true) => std::sync::Arc::clone(a),
+                        _ => {
+                            let a = std::sync::Arc::new(attrs);
+                            last = Some(std::sync::Arc::clone(&a));
+                            a
+                        }
+                    };
+                    RouteUpdate::announce(i as u64, prefix, handle)
+                }
+            })
+            .collect();
+        let owned: Vec<RouteUpdate> = updates
+            .iter()
+            .map(|u| match u.attributes() {
+                Some(attrs) => RouteUpdate::announce(u.time_us, u.prefix, attrs.clone()),
+                None => RouteUpdate::withdraw(u.time_us, u.prefix),
+            })
+            .collect();
+
+        let mut a = StreamClassifier::new();
+        let mut b = StreamClassifier::new();
+        for (u_shared, u_owned) in updates.iter().zip(&owned) {
+            let ea = a.classify(u_shared);
+            let eb = b.classify(u_owned);
+            prop_assert_eq!(ea.kind, eb.kind);
+            prop_assert_eq!(ea.time_us, eb.time_us);
+            prop_assert_eq!(ea.prefix, eb.prefix);
+            // Attribute *values* must match; allocations may differ.
+            prop_assert_eq!(
+                ea.attrs.as_deref(),
+                eb.attrs.as_deref()
+            );
+        }
+        prop_assert_eq!(a.stream_count(), b.stream_count());
+        // Footprints are *capacity*-based, so the two classifiers may
+        // legitimately account different byte totals for value-equal sets
+        // (a `clone` can shrink capacity) — but each account must agree
+        // with its own audit.
+        prop_assert_eq!(a.state_bytes(), a.audit_state_bytes());
+        prop_assert_eq!(b.state_bytes(), b.audit_state_bytes());
     }
 
     /// The codec refuses the RFC 4271 §4.2 illegal hold times (1–2 s) at

@@ -147,6 +147,7 @@ proptest! {
                     .find(|u| matches!(u.kind, MessageKind::Announcement(_)))
                 {
                     if let MessageKind::Announcement(attrs) = &mut u.kind {
+                        let attrs = Arc::make_mut(attrs);
                         attrs.communities.insert(
                             keep_communities_clean::types::community::well_known::BLACKHOLE,
                         );
