@@ -485,6 +485,37 @@ mod tests {
     }
 
     #[test]
+    fn live_scaling_sweep_shape_gates_every_point() {
+        // The exact shape bench_live emits: one array entry per peer
+        // count. Every point's rate must pair by path, and a vanished
+        // point (say the 5000-session one regressing out of the sweep)
+        // must fail the gate as a missing key, not pass silently.
+        let base = Parser::parse(
+            r#"{"bench":"live","results":[
+                {"peers":4,"updates":100000,"seconds":0.9,"updates_per_sec":110000},
+                {"peers":64,"updates":100000,"seconds":0.8,"updates_per_sec":126000},
+                {"peers":1000,"updates":100000,"seconds":0.9,"updates_per_sec":111000},
+                {"peers":5000,"updates":100000,"seconds":1.2,"updates_per_sec":80000}]}"#,
+        )
+        .unwrap();
+        let full = compare(&base, &base);
+        assert!(full.missing.is_empty());
+        assert_eq!(full.deltas.len(), 4, "one gated rate per sweep point");
+        assert!(full.deltas.iter().all(|d| d.path.starts_with("results[")));
+
+        let truncated = Parser::parse(
+            r#"{"bench":"live","results":[
+                {"peers":4,"updates":100000,"seconds":0.9,"updates_per_sec":110000}]}"#,
+        )
+        .unwrap();
+        let cmp = compare(&base, &truncated);
+        for point in 1..4 {
+            let key = format!("results[{point}].updates_per_sec");
+            assert!(cmp.missing.contains(&key), "{key} must fail the gate: {:?}", cmp.missing);
+        }
+    }
+
+    #[test]
     fn summary_marks_out_of_range_rows() {
         let deltas = vec![
             Delta { path: "a.updates_per_sec".into(), baseline: 100.0, measured: 120.0 },

@@ -18,6 +18,15 @@
 //! `--watch` adds the CommunityWatch detection sink to the live
 //! pipeline; the shutdown summary then ends with the typed alert list
 //! (path, rate and outage checks over the whole capture).
+//!
+//! Sessions run on the event-driven reactor: `--workers N` sets the
+//! shard-thread count (a handful of workers carries thousands of
+//! sessions) and `--poller epoll|poll` pins the readiness backend.
+//! `--control ADDR` opens the line-protocol control socket — peers,
+//! listeners, stamping, MRT rotation and trace levels are then
+//! hot-reloadable (`echo "set stamp arrival" | nc ...; echo commit | …`).
+//! `--trace TARGET=LEVEL` (repeatable) and `--trace-default LEVEL` seed
+//! the runtime trace filter.
 
 use std::net::IpAddr;
 use std::time::Duration;
@@ -26,13 +35,18 @@ use kcc_bgp_types::Asn;
 use kcc_core::pipeline::PipelineBuilder;
 use kcc_core::table::{OverviewSink, TypeShares};
 use kcc_core::{CountsSink, WatchConfig, WatchReport, WatchSink};
-use kcc_peer::{Collector, CollectorConfig, RotateConfig, StampMode};
+use kcc_peer::{
+    Collector, CollectorConfig, ControlServer, PollerKind, RotateConfig, StampMode, TraceLevel,
+};
 
 struct Options {
     listen: String,
     cfg: CollectorConfig,
     duration_secs: u64,
     watch: bool,
+    control: Option<String>,
+    trace_default: Option<TraceLevel>,
+    trace_targets: Vec<(String, TraceLevel)>,
 }
 
 fn parse_args() -> Options {
@@ -42,6 +56,9 @@ fn parse_args() -> Options {
     let mut mrt_dir: Option<String> = None;
     let mut mrt_rotate = 100_000u64;
     let mut watch = false;
+    let mut control: Option<String> = None;
+    let mut trace_default: Option<TraceLevel> = None;
+    let mut trace_targets: Vec<(String, TraceLevel)> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -107,6 +124,44 @@ fn parse_args() -> Options {
                 }
             }
             "--watch" => watch = true,
+            "--workers" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.reactor.workers = v;
+                }
+            }
+            "--poller" => match it.next().map(String::as_str) {
+                Some("epoll") => cfg.reactor.poller = PollerKind::Epoll,
+                Some("poll") => cfg.reactor.poller = PollerKind::Poll,
+                Some("auto") => cfg.reactor.poller = PollerKind::Auto,
+                other => {
+                    eprintln!("kccd: --poller wants 'epoll', 'poll' or 'auto', got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--control" => control = it.next().cloned(),
+            "--trace-default" => {
+                trace_default = it.next().and_then(|s| TraceLevel::parse(s));
+                if trace_default.is_none() {
+                    eprintln!("kccd: --trace-default wants off|error|info|debug|trace");
+                    std::process::exit(2);
+                }
+            }
+            "--trace" => {
+                // TARGET=LEVEL, repeatable.
+                let parsed =
+                    it.next().and_then(|v| v.split_once('=')).and_then(|(target, level)| {
+                        TraceLevel::parse(level).map(|l| (target.to_owned(), l))
+                    });
+                match parsed {
+                    Some(pair) => trace_targets.push(pair),
+                    None => {
+                        eprintln!(
+                            "kccd: --trace wants TARGET=LEVEL (level: off|error|info|debug|trace)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("kccd: unknown argument {other}");
                 std::process::exit(2);
@@ -116,7 +171,7 @@ fn parse_args() -> Options {
     if let Some(dir) = mrt_dir {
         cfg.mrt = Some(RotateConfig::new(dir, mrt_rotate));
     }
-    Options { listen, cfg, duration_secs, watch }
+    Options { listen, cfg, duration_secs, watch, control, trace_default, trace_targets }
 }
 
 fn main() {
@@ -136,6 +191,33 @@ fn main() {
         opts.cfg.local_asn,
         collector.local_addr()
     );
+
+    // Seed the runtime trace filter from the CLI (one commit before any
+    // peer dials in).
+    let store = collector.config_store();
+    if opts.trace_default.is_some() || !opts.trace_targets.is_empty() {
+        store.edit(|c| {
+            if let Some(level) = opts.trace_default {
+                c.trace.default = level;
+            }
+            for (target, level) in &opts.trace_targets {
+                c.trace.targets.insert(target.clone(), *level);
+            }
+        });
+        store.commit();
+    }
+
+    // The control socket shares the daemon's shutdown flag, so it exits
+    // with the collector.
+    let control = opts.control.as_ref().map(|addr| {
+        let server =
+            ControlServer::bind(addr, store, collector.shutdown_handle()).unwrap_or_else(|e| {
+                eprintln!("kccd: cannot bind control socket {addr}: {e}");
+                std::process::exit(1);
+            });
+        println!("kccd: control socket on {}", server.local_addr());
+        server
+    });
 
     if opts.duration_secs > 0 {
         // Trigger the *daemon* shutdown, not the source flag: sessions
@@ -177,6 +259,9 @@ fn main() {
     // Shutdown: Cease every session, join every thread, then report.
     collector.shutdown();
     let stats = collector.join();
+    if let Some(server) = control {
+        server.join();
+    }
 
     println!();
     println!("{}", overview.finish().render("Table 1 — live capture"));
@@ -184,8 +269,8 @@ fn main() {
     println!("{}", TypeShares::new(vec![("live".into(), counts.finish())]).render());
     println!();
     println!(
-        "sessions: {} accepted, {} established, {} distinct, {} closed",
-        stats.accepted, stats.established, stats.sessions, stats.closed
+        "sessions: {} accepted, {} established ({} peak concurrent), {} distinct, {} closed",
+        stats.accepted, stats.established, stats.peak_established, stats.sessions, stats.closed
     );
     println!(
         "updates: {} ingested ({} kept by pipeline, {} streams, peak state {} B)",

@@ -1,11 +1,19 @@
 //! The multi-peer live collector daemon.
 //!
 //! A [`Collector`] is the in-process form of `kccd`: it listens on a TCP
-//! socket, runs one RFC 4271 session per inbound connection (via
-//! [`crate::runner`]), stamps arriving UPDATEs, optionally tees them into
-//! rotating MRT dumps ([`crate::rotate`]), and feeds everything to a
-//! [`LiveSource`] so `kcc_core`'s pipeline — and with it every existing
-//! analysis sink — runs over live traffic unchanged.
+//! socket, runs one RFC 4271 session per inbound connection on the
+//! event-driven [`crate::reactor`] (thousands of sessions over a bounded
+//! worker pool — no thread per session), stamps arriving UPDATEs,
+//! optionally tees them into rotating MRT dumps ([`crate::rotate`]), and
+//! feeds everything to a [`LiveSource`] so `kcc_core`'s pipeline — and
+//! with it every existing analysis sink — runs over live traffic
+//! unchanged.
+//!
+//! The daemon is hot-reloadable: [`Collector::config_store`] exposes the
+//! running/candidate [`ConfigStore`] (peers, listeners, stamping,
+//! rotation, trace levels), and a commit propagates to the reactor
+//! shards and the ingest loop within one poll interval — no restart, no
+//! disturbance to sessions the change does not name.
 //!
 //! ## Session identity
 //!
@@ -30,7 +38,8 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, ToSocketAddrs};
-use std::sync::mpsc::{self, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,9 +48,12 @@ use kcc_bgp_types::Asn;
 use kcc_collector::{LiveSource, PeerMeta, SessionKey, ShutdownFlag, SourceItem, UpdateArchive};
 
 use crate::clock::{Clock, WallClock};
+use crate::config::{ConfigStore, DaemonConfig};
 use crate::fsm::FsmConfig;
-use crate::rotate::{MrtRotator, RotateConfig};
-use crate::runner::{serve_inbound, SessionEvent};
+use crate::reactor::{self, LiveGauges, ReactorConfig, SessionEvent};
+use crate::rotate::MrtRotator;
+use crate::sys::PollerKind;
+use crate::trace::TraceLevel;
 
 /// How arriving updates are timestamped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +87,9 @@ pub enum SessionIdentity {
     SourceAddr,
 }
 
-/// Daemon configuration.
+/// Daemon configuration. The hot-reloadable subset (stamp, route
+/// servers, MRT rotation) seeds the daemon's [`ConfigStore`]; the rest —
+/// identity, epoch, reactor shape — is fixed at bind time.
 #[derive(Debug, Clone)]
 pub struct CollectorConfig {
     /// Collector name used in session keys and MRT re-analysis.
@@ -96,7 +110,9 @@ pub struct CollectorConfig {
     /// mirrors `MrtSource::with_route_servers`).
     pub route_servers: Vec<(Asn, IpAddr)>,
     /// Rotating MRT dumps, if wanted.
-    pub mrt: Option<RotateConfig>,
+    pub mrt: Option<crate::rotate::RotateConfig>,
+    /// Event-loop shape: worker count, poller backend, buffer caps.
+    pub reactor: ReactorConfig,
 }
 
 impl CollectorConfig {
@@ -112,6 +128,7 @@ impl CollectorConfig {
             identity: SessionIdentity::BgpId,
             route_servers: Vec::new(),
             mrt: None,
+            reactor: ReactorConfig::default(),
         }
     }
 
@@ -128,7 +145,7 @@ impl CollectorConfig {
     }
 
     /// Enables rotating MRT dumps.
-    pub fn with_mrt(mut self, rotate: RotateConfig) -> Self {
+    pub fn with_mrt(mut self, rotate: crate::rotate::RotateConfig) -> Self {
         self.mrt = Some(rotate);
         self
     }
@@ -137,6 +154,28 @@ impl CollectorConfig {
     pub fn with_hold_time(mut self, seconds: u16) -> Self {
         self.hold_time = seconds;
         self
+    }
+
+    /// Sets the reactor worker count (shard threads; workers ≪ sessions).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.reactor.workers = workers;
+        self
+    }
+
+    /// Selects the readiness backend.
+    pub fn with_poller(mut self, poller: PollerKind) -> Self {
+        self.reactor.poller = poller;
+        self
+    }
+
+    /// The hot-reloadable subset, as the initial running config.
+    fn daemon_config(&self) -> DaemonConfig {
+        DaemonConfig {
+            stamp: self.stamp,
+            route_servers: self.route_servers.clone(),
+            mrt: self.mrt.clone(),
+            ..DaemonConfig::default()
+        }
     }
 }
 
@@ -147,6 +186,8 @@ pub struct CollectorStats {
     pub accepted: u64,
     /// Sessions that completed the handshake.
     pub established: u64,
+    /// High-water mark of *concurrently* Established sessions.
+    pub peak_established: u64,
     /// Distinct session keys seen.
     pub sessions: u64,
     /// Per-prefix updates ingested (UPDATE packets are exploded).
@@ -166,8 +207,10 @@ pub struct Collector {
     local_addr: SocketAddr,
     shutdown: ShutdownFlag,
     source: Option<LiveSource>,
-    accept_handle: Option<JoinHandle<u64>>,
+    reactor: Option<reactor::Reactor>,
     ingest_handle: Option<JoinHandle<CollectorStats>>,
+    store: Arc<ConfigStore>,
+    gauges: Arc<LiveGauges>,
 }
 
 impl std::fmt::Debug for Collector {
@@ -191,39 +234,47 @@ impl Collector {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
 
+        // Fail at bind time if the configured MRT directory is unusable,
+        // not after the daemon is already accepting peers.
+        let rotator = match &cfg.mrt {
+            Some(rc) => match MrtRotator::new(rc.clone(), cfg.epoch_seconds) {
+                Ok(r) => Some(r),
+                Err(e) => return Err(io::Error::other(format!("MRT rotator: {e}"))),
+            },
+            None => None,
+        };
+
+        let store = Arc::new(ConfigStore::new(cfg.daemon_config()));
         let shutdown = ShutdownFlag::new();
         let (event_tx, event_rx) = mpsc::channel::<SessionEvent>();
         let (live_tx, live_source) = LiveSource::channel();
 
-        let accept_handle = {
-            let shutdown = shutdown.clone();
-            let clock = Arc::clone(&clock);
-            let fsm_cfg = FsmConfig::new(cfg.local_asn, cfg.bgp_id).with_hold_time(cfg.hold_time);
-            std::thread::spawn(move || accept_loop(listener, fsm_cfg, clock, event_tx, shutdown))
-        };
+        let fsm_cfg = FsmConfig::new(cfg.local_asn, cfg.bgp_id).with_hold_time(cfg.hold_time);
+        let reactor = reactor::spawn(
+            listener,
+            fsm_cfg,
+            Arc::clone(&clock),
+            event_tx,
+            shutdown.clone(),
+            Arc::clone(&store),
+            cfg.reactor.clone(),
+        )?;
+        let gauges = reactor.gauges();
 
         let ingest_handle = {
-            let rotator = match &cfg.mrt {
-                Some(rc) => match MrtRotator::new(rc.clone(), cfg.epoch_seconds) {
-                    Ok(r) => Some(r),
-                    Err(e) => {
-                        return Err(io::Error::other(format!("MRT rotator: {e}")));
-                    }
-                },
-                None => None,
-            };
-            let clock = Arc::clone(&clock);
-            std::thread::spawn(move || ingest_loop(cfg, clock, event_rx, live_tx, rotator))
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || ingest_loop(cfg, clock, event_rx, live_tx, rotator, store))
         };
 
         Ok(Collector {
             local_addr,
             shutdown,
             source: Some(live_source),
-            accept_handle: Some(accept_handle),
+            reactor: Some(reactor),
             ingest_handle: Some(ingest_handle),
+            store,
+            gauges,
         })
     }
 
@@ -232,9 +283,30 @@ impl Collector {
         self.local_addr
     }
 
+    /// Every address currently accepting connections — the primary bind
+    /// plus any committed extra listeners.
+    pub fn listen_addrs(&self) -> Vec<SocketAddr> {
+        match &self.reactor {
+            Some(r) => r.listen_addrs(),
+            None => Vec::new(),
+        }
+    }
+
     /// The live update source. Panics if taken twice.
     pub fn take_source(&mut self) -> LiveSource {
         self.source.take().expect("LiveSource already taken")
+    }
+
+    /// The running/candidate configuration store — edit, commit, and the
+    /// daemon picks the change up within one poll interval.
+    pub fn config_store(&self) -> Arc<ConfigStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Live counters (current/peak Established, accepted) readable while
+    /// the daemon runs.
+    pub fn gauges(&self) -> Arc<LiveGauges> {
+        Arc::clone(&self.gauges)
     }
 
     /// Requests shutdown: stop accepting, Cease every session, close the
@@ -256,66 +328,19 @@ impl Collector {
     /// Call [`Collector::shutdown`] first (or have every peer disconnect
     /// — the accept loop still needs the flag to stop).
     pub fn join(mut self) -> CollectorStats {
-        let accepted = match self.accept_handle.take() {
-            Some(h) => h.join().unwrap_or(0),
-            None => 0,
-        };
+        if let Some(r) = self.reactor.take() {
+            r.join();
+        }
         let mut stats = CollectorStats::default();
         if let Some(h) = self.ingest_handle.take() {
             if let Ok(s) = h.join() {
                 stats = s;
             }
         }
-        stats.accepted = accepted;
+        stats.accepted = self.gauges.accepted.load(Ordering::Relaxed);
+        stats.peak_established = self.gauges.peak_established.load(Ordering::Relaxed);
         stats
     }
-}
-
-/// Accepts connections until shutdown; joins every session thread before
-/// returning. Returns the number of accepted connections.
-fn accept_loop(
-    listener: TcpListener,
-    fsm_cfg: FsmConfig,
-    clock: Arc<dyn Clock>,
-    events: Sender<SessionEvent>,
-    shutdown: ShutdownFlag,
-) -> u64 {
-    let mut accepted = 0u64;
-    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
-    while !shutdown.is_triggered() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                accepted += 1;
-                let _ = stream.set_nodelay(true);
-                let cfg = fsm_cfg.clone();
-                let clock = Arc::clone(&clock);
-                let tx = events.clone();
-                let flag = shutdown.clone();
-                sessions.push(std::thread::spawn(move || {
-                    serve_inbound(stream, cfg, clock, tx, flag);
-                }));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => {
-                // Transient accept failures (peer reset before accept,
-                // fd pressure) must not kill a long-running daemon; back
-                // off and keep listening. The shutdown flag is the only
-                // way out.
-                std::thread::sleep(Duration::from_millis(100));
-            }
-        }
-        // Reap finished session threads so a long-lived daemon does not
-        // accumulate handles.
-        sessions.retain(|h| !h.is_finished());
-    }
-    for h in sessions {
-        let _ = h.join();
-    }
-    accepted
-    // `events` drops here: with every session thread joined, the ingest
-    // channel closes and the ingest loop finishes.
 }
 
 struct LiveSession {
@@ -323,22 +348,72 @@ struct LiveSession {
     next_index: u64,
 }
 
+/// How often the ingest loop re-checks the config generation while no
+/// events arrive.
+const INGEST_POLL: Duration = Duration::from_millis(100);
+
 /// Converts session events into stamped `SourceItem`s (and MRT records)
-/// until every event sender is gone.
+/// until every reactor shard is gone, re-reading the running config
+/// (stamp mode, route servers, MRT rotation) whenever its generation
+/// moves.
 fn ingest_loop(
     cfg: CollectorConfig,
     clock: Arc<dyn Clock>,
     events: mpsc::Receiver<SessionEvent>,
     live: Sender<SourceItem>,
     mut rotator: Option<MrtRotator>,
+    store: Arc<ConfigStore>,
 ) -> CollectorStats {
     let mut stats = CollectorStats::default();
     // Keyed by the Copy pair (ASN, IP) — the collector name is constant
     // for this daemon, and the full SessionKey would cost a String
     // allocation per UPDATE on this single-threaded hot path.
     let mut sessions: HashMap<(Asn, IpAddr), LiveSession> = HashMap::new();
+    let mut running = store.running();
+    let mut last_gen = store.generation();
+    // MRT files closed out by hot-swaps, folded into the final stats.
+    let mut swapped_records = 0u64;
+    let mut swapped_files: Vec<std::path::PathBuf> = Vec::new();
 
-    while let Ok(event) = events.recv() {
+    loop {
+        let event = match events.recv_timeout(INGEST_POLL) {
+            Ok(event) => Some(event),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+
+        let gen = store.generation();
+        if gen != last_gen {
+            last_gen = gen;
+            let new = store.running();
+            if new.mrt != running.mrt {
+                // Hot-swap rotation: finish the old dump files cleanly
+                // so a concurrent reader only ever sees complete files.
+                if let Some(rot) = rotator.take() {
+                    swapped_records += rot.total_records();
+                    if let Ok(files) = rot.finish() {
+                        swapped_files.extend(files);
+                    }
+                }
+                rotator = new.mrt.as_ref().and_then(|rc| {
+                    match MrtRotator::new(rc.clone(), cfg.epoch_seconds) {
+                        Ok(r) => Some(r),
+                        Err(e) => {
+                            store.trace().log("ingest", TraceLevel::Error, || {
+                                format!("MRT rotator swap failed: {e}")
+                            });
+                            None
+                        }
+                    }
+                });
+            }
+            store.trace().log("ingest", TraceLevel::Debug, || {
+                format!("ingest applying config generation {gen}")
+            });
+            running = new;
+        }
+
+        let Some(event) = event else { continue };
         match event {
             SessionEvent::Established { info, remote } => {
                 stats.established += 1;
@@ -349,7 +424,7 @@ fn ingest_loop(
                 if let std::collections::hash_map::Entry::Vacant(e) =
                     sessions.entry((info.peer_asn, peer_ip))
                 {
-                    let route_server = cfg
+                    let route_server = running
                         .route_servers
                         .iter()
                         .any(|&(asn, ip)| asn == info.peer_asn && ip == peer_ip);
@@ -376,7 +451,7 @@ fn ingest_loop(
                 // `offline_reference` exactly (the n-th per-session
                 // update is n × spacing, packet boundaries irrelevant).
                 for mut update in packet.explode(0) {
-                    update.time_us = match cfg.stamp {
+                    update.time_us = match running.stamp {
                         StampMode::Arrival => clock.now_ms() * 1_000,
                         StampMode::Logical { spacing_us } => session.next_index * spacing_us,
                     };
@@ -395,10 +470,12 @@ fn ingest_loop(
         }
     }
 
+    stats.mrt_records = swapped_records;
+    stats.mrt_files = swapped_files;
     if let Some(rot) = rotator {
-        stats.mrt_records = rot.total_records();
+        stats.mrt_records += rot.total_records();
         if let Ok(files) = rot.finish() {
-            stats.mrt_files = files;
+            stats.mrt_files.extend(files);
         }
     }
     stats

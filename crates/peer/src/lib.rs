@@ -15,28 +15,49 @@
 //!   tests),
 //! * [`transport`]: BGP message framing over `std::io` byte streams —
 //!   length-prefixed reads, capability-aware decode configuration,
-//! * [`runner`]: drives one inbound session over a real `TcpStream` with
-//!   a reader thread and the FSM loop,
+//! * [`sys`]: raw readiness syscalls (epoll on Linux, `poll(2)`
+//!   portable) behind one `Poller` trait — the only module allowed to
+//!   use `unsafe`, and only for straight FFI,
+//! * [`reactor`]: the event-driven session engine — thousands of
+//!   nonblocking sessions (resumable framing, capped write backlogs, a
+//!   timer wheel driven by the FSM's deadlines) multiplexed over a
+//!   bounded pool of shard threads,
+//! * [`config`]: the running/candidate [`ConfigStore`] with
+//!   commit/discard semantics — peers, listeners, stamping, rotation and
+//!   trace levels hot-reload into a live daemon,
+//! * [`trace`]: the dynamic per-target trace filter (runtime-adjustable
+//!   verbosity with a lock-free off fast path),
+//! * [`control`]: the line-protocol control socket driving the config
+//!   store from outside the process,
 //! * [`active`]: the outbound speaker (used by the `bgp-sim` loopback
 //!   bridge and benchmarks): dial, handshake through the same FSM, then
 //!   stream UPDATEs,
+//! * [`flood`]: the nonblocking many-session load rig — drives
+//!   thousands of concurrent inbound sessions from a single thread, for
+//!   soaks and scaling benchmarks,
 //! * [`rotate`]: periodic MRT dump rotation, so live capture round-trips
 //!   through the same offline files a RouteViews/RIS download would,
-//! * [`collector`]: the multi-peer collector daemon — accept loop,
-//!   per-session threads, arrival stamping, MRT rotation, and a
-//!   [`kcc_collector::LiveSource`] feeding `kcc_core`'s pipeline.
+//! * [`collector`]: the multi-peer collector daemon — reactor-backed
+//!   accept loop, session registry, arrival stamping, MRT rotation, and
+//!   a [`kcc_collector::LiveSource`] feeding `kcc_core`'s pipeline.
 //!
-//! Everything is `std`-only: threads and channels, no async runtime.
+//! Everything is `std`-only: no async runtime, no external event
+//! library — the reactor sits directly on `epoll`/`poll`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod active;
 pub mod clock;
 pub mod collector;
+pub mod config;
+pub mod control;
+pub mod flood;
 pub mod fsm;
+pub mod reactor;
 pub mod rotate;
-pub mod runner;
+pub mod sys;
+pub mod trace;
 pub mod transport;
 
 pub use active::{ActiveSpeaker, PeerError};
@@ -44,7 +65,12 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use collector::{
     offline_reference, Collector, CollectorConfig, CollectorStats, SessionIdentity, StampMode,
 };
+pub use config::{ConfigStore, DaemonConfig, PeerPolicy};
+pub use control::ControlServer;
+pub use flood::{FloodOptions, FloodPlan, FloodReport, FloodRig};
 pub use fsm::{Action, DownReason, EstablishedInfo, Fsm, FsmConfig, FsmEvent, State};
+pub use reactor::{LiveGauges, ReactorConfig, SessionEvent};
 pub use rotate::{MrtRotator, RotateConfig};
-pub use runner::{serve_inbound, SessionEvent};
+pub use sys::PollerKind;
+pub use trace::{TraceConfig, TraceFilter, TraceLevel};
 pub use transport::{read_message, write_message, write_update, MessageReader};

@@ -17,7 +17,7 @@ use kcc_collector::PeerMeta;
 use kcc_mrt::{MrtError, MrtWriter};
 
 /// Rotation policy and naming.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RotateConfig {
     /// Directory the dump files are written into.
     pub dir: PathBuf,

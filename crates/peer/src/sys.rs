@@ -1,0 +1,586 @@
+//! Raw readiness-notification syscalls behind a portable [`Poller`] trait.
+//!
+//! The reactor needs one thing from the OS: "tell me which of these
+//! thousands of file descriptors are readable/writable, or wake me at a
+//! deadline". On Linux that is `epoll` (O(ready) per wait); everywhere
+//! POSIX it is `poll` (O(registered) per wait). Both are declared here as
+//! raw `extern "C"` bindings — std already links libc, so this costs no
+//! new dependency — and wrapped in the safe [`Poller`] trait the reactor
+//! is written against. [`PollerKind::Auto`] picks epoll on Linux and the
+//! `poll(2)` fallback elsewhere; tests force [`PollerKind::Poll`] to keep
+//! the fallback honest on any host.
+//!
+//! Also here, because they are the same kind of thin syscall shim the
+//! daemon needs at scale: [`raise_nofile_limit`] (a 5k-session soak holds
+//! over 10k descriptors in one process) and [`raise_listen_backlog`] (a 5k
+//! connection burst overflows the default backlog of 128).
+//!
+//! This is the only module in the crate allowed to use `unsafe`; every
+//! block is a straight FFI call with the invariants stated at the call
+//! site, and nothing above this layer touches a raw pointer.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// FFI declarations (Linux values; the poll path is POSIX-portable).
+// ---------------------------------------------------------------------
+
+/// `struct epoll_event`. x86 keeps it packed (kernel ABI); other
+/// architectures use natural alignment — mirror glibc's definition.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEventRaw {
+    events: u32,
+    data: u64,
+}
+
+/// `struct pollfd` (POSIX).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFdRaw {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+/// `struct rlimit` (Linux: 64-bit fields).
+#[repr(C)]
+struct RLimitRaw {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEventRaw) -> c_int;
+    fn epoll_wait(
+        epfd: c_int,
+        events: *mut EpollEventRaw,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    #[cfg(unix)]
+    fn poll(fds: *mut PollFdRaw, nfds: usize, timeout: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimitRaw) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimitRaw) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned raw descriptor, closed on drop (epoll instances and
+/// eventfds, which std has no owned type for on stable without
+/// `OwnedFd` juggling through FFI-returned ints).
+#[derive(Debug)]
+struct OwnedRawFd(RawFd);
+
+impl Drop for OwnedRawFd {
+    fn drop(&mut self) {
+        // SAFETY: we exclusively own this descriptor; double-close is
+        // impossible because Drop runs once.
+        unsafe {
+            let _ = close(self.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The portable readiness interface.
+// ---------------------------------------------------------------------
+
+/// Which readiness backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerKind {
+    /// epoll on Linux, `poll(2)` elsewhere.
+    #[default]
+    Auto,
+    /// Force the Linux epoll backend.
+    Epoll,
+    /// Force the portable `poll(2)` backend (O(registered) per wait —
+    /// fine for hundreds of sessions, the scale the fallback targets).
+    Poll,
+}
+
+/// A readiness event for one registered descriptor.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Data can be read (or an inbound connection accepted).
+    pub readable: bool,
+    /// The descriptor can be written.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored; a final read will
+    /// surface the detail.
+    pub hangup: bool,
+}
+
+/// Token reserved for the poller's own wake channel.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread.
+#[derive(Debug, Clone)]
+pub struct Waker(WakerInner);
+
+#[derive(Debug, Clone)]
+enum WakerInner {
+    /// eventfd (epoll backend).
+    EventFd(Arc<OwnedRawFd>),
+    /// The write end of a socket pair (poll backend).
+    Pipe(Arc<std::os::unix::net::UnixStream>),
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait. Idempotent and
+    /// cheap; safe to call from any thread.
+    pub fn wake(&self) {
+        match &self.0 {
+            WakerInner::EventFd(fd) => {
+                let one: u64 = 1;
+                // SAFETY: writing 8 bytes from a valid, live stack
+                // location to an eventfd we own. A full counter (EAGAIN)
+                // already means "wake pending", so the result is ignored.
+                unsafe {
+                    let _ = write(fd.0, (&one as *const u64).cast(), 8);
+                }
+            }
+            WakerInner::Pipe(s) => {
+                use std::io::Write as _;
+                let _ = (&**s).write(&[1u8]);
+            }
+        }
+    }
+}
+
+/// The readiness-notification interface the reactor drives sessions
+/// with. One instance per reactor shard; not shared across threads
+/// (the [`Waker`] is the cross-thread half).
+pub trait Poller: Send {
+    /// Starts watching `fd` under `token`.
+    fn register(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool)
+        -> io::Result<()>;
+    /// Changes the interest set of an already-registered `fd`.
+    fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()>;
+    /// Stops watching `fd`.
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+    /// Blocks until readiness or `timeout_ms` (`-1` = forever), filling
+    /// `out`. Wake-channel readiness is surfaced as [`WAKE_TOKEN`] after
+    /// draining the channel.
+    fn wait(&mut self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()>;
+    /// A handle that interrupts [`Poller::wait`] from other threads.
+    fn waker(&self) -> Waker;
+    /// Backend name, for logs and stats.
+    fn kind(&self) -> &'static str;
+}
+
+/// Builds the requested backend. `Auto` = epoll on Linux, `poll(2)`
+/// elsewhere.
+pub fn new_poller(kind: PollerKind) -> io::Result<Box<dyn Poller>> {
+    match kind {
+        PollerKind::Epoll => Ok(Box::new(EpollPoller::new()?)),
+        PollerKind::Poll => Ok(Box::new(PollPoller::new()?)),
+        PollerKind::Auto => {
+            if cfg!(target_os = "linux") {
+                Ok(Box::new(EpollPoller::new()?))
+            } else {
+                Ok(Box::new(PollPoller::new()?))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// epoll backend.
+// ---------------------------------------------------------------------
+
+/// The Linux epoll backend: O(ready) wait cost, level-triggered.
+#[derive(Debug)]
+pub struct EpollPoller {
+    epfd: OwnedRawFd,
+    wake: Arc<OwnedRawFd>,
+}
+
+impl EpollPoller {
+    /// A fresh epoll instance with its wake eventfd registered.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscalls; ownership of the returned descriptors
+        // is taken immediately by OwnedRawFd.
+        let epfd = OwnedRawFd(cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?);
+        let wake = OwnedRawFd(cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?);
+        let mut ev = EpollEventRaw { events: EPOLLIN, data: WAKE_TOKEN };
+        // SAFETY: epfd and wake.0 are live descriptors we own; `ev` is a
+        // valid epoll_event for the duration of the call.
+        cvt(unsafe { epoll_ctl(epfd.0, EPOLL_CTL_ADD, wake.0, &mut ev) })?;
+        Ok(EpollPoller { epfd, wake: Arc::new(wake) })
+    }
+
+    fn ctl(&mut self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEventRaw { events, data: token };
+        // SAFETY: self.epfd is live; `fd` is a descriptor the caller
+        // owns (the reactor registers only sockets it holds open).
+        cvt(unsafe { epoll_ctl(self.epfd.0, op, fd, &mut ev) })?;
+        Ok(())
+    }
+}
+
+fn epoll_interest(readable: bool, writable: bool) -> u32 {
+    let mut e = EPOLLRDHUP;
+    if readable {
+        e |= EPOLLIN;
+    }
+    if writable {
+        e |= EPOLLOUT;
+    }
+    e
+}
+
+impl Poller for EpollPoller {
+    fn register(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, epoll_interest(readable, writable), token)
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, epoll_interest(readable, writable), token)
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn wait(&mut self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+        out.clear();
+        let mut events = [EpollEventRaw { events: 0, data: 0 }; 256];
+        // SAFETY: the buffer outlives the call and maxevents matches its
+        // length; epfd is live.
+        let n = match cvt(unsafe {
+            epoll_wait(self.epfd.0, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+        }) {
+            Ok(n) => n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &events[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let (bits, token) = (ev.events, ev.data);
+            if token == WAKE_TOKEN {
+                let mut counter: u64 = 0;
+                // SAFETY: reading 8 bytes into a valid stack slot from
+                // the nonblocking eventfd we own; EAGAIN just means the
+                // counter was already drained.
+                unsafe {
+                    let _ = read(self.wake.0, (&mut counter as *mut u64).cast(), 8);
+                }
+            }
+            out.push(PollEvent {
+                token,
+                readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn waker(&self) -> Waker {
+        Waker(WakerInner::EventFd(Arc::clone(&self.wake)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "epoll"
+    }
+}
+
+// ---------------------------------------------------------------------
+// poll(2) fallback backend.
+// ---------------------------------------------------------------------
+
+/// The portable `poll(2)` backend. Keeps the registered set in a vector
+/// rebuilt into a `pollfd` array per wait — O(registered), which is the
+/// honest cost of the portable API.
+pub struct PollPoller {
+    registered: Vec<(RawFd, u64, bool, bool)>,
+    wake_read: std::os::unix::net::UnixStream,
+    wake_write: Arc<std::os::unix::net::UnixStream>,
+}
+
+impl std::fmt::Debug for PollPoller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PollPoller").field("registered", &self.registered.len()).finish()
+    }
+}
+
+impl PollPoller {
+    /// A fresh poll set with its wake channel.
+    pub fn new() -> io::Result<Self> {
+        let (wake_read, wake_write) = std::os::unix::net::UnixStream::pair()?;
+        wake_read.set_nonblocking(true)?;
+        wake_write.set_nonblocking(true)?;
+        Ok(PollPoller { registered: Vec::new(), wake_read, wake_write: Arc::new(wake_write) })
+    }
+}
+
+impl Poller for PollPoller {
+    fn register(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        if self.registered.iter().any(|&(f, ..)| f == fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        self.registered.push((fd, token, readable, writable));
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        match self.registered.iter_mut().find(|(f, ..)| *f == fd) {
+            Some(slot) => {
+                *slot = (fd, token, readable, writable);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let before = self.registered.len();
+        self.registered.retain(|&(f, ..)| f != fd);
+        if self.registered.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        out.clear();
+        let mut fds: Vec<PollFdRaw> = Vec::with_capacity(self.registered.len() + 1);
+        fds.push(PollFdRaw { fd: self.wake_read.as_raw_fd(), events: POLLIN, revents: 0 });
+        for &(fd, _, readable, writable) in &self.registered {
+            let mut events = 0i16;
+            if readable {
+                events |= POLLIN;
+            }
+            if writable {
+                events |= POLLOUT;
+            }
+            fds.push(PollFdRaw { fd, events, revents: 0 });
+        }
+        // SAFETY: `fds` is a valid, exclusively borrowed array for the
+        // duration of the call; nfds matches its length.
+        let n = match cvt(unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) }) {
+            Ok(n) => n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(());
+        }
+        if fds[0].revents & POLLIN != 0 {
+            use std::io::Read as _;
+            let mut buf = [0u8; 64];
+            while matches!((&self.wake_read).read(&mut buf), Ok(n) if n > 0) {}
+            out.push(PollEvent {
+                token: WAKE_TOKEN,
+                readable: true,
+                writable: false,
+                hangup: false,
+            });
+        }
+        for (slot, pfd) in self.registered.iter().zip(&fds[1..]) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let r = pfd.revents;
+            out.push(PollEvent {
+                token: slot.1,
+                readable: r & (POLLIN | POLLHUP | POLLERR) != 0,
+                writable: r & POLLOUT != 0,
+                hangup: r & (POLLHUP | POLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn waker(&self) -> Waker {
+        Waker(WakerInner::Pipe(Arc::clone(&self.wake_write)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "poll"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-limit shims.
+// ---------------------------------------------------------------------
+
+/// Raises the soft `RLIMIT_NOFILE` toward `want` (clamped to the hard
+/// limit). Returns the resulting soft limit. A 5k-session daemon plus an
+/// in-process 5k-session test rig holds >10k descriptors, well past the
+/// common soft default of 1024.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = RLimitRaw { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: `lim` is a valid, exclusively borrowed struct.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    let target = want.min(lim.rlim_max);
+    let new = RLimitRaw { rlim_cur: target, rlim_max: lim.rlim_max };
+    // SAFETY: `new` is a valid struct; raising the soft limit within the
+    // hard limit needs no privilege.
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &new) })?;
+    Ok(target)
+}
+
+/// Re-issues `listen(2)` on an already-listening socket to raise its
+/// accept backlog (Linux applies the new value in place). std's
+/// `TcpListener::bind` hardcodes a backlog of 128, which a multi-thousand
+/// session connection burst overflows.
+pub fn raise_listen_backlog(listener: &std::net::TcpListener, backlog: u32) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    // SAFETY: the fd is live for the duration of the call (we borrow the
+    // listener); listen on a listening socket only updates the backlog.
+    cvt(unsafe { listen(listener.as_raw_fd(), backlog.min(i32::MAX as u32) as c_int) })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backend_roundtrip(kind: PollerKind) {
+        let mut poller = new_poller(kind).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 7, true, false).unwrap();
+
+        // Nothing readable yet: the wait times out empty.
+        let mut events = Vec::new();
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.iter().all(|e| e.token != 7));
+
+        // Bytes arrive: token 7 becomes readable.
+        (&a).write_all(b"hello").unwrap();
+        poller.wait(&mut events, 1_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+
+        // Write interest reports writable on an idle socket.
+        poller.modify(b.as_raw_fd(), 7, true, true).unwrap();
+        poller.wait(&mut events, 1_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        poller.deregister(b.as_raw_fd()).unwrap();
+        (&a).write_all(b"more").unwrap();
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.iter().all(|e| e.token != 7), "deregistered fd still reported");
+    }
+
+    #[test]
+    fn epoll_reports_readiness() {
+        backend_roundtrip(PollerKind::Epoll);
+    }
+
+    #[test]
+    fn poll_fallback_reports_readiness() {
+        backend_roundtrip(PollerKind::Poll);
+    }
+
+    fn waker_interrupts(kind: PollerKind) {
+        let mut poller = new_poller(kind).unwrap();
+        let waker = poller.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            waker.wake();
+        });
+        let start = std::time::Instant::now();
+        let mut events = Vec::new();
+        // Without the wake this would block for 5 s.
+        poller.wait(&mut events, 5_000).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+        t.join().unwrap();
+        // The wake channel is drained: the next wait times out quietly.
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn epoll_waker_interrupts_wait() {
+        waker_interrupts(PollerKind::Epoll);
+    }
+
+    #[test]
+    fn poll_waker_interrupts_wait() {
+        waker_interrupts(PollerKind::Poll);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotonic() {
+        let current = raise_nofile_limit(64).unwrap();
+        assert!(current >= 64);
+        let raised = raise_nofile_limit(current).unwrap();
+        assert!(raised >= current);
+    }
+
+    #[test]
+    fn listen_backlog_raise_succeeds_on_listening_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        raise_listen_backlog(&listener, 4096).unwrap();
+        // Still accepts connections afterwards.
+        let addr = listener.local_addr().unwrap();
+        let _c = TcpStream::connect(addr).unwrap();
+        let (_s, _) = listener.accept().unwrap();
+    }
+}

@@ -1,0 +1,243 @@
+//! Runtime-adjustable diagnostics for the long-lived daemon.
+//!
+//! A collector that runs for months cannot be restarted to chase one
+//! misbehaving peer. [`TraceFilter`] is the knob: a default verbosity
+//! plus per-target overrides (`reactor`, `session`, `config`, `ingest`,
+//! …), all adjustable at runtime through the config store or the control
+//! socket. The hot path pays one relaxed atomic load when tracing is
+//! effectively off — the maximum enabled level is cached in an
+//! `AtomicU8`, so 5k sessions streaming updates don't take a lock to
+//! discover nobody is listening.
+//!
+//! Output goes to a pluggable sink (stderr by default); tests install a
+//! capturing sink to assert what a level change makes visible.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Verbosity of one trace line (and threshold of one filter target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Nothing.
+    Off = 0,
+    /// Session teardown, queue overflow, decode failures.
+    #[default]
+    Error = 1,
+    /// Lifecycle: sessions up/down, config commits, rotation.
+    Info = 2,
+    /// Per-event detail: timers fired, config diffs applied.
+    Debug = 3,
+    /// Per-message firehose.
+    Trace = 4,
+}
+
+impl TraceLevel {
+    /// Parses the control-socket spelling (`off|error|info|debug|trace`).
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "off" => Some(TraceLevel::Off),
+            "error" => Some(TraceLevel::Error),
+            "info" => Some(TraceLevel::Info),
+            "debug" => Some(TraceLevel::Debug),
+            "trace" => Some(TraceLevel::Trace),
+            _ => None,
+        }
+    }
+
+    /// The control-socket spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Error => "error",
+            TraceLevel::Info => "info",
+            TraceLevel::Debug => "debug",
+            TraceLevel::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> TraceLevel {
+        match v {
+            0 => TraceLevel::Off,
+            1 => TraceLevel::Error,
+            2 => TraceLevel::Info,
+            3 => TraceLevel::Debug,
+            _ => TraceLevel::Trace,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The declarative half: default level + per-target overrides. Lives in
+/// `DaemonConfig` so trace verbosity rides the same candidate/commit
+/// cycle as every other daemon setting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// Level for targets without an override.
+    pub default: TraceLevel,
+    /// Per-target overrides (target → level).
+    pub targets: BTreeMap<String, TraceLevel>,
+}
+
+impl TraceConfig {
+    /// The effective level for `target`.
+    pub fn level_for(&self, target: &str) -> TraceLevel {
+        self.targets.get(target).copied().unwrap_or(self.default)
+    }
+
+    fn max_level(&self) -> TraceLevel {
+        self.targets.values().copied().max().unwrap_or(TraceLevel::Off).max(self.default)
+    }
+}
+
+type Sink = Box<dyn Fn(&str, TraceLevel, &str) + Send + Sync>;
+
+/// The runtime half: applies a [`TraceConfig`] and answers
+/// [`enabled`]/[`log`] from the hot path.
+///
+/// [`enabled`]: TraceFilter::enabled
+/// [`log`]: TraceFilter::log
+pub struct TraceFilter {
+    /// Max enabled level across all targets — the lock-free fast path.
+    max_level: AtomicU8,
+    config: Mutex<TraceConfig>,
+    sink: Mutex<Option<Sink>>,
+}
+
+impl std::fmt::Debug for TraceFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceFilter")
+            .field("max_level", &TraceLevel::from_u8(self.max_level.load(Ordering::Relaxed)))
+            .finish()
+    }
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter {
+            max_level: AtomicU8::new(TraceLevel::default() as u8),
+            config: Mutex::new(TraceConfig::default()),
+            sink: Mutex::new(None),
+        }
+    }
+}
+
+impl TraceFilter {
+    /// A filter applying `config`, writing to stderr.
+    pub fn new(config: TraceConfig) -> Self {
+        let filter = TraceFilter::default();
+        filter.apply(config);
+        filter
+    }
+
+    /// Replaces the active configuration (called on config commit).
+    pub fn apply(&self, config: TraceConfig) {
+        let max = config.max_level();
+        *self.config.lock().unwrap() = config;
+        self.max_level.store(max as u8, Ordering::Relaxed);
+    }
+
+    /// A copy of the active configuration.
+    pub fn config(&self) -> TraceConfig {
+        self.config.lock().unwrap().clone()
+    }
+
+    /// Whether a line at `level` for `target` would be emitted. One
+    /// relaxed load when the level is above every configured threshold.
+    pub fn enabled(&self, target: &str, level: TraceLevel) -> bool {
+        if level as u8 > self.max_level.load(Ordering::Relaxed) {
+            return false;
+        }
+        level <= self.config.lock().unwrap().level_for(target)
+    }
+
+    /// Emits one line if enabled. The closure defers formatting cost to
+    /// the (rare) enabled case.
+    pub fn log(&self, target: &str, level: TraceLevel, line: impl FnOnce() -> String) {
+        if !self.enabled(target, level) {
+            return;
+        }
+        let line = line();
+        let sink = self.sink.lock().unwrap();
+        match &*sink {
+            Some(sink) => sink(target, level, &line),
+            None => eprintln!("[{level}] {target}: {line}"),
+        }
+    }
+
+    /// Redirects output (tests capture lines instead of spamming
+    /// stderr).
+    pub fn set_sink(&self, sink: impl Fn(&str, TraceLevel, &str) + Send + Sync + 'static) {
+        *self.sink.lock().unwrap() = Some(Box::new(sink));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn default_filter_passes_errors_only() {
+        let f = TraceFilter::default();
+        assert!(f.enabled("reactor", TraceLevel::Error));
+        assert!(!f.enabled("reactor", TraceLevel::Info));
+        assert!(!f.enabled("session", TraceLevel::Trace));
+    }
+
+    #[test]
+    fn per_target_override_beats_default() {
+        let mut cfg = TraceConfig::default();
+        cfg.targets.insert("session".into(), TraceLevel::Debug);
+        let f = TraceFilter::new(cfg);
+        assert!(f.enabled("session", TraceLevel::Debug));
+        assert!(!f.enabled("reactor", TraceLevel::Debug), "default still error-only");
+    }
+
+    #[test]
+    fn runtime_apply_changes_visibility_without_restart() {
+        let f = TraceFilter::default();
+        let lines: Arc<Mutex<Vec<String>>> = Arc::default();
+        let captured = Arc::clone(&lines);
+        f.set_sink(move |target, level, line| {
+            captured.lock().unwrap().push(format!("{level} {target} {line}"));
+        });
+
+        f.log("ingest", TraceLevel::Debug, || "invisible".into());
+        f.apply(TraceConfig {
+            default: TraceLevel::Error,
+            targets: [("ingest".to_string(), TraceLevel::Debug)].into(),
+        });
+        f.log("ingest", TraceLevel::Debug, || "visible".into());
+        f.apply(TraceConfig::default());
+        f.log("ingest", TraceLevel::Debug, || "invisible again".into());
+
+        assert_eq!(*lines.lock().unwrap(), vec!["debug ingest visible".to_string()]);
+    }
+
+    #[test]
+    fn disabled_level_never_runs_the_formatter() {
+        let f =
+            TraceFilter::new(TraceConfig { default: TraceLevel::Off, targets: BTreeMap::new() });
+        f.log("reactor", TraceLevel::Error, || panic!("formatted while disabled"));
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [
+            TraceLevel::Off,
+            TraceLevel::Error,
+            TraceLevel::Info,
+            TraceLevel::Debug,
+            TraceLevel::Trace,
+        ] {
+            assert_eq!(TraceLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(TraceLevel::parse("verbose"), None);
+    }
+}

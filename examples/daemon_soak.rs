@@ -1,0 +1,136 @@
+//! Daemon soak — the CI-pinned proof that a single `kccd` holds
+//! **thousands of concurrent BGP sessions** on a bounded worker pool
+//! and still reproduces the offline analysis byte-for-byte.
+//!
+//! flood rig (N nonblocking speakers) → reactor daemon → live pipeline
+//!
+//! Phases, each a hard assertion:
+//!
+//! 1. **Concurrency.** N sessions (default 5 000) handshake and are
+//!    held simultaneously Established — the daemon's own gauge must
+//!    read N while its reactor runs a handful of shard threads.
+//! 2. **Integrity.** Every session then streams its share of a
+//!    generated day; the live Table 1 / Table 2 must be byte-identical
+//!    to the offline `ArchiveSource` analysis of the same update set.
+//!
+//! CI runs this under `ulimit -v`, so the memory to hold N sessions is
+//! bounded too. Run with
+//! `cargo run --release --example daemon_soak [-- <sessions> [updates]]`.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use keep_communities_clean::analysis::table::{OverviewSink, TypeShares};
+use keep_communities_clean::analysis::{CountsSink, PipelineBuilder};
+use keep_communities_clean::collector::{ArchiveSource, SessionKey, UpdateArchive};
+use keep_communities_clean::peer::{
+    offline_reference, sys, Collector, CollectorConfig, FloodOptions, FloodPlan, FloodRig,
+    StampMode,
+};
+use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
+use keep_communities_clean::types::Asn;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nums = args.iter().filter_map(|a| a.parse::<u64>().ok());
+    let sessions = nums.next().unwrap_or(5_000) as usize;
+    let total_updates = nums.next().unwrap_or(25_000);
+    let want_fds = sessions as u64 * 2 + 512;
+    if let Err(e) = sys::raise_nofile_limit(want_fds) {
+        eprintln!("daemon_soak: cannot raise fd limit to {want_fds}: {e}");
+    }
+
+    // A generated day's updates, dealt round-robin over `sessions`
+    // session keys so every speaker carries a realistic mix.
+    let day = generate_mar20(&Mar20Config {
+        target_announcements: total_updates + total_updates / 4,
+        ..Default::default()
+    });
+    let mut workload = UpdateArchive::new(0);
+    let mut dealt = 0u64;
+    for (i, (_, update)) in day.archive.all_updates().iter().enumerate() {
+        let p = i % sessions;
+        let key = SessionKey::new(
+            "soak",
+            Asn(64_512 + p as u32),
+            IpAddr::V4(Ipv4Addr::new(10, 99, (p >> 8) as u8, (p & 0xFF) as u8)),
+        );
+        workload.record(&key, update.clone());
+        dealt += 1;
+        if dealt >= total_updates {
+            break;
+        }
+    }
+    println!("soak: {} updates over {sessions} sessions", workload.update_count());
+
+    let cfg = CollectorConfig::new("soak", Asn(3333), "198.51.100.1".parse().unwrap())
+        .with_stamp(StampMode::logical(1_000));
+    let mut collector = Collector::bind("127.0.0.1:0", cfg.clone()).expect("bind loopback");
+    let addr = collector.local_addr();
+    let source = collector.take_source();
+    let stop = source.shutdown_flag();
+    let gauges = collector.gauges();
+
+    // Phase 1: all sessions concurrently Established, zero UPDATEs sent.
+    let start = std::time::Instant::now();
+    let plan = FloodPlan::from_archive(&workload, 90);
+    assert_eq!(plan.session_count(), sessions);
+    let rig = FloodRig::connect(addr, plan, FloodOptions::default()).expect("establish sessions");
+    assert_eq!(rig.established_count(), sessions, "rig holds every session");
+    // The rig counts a session Established when *its* FSM goes Up —
+    // half a round-trip before the daemon processes the closing
+    // KEEPALIVE — so the concurrency proof waits on the daemon's gauge.
+    assert!(
+        gauges.wait_for_established(sessions as u64, std::time::Duration::from_secs(30)),
+        "daemon never reported {sessions} concurrent sessions"
+    );
+    println!(
+        "soak: {sessions} sessions concurrently Established in {:.2} s \
+         (daemon workers: {})",
+        start.elapsed().as_secs_f64(),
+        cfg.reactor.workers
+    );
+
+    // Phase 2: stream, drain, compare tables byte-for-byte.
+    let stream_start = std::time::Instant::now();
+    let coordinator = std::thread::spawn(move || {
+        let report = rig.stream().expect("flood stream");
+        collector.shutdown();
+        (report, collector.join())
+    });
+    let live = PipelineBuilder::new(source)
+        .sink((CountsSink::default(), OverviewSink::default()))
+        .shutdown(&stop)
+        .run()
+        .expect("live run");
+    let (report, stats) = coordinator.join().expect("coordinator thread");
+    assert_eq!(report.updates_sent, workload.update_count() as u64, "rig sent everything");
+    assert_eq!(stats.updates, report.updates_sent, "daemon ingested everything");
+    assert_eq!(stats.peak_established, sessions as u64, "peak gauge saw full concurrency");
+    println!(
+        "soak: streamed + drained {} updates in {:.2} s",
+        stats.updates,
+        stream_start.elapsed().as_secs_f64()
+    );
+
+    let (live_counts, live_overview) = live.sink;
+    let live_counts = live_counts.finish();
+    let live_overview = live_overview.finish();
+    let reference = offline_reference(&workload, &cfg);
+    let offline = PipelineBuilder::new(ArchiveSource::new(&reference))
+        .sink((CountsSink::default(), OverviewSink::default()))
+        .run()
+        .expect("offline run");
+    let (off_counts, off_overview) = offline.sink;
+    let off_counts = off_counts.finish();
+    let off_overview = off_overview.finish();
+    assert_eq!(live_counts, off_counts, "live Table 2 != offline");
+    assert_eq!(live_overview, off_overview, "live Table 1 != offline");
+    // Byte-for-byte on the rendered paper tables.
+    let table1 = live_overview.render("Table 1 — soak capture");
+    assert_eq!(table1, off_overview.render("Table 1 — soak capture"));
+    let table2 = TypeShares::new(vec![("soak".into(), live_counts)]).render();
+    assert_eq!(table2, TypeShares::new(vec![("soak".into(), off_counts)]).render());
+    println!("\n{table1}");
+    println!("\n{table2}");
+    println!("\nPASS: {sessions} concurrent sessions, tables identical to offline analysis");
+}

@@ -59,6 +59,48 @@ fn readme_performance_table_matches_committed_baseline() {
     }
 }
 
+/// Pulls `(peers, updates_per_sec)` pairs out of the committed live
+/// scaling baseline, in sweep order.
+fn committed_live_points(json: &str) -> Vec<(u64, u64)> {
+    let mut points = Vec::new();
+    for chunk in json.split("{\"peers\":").skip(1) {
+        let peers: String = chunk.chars().take_while(char::is_ascii_digit).collect();
+        let tail = chunk.split("\"updates_per_sec\":").nth(1).expect("live rate");
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        points.push((peers.parse().expect("peer count"), digits.parse().expect("numeric rate")));
+    }
+    points
+}
+
+#[test]
+fn readme_live_scaling_table_matches_committed_baseline() {
+    let readme = fs::read_to_string("README.md").unwrap();
+    let section = readme
+        .split("## Performance")
+        .nth(1)
+        .expect("README has a Performance section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+
+    let baseline = fs::read_to_string("BENCH_live.json").unwrap();
+    let points = committed_live_points(&baseline);
+    assert_eq!(points.len(), 4, "baseline pins four sweep points");
+    assert_eq!(points.last().map(|&(p, _)| p), Some(5_000), "sweep tops out at 5k sessions");
+    for (peers, rate) in points {
+        let row = format!(
+            "| {} | {} upd/s |",
+            with_thousands_separators(peers),
+            with_thousands_separators(rate)
+        );
+        assert!(
+            section.contains(&row),
+            "README live scaling table is stale: missing \"{row}\" \
+             from the committed BENCH_live.json"
+        );
+    }
+}
+
 #[test]
 fn readme_reproduction_commands_match_ci_gate() {
     let readme = fs::read_to_string("README.md").unwrap();
