@@ -266,6 +266,10 @@ impl Delta {
 /// The gate's verdict over two parsed files.
 struct Comparison {
     deltas: Vec<Delta>,
+    /// `overhead_percent` figures, gated absolutely against the cap (a
+    /// cost ceiling, not a drift band — the committed baseline being
+    /// small must not excuse a fresh run that blows the budget).
+    overheads: Vec<Delta>,
     /// Baseline leaf paths with no counterpart in the fresh run.
     missing: Vec<String>,
 }
@@ -278,6 +282,7 @@ fn compare(baseline: &Json, measured: &Json) -> Comparison {
 
     let mut missing = Vec::new();
     let mut deltas = Vec::new();
+    let mut overheads = Vec::new();
     for (path, value) in &base_leaves {
         let Some((_, fresh)) = meas_leaves.iter().find(|(p, _)| p == path) else {
             missing.push(path.clone());
@@ -288,8 +293,13 @@ fn compare(baseline: &Json, measured: &Json) -> Comparison {
         {
             deltas.push(Delta { path: path.clone(), baseline: *b, measured: *m });
         }
+        if let (true, Json::Number(b), Json::Number(m)) =
+            (path.ends_with("overhead_percent"), value, fresh)
+        {
+            overheads.push(Delta { path: path.clone(), baseline: *b, measured: *m });
+        }
     }
-    Comparison { deltas, missing }
+    Comparison { deltas, overheads, missing }
 }
 
 /// Renders the per-figure delta table (markdown — readable in job logs
@@ -313,9 +323,30 @@ fn render_summary(deltas: &[Delta], tolerance: f64) -> String {
     out
 }
 
+/// Renders the overhead-cap table: each `overhead_percent` figure's
+/// fresh value against the absolute cap.
+fn render_overheads(overheads: &[Delta], cap: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| figure | baseline % | fresh % | cap % | verdict |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---|");
+    for d in overheads {
+        let _ = writeln!(
+            out,
+            "| {} | {:+.2} | {:+.2} | {:.2} | {} |",
+            d.path.trim_end_matches(".overhead_percent"),
+            d.baseline,
+            d.measured,
+            cap,
+            if d.measured <= cap { "ok" } else { "OVER CAP" }
+        );
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.25f64;
+    let mut overhead_cap = 2.0f64;
     let mut summary_path: Option<String> = None;
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -326,11 +357,16 @@ fn main() -> ExitCode {
                     tolerance = v;
                 }
             }
+            "--overhead-cap" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    overhead_cap = v;
+                }
+            }
             "--summary" => summary_path = it.next().cloned(),
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_gate [--tolerance FRACTION] [--summary FILE] \
-                     <baseline.json> <measured.json>"
+                    "usage: bench_gate [--tolerance FRACTION] [--overhead-cap PERCENT] \
+                     [--summary FILE] <baseline.json> <measured.json>"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -380,7 +416,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let summary = render_summary(&cmp.deltas, tolerance);
+    let mut summary = render_summary(&cmp.deltas, tolerance);
+    if !cmp.overheads.is_empty() {
+        summary.push('\n');
+        summary.push_str(&render_overheads(&cmp.overheads, overhead_cap));
+    }
     print!("{summary}");
     if let Some(path) = summary_path {
         if let Err(e) = std::fs::write(&path, &summary) {
@@ -389,20 +429,37 @@ fn main() -> ExitCode {
         }
     }
 
-    let ok = cmp.deltas.iter().all(|d| (d.ratio() - 1.0).abs() <= tolerance);
-    if ok {
-        println!(
-            "bench_gate: {} figures within ±{:.0}% of {baseline_path}",
-            cmp.deltas.len(),
-            tolerance * 100.0
-        );
-        ExitCode::SUCCESS
-    } else {
+    let rates_ok = cmp.deltas.iter().all(|d| (d.ratio() - 1.0).abs() <= tolerance);
+    let overheads_ok = cmp.overheads.iter().all(|d| d.measured <= overhead_cap);
+    if !rates_ok {
         eprintln!(
             "bench_gate: throughput drifted beyond ±{:.0}% — investigate, or regenerate the \
              committed baseline if the change is intended",
             tolerance * 100.0
         );
+    }
+    if !overheads_ok {
+        eprintln!(
+            "bench_gate: metrics instrumentation overhead exceeds the {overhead_cap:.1}% cap — \
+             the sampled-profiling cost regressed"
+        );
+    }
+    if rates_ok && overheads_ok {
+        println!(
+            "bench_gate: {} figures within ±{:.0}% of {baseline_path}{}",
+            cmp.deltas.len(),
+            tolerance * 100.0,
+            if cmp.overheads.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", {} overhead figure(s) under the {overhead_cap:.1}% cap",
+                    cmp.overheads.len()
+                )
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }
@@ -513,6 +570,33 @@ mod tests {
             let key = format!("results[{point}].updates_per_sec");
             assert!(cmp.missing.contains(&key), "{key} must fail the gate: {:?}", cmp.missing);
         }
+    }
+
+    #[test]
+    fn overhead_figures_are_collected_and_capped_absolutely() {
+        let base = Parser::parse(
+            r#"{"results":[{"instrumented":{"profile_every":64,
+                "result":{"updates_per_sec":100000},"overhead_percent":0.40}}]}"#,
+        )
+        .unwrap();
+        let meas = Parser::parse(
+            r#"{"results":[{"instrumented":{"profile_every":64,
+                "result":{"updates_per_sec":99000},"overhead_percent":3.10}}]}"#,
+        )
+        .unwrap();
+        let cmp = compare(&base, &meas);
+        assert_eq!(cmp.overheads.len(), 1);
+        let d = &cmp.overheads[0];
+        assert_eq!(d.path, "results[0].instrumented.overhead_percent");
+        // A small baseline never excuses a fresh run over the cap.
+        assert!(d.measured > 2.0, "fresh overhead must be gated, not its drift");
+        let table = render_overheads(&cmp.overheads, 2.0);
+        assert!(table.contains("OVER CAP"), "{table}");
+        let ok = render_overheads(
+            &[Delta { path: "x.overhead_percent".into(), baseline: 0.4, measured: 1.9 }],
+            2.0,
+        );
+        assert!(ok.contains("| ok |"), "{ok}");
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn main() -> ExitCode {
     let mut threads = 4usize;
     let mut clamp = false;
     let mut watch = false;
+    let mut metrics_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -79,6 +80,7 @@ fn main() -> ExitCode {
             "--epoch" => epoch = it.next().and_then(|s| s.parse().ok()),
             "--clamp" => clamp = true,
             "--watch" => watch = true,
+            "--metrics-out" => metrics_out = it.next().map(PathBuf::from),
             "--threads" => {
                 if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                     threads = v;
@@ -87,7 +89,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: kcc-corpus [--epoch SECONDS] [--threads N] [--clamp] [--watch] \
-                     <file.mrt | dir>..."
+                     [--metrics-out FILE] <file.mrt | dir>..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -138,14 +140,34 @@ fn main() -> ExitCode {
         insert_route_server_asn: false,
         normalize_timestamps: true,
     };
+    let started = std::time::Instant::now();
     let result = if watch {
         run_corpus_watch(corpus, threads, &registry, cleaning, WatchConfig::default(), None)
             .map(|(report, watch_report)| (report, Some(watch_report)))
     } else {
         run_corpus_report(corpus, threads, &registry, cleaning).map(|report| (report, None))
     };
+    let elapsed = started.elapsed();
     match result {
         Ok((report, watch_report)) => {
+            if let Some(path) = &metrics_out {
+                let metrics = kcc_obs::Registry::new();
+                report.export_metrics(&metrics);
+                if let Some(wr) = &watch_report {
+                    wr.export_metrics(&metrics);
+                }
+                let secs = elapsed.as_secs_f64();
+                if secs > 0.0 {
+                    metrics
+                        .gauge("kcc_corpus_updates_per_sec")
+                        .set((report.stats.updates as f64 / secs) as i64);
+                }
+                if let Err(e) = std::fs::write(path, metrics.render()) {
+                    eprintln!("kcc-corpus: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written to {}\n", path.display());
+            }
             print!("{}", report.render());
             println!(
                 "\npipeline: {} sessions, {} streams, peak state {} bytes",

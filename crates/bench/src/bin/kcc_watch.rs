@@ -50,12 +50,14 @@ struct Options {
     threads: usize,
     follow_secs: Option<u64>,
     cfg: WatchConfig,
+    metrics_out: Option<PathBuf>,
 }
 
 fn usage() {
     println!(
         "usage: kcc-watch [--epoch SECONDS] [--clamp] [--threads N] [--follow SECS]\n\
          \x20                [--window-us N] [--learn N] [--rate-min N] [--outage-windows N]\n\
+         \x20                [--metrics-out FILE]\n\
          \x20                [--train <file.mrt|dir>]... <file.mrt | dir>...\n\
          \x20      kcc-watch --eval\n\
          \x20      kcc-watch --soak [ANNOUNCEMENTS]\n\
@@ -416,6 +418,7 @@ fn run_soak(target: u64) -> ExitCode {
         threads: 3,
         follow_secs: None,
         cfg: watch_cfg,
+        metrics_out: None,
     };
     let report = match run_watch(&opts, cfg.base.epoch_seconds) {
         Ok(r) => r,
@@ -448,6 +451,7 @@ fn main() -> ExitCode {
         threads: 4,
         follow_secs: None,
         cfg: WatchConfig::default(),
+        metrics_out: None,
     };
     let mut eval = false;
     let mut soak: Option<u64> = None;
@@ -473,6 +477,7 @@ fn main() -> ExitCode {
                 }
             }
             "--follow" => opts.follow_secs = it.next().and_then(|s| s.parse().ok()),
+            "--metrics-out" => opts.metrics_out = it.next().map(PathBuf::from),
             "--window-us" => {
                 if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                     opts.cfg.window_us = v;
@@ -525,6 +530,15 @@ fn main() -> ExitCode {
 
     match run_watch(&opts, epoch) {
         Ok(report) => {
+            if let Some(path) = &opts.metrics_out {
+                let metrics = kcc_obs::Registry::new();
+                report.export_metrics(&metrics);
+                if let Err(e) = std::fs::write(path, metrics.render()) {
+                    eprintln!("kcc-watch: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written to {}", path.display());
+            }
             print_report(&report);
             ExitCode::SUCCESS
         }

@@ -27,6 +27,13 @@
 //! hot-reloadable (`echo "set stamp arrival" | nc ...; echo commit | …`).
 //! `--trace TARGET=LEVEL` (repeatable) and `--trace-default LEVEL` seed
 //! the runtime trace filter.
+//!
+//! The daemon keeps one `kcc_obs::Registry` of Prometheus-style metrics
+//! (reactor session/frame counters, ingest throughput, watch alerts).
+//! Scrape it live with the control command `metrics`; the shutdown
+//! summary ends with the same rendered snapshot. `--profile-every N`
+//! additionally wall-clocks every N-th update through each pipeline
+//! phase and folds the histograms into the registry.
 
 use std::net::IpAddr;
 use std::time::Duration;
@@ -47,6 +54,7 @@ struct Options {
     control: Option<String>,
     trace_default: Option<TraceLevel>,
     trace_targets: Vec<(String, TraceLevel)>,
+    profile_every: Option<u64>,
 }
 
 fn parse_args() -> Options {
@@ -59,6 +67,7 @@ fn parse_args() -> Options {
     let mut control: Option<String> = None;
     let mut trace_default: Option<TraceLevel> = None;
     let mut trace_targets: Vec<(String, TraceLevel)> = Vec::new();
+    let mut profile_every: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -139,6 +148,13 @@ fn parse_args() -> Options {
                 }
             },
             "--control" => control = it.next().cloned(),
+            "--profile-every" => {
+                profile_every = it.next().and_then(|s| s.parse().ok());
+                if profile_every.is_none() {
+                    eprintln!("kccd: --profile-every wants a positive sample interval");
+                    std::process::exit(2);
+                }
+            }
             "--trace-default" => {
                 trace_default = it.next().and_then(|s| TraceLevel::parse(s));
                 if trace_default.is_none() {
@@ -171,7 +187,16 @@ fn parse_args() -> Options {
     if let Some(dir) = mrt_dir {
         cfg.mrt = Some(RotateConfig::new(dir, mrt_rotate));
     }
-    Options { listen, cfg, duration_secs, watch, control, trace_default, trace_targets }
+    Options {
+        listen,
+        cfg,
+        duration_secs,
+        watch,
+        control,
+        trace_default,
+        trace_targets,
+        profile_every,
+    }
 }
 
 fn main() {
@@ -233,28 +258,38 @@ fn main() {
     }
 
     // The pipeline runs on the main thread until shutdown; the daemon's
-    // accept/session/ingest threads feed it.
-    let (counts, overview, watch_report, pipe_stats) = if opts.watch {
-        let out = PipelineBuilder::new(source)
+    // accept/session/ingest threads feed it. Everything records into the
+    // one daemon registry the control `metrics` command renders.
+    let metrics = collector.metrics();
+    let (counts, overview, watch_report, pipe_stats, profile) = if opts.watch {
+        let mut builder = PipelineBuilder::new(source)
             .sink((
                 CountsSink::default(),
                 OverviewSink::default(),
-                WatchSink::new(WatchConfig::default()),
+                WatchSink::new(WatchConfig::default())
+                    .with_metrics(std::sync::Arc::clone(&metrics)),
             ))
-            .shutdown(&stop)
-            .run()
-            .expect("live sources do not fail");
+            .shutdown(&stop);
+        if let Some(every) = opts.profile_every {
+            builder = builder.profile(every);
+        }
+        let out = builder.run().expect("live sources do not fail");
         let (counts, overview, watch) = out.sink;
-        (counts, overview, Some(watch.finish()), out.stats)
+        (counts, overview, Some(watch.finish()), out.stats, out.profile)
     } else {
-        let out = PipelineBuilder::new(source)
+        let mut builder = PipelineBuilder::new(source)
             .sink((CountsSink::default(), OverviewSink::default()))
-            .shutdown(&stop)
-            .run()
-            .expect("live sources do not fail");
+            .shutdown(&stop);
+        if let Some(every) = opts.profile_every {
+            builder = builder.profile(every);
+        }
+        let out = builder.run().expect("live sources do not fail");
         let (counts, overview) = out.sink;
-        (counts, overview, None, out.stats)
+        (counts, overview, None, out.stats, out.profile)
     };
+    if let Some(profile) = &profile {
+        profile.export(&metrics, &[]);
+    }
 
     // Shutdown: Cease every session, join every thread, then report.
     collector.shutdown();
@@ -286,6 +321,13 @@ fn main() {
         println!();
         print_watch(&report);
     }
+
+    // Final metrics snapshot, rendered by the same code path as the
+    // control socket's `metrics` command — what a scrape would have seen
+    // at the instant the daemon exited.
+    println!();
+    println!("metrics:");
+    print!("{}", metrics.render());
 }
 
 /// The CommunityWatch section of the shutdown summary: every typed

@@ -319,12 +319,17 @@ pub fn run_corpus_watch(
                     stages: o.stages,
                     sink: report_sink,
                     stats: o.stats,
+                    profile: o.profile,
                 },
             )
         })
         .collect();
-    let report =
-        fold_report(CorpusOutput { per_collector, combined: combined_report, stats: out.stats });
+    let report = fold_report(CorpusOutput {
+        per_collector,
+        combined: combined_report,
+        stats: out.stats,
+        profile: out.profile,
+    });
     Ok((report, combined_watch.finish()))
 }
 
@@ -365,6 +370,30 @@ impl CorpusReport {
     /// Number of collectors.
     pub fn collector_count(&self) -> usize {
         self.collectors.len()
+    }
+
+    /// Registers the per-collector progress counters in `registry`,
+    /// labeled `collector="name"`: updates pulled, updates kept, streams
+    /// touched, and what the §4 cleaning pass dropped. Collector-order
+    /// independent — the registry renders name-sorted regardless of
+    /// registration order.
+    pub fn export_metrics(&self, registry: &kcc_obs::Registry) {
+        for col in &self.collectors {
+            let labels: &[(&str, &str)] = &[("collector", &col.name)];
+            registry.counter_with("kcc_corpus_updates_total", labels).add(col.stats.updates);
+            registry.counter_with("kcc_corpus_updates_kept_total", labels).add(col.stats.kept);
+            registry.gauge_with("kcc_corpus_streams", labels).set(col.stats.streams as i64);
+            registry
+                .counter_with("kcc_corpus_cleaning_dropped_asn_total", labels)
+                .add(col.cleaning.removed_unallocated_asn);
+            registry
+                .counter_with("kcc_corpus_cleaning_dropped_prefix_total", labels)
+                .add(col.cleaning.removed_unallocated_prefix);
+            registry
+                .counter_with("kcc_corpus_sessions_normalized_total", labels)
+                .add(col.cleaning.sessions_normalized);
+        }
+        registry.counter("kcc_corpus_combined_updates_total").add(self.stats.updates);
     }
 
     /// The presence matrix: every community seen anywhere, ascending,

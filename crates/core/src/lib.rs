@@ -83,8 +83,8 @@ pub use kcc_collector::{
 };
 pub use pipeline::{
     feed_classified, run_corpus, run_live, run_pipeline, run_sharded, AnalysisSink, CorpusBuilder,
-    CorpusOutput, Merge, NoSink, Pipeline, PipelineBuilder, PipelineOutput, PipelineStats,
-    ShardedPipelineBuilder, Stage,
+    CorpusOutput, Merge, NoSink, Pipeline, PipelineBuilder, PipelineOutput, PipelineProfile,
+    PipelineStats, ShardedPipelineBuilder, Stage,
 };
 pub use registry::AllocationRegistry;
 pub use stream::{

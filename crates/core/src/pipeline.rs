@@ -30,6 +30,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use kcc_obs::{HistogramSnapshot, Registry};
 
 use kcc_bgp_types::{FastHashMap, RouteUpdate};
 use kcc_collector::{
@@ -180,6 +183,95 @@ impl Merge for PipelineStats {
     }
 }
 
+/// Sampled wall-time profile of a pipeline run, split by phase of the
+/// per-update path (stage chain → sink update → classify → sink event)
+/// plus one `finish` observation per pipeline instance.
+///
+/// Kept separate from [`PipelineStats`] on purpose: stats are exact,
+/// `Copy`, and deterministic (tests compare them with `assert_eq!`);
+/// timing is sampled and machine-dependent. The sampling knob
+/// ([`PipelineBuilder::profile`]) bounds the overhead — only every N-th
+/// update pays for `Instant::now` calls, everything else pays one
+/// decrement-and-branch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineProfile {
+    /// Updates that were fully timed (1-in-N of all updates).
+    pub sampled: u64,
+    /// Stage-chain (`Stage::process`) wall time, nanoseconds.
+    pub stage_nanos: HistogramSnapshot,
+    /// Classifier (`StreamClassifier::classify`) wall time, nanoseconds.
+    pub classify_nanos: HistogramSnapshot,
+    /// Sink `on_update` wall time, nanoseconds.
+    pub sink_update_nanos: HistogramSnapshot,
+    /// Sink `on_event` wall time, nanoseconds.
+    pub sink_event_nanos: HistogramSnapshot,
+    /// Per-sink-instance finish/teardown wall time, nanoseconds (one
+    /// observation per pipeline — per shard, per collector).
+    pub finish_nanos: HistogramSnapshot,
+}
+
+impl PipelineProfile {
+    /// Registers this profile's histograms (labeled `phase="stage"`,
+    /// `"classify"`, `"sink_update"`, `"sink_event"`, `"finish"`) and
+    /// the sample counter in `registry`, folding the recorded values in.
+    /// Extra labels (e.g. `collector="rrc00"`) apply to every series.
+    pub fn export(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        let phases = [
+            ("stage", &self.stage_nanos),
+            ("classify", &self.classify_nanos),
+            ("sink_update", &self.sink_update_nanos),
+            ("sink_event", &self.sink_event_nanos),
+            ("finish", &self.finish_nanos),
+        ];
+        for (phase, hist) in phases {
+            let mut all = labels.to_vec();
+            all.push(("phase", phase));
+            registry.histogram_with("kcc_pipeline_phase_nanos", &all).record(hist);
+        }
+        registry.counter_with("kcc_pipeline_profile_samples_total", labels).add(self.sampled);
+    }
+}
+
+impl Merge for PipelineProfile {
+    fn merge(&mut self, other: Self) {
+        self.sampled += other.sampled;
+        self.stage_nanos.merge(&other.stage_nanos);
+        self.classify_nanos.merge(&other.classify_nanos);
+        self.sink_update_nanos.merge(&other.sink_update_nanos);
+        self.sink_event_nanos.merge(&other.sink_event_nanos);
+        self.finish_nanos.merge(&other.finish_nanos);
+    }
+}
+
+/// Live profiling state: the sampling countdown plus the accumulating
+/// profile.
+#[derive(Debug)]
+struct ProfileState {
+    every: u64,
+    countdown: u64,
+    profile: PipelineProfile,
+}
+
+impl ProfileState {
+    fn new(every: u64) -> Self {
+        let every = every.max(1);
+        ProfileState { every, countdown: every, profile: PipelineProfile::default() }
+    }
+
+    /// Whether this update is sampled (true once every `every` calls).
+    #[inline]
+    fn tick(&mut self) -> bool {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.every;
+            self.profile.sampled += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Everything a pipeline run returns: the (possibly merged) stage chain
 /// and sink, plus run statistics.
 #[derive(Debug)]
@@ -191,6 +283,9 @@ pub struct PipelineOutput<St, S> {
     pub sink: S,
     /// Run statistics.
     pub stats: PipelineStats,
+    /// Sampled per-phase timing, when profiling was enabled
+    /// ([`PipelineBuilder::profile`]); merged across shards/collectors.
+    pub profile: Option<PipelineProfile>,
 }
 
 /// The single-pass driver: source → stages → classifier → sinks.
@@ -208,6 +303,7 @@ pub struct Pipeline<St, S> {
     classifiers: Vec<StreamClassifier>,
     current: Option<(std::sync::Arc<PeerMeta>, usize)>,
     stats: PipelineStats,
+    profile: Option<ProfileState>,
 }
 
 impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
@@ -223,7 +319,15 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
             classifiers: Vec::new(),
             current: None,
             stats: PipelineStats::default(),
+            profile: None,
         }
+    }
+
+    /// Enables sampled per-phase timing: every `every`-th update has
+    /// each phase of its trip wall-clocked into
+    /// [`PipelineOutput::profile`] (`every` is clamped to ≥ 1).
+    pub fn enable_profiling(&mut self, every: u64) {
+        self.profile = Some(ProfileState::new(every));
     }
 
     /// Feeds one source item through stages, classifier and sinks.
@@ -235,22 +339,71 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
             SourceItem::Update(meta, update) => {
                 let slot = self.register(&meta);
                 self.stats.updates += 1;
-                let Some(update) = self.stages.process(&meta, update) else {
-                    return;
+                // One decrement-and-branch per update when profiling is
+                // on. The sampled (1-in-N) trip is monomorphized
+                // separately so the common path carries no timing code
+                // at all — the measured streaming overhead of enabled
+                // profiling stays within the CI-gated budget.
+                let sampled = match &mut self.profile {
+                    None => false,
+                    Some(p) => p.tick(),
                 };
-                self.stats.kept += 1;
-                self.sink.on_update(&meta.key, &update);
-                if self.classify {
-                    let classifier = &mut self.classifiers[slot];
-                    let streams_before = classifier.stream_count() as u64;
-                    let bytes_before = classifier.state_bytes() as u64;
-                    let event = classifier.classify(&update);
-                    self.stats.streams += classifier.stream_count() as u64 - streams_before;
-                    self.stats.state_bytes =
-                        self.stats.state_bytes + classifier.state_bytes() as u64 - bytes_before;
-                    self.stats.peak_state_bytes =
-                        self.stats.peak_state_bytes.max(self.stats.state_bytes);
-                    self.sink.on_event(&meta.key, &event);
+                if sampled {
+                    self.feed_update::<true>(&meta, update, slot);
+                } else {
+                    self.feed_update::<false>(&meta, update, slot);
+                }
+            }
+        }
+    }
+
+    /// One update's trip through stages, classifier and sinks. With
+    /// `PROFILED` each phase is wall-clocked into the profile; the
+    /// `false` instantiation compiles the timing away.
+    fn feed_update<const PROFILED: bool>(
+        &mut self,
+        meta: &std::sync::Arc<PeerMeta>,
+        update: RouteUpdate,
+        slot: usize,
+    ) {
+        let timer = PROFILED.then(Instant::now);
+        let processed = self.stages.process(meta, update);
+        if PROFILED {
+            if let (Some(t), Some(p)) = (timer, &mut self.profile) {
+                p.profile.stage_nanos.observe(t.elapsed().as_nanos() as u64);
+            }
+        }
+        let Some(update) = processed else {
+            return;
+        };
+        self.stats.kept += 1;
+        let timer = PROFILED.then(Instant::now);
+        self.sink.on_update(&meta.key, &update);
+        if PROFILED {
+            if let (Some(t), Some(p)) = (timer, &mut self.profile) {
+                p.profile.sink_update_nanos.observe(t.elapsed().as_nanos() as u64);
+            }
+        }
+        if self.classify {
+            let classifier = &mut self.classifiers[slot];
+            let streams_before = classifier.stream_count() as u64;
+            let bytes_before = classifier.state_bytes() as u64;
+            let timer = PROFILED.then(Instant::now);
+            let event = classifier.classify(&update);
+            if PROFILED {
+                if let (Some(t), Some(p)) = (timer, &mut self.profile) {
+                    p.profile.classify_nanos.observe(t.elapsed().as_nanos() as u64);
+                }
+            }
+            self.stats.streams += classifier.stream_count() as u64 - streams_before;
+            self.stats.state_bytes =
+                self.stats.state_bytes + classifier.state_bytes() as u64 - bytes_before;
+            self.stats.peak_state_bytes = self.stats.peak_state_bytes.max(self.stats.state_bytes);
+            let timer = PROFILED.then(Instant::now);
+            self.sink.on_event(&meta.key, &event);
+            if PROFILED {
+                if let (Some(t), Some(p)) = (timer, &mut self.profile) {
+                    p.profile.sink_event_nanos.observe(t.elapsed().as_nanos() as u64);
                 }
             }
         }
@@ -301,9 +454,19 @@ impl<St: Stage, S: AnalysisSink> Pipeline<St, S> {
         &mut self.sink
     }
 
-    /// Dismantles the pipeline into its results.
+    /// Dismantles the pipeline into its results. With profiling on, the
+    /// classifier-state teardown is timed as this instance's `finish`
+    /// observation (one per sink instance — per shard, per collector).
     pub fn finish(self) -> PipelineOutput<St, S> {
-        PipelineOutput { stages: self.stages, sink: self.sink, stats: self.stats }
+        let Pipeline { stages, sink, classifier_ids, classifiers, stats, profile, .. } = self;
+        let profile = profile.map(|mut state| {
+            let start = Instant::now();
+            drop(classifiers);
+            drop(classifier_ids);
+            state.profile.finish_nanos.observe(start.elapsed().as_nanos() as u64);
+            state.profile
+        });
+        PipelineOutput { stages, sink, stats, profile }
     }
 }
 
@@ -342,25 +505,47 @@ pub struct PipelineBuilder<Src, St = (), S = NoSink> {
     stages: St,
     sink: S,
     stop: Option<ShutdownFlag>,
+    profile_every: Option<u64>,
 }
 
 impl<Src> PipelineBuilder<Src> {
     /// A builder over one source, with the identity stage chain and no
     /// sink yet.
     pub fn new(source: Src) -> Self {
-        PipelineBuilder { source, stages: (), sink: NoSink, stop: None }
+        PipelineBuilder { source, stages: (), sink: NoSink, stop: None, profile_every: None }
     }
 }
 
 impl<Src, St, S> PipelineBuilder<Src, St, S> {
     /// Sets the stage chain (tuples chain in order).
     pub fn stages<St2>(self, stages: St2) -> PipelineBuilder<Src, St2, S> {
-        PipelineBuilder { source: self.source, stages, sink: self.sink, stop: self.stop }
+        PipelineBuilder {
+            source: self.source,
+            stages,
+            sink: self.sink,
+            stop: self.stop,
+            profile_every: self.profile_every,
+        }
     }
 
     /// Sets the sink (tuples of sinks fan out).
     pub fn sink<S2>(self, sink: S2) -> PipelineBuilder<Src, St, S2> {
-        PipelineBuilder { source: self.source, stages: self.stages, sink, stop: self.stop }
+        PipelineBuilder {
+            source: self.source,
+            stages: self.stages,
+            sink,
+            stop: self.stop,
+            profile_every: self.profile_every,
+        }
+    }
+
+    /// Enables sampled per-phase timing: every `every`-th update has
+    /// each phase wall-clocked into [`PipelineOutput::profile`]. The
+    /// sampling interval bounds the overhead (see `BENCH_pipeline.json`
+    /// `overhead_percent`, gated ≤ 2% in CI).
+    pub fn profile(mut self, every: u64) -> Self {
+        self.profile_every = Some(every);
+        self
     }
 
     /// Bounds the run by a shared [`ShutdownFlag`] — the live-daemon
@@ -386,6 +571,9 @@ impl<Src, St, S> PipelineBuilder<Src, St, S> {
     {
         let mut source = self.source;
         let mut pipeline = Pipeline::new(self.stages, self.sink);
+        if let Some(every) = self.profile_every {
+            pipeline.enable_profiling(every);
+        }
         match self.stop {
             None => pipeline.run(source)?,
             Some(stop) => loop {
@@ -428,6 +616,7 @@ impl<Src, St, S> PipelineBuilder<Src, St, S> {
             shards: n,
             make_stages: move || stages.clone(),
             make_sink: move || sink.clone(),
+            profile_every: self.profile_every,
         }
     }
 }
@@ -444,7 +633,13 @@ impl<'s> PipelineBuilder<Corpus<'s>> {
     /// [`CorpusBuilder::stages_for`] / [`CorpusBuilder::sinks_for`] /
     /// [`CorpusBuilder::threads`], then [`CorpusBuilder::run`].
     pub fn collectors(corpus: Corpus<'s>) -> DefaultCorpusBuilder<'s> {
-        CorpusBuilder { corpus, threads: 4, make_stages: |_| (), make_sink: |_| NoSink }
+        CorpusBuilder {
+            corpus,
+            threads: 4,
+            make_stages: |_| (),
+            make_sink: |_| NoSink,
+            profile_every: None,
+        }
     }
 }
 
@@ -457,6 +652,7 @@ pub struct ShardedPipelineBuilder<Src, FSt, FS> {
     shards: usize,
     make_stages: FSt,
     make_sink: FS,
+    profile_every: Option<u64>,
 }
 
 impl<Src, FSt, FS> ShardedPipelineBuilder<Src, FSt, FS> {
@@ -468,6 +664,7 @@ impl<Src, FSt, FS> ShardedPipelineBuilder<Src, FSt, FS> {
             shards: self.shards,
             make_stages,
             make_sink: self.make_sink,
+            profile_every: self.profile_every,
         }
     }
 
@@ -478,7 +675,16 @@ impl<Src, FSt, FS> ShardedPipelineBuilder<Src, FSt, FS> {
             shards: self.shards,
             make_stages: self.make_stages,
             make_sink,
+            profile_every: self.profile_every,
         }
+    }
+
+    /// Enables sampled per-phase timing on every shard (see
+    /// [`PipelineBuilder::profile`]); per-shard profiles merge on
+    /// finish.
+    pub fn profile(mut self, every: u64) -> Self {
+        self.profile_every = Some(every);
+        self
     }
 
     /// Runs the source across the workers and merges the per-shard
@@ -492,7 +698,13 @@ impl<Src, FSt, FS> ShardedPipelineBuilder<Src, FSt, FS> {
         FSt: Fn() -> St + Sync,
         FS: Fn() -> S + Sync,
     {
-        run_sharded_impl(self.source, self.shards, self.make_stages, self.make_sink)
+        run_sharded_impl(
+            self.source,
+            self.shards,
+            self.make_stages,
+            self.make_sink,
+            self.profile_every,
+        )
     }
 }
 
@@ -507,6 +719,7 @@ pub struct CorpusBuilder<'s, FSt, FS> {
     threads: usize,
     make_stages: FSt,
     make_sink: FS,
+    profile_every: Option<u64>,
 }
 
 impl<'s, FSt, FS> CorpusBuilder<'s, FSt, FS> {
@@ -514,6 +727,14 @@ impl<'s, FSt, FS> CorpusBuilder<'s, FSt, FS> {
     /// count).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables sampled per-phase timing on every member pipeline (see
+    /// [`PipelineBuilder::profile`]); per-collector profiles also merge
+    /// into [`CorpusOutput::profile`] in name order.
+    pub fn profile(mut self, every: u64) -> Self {
+        self.profile_every = Some(every);
         self
     }
 
@@ -525,6 +746,7 @@ impl<'s, FSt, FS> CorpusBuilder<'s, FSt, FS> {
             threads: self.threads,
             make_stages,
             make_sink: self.make_sink,
+            profile_every: self.profile_every,
         }
     }
 
@@ -536,6 +758,7 @@ impl<'s, FSt, FS> CorpusBuilder<'s, FSt, FS> {
             threads: self.threads,
             make_stages: self.make_stages,
             make_sink,
+            profile_every: self.profile_every,
         }
     }
 
@@ -549,7 +772,13 @@ impl<'s, FSt, FS> CorpusBuilder<'s, FSt, FS> {
         FSt: Fn(&str) -> St + Sync,
         FS: Fn(&str) -> S + Sync,
     {
-        run_corpus_impl(self.corpus, self.threads, self.make_stages, self.make_sink)
+        run_corpus_impl(
+            self.corpus,
+            self.threads,
+            self.make_stages,
+            self.make_sink,
+            self.profile_every,
+        )
     }
 }
 
@@ -645,7 +874,7 @@ where
     FSt: Fn() -> St + Sync,
     FS: Fn() -> S + Sync,
 {
-    run_sharded_impl(source, shards, make_stages, make_sink)
+    run_sharded_impl(source, shards, make_stages, make_sink, None)
 }
 
 /// The hash-partitioned fan-out shared by [`run_sharded`] and
@@ -655,6 +884,7 @@ fn run_sharded_impl<Src, St, S, FSt, FS>(
     shards: usize,
     make_stages: FSt,
     make_sink: FS,
+    profile_every: Option<u64>,
 ) -> Result<PipelineOutput<St, S>, SourceError>
 where
     Src: UpdateSource,
@@ -664,7 +894,11 @@ where
     FS: Fn() -> S + Sync,
 {
     if shards <= 1 {
-        return run_pipeline(source, make_stages(), make_sink());
+        let mut builder = PipelineBuilder::new(source).stages(make_stages()).sink(make_sink());
+        if let Some(every) = profile_every {
+            builder = builder.profile(every);
+        }
+        return builder.run();
     }
 
     std::thread::scope(|scope| {
@@ -677,6 +911,9 @@ where
             let make_sink = &make_sink;
             handles.push(scope.spawn(move || {
                 let mut pipeline = Pipeline::new(make_stages(), make_sink());
+                if let Some(every) = profile_every {
+                    pipeline.enable_profiling(every);
+                }
                 while let Ok(batch) = rx.recv() {
                     for item in batch {
                         pipeline.feed(item);
@@ -725,6 +962,11 @@ where
                     out.stages.merge(part.stages);
                     out.sink.merge(part.sink);
                     out.stats.merge(part.stats);
+                    match (&mut out.profile, part.profile) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        (slot @ None, Some(b)) => *slot = Some(b),
+                        (_, None) => {}
+                    }
                 }
             }
         }
@@ -744,6 +986,9 @@ pub struct CorpusOutput<St, S> {
     pub combined: S,
     /// All per-collector stats merged in name order.
     pub stats: PipelineStats,
+    /// All per-collector profiles merged in name order, when profiling
+    /// was enabled ([`CorpusBuilder::profile`]).
+    pub profile: Option<PipelineProfile>,
 }
 
 impl<St, S> CorpusOutput<St, S> {
@@ -785,7 +1030,7 @@ where
     FSt: Fn(&str) -> St + Sync,
     FS: Fn(&str) -> S + Sync,
 {
-    run_corpus_impl(corpus, threads, make_stages, make_sink)
+    run_corpus_impl(corpus, threads, make_stages, make_sink, None)
 }
 
 /// The corpus fan-out shared by [`run_corpus`] and
@@ -795,6 +1040,7 @@ fn run_corpus_impl<'scope, St, S, FSt, FS>(
     threads: usize,
     make_stages: FSt,
     make_sink: FS,
+    profile_every: Option<u64>,
 ) -> Result<CorpusOutput<St, S>, SourceError>
 where
     St: Stage + Send,
@@ -830,7 +1076,13 @@ where
                     .take()
                     .expect("each member claimed exactly once");
                 let name = member.name.clone();
-                let result = run_pipeline(member.source, make_stages(&name), make_sink(&name));
+                let mut builder = PipelineBuilder::new(member.source)
+                    .stages(make_stages(&name))
+                    .sink(make_sink(&name));
+                if let Some(every) = profile_every {
+                    builder = builder.profile(every);
+                }
+                let result = builder.run();
                 slots.lock().expect("slot mutex poisoned")[idx] = Some((name, result));
             }));
         }
@@ -857,15 +1109,22 @@ where
 
     let mut combined: Option<S> = None;
     let mut stats = PipelineStats::default();
+    let mut profile: Option<PipelineProfile> = None;
     for (_, out) in &outputs {
         match &mut combined {
             None => combined = Some(out.sink.clone()),
             Some(c) => c.merge(out.sink.clone()),
         }
         stats.merge(out.stats);
+        if let Some(p) = &out.profile {
+            match &mut profile {
+                None => profile = Some(p.clone()),
+                Some(merged) => merged.merge(p.clone()),
+            }
+        }
     }
     let combined = combined.ok_or_else(|| SourceError::Other("corpus has no members".into()))?;
-    Ok(CorpusOutput { per_collector: outputs, combined, stats })
+    Ok(CorpusOutput { per_collector: outputs, combined, stats, profile })
 }
 
 #[cfg(test)]

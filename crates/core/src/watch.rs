@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 use kcc_bgp_types::{Asn, Community, MessageKind, Prefix, RouteUpdate};
 use kcc_collector::{PeerMeta, SessionKey};
+use kcc_obs::{Counter, Gauge, Registry};
 
 use crate::alert::{sort_alerts, Alert, AlertKind, ShiftMetric};
 use crate::anomaly::{burst_check, point_checks, AnomalyConfig, CommunityProfiler};
@@ -199,6 +200,37 @@ impl WatchReport {
         }
         counts.into_iter().collect()
     }
+
+    /// Registers this report's figures in `registry`: alerts by
+    /// kind/severity (`kcc_watch_alerts_total`), plus updates, streams
+    /// and windows. Deterministic: the same report always adds the same
+    /// counts, regardless of how the run was sharded.
+    pub fn export_metrics(&self, registry: &Registry) {
+        let mut counts: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+        for a in &self.alerts {
+            *counts.entry((a.kind.label(), a.severity.label())).or_insert(0) += 1;
+        }
+        for ((kind, severity), n) in counts {
+            registry
+                .counter_with("kcc_watch_alerts_total", &[("kind", kind), ("severity", severity)])
+                .add(n);
+        }
+        registry.counter("kcc_watch_updates_total").add(self.updates);
+        registry.gauge("kcc_watch_streams").set(self.streams as i64);
+        registry.gauge("kcc_watch_windows").set(self.windows as i64);
+    }
+}
+
+/// Live metric handles a [`WatchSink`] updates as it observes
+/// ([`WatchSink::with_metrics`]). Registration happens once up front;
+/// the per-update cost is a few relaxed atomic ops.
+#[derive(Debug, Clone)]
+struct WatchMetrics {
+    registry: Arc<Registry>,
+    updates: Arc<Counter>,
+    point_alerts: Arc<Counter>,
+    window_lag: Arc<Gauge>,
+    baselines: Arc<Gauge>,
 }
 
 /// The always-on detection sink (see the module docs). Feed it through
@@ -218,6 +250,7 @@ pub struct WatchSink {
     collectors: BTreeMap<String, BTreeMap<u64, u64>>,
     matrix: AgreementMatrix,
     updates: u64,
+    metrics: Option<WatchMetrics>,
 }
 
 impl WatchSink {
@@ -236,7 +269,24 @@ impl WatchSink {
             collectors: BTreeMap::new(),
             matrix: AgreementMatrix::new(),
             updates: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches live metrics: per-update counters, streaming point
+    /// alerts, the window-lag gauge (µs into the current detection
+    /// window) and the learned-baseline count, all registered in
+    /// `registry`. [`finish`](WatchSink::finish) additionally exports
+    /// the final report via [`WatchReport::export_metrics`].
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(WatchMetrics {
+            updates: registry.counter("kcc_watch_updates_seen_total"),
+            point_alerts: registry.counter("kcc_watch_point_alerts_total"),
+            window_lag: registry.gauge("kcc_watch_window_lag_us"),
+            baselines: registry.gauge("kcc_watch_baselines"),
+            registry,
+        });
+        self
     }
 
     /// Attaches a trained [`CommunityProfiler`], enabling the §7 point
@@ -397,6 +447,7 @@ impl WatchSink {
     /// Closes open windows, runs the window-replay detections in
     /// deterministic order, and returns the sorted report.
     pub fn finish(mut self) -> WatchReport {
+        let metrics = self.metrics.take();
         let mut alerts = std::mem::take(&mut self.alerts);
         if let Some(profiler) = &self.profiler {
             for (stream, sw) in &self.stream_windows {
@@ -421,13 +472,17 @@ impl WatchSink {
         sort_alerts(&mut alerts);
         let windows: BTreeSet<u64> =
             self.collectors.values().flat_map(|m| m.keys().copied()).collect();
-        WatchReport {
+        let report = WatchReport {
             alerts,
             updates: self.updates,
             streams: self.stream_windows.len() as u64,
             windows: windows.len() as u64,
             matrix: self.matrix,
+        };
+        if let Some(m) = &metrics {
+            report.export_metrics(&m.registry);
         }
+        report
     }
 }
 
@@ -443,6 +498,11 @@ impl AnalysisSink for WatchSink {
     fn on_update(&mut self, key: &SessionKey, u: &RouteUpdate) {
         self.updates += 1;
         let w = self.window_of(u.time_us);
+        let alerts_before = self.alerts.len();
+        if let Some(m) = &self.metrics {
+            m.updates.inc();
+            m.window_lag.set(u.time_us.saturating_sub(w.saturating_mul(self.cfg.window_us)) as i64);
+        }
         *self.collectors.entry(key.collector.clone()).or_default().entry(w).or_insert(0) += 1;
 
         let MessageKind::Announcement(attrs) = &u.kind else {
@@ -519,6 +579,13 @@ impl AnalysisSink for WatchSink {
                 attrs.communities.iter_classic().copied().collect(),
             );
         }
+        if let Some(m) = &self.metrics {
+            let fired = self.alerts.len() - alerts_before;
+            if fired > 0 {
+                m.point_alerts.add(fired as u64);
+            }
+            m.baselines.set((self.prefixes.len() + self.communities.len()) as i64);
+        }
     }
 
     fn wants_events(&self) -> bool {
@@ -571,6 +638,9 @@ impl Merge for WatchSink {
         }
         self.matrix.merge(other.matrix);
         self.updates += other.updates;
+        if self.metrics.is_none() {
+            self.metrics = other.metrics;
+        }
     }
 }
 

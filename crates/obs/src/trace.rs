@@ -1,4 +1,4 @@
-//! Runtime-adjustable diagnostics for the long-lived daemon.
+//! Runtime-adjustable diagnostics for long-lived processes.
 //!
 //! A collector that runs for months cannot be restarted to chase one
 //! misbehaving peer. [`TraceFilter`] is the knob: a default verbosity
@@ -6,15 +6,22 @@
 //! …), all adjustable at runtime through the config store or the control
 //! socket. The hot path pays one relaxed atomic load when tracing is
 //! effectively off — the maximum enabled level is cached in an
-//! `AtomicU8`, so 5k sessions streaming updates don't take a lock to
-//! discover nobody is listening.
+//! `AtomicU8` — and when a target *is* raised, per-target thresholds are
+//! answered from an immutable sorted snapshot cached per thread, so 5k
+//! sessions tracing one hot target never serialize behind a lock.
 //!
 //! Output goes to a pluggable sink (stderr by default); tests install a
 //! capturing sink to assert what a level change makes visible.
+//!
+//! This module lives in `kcc_obs` (it started in `kcc_peer`) so every
+//! crate — core, collector, watch — can emit runtime-filterable trace
+//! lines through the same hot-reloadable config; `kcc_peer` re-exports
+//! the types for back-compat.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Verbosity of one trace line (and threshold of one filter target).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -74,8 +81,8 @@ impl std::fmt::Display for TraceLevel {
 }
 
 /// The declarative half: default level + per-target overrides. Lives in
-/// `DaemonConfig` so trace verbosity rides the same candidate/commit
-/// cycle as every other daemon setting.
+/// the daemon's config so trace verbosity rides the same
+/// candidate/commit cycle as every other setting.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceConfig {
     /// Level for targets without an override.
@@ -95,6 +102,42 @@ impl TraceConfig {
     }
 }
 
+/// Immutable, name-sorted threshold table built once per `apply` and
+/// shared read-only with every thread. Lookups binary-search; no lock.
+#[derive(Debug, Default)]
+struct Snapshot {
+    default: u8,
+    targets: Vec<(String, u8)>,
+}
+
+impl Snapshot {
+    fn from_config(config: &TraceConfig) -> Self {
+        Snapshot {
+            default: config.default as u8,
+            // BTreeMap iteration is already name-sorted.
+            targets: config.targets.iter().map(|(t, l)| (t.clone(), *l as u8)).collect(),
+        }
+    }
+
+    fn level_for(&self, target: &str) -> u8 {
+        match self.targets.binary_search_by(|(t, _)| t.as_str().cmp(target)) {
+            Ok(i) => self.targets[i].1,
+            Err(_) => self.default,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread cache of the last snapshot consulted: (filter id,
+    /// generation, snapshot). One slot suffices — processes have one
+    /// long-lived filter; a second filter just refreshes on first use.
+    static SNAPSHOT_CACHE: RefCell<Option<(u64, u64, Arc<Snapshot>)>> = const { RefCell::new(None) };
+}
+
+/// Process-unique filter ids so the thread-local cache can tell filters
+/// apart.
+static NEXT_FILTER_ID: AtomicU64 = AtomicU64::new(1);
+
 type Sink = Box<dyn Fn(&str, TraceLevel, &str) + Send + Sync>;
 
 /// The runtime half: applies a [`TraceConfig`] and answers
@@ -105,6 +148,14 @@ type Sink = Box<dyn Fn(&str, TraceLevel, &str) + Send + Sync>;
 pub struct TraceFilter {
     /// Max enabled level across all targets — the lock-free fast path.
     max_level: AtomicU8,
+    /// Bumped on every [`apply`](TraceFilter::apply); threads refresh
+    /// their cached snapshot when it moves.
+    generation: AtomicU64,
+    id: u64,
+    snapshot: Mutex<Arc<Snapshot>>,
+    /// Counts slow-path snapshot refreshes — lets tests pin that warm
+    /// `enabled` checks never touch the mutex.
+    refreshes: AtomicU64,
     config: Mutex<TraceConfig>,
     sink: Mutex<Option<Sink>>,
 }
@@ -121,6 +172,13 @@ impl Default for TraceFilter {
     fn default() -> Self {
         TraceFilter {
             max_level: AtomicU8::new(TraceLevel::default() as u8),
+            generation: AtomicU64::new(0),
+            id: NEXT_FILTER_ID.fetch_add(1, Ordering::Relaxed),
+            snapshot: Mutex::new(Arc::new(Snapshot {
+                default: TraceLevel::default() as u8,
+                targets: Vec::new(),
+            })),
+            refreshes: AtomicU64::new(0),
             config: Mutex::new(TraceConfig::default()),
             sink: Mutex::new(None),
         }
@@ -138,7 +196,12 @@ impl TraceFilter {
     /// Replaces the active configuration (called on config commit).
     pub fn apply(&self, config: TraceConfig) {
         let max = config.max_level();
+        let snapshot = Arc::new(Snapshot::from_config(&config));
         *self.config.lock().unwrap() = config;
+        *self.snapshot.lock().unwrap() = snapshot;
+        // Publish after the snapshot swap so a thread observing the new
+        // generation refreshes into the new table.
+        self.generation.fetch_add(1, Ordering::Release);
         self.max_level.store(max as u8, Ordering::Relaxed);
     }
 
@@ -147,13 +210,30 @@ impl TraceFilter {
         self.config.lock().unwrap().clone()
     }
 
-    /// Whether a line at `level` for `target` would be emitted. One
-    /// relaxed load when the level is above every configured threshold.
+    /// Whether a line at `level` for `target` would be emitted.
+    ///
+    /// One relaxed load when the level is above every configured
+    /// threshold. When some target is raised, the per-target threshold
+    /// comes from a thread-local cached snapshot — no lock is taken
+    /// unless the configuration changed since this thread last looked.
     pub fn enabled(&self, target: &str, level: TraceLevel) -> bool {
         if level as u8 > self.max_level.load(Ordering::Relaxed) {
             return false;
         }
-        level <= self.config.lock().unwrap().level_for(target)
+        let generation = self.generation.load(Ordering::Acquire);
+        SNAPSHOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((id, cached_generation, snapshot)) = &*cache {
+                if *id == self.id && *cached_generation == generation {
+                    return level as u8 <= snapshot.level_for(target);
+                }
+            }
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+            let snapshot = Arc::clone(&self.snapshot.lock().unwrap());
+            let enabled = level as u8 <= snapshot.level_for(target);
+            *cache = Some((self.id, generation, snapshot));
+            enabled
+        })
     }
 
     /// Emits one line if enabled. The closure defers formatting cost to
@@ -174,6 +254,11 @@ impl TraceFilter {
     /// stderr).
     pub fn set_sink(&self, sink: impl Fn(&str, TraceLevel, &str) + Send + Sync + 'static) {
         *self.sink.lock().unwrap() = Some(Box::new(sink));
+    }
+
+    #[cfg(test)]
+    fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
     }
 }
 
@@ -239,5 +324,59 @@ mod tests {
             assert_eq!(TraceLevel::parse(level.as_str()), Some(level));
         }
         assert_eq!(TraceLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn warm_enabled_checks_never_take_the_lock() {
+        let f = TraceFilter::new(TraceConfig {
+            default: TraceLevel::Error,
+            targets: [("session".to_string(), TraceLevel::Trace)].into(),
+        });
+        // First check on this thread populates the cache (≤1 refresh;
+        // another test on this thread may have warmed a different
+        // filter, forcing exactly one here).
+        f.enabled("session", TraceLevel::Trace);
+        let after_warmup = f.refreshes();
+        for _ in 0..10_000 {
+            assert!(f.enabled("session", TraceLevel::Trace));
+            assert!(!f.enabled("reactor", TraceLevel::Debug));
+        }
+        assert_eq!(f.refreshes(), after_warmup, "warm checks must not touch the mutex");
+
+        // A config change invalidates exactly once per thread. (The
+        // Trace-level check rides the max_level fast path — no refresh.)
+        f.apply(TraceConfig {
+            default: TraceLevel::Error,
+            targets: [("session".to_string(), TraceLevel::Debug)].into(),
+        });
+        assert!(!f.enabled("session", TraceLevel::Trace));
+        assert_eq!(f.refreshes(), after_warmup, "max_level fast path must not refresh");
+        for _ in 0..1000 {
+            assert!(f.enabled("session", TraceLevel::Debug));
+        }
+        assert_eq!(f.refreshes(), after_warmup + 1);
+    }
+
+    #[test]
+    fn raised_target_is_consistent_across_threads() {
+        let f = Arc::new(TraceFilter::new(TraceConfig {
+            default: TraceLevel::Error,
+            targets: [("ingest".to_string(), TraceLevel::Debug)].into(),
+        }));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let f = Arc::clone(&f);
+                scope.spawn(move || {
+                    for _ in 0..5000 {
+                        assert!(f.enabled("ingest", TraceLevel::Debug));
+                        assert!(!f.enabled("ingest", TraceLevel::Trace));
+                        assert!(!f.enabled("other", TraceLevel::Debug));
+                    }
+                });
+            }
+        });
+        // Each thread refreshed at most once (plus the construction
+        // thread's warmup).
+        assert!(f.refreshes() <= 5, "refreshes = {}", f.refreshes());
     }
 }

@@ -1,0 +1,93 @@
+//! Property tests on the registry's deterministic exposition.
+//!
+//! [`Registry::render`] is documented as a pure function of the
+//! recorded data: two registries fed the same observations must render
+//! byte-identically no matter in which order series were registered or
+//! which threads carried the recordings. These properties drive random
+//! operation sequences through both axes.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use kcc_obs::Registry;
+
+/// One recording: which metric family, which label value, how much.
+/// The family index fixes both the name and the kind, so the same name
+/// never arrives as two different kinds (that is a registration panic,
+/// pinned separately in the unit tests). Only commutative recordings
+/// are generated — counter/gauge `add` and histogram `observe` — since
+/// order independence cannot hold for last-write-wins `set`.
+type Op = (usize, usize, u64);
+
+const LABEL_VALUES: [&str; 4] = ["rrc00", "rrc01", "route-views3", "rrc21"];
+
+fn apply(registry: &Registry, &(family, label, amount): &Op) {
+    let labels: &[(&str, &str)] = &[("collector", LABEL_VALUES[label % LABEL_VALUES.len()])];
+    match family % 5 {
+        0 => registry.counter("kcc_props_plain_total").add(amount),
+        1 => registry.counter_with("kcc_props_labeled_total", labels).add(amount),
+        2 => registry.gauge_with("kcc_props_depth", labels).add(amount as i64),
+        3 => registry.histogram("kcc_props_nanos").observe(amount * 977),
+        _ => registry.histogram_with("kcc_props_labeled_nanos", labels).observe(amount * 31),
+    }
+}
+
+proptest! {
+    /// Registration order is invisible in the output: applying the same
+    /// operations rotated and reversed yields the same bytes.
+    #[test]
+    fn render_is_independent_of_registration_order(
+        ops in vec((0usize..5, 0usize..4, 1u64..1000), 1..32),
+        rotation in 0usize..32,
+        reverse in any::<bool>(),
+    ) {
+        let reference = Registry::new();
+        for op in &ops {
+            apply(&reference, op);
+        }
+
+        let mut shuffled = ops.clone();
+        let len = shuffled.len();
+        shuffled.rotate_left(rotation % len);
+        if reverse {
+            shuffled.reverse();
+        }
+        let reordered = Registry::new();
+        for op in &shuffled {
+            apply(&reordered, op);
+        }
+
+        prop_assert_eq!(reference.render(), reordered.render());
+    }
+
+    /// Thread interleaving is invisible in the output: the same
+    /// operations split across worker threads (racing registration and
+    /// recording) render exactly the serial bytes.
+    #[test]
+    fn render_is_independent_of_thread_interleaving(
+        ops in vec((0usize..5, 0usize..4, 1u64..1000), 4..48),
+        threads in 2usize..5,
+    ) {
+        let serial = Registry::new();
+        for op in &ops {
+            apply(&serial, op);
+        }
+
+        let concurrent = Arc::new(Registry::new());
+        let chunk = ops.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in ops.chunks(chunk) {
+                let registry = Arc::clone(&concurrent);
+                scope.spawn(move || {
+                    for op in part {
+                        apply(&registry, op);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(serial.render(), concurrent.render());
+    }
+}

@@ -309,6 +309,12 @@ impl Collector {
         Arc::clone(&self.gauges)
     }
 
+    /// The daemon's metrics registry (shared with the reactor shards and
+    /// the ingest thread); render with [`kcc_obs::Registry::render`].
+    pub fn metrics(&self) -> Arc<kcc_obs::Registry> {
+        Arc::clone(self.store.metrics())
+    }
+
     /// Requests shutdown: stop accepting, Cease every session, close the
     /// feed once in-flight updates are drained.
     pub fn shutdown(&self) {
@@ -365,6 +371,7 @@ fn ingest_loop(
     store: Arc<ConfigStore>,
 ) -> CollectorStats {
     let mut stats = CollectorStats::default();
+    let updates_ingested = store.metrics().counter("kcc_ingest_updates_total");
     // Keyed by the Copy pair (ASN, IP) — the collector name is constant
     // for this daemon, and the full SessionKey would cost a String
     // allocation per UPDATE on this single-threaded hot path.
@@ -459,6 +466,7 @@ fn ingest_loop(
                         let _ = rot.write(&session.meta, &update);
                     }
                     stats.updates += 1;
+                    updates_ingested.inc();
                     session.next_index += 1;
                     let _ = live.send(SourceItem::Update(Arc::clone(&session.meta), update));
                 }

@@ -108,6 +108,7 @@ pub struct ConfigStore {
     /// running config exists.
     generation: AtomicU64,
     trace: TraceFilter,
+    metrics: Arc<kcc_obs::Registry>,
 }
 
 impl std::fmt::Debug for ConfigStore {
@@ -132,6 +133,7 @@ impl ConfigStore {
             }),
             generation: AtomicU64::new(1),
             trace,
+            metrics: Arc::new(kcc_obs::Registry::new()),
         }
     }
 
@@ -194,6 +196,13 @@ impl ConfigStore {
     /// config's `trace` section on every commit).
     pub fn trace(&self) -> &TraceFilter {
         &self.trace
+    }
+
+    /// The daemon-wide metrics registry. Reactor shards, the ingest
+    /// thread, and the control socket all record into this one registry;
+    /// the control `metrics` command renders it.
+    pub fn metrics(&self) -> &Arc<kcc_obs::Registry> {
+        &self.metrics
     }
 }
 

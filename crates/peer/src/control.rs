@@ -15,6 +15,7 @@
 //! route-server add <asn>@<ip> | route-server del <asn>@<ip>
 //! listen add <addr> | listen del <addr>
 //! trace default <level> | trace <target> <level>
+//! metrics
 //! commit | discard | quit
 //! ```
 //!
@@ -146,6 +147,7 @@ fn run_command(cmd: &str, store: &ConfigStore) -> Result<String, String> {
         ["show", "status"] => {
             Ok(format!("generation={}\ndirty={}\nok\n", store.generation(), store.dirty()))
         }
+        ["metrics"] => Ok(format!("{}ok\n", store.metrics().render())),
         ["set", "stamp", "arrival"] => {
             store.edit(|c| c.stamp = StampMode::Arrival);
             Ok("ok stamp=arrival\n".to_owned())
@@ -352,6 +354,16 @@ mod tests {
         assert!(running.contains("route_servers=AS65001@10.0.0.1"));
         assert!(running.contains("trace=default:error,reactor:debug"));
         assert!(store.trace().enabled("reactor", TraceLevel::Debug));
+    }
+
+    #[test]
+    fn metrics_command_renders_the_registry() {
+        let store = fresh_store();
+        store.metrics().counter("kcc_control_test_total").add(7);
+        let out = ok(&store, "metrics");
+        assert!(out.contains("# TYPE kcc_control_test_total counter"), "{out}");
+        assert!(out.contains("kcc_control_test_total 7"), "{out}");
+        assert!(out.ends_with("ok\n"), "{out}");
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! * [`config`]: the running/candidate [`ConfigStore`] with
 //!   commit/discard semantics — peers, listeners, stamping, rotation and
 //!   trace levels hot-reload into a live daemon,
-//! * [`trace`]: the dynamic per-target trace filter (runtime-adjustable
-//!   verbosity with a lock-free off fast path),
+//! * [`trace`]: re-export of [`kcc_obs::trace`] — the dynamic
+//!   per-target trace filter (runtime-adjustable verbosity with a
+//!   lock-free off fast path) now lives in the observability crate so
+//!   every layer can emit filtered diagnostics,
 //! * [`control`]: the line-protocol control socket driving the config
 //!   store from outside the process,
 //! * [`active`]: the outbound speaker (used by the `bgp-sim` loopback
@@ -57,8 +59,10 @@ pub mod fsm;
 pub mod reactor;
 pub mod rotate;
 pub mod sys;
-pub mod trace;
 pub mod transport;
+
+/// Back-compat re-export: the trace filter moved to [`kcc_obs`].
+pub use kcc_obs::trace;
 
 pub use active::{ActiveSpeaker, PeerError};
 pub use clock::{Clock, ManualClock, WallClock};

@@ -174,6 +174,34 @@ const LISTEN_BASE: u64 = u64::MAX - (1 << 16);
 
 const TRACE_TARGET: &str = "reactor";
 
+/// Pre-registered handles into the daemon's metrics registry — built
+/// once per shard at spawn, so recording on the hot path is a relaxed
+/// atomic and never touches the registry lock.
+struct ShardMetrics {
+    sessions_established: Arc<kcc_obs::Counter>,
+    sessions_ceased: Arc<kcc_obs::Counter>,
+    frames_decoded: Arc<kcc_obs::Counter>,
+    write_queue_overflows: Arc<kcc_obs::Counter>,
+    hold_timer_expiries: Arc<kcc_obs::Counter>,
+    poll_wakeups: Arc<kcc_obs::Counter>,
+    write_queue_peak: Arc<kcc_obs::Gauge>,
+}
+
+impl ShardMetrics {
+    fn new(registry: &kcc_obs::Registry, shard: usize) -> Self {
+        ShardMetrics {
+            sessions_established: registry.counter("kcc_reactor_sessions_established_total"),
+            sessions_ceased: registry.counter("kcc_reactor_sessions_ceased_total"),
+            frames_decoded: registry.counter("kcc_reactor_frames_decoded_total"),
+            write_queue_overflows: registry.counter("kcc_reactor_write_queue_overflows_total"),
+            hold_timer_expiries: registry.counter("kcc_reactor_hold_timer_expiries_total"),
+            poll_wakeups: registry
+                .counter_with("kcc_reactor_poll_wakeups_total", &[("shard", &shard.to_string())]),
+            write_queue_peak: registry.gauge("kcc_reactor_write_queue_peak_bytes"),
+        }
+    }
+}
+
 /// A stream handed from the accepting shard to its owning shard.
 struct Injector {
     queue: Mutex<Vec<TcpStream>>,
@@ -270,6 +298,7 @@ pub fn spawn(
             store: Arc::clone(&store),
             last_gen: store.generation(),
             gauges: Arc::clone(&gauges),
+            metrics: ShardMetrics::new(store.metrics(), id),
             listen_addrs: Arc::clone(&listen_addrs),
             rr_next: 0,
             stopping: false,
@@ -335,6 +364,7 @@ struct Shard {
     store: Arc<ConfigStore>,
     last_gen: u64,
     gauges: Arc<LiveGauges>,
+    metrics: ShardMetrics,
     listen_addrs: Arc<Mutex<Vec<SocketAddr>>>,
     /// Round-robin cursor for dealing accepted streams (shard 0 only).
     rr_next: usize,
@@ -349,6 +379,7 @@ impl Shard {
     fn run(&mut self) {
         loop {
             let timeout = if self.stopping { STOP_POLL_MS } else { POLL_MS };
+            self.metrics.poll_wakeups.inc();
             let mut ready = std::mem::take(&mut self.ready);
             if self.poller.wait(&mut ready, timeout).is_err() {
                 // A failed wait would spin; treat it as fatal for the
@@ -598,6 +629,7 @@ impl Shard {
                     Err(_) => (Vec::new(), Some(ReadEnd::Failed)),
                 }
             };
+            self.metrics.frames_decoded.add(messages.len() as u64);
             for m in messages {
                 let actions = {
                     let sess = self.slots[slot].as_mut().expect("resolved slot");
@@ -644,12 +676,15 @@ impl Shard {
         for action in actions {
             match action {
                 Action::Send(m) => {
-                    let overflow = {
+                    let (overflow, queued) = {
                         let sess = self.slots[slot].as_mut().expect("resolved slot");
                         let cfg = sess.write_cfg;
-                        sess.writes.push_message(&m, &cfg).is_err()
+                        let overflow = sess.writes.push_message(&m, &cfg).is_err();
+                        (overflow, sess.writes.queued())
                     };
+                    self.metrics.write_queue_peak.set_max(queued as i64);
                     if overflow {
+                        self.metrics.write_queue_overflows.inc();
                         self.store.trace().log(TRACE_TARGET, TraceLevel::Error, || {
                             format!("shard {}: write backlog overflow, ceasing session", self.id)
                         });
@@ -685,6 +720,7 @@ impl Shard {
                         sess.remote
                     };
                     self.gauges.session_up();
+                    self.metrics.sessions_established.inc();
                     self.store.trace().log(TRACE_TARGET, TraceLevel::Info, || {
                         format!("session up: AS{} via {}", info.peer_asn.0, remote)
                     });
@@ -925,6 +961,10 @@ impl Shard {
         let _ = self.poller.deregister(sess.stream.as_raw_fd());
         if sess.info.is_some() {
             self.gauges.session_down();
+            self.metrics.sessions_ceased.inc();
+        }
+        if matches!(reason, DownReason::HoldTimerExpired) {
+            self.metrics.hold_timer_expiries.inc();
         }
         self.store.trace().log(TRACE_TARGET, TraceLevel::Debug, || {
             format!("shard {}: session {} down: {:?}", self.id, sess.remote, reason)

@@ -9,31 +9,82 @@
 //! 1. **Concurrency.** N sessions (default 5 000) handshake and are
 //!    held simultaneously Established — the daemon's own gauge must
 //!    read N while its reactor runs a handful of shard threads.
-//! 2. **Integrity.** Every session then streams its share of a
-//!    generated day; the live Table 1 / Table 2 must be byte-identical
-//!    to the offline `ArchiveSource` analysis of the same update set.
+//! 2. **Observability.** While the flood streams, the control socket's
+//!    `metrics` command is scraped from outside; the rendered registry
+//!    must corroborate the soak (every session counted established,
+//!    ingestion underway, zero write-queue overflows). With
+//!    `--metrics-out FILE` the scrape is kept — CI uploads it as an
+//!    artifact.
+//! 3. **Integrity.** Every session streams its share of a generated
+//!    day; the live Table 1 / Table 2 must be byte-identical to the
+//!    offline `ArchiveSource` analysis of the same update set.
 //!
 //! CI runs this under `ulimit -v`, so the memory to hold N sessions is
 //! bounded too. Run with
-//! `cargo run --release --example daemon_soak [-- <sessions> [updates]]`.
+//! `cargo run --release --example daemon_soak [-- <sessions> [updates] [--metrics-out FILE]]`.
 
-use std::net::{IpAddr, Ipv4Addr};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
 
 use keep_communities_clean::analysis::table::{OverviewSink, TypeShares};
 use keep_communities_clean::analysis::{CountsSink, PipelineBuilder};
 use keep_communities_clean::collector::{ArchiveSource, SessionKey, UpdateArchive};
 use keep_communities_clean::peer::{
-    offline_reference, sys, Collector, CollectorConfig, FloodOptions, FloodPlan, FloodRig,
-    StampMode,
+    offline_reference, sys, Collector, CollectorConfig, ControlServer, FloodOptions, FloodPlan,
+    FloodRig, StampMode,
 };
 use keep_communities_clean::tracegen::{generate_mar20, Mar20Config};
 use keep_communities_clean::types::Asn;
 
+/// Value of an unlabeled series in a Prometheus text scrape.
+fn scraped_value(scrape: &str, name: &str) -> u64 {
+    scrape
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(|v| v.trim().parse().expect("numeric metric value"))
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing from scrape"))
+}
+
+/// Dials the control socket, issues `metrics`, returns the response up
+/// to (excluding) the terminal `ok` line.
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let stream = TcpStream::connect(addr).expect("dial control socket");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone control stream");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "metrics").expect("send metrics command");
+    let mut scrape = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response line");
+        assert!(!line.is_empty(), "control socket closed mid-scrape");
+        if line.starts_with("ok") {
+            return scrape;
+        }
+        assert!(!line.starts_with("err"), "metrics command failed: {line}");
+        scrape.push_str(&line);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut nums = args.iter().filter_map(|a| a.parse::<u64>().ok());
-    let sessions = nums.next().unwrap_or(5_000) as usize;
-    let total_updates = nums.next().unwrap_or(25_000);
+    let mut nums = Vec::new();
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--metrics-out" {
+            metrics_out = it.next().map(PathBuf::from);
+        } else if let Ok(n) = a.parse::<u64>() {
+            nums.push(n);
+        }
+    }
+    let sessions = nums.first().copied().unwrap_or(5_000) as usize;
+    let total_updates = nums.get(1).copied().unwrap_or(25_000);
     let want_fds = sessions as u64 * 2 + 512;
     if let Err(e) = sys::raise_nofile_limit(want_fds) {
         eprintln!("daemon_soak: cannot raise fd limit to {want_fds}: {e}");
@@ -90,10 +141,49 @@ fn main() {
         cfg.reactor.workers
     );
 
-    // Phase 2: stream, drain, compare tables byte-for-byte.
+    // Phase 2 (observability): a live control socket, scraped from a
+    // side thread once ingestion is underway — a real mid-soak scrape,
+    // not a post-mortem read.
+    let control =
+        ControlServer::bind("127.0.0.1:0", collector.config_store(), collector.shutdown_handle())
+            .expect("bind control socket");
+    let control_addr = control.local_addr();
+    let registry = collector.metrics();
+    // The coordinator holds shutdown until the scrape lands, so the
+    // daemon (and its control socket) are guaranteed alive mid-scrape
+    // even when a small flood drains in milliseconds.
+    let (scrape_done, scrape_gate) = std::sync::mpsc::channel::<()>();
+    let scraper = std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while registry.counter_value("kcc_ingest_updates_total", &[]) == 0 {
+            assert!(std::time::Instant::now() < deadline, "soak never started ingesting");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let scrape = scrape_metrics(control_addr);
+        let established = scraped_value(&scrape, "kcc_reactor_sessions_established_total");
+        let ingested = scraped_value(&scrape, "kcc_ingest_updates_total");
+        let overflows = scraped_value(&scrape, "kcc_reactor_write_queue_overflows_total");
+        assert_eq!(established, sessions as u64, "scrape disagrees with the soak's peer count");
+        assert!(ingested > 0, "scraped mid-stream, ingest counter must be moving");
+        assert_eq!(overflows, 0, "write queues must never overflow during the soak");
+        if let Some(path) = metrics_out {
+            std::fs::write(&path, &scrape).expect("write metrics scrape");
+            println!("soak: metrics scrape written to {}", path.display());
+        }
+        println!(
+            "soak: mid-soak scrape ok ({established} sessions established, \
+             {ingested} updates ingested so far, 0 write-queue overflows)"
+        );
+        drop(scrape_done);
+    });
+
+    // Phase 3: stream, drain, compare tables byte-for-byte.
     let stream_start = std::time::Instant::now();
     let coordinator = std::thread::spawn(move || {
         let report = rig.stream().expect("flood stream");
+        // Wait for the mid-soak scrape (Err means the scraper panicked;
+        // proceed — the join below surfaces it) before tearing down.
+        let _ = scrape_gate.recv_timeout(Duration::from_secs(90));
         collector.shutdown();
         (report, collector.join())
     });
@@ -103,6 +193,8 @@ fn main() {
         .run()
         .expect("live run");
     let (report, stats) = coordinator.join().expect("coordinator thread");
+    scraper.join().expect("metrics scraper thread");
+    control.join();
     assert_eq!(report.updates_sent, workload.update_count() as u64, "rig sent everything");
     assert_eq!(stats.updates, report.updates_sent, "daemon ingested everything");
     assert_eq!(stats.peak_established, sessions as u64, "peak gauge saw full concurrency");

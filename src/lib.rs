@@ -44,6 +44,7 @@ pub use kcc_bgp_wire as wire;
 pub use kcc_collector as collector;
 pub use kcc_core as analysis;
 pub use kcc_mrt as mrt;
+pub use kcc_obs as obs;
 pub use kcc_peer as peer;
 pub use kcc_topology as topology;
 pub use kcc_tracegen as tracegen;

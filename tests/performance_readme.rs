@@ -110,8 +110,13 @@ fn readme_reproduction_commands_match_ci_gate() {
     // The README documents the exact gate CI enforces.
     assert!(section.contains("--tolerance 0.25"), "README must state the gate tolerance");
     assert!(
-        ci.contains("--tolerance 0.25 --summary"),
-        "CI bench-smoke must gate at the documented tolerance and publish delta tables"
+        section.contains("--overhead-cap 2"),
+        "README must state the absolute instrumentation-overhead cap"
+    );
+    assert!(
+        ci.contains("--tolerance 0.25 --overhead-cap 2 --summary"),
+        "CI bench-smoke must gate at the documented tolerance and overhead cap \
+         and publish delta tables"
     );
     assert!(
         ci.contains("for b in pipeline live corpus watch"),
