@@ -10,12 +10,12 @@ use kcc_topology::{IgpMap, RouteSource, RouterId};
 fn candidates(n: usize) -> Vec<RibEntry> {
     (0..n)
         .map(|i| RibEntry {
-            attrs: PathAttributes {
+            attrs: std::sync::Arc::new(PathAttributes {
                 as_path: format!("{} 3356 12654", 20_000 + i).parse().unwrap(),
                 local_pref: Some(100 + (i % 3) as u32 * 100),
                 med: Some((i % 7) as u32),
                 ..Default::default()
-            },
+            }),
             source: RouteSource::Peer,
             from_session: Some(SessionId(i)),
             egress: RouterId { asn: Asn(100), index: (i % 4) as u16 },

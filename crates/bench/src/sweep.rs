@@ -29,7 +29,7 @@ use kcc_bgp_sim::{Capture, SimConfig, SimDuration, SimTime, VendorProfile};
 use kcc_bgp_types::Asn;
 use kcc_core::{classify_archive, TypeCounts};
 use kcc_topology::gen::BEACON_ORIGIN_ASN;
-use kcc_topology::{BehaviorMix, RouterId, TopologyConfig};
+use kcc_topology::{BehaviorMix, InternetConfig, RouterId, TopologyConfig};
 use keep_communities_clean::adapter::capture_to_archive;
 
 /// The collector AS attached to every sweep cell (RIS-style).
@@ -248,6 +248,128 @@ pub fn run_cell(cell: &SweepCell, seed: u64) -> CellResult {
         counts: classified.counts,
         collector_messages: capture.len(),
         perturbation_messages,
+        converged_at: outcome.phases.last().map(|p| p.quiesced).unwrap_or(SimTime::ZERO),
+    }
+}
+
+/// An internet-scale measurement cell (see the `bench_sim` binary): a
+/// power-law [`generate_internet`](kcc_topology::generate_internet)
+/// topology at `n_ases`, run through the beacon flap protocol — converge
+/// the beacon prefix across the whole graph, then flap the beacon
+/// origin's primary provider link down → up → down while a collector on
+/// the first two transits records the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternetCell {
+    /// Vendor profile every router runs.
+    pub vendor: VendorProfile,
+    /// eBGP MRAI override applied to the vendor profile.
+    pub mrai: SimDuration,
+    /// Total AS count of the generated internet.
+    pub n_ases: usize,
+}
+
+impl InternetCell {
+    /// Table/scenario label, e.g. `internet/10000as`.
+    pub fn label(&self) -> String {
+        format!("internet/{}as", self.n_ases)
+    }
+
+    /// Compiles the cell into a declarative scenario over an
+    /// internet-scale topology. Only the beacon prefix is announced —
+    /// propagation across a 10k+-AS graph is the measured workload;
+    /// announcing every stub's prefix would square it.
+    pub fn spec(&self, seed: u64) -> ScenarioSpec {
+        let config = InternetConfig::sized(self.n_ases, seed);
+        let beacon_prefix = config.beacon_prefixes[0];
+        let vendor = VendorProfile { mrai_ebgp: self.mrai, ..self.vendor };
+        let beacon = RouterId { asn: BEACON_ORIGIN_ASN, index: 0 };
+        let primary_transit = Asn(20_000);
+        let flap = |down: bool| {
+            let action = if down {
+                ScenarioAction::InterAsLinkDown { a: BEACON_ORIGIN_ASN, b: primary_transit }
+            } else {
+                ScenarioAction::InterAsLinkUp { a: BEACON_ORIGIN_ASN, b: primary_transit }
+            };
+            vec![ScenarioEvent::after(SimDuration::from_secs(10), action)]
+        };
+        ScenarioSpec {
+            name: self.label(),
+            sim: SimConfig { seed, default_vendor: vendor, ..Default::default() },
+            topology: TopologyTemplate::GeneratedInternet {
+                config,
+                collector: Some(CollectorDecl {
+                    asn: COLLECTOR_ASN,
+                    peers: vec![
+                        RouterId { asn: Asn(20_000), index: 0 },
+                        RouterId { asn: Asn(20_001), index: 0 },
+                    ],
+                }),
+            },
+            monitors: vec![],
+            watch: vec![],
+            phases: vec![
+                Phase::new(
+                    "converge",
+                    vec![ScenarioEvent::immediately(ScenarioAction::Announce {
+                        router: beacon,
+                        prefix: beacon_prefix,
+                    })],
+                ),
+                Phase::new("flap", flap(true)),
+                Phase::new("heal", flap(false)),
+                Phase::new("reflap", flap(true)),
+            ],
+            expectations: vec![],
+        }
+    }
+}
+
+/// What one internet-scale cell measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternetCellResult {
+    /// Total AS count of the cell's topology.
+    pub n_ases: usize,
+    /// Routers in the compiled network (includes the collector).
+    pub routers: usize,
+    /// Sessions in the compiled network.
+    pub sessions: usize,
+    /// Announcement-type counts of the collector stream across all
+    /// phases.
+    pub counts: TypeCounts,
+    /// Total messages the collector captured.
+    pub collector_messages: usize,
+    /// Simulator events processed across the whole timeline.
+    pub events_processed: u64,
+    /// Bytes retained by the interned path-attribute store at the end.
+    pub interned_attr_bytes: usize,
+    /// Time of the last processed event in simulated time.
+    pub converged_at: SimTime,
+}
+
+/// Runs one internet-scale cell: compile the spec, run the engine,
+/// classify the collector stream.
+pub fn run_internet_cell(cell: &InternetCell, seed: u64) -> InternetCellResult {
+    let spec = cell.spec(seed);
+    let outcome = scenario::run(&spec);
+    let collector = RouterId { asn: COLLECTOR_ASN, index: 0 };
+    let mut capture = Capture::new();
+    for phase in &outcome.phases {
+        if let Some(entries) = phase.collected.get(&collector) {
+            for entry in entries {
+                capture.record(entry.clone());
+            }
+        }
+    }
+    let archive = capture_to_archive(&outcome.net, "sim", &capture, 0);
+    let classified = classify_archive(&archive);
+    InternetCellResult {
+        n_ases: cell.n_ases,
+        routers: outcome.net.routers().count(),
+        sessions: outcome.net.sessions().len(),
+        counts: classified.counts,
+        collector_messages: capture.len(),
+        events_processed: outcome.net.stats.events_processed,
+        interned_attr_bytes: outcome.net.attr_store().bytes(),
         converged_at: outcome.phases.last().map(|p| p.quiesced).unwrap_or(SimTime::ZERO),
     }
 }

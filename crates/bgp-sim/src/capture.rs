@@ -27,7 +27,8 @@ impl CapturedUpdate {
     pub fn to_route_update(&self) -> RouteUpdate {
         let kind = match &self.update.body {
             UpdateBody::Announce { attrs, .. } => {
-                MessageKind::Announcement(std::sync::Arc::new(attrs.clone()))
+                // Shares the sim's interned allocation — no deep copy.
+                MessageKind::Announcement(std::sync::Arc::clone(attrs))
             }
             UpdateBody::Withdraw => MessageKind::Withdrawal,
         };

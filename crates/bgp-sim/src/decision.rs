@@ -99,6 +99,7 @@ mod tests {
     use kcc_bgp_types::attrs::Origin;
     use kcc_bgp_types::{Asn, PathAttributes};
     use kcc_topology::RouteSource;
+    use std::sync::Arc;
 
     fn me() -> RouterId {
         RouterId { asn: Asn(100), index: 0 }
@@ -106,7 +107,10 @@ mod tests {
 
     fn entry(path: &str, session: usize) -> RibEntry {
         RibEntry {
-            attrs: PathAttributes { as_path: path.parse().unwrap(), ..Default::default() },
+            attrs: Arc::new(PathAttributes {
+                as_path: path.parse().unwrap(),
+                ..Default::default()
+            }),
             source: RouteSource::Peer,
             from_session: Some(SessionId(session)),
             egress: me(),
@@ -116,7 +120,7 @@ mod tests {
     #[test]
     fn local_pref_dominates_path_length() {
         let mut a = entry("1 2 3 4", 0);
-        a.attrs.local_pref = Some(300);
+        Arc::make_mut(&mut a.attrs).local_pref = Some(300);
         let b = entry("1 2", 1); // shorter but lower pref (default 100)
         assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
     }
@@ -133,21 +137,21 @@ mod tests {
     fn origin_breaks_path_tie() {
         let a = entry("1 2", 0);
         let mut b = entry("3 4", 1);
-        b.attrs.origin = Origin::Incomplete;
+        Arc::make_mut(&mut b.attrs).origin = Origin::Incomplete;
         assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
     }
 
     #[test]
     fn med_only_compared_same_neighbor() {
         let mut a = entry("7 9", 0);
-        a.attrs.med = Some(50);
+        Arc::make_mut(&mut a.attrs).med = Some(50);
         let mut b = entry("7 8", 1);
-        b.attrs.med = Some(10);
+        Arc::make_mut(&mut b.attrs).med = Some(10);
         // Same neighbor AS 7: lower MED (b) wins.
         assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Less);
 
         let mut c = entry("6 9", 0);
-        c.attrs.med = Some(50);
+        Arc::make_mut(&mut c.attrs).med = Some(50);
         // Different neighbor AS: MED skipped, falls to tie-breaks
         // (equal eBGP, equal IGP) → session id decides.
         assert_eq!(compare(&c, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
@@ -157,7 +161,7 @@ mod tests {
     fn missing_med_treated_as_zero() {
         let a = entry("7 9", 0); // no MED = 0
         let mut b = entry("7 8", 1);
-        b.attrs.med = Some(10);
+        Arc::make_mut(&mut b.attrs).med = Some(10);
         assert_eq!(compare(&a, &b, me(), &IgpMap::ring(1)), Ordering::Greater);
     }
 

@@ -55,7 +55,8 @@ use kcc_topology::{RouteSource, RouterId};
 use crate::network::SimConfig;
 use crate::policy::{ExportPolicy, ImportPolicy};
 use crate::scenario::{
-    Phase, RouterDecl, ScenarioAction, ScenarioEvent, ScenarioSpec, SessionDecl, TopologyTemplate,
+    CountBound, Expectation, Phase, RouterDecl, ScenarioAction, ScenarioEvent, ScenarioSpec,
+    SessionDecl, TopologyTemplate,
 };
 use crate::session::SessionKind;
 use crate::time::SimDuration;
@@ -342,6 +343,116 @@ fn leak_scenario() -> FaultScenario {
     }
 }
 
+/// `t1`'s action community "do not announce to peer AS65030": a
+/// customer attaching `65020:3030` asks `t1` to withhold the route from
+/// its `t2` peering — the provider-side do-not-announce knob of
+/// real-world community menus (see ROADMAP 4b).
+pub fn do_not_announce_t2() -> Community {
+    Community::from_parts(65_020, 3_030)
+}
+
+/// The traffic-engineering scenario seeding ROADMAP 4b: the beacon
+/// origin steers itself away from a named peer with an action community,
+/// and the spec's expectations price the knob in routing messages.
+///
+/// Same topology as the fault library, with one addition: `t1` honors
+/// [`do_not_announce_t2`] on its export toward `t2`
+/// ([`ExportPolicy::deny_communities`]). The timeline flips the knob on
+/// and off via egress rewrites at the origin:
+///
+/// 1. **baseline-announce** — `z` announces plain; the route reaches
+///    both vantages and `t1` advertises it across the peering,
+/// 2. **steer-away** — `z` re-exports toward `t1` with the action
+///    community attached: `t1` re-advertises the tagged route to its
+///    collector and sends **exactly one withdrawal** to the named peer
+///    — the control vantage `c2` hears nothing (`t2` still prefers its
+///    direct customer path),
+/// 3. **release** — `z` drops the community: **exactly one
+///    announcement** restores the peering session.
+///
+/// That symmetric one-message-each-way cost *is* the measurement: the
+/// paper asks what communities cost in routing messages, and this is the
+/// floor for an action community doing its job.
+pub fn te_do_not_announce() -> ScenarioSpec {
+    let ids = fault_ids();
+    let mut topology = fault_topology(false);
+    if let TopologyTemplate::Explicit { sessions, .. } = &mut topology {
+        for s in sessions {
+            if s.a == ids.t1 && s.b == ids.t2 {
+                s.a_export.deny_communities.push(do_not_announce_t2());
+            }
+        }
+    }
+    let steer =
+        ExportPolicy { add_communities: vec![do_not_announce_t2()], ..ExportPolicy::default() };
+    ScenarioSpec {
+        name: "te/do-not-announce".to_owned(),
+        sim: SimConfig { delay_spread: SimDuration::ZERO, ..Default::default() },
+        topology,
+        monitors: vec![(ids.t1, ids.t2)],
+        watch: Vec::new(),
+        phases: vec![
+            beacon_phase("baseline-announce", true),
+            Phase::new(
+                "steer-away",
+                vec![ScenarioEvent::after(
+                    SimDuration::from_secs(1),
+                    ScenarioAction::RewriteExport { router: ids.z, peer: ids.t1, policy: steer },
+                )],
+            ),
+            Phase::new(
+                "release",
+                vec![ScenarioEvent::after(
+                    SimDuration::from_secs(1),
+                    ScenarioAction::RewriteExport {
+                        router: ids.z,
+                        peer: ids.t1,
+                        policy: ExportPolicy::default(),
+                    },
+                )],
+            ),
+        ],
+        expectations: vec![
+            // Baseline: the prefix is advertised across the peering.
+            Expectation::MonitorTraffic {
+                phase: 0,
+                a: ids.t1,
+                b: ids.t2,
+                to: Some(ids.t2),
+                bound: CountBound::AtLeast(1),
+            },
+            // Steering costs exactly one message toward the named peer…
+            Expectation::MonitorTraffic {
+                phase: 1,
+                a: ids.t1,
+                b: ids.t2,
+                to: Some(ids.t2),
+                bound: CountBound::Exactly(1),
+            },
+            // …the tagged re-announcement still reaches t1's vantage…
+            Expectation::CollectorTraffic {
+                phase: 1,
+                collector: ids.c1,
+                bound: CountBound::AtLeast(1),
+            },
+            // …and the control vantage hears no collateral churn.
+            Expectation::CollectorTraffic {
+                phase: 1,
+                collector: ids.c2,
+                bound: CountBound::Exactly(0),
+            },
+            // Releasing the knob costs exactly one message too.
+            Expectation::MonitorTraffic {
+                phase: 2,
+                a: ids.t1,
+                b: ids.t2,
+                to: Some(ids.t2),
+                bound: CountBound::Exactly(1),
+            },
+        ],
+    }
+}
+
 /// The four labeled scenarios, one per [`FaultKind`], in kind order.
 pub fn fault_library() -> Vec<FaultScenario> {
     let ids = fault_ids();
@@ -521,6 +632,53 @@ mod tests {
             }),
             "BLACKHOLE must reach c1: {msgs:?}"
         );
+    }
+
+    #[test]
+    fn te_steering_costs_one_message_each_way() {
+        let spec = te_do_not_announce();
+        let outcome = run(&spec);
+        let failures = outcome.check(&spec.expectations);
+        assert!(failures.is_empty(), "message-cost expectations hold: {failures:?}");
+        let ids = fault_ids();
+
+        // The steer phase's one message toward the named peer is the
+        // withdrawal doing the steering; the release phase's one message
+        // is the announcement undoing it.
+        let toward_t2 = |phase: usize| -> Vec<kcc_bgp_types::RouteUpdate> {
+            outcome
+                .monitored_in_phase(phase, ids.t1, ids.t2)
+                .iter()
+                .filter(|c| c.to == ids.t2)
+                .map(|c| c.to_route_update())
+                .collect()
+        };
+        assert!(matches!(toward_t2(1).as_slice(), [u] if u.kind == MessageKind::Withdrawal));
+        let released = toward_t2(2);
+        let [u] = released.as_slice() else {
+            panic!("release phase must cost exactly one message: {released:?}");
+        };
+        let MessageKind::Announcement(attrs) = &u.kind else {
+            panic!("release message must be an announcement: {u:?}");
+        };
+        assert!(
+            !attrs.communities.contains(&do_not_announce_t2()),
+            "the action community must not leak to the peer it steers away from"
+        );
+
+        // The tagged route reaches c1 during the steer phase, action
+        // community intact — informational for t1's vantage, actionable
+        // only on the t1–t2 export.
+        assert!(at(&outcome, 1, ids.c1).iter().any(|u| match &u.kind {
+            MessageKind::Announcement(attrs) => attrs.communities.contains(&do_not_announce_t2()),
+            _ => false,
+        }));
+
+        // Final state (knob released): the per-session Adj-RIB-Out shows
+        // the prefix re-advertised on the peering.
+        let sid = outcome.net.find_session(ids.t1, ids.t2).expect("monitored session exists");
+        let advertised = outcome.net.router(ids.t1).expect("t1 exists").advertised_on(sid);
+        assert!(advertised.iter().any(|(p, _)| *p == fault_prefix()));
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! The simulated network: routers, sessions, the event loop.
+//!
+//! Routers live in an index-addressed arena (`Vec<Router>` plus a dense
+//! `RouterId → u32` index) rather than an ordered map: event dispatch is
+//! one hash probe and one vector index, and the arena stays cache-friendly
+//! at 75k ASes. Sessions are indexed by endpoint pair and by `(Asn, Asn)`
+//! so `find_session` / `find_ebgp_sessions` never scan the session table.
+//! All retained path attributes are interned in a network-wide
+//! [`AttrStore`].
 
 use std::collections::BTreeMap;
 use std::net::IpAddr;
 
-use kcc_bgp_types::{Asn, Prefix};
+use kcc_bgp_types::{Asn, AttrStore, FastHashMap, Prefix};
 use kcc_topology::{RouteSource, RouterId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,8 +82,17 @@ impl Default for SimConfig {
 /// The simulated network.
 #[derive(Debug)]
 pub struct Network {
-    routers: BTreeMap<RouterId, Router>,
+    /// Index-addressed router arena; `router_index` maps identity to slot.
+    routers: Vec<Router>,
+    router_index: FastHashMap<RouterId, u32>,
     sessions: Vec<Session>,
+    /// First session added between an (ordered) endpoint pair.
+    session_by_endpoints: FastHashMap<(RouterId, RouterId), SessionId>,
+    /// Every eBGP session between an (ordered) ASN pair, in creation order.
+    ebgp_by_asns: FastHashMap<(Asn, Asn), Vec<SessionId>>,
+    /// Network-wide interned attribute sets (every RIB slot of every
+    /// router holds refcounted handles into this store).
+    store: AttrStore,
     queue: EventQueue,
     now: SimTime,
     /// Time of the last event actually processed (distinct from `now`,
@@ -89,12 +106,34 @@ pub struct Network {
     config: SimConfig,
 }
 
+/// Orders a router pair canonically for the endpoint index.
+fn endpoint_key(a: RouterId, b: RouterId) -> (RouterId, RouterId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Orders an ASN pair canonically for the eBGP index.
+fn asn_key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
 impl Network {
     /// An empty network.
     pub fn new(config: SimConfig) -> Self {
         Network {
-            routers: BTreeMap::new(),
+            routers: Vec::new(),
+            router_index: FastHashMap::default(),
             sessions: Vec::new(),
+            session_by_endpoints: FastHashMap::default(),
+            ebgp_by_asns: FastHashMap::default(),
+            store: AttrStore::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             last_event: SimTime::ZERO,
@@ -111,27 +150,53 @@ impl Network {
         self.now
     }
 
-    /// Adds a router.
+    /// The interned-attribute store (introspection: distinct sets and
+    /// exact retained bytes).
+    pub fn attr_store(&self) -> &AttrStore {
+        &self.store
+    }
+
+    /// Adds a router. Re-adding an existing id replaces the router in
+    /// place (its arena slot is reused).
     pub fn add_router(&mut self, router: Router) {
         if router.is_collector {
             self.captures.entry(router.id).or_default();
         }
-        self.routers.insert(router.id, router);
+        match self.router_index.get(&router.id) {
+            Some(&i) => self.routers[i as usize] = router,
+            None => {
+                let slot = u32::try_from(self.routers.len()).expect("router arena overflow");
+                self.router_index.insert(router.id, slot);
+                self.routers.push(router);
+            }
+        }
     }
 
     /// Access a router.
     pub fn router(&self, id: RouterId) -> Option<&Router> {
-        self.routers.get(&id)
+        self.router_index.get(&id).map(|&i| &self.routers[i as usize])
     }
 
     /// Mutable router access (tests and scenario builders).
     pub fn router_mut(&mut self, id: RouterId) -> Option<&mut Router> {
-        self.routers.get_mut(&id)
+        match self.router_index.get(&id) {
+            Some(&i) => Some(&mut self.routers[i as usize]),
+            None => None,
+        }
     }
 
-    /// All routers.
+    /// All routers, in arena (insertion) order.
     pub fn routers(&self) -> impl Iterator<Item = &Router> {
-        self.routers.values()
+        self.routers.iter()
+    }
+
+    /// Splits the borrow for event dispatch: the arena, the id index, the
+    /// session table and the attribute store are disjoint fields.
+    #[allow(clippy::type_complexity)]
+    fn parts(
+        &mut self,
+    ) -> (&mut [Router], &FastHashMap<RouterId, u32>, &[Session], &mut AttrStore) {
+        (&mut self.routers, &self.router_index, &self.sessions, &mut self.store)
     }
 
     /// Adds a session between two existing routers and registers it on
@@ -140,16 +205,20 @@ impl Network {
         let id = SessionId(self.sessions.len());
         session.id = id;
         let (a, b) = (session.a, session.b);
-        self.routers
-            .get_mut(&a)
+        self.router_mut(a)
             .unwrap_or_else(|| panic!("session endpoint {a} missing"))
             .sessions
             .push(id);
-        self.routers
-            .get_mut(&b)
+        self.router_mut(b)
             .unwrap_or_else(|| panic!("session endpoint {b} missing"))
             .sessions
             .push(id);
+        // First-added wins, preserving the linear scan's first-match
+        // semantics for parallel sessions between the same routers.
+        self.session_by_endpoints.entry(endpoint_key(a, b)).or_insert(id);
+        if session.is_ebgp() {
+            self.ebgp_by_asns.entry(asn_key(a.asn, b.asn)).or_default().push(id);
+        }
         self.sessions.push(session);
         id
     }
@@ -159,25 +228,17 @@ impl Network {
         &self.sessions
     }
 
-    /// Session lookup by endpoints (first match).
+    /// Session lookup by endpoints (first match) — one index probe.
     pub fn find_session(&self, a: RouterId, b: RouterId) -> Option<SessionId> {
-        self.sessions
-            .iter()
-            .find(|s| (s.a == a && s.b == b) || (s.a == b && s.b == a))
-            .map(|s| s.id)
+        self.session_by_endpoints.get(&endpoint_key(a, b)).copied()
     }
 
     /// Every eBGP session between two ASes — generated topologies create
     /// parallel interconnections at different routers, and an inter-AS
-    /// adjacency failure must take all of them down.
+    /// adjacency failure must take all of them down. One index probe, in
+    /// session-creation order.
     pub fn find_ebgp_sessions(&self, a: Asn, b: Asn) -> Vec<SessionId> {
-        self.sessions
-            .iter()
-            .filter(|s| {
-                s.is_ebgp() && ((s.a.asn == a && s.b.asn == b) || (s.a.asn == b && s.b.asn == a))
-            })
-            .map(|s| s.id)
-            .collect()
+        self.ebgp_by_asns.get(&asn_key(a, b)).cloned().unwrap_or_default()
     }
 
     /// Marks a session to be watched: every message delivered on it is
@@ -279,42 +340,46 @@ impl Network {
             EventKind::LinkDown { session } => self.on_link_down(session),
             EventKind::LinkUp { session } => self.on_link_up(session),
             EventKind::Announce { router, prefix } => {
+                let now = self.now;
                 let actions = {
-                    let sessions = &self.sessions;
-                    let Some(r) = self.routers.get_mut(&router) else {
+                    let (routers, index, sessions, store) = self.parts();
+                    let Some(&i) = index.get(&router) else {
                         return true;
                     };
-                    r.originate(self.now, prefix, sessions)
+                    routers[i as usize].originate(now, prefix, sessions, store)
                 };
                 self.apply_actions(router, actions);
             }
             EventKind::Withdraw { router, prefix } => {
+                let now = self.now;
                 let actions = {
-                    let sessions = &self.sessions;
-                    let Some(r) = self.routers.get_mut(&router) else {
+                    let (routers, index, sessions, store) = self.parts();
+                    let Some(&i) = index.get(&router) else {
                         return true;
                     };
-                    r.withdraw_origin(self.now, prefix, sessions)
+                    routers[i as usize].withdraw_origin(now, prefix, sessions, store)
                 };
                 self.apply_actions(router, actions);
             }
             EventKind::MraiExpire { router, session } => {
+                let now = self.now;
                 let actions = {
-                    let sessions = &self.sessions;
-                    let Some(r) = self.routers.get_mut(&router) else {
+                    let (routers, index, sessions, store) = self.parts();
+                    let Some(&i) = index.get(&router) else {
                         return true;
                     };
-                    r.handle_mrai_expire(self.now, session, sessions)
+                    routers[i as usize].handle_mrai_expire(now, session, sessions, store)
                 };
                 self.apply_actions(router, actions);
             }
             EventKind::DampReuse { router, session, prefix } => {
+                let now = self.now;
                 let actions = {
-                    let sessions = &self.sessions;
-                    let Some(r) = self.routers.get_mut(&router) else {
+                    let (routers, index, sessions, store) = self.parts();
+                    let Some(&i) = index.get(&router) else {
                         return true;
                     };
-                    r.handle_damp_reuse(self.now, session, prefix, sessions)
+                    routers[i as usize].handle_damp_reuse(now, session, prefix, sessions, store)
                 };
                 self.apply_actions(router, actions);
             }
@@ -374,18 +439,19 @@ impl Network {
         if let Some(mon) = self.monitors.get_mut(&session_id) {
             mon.record(entry.clone());
         }
-        let is_collector = self.routers.get(&to).map(|r| r.is_collector).unwrap_or(false);
+        let is_collector = self.router(to).map(|r| r.is_collector).unwrap_or(false);
         if is_collector {
             if let Some(cap) = self.captures.get_mut(&to) {
                 cap.record(entry);
             }
         }
+        let now = self.now;
         let actions = {
-            let sessions = &self.sessions;
-            let Some(r) = self.routers.get_mut(&to) else {
+            let (routers, index, sessions, store) = self.parts();
+            let Some(&i) = index.get(&to) else {
                 return;
             };
-            r.handle_update(self.now, session_id, sessions, &update)
+            routers[i as usize].handle_update(now, session_id, sessions, &update, store)
         };
         self.apply_actions(to, actions);
     }
@@ -400,12 +466,13 @@ impl Network {
             (s.a, s.b)
         };
         for endpoint in [a, b] {
+            let now = self.now;
             let actions = {
-                let sessions = &self.sessions;
-                let Some(r) = self.routers.get_mut(&endpoint) else {
+                let (routers, index, sessions, store) = self.parts();
+                let Some(&i) = index.get(&endpoint) else {
                     continue;
                 };
-                r.handle_session_down(self.now, session_id, sessions)
+                routers[i as usize].handle_session_down(now, session_id, sessions, store)
             };
             self.apply_actions(endpoint, actions);
         }
@@ -421,12 +488,13 @@ impl Network {
             (s.a, s.b)
         };
         for endpoint in [a, b] {
+            let now = self.now;
             let actions = {
-                let sessions = &self.sessions;
-                let Some(r) = self.routers.get_mut(&endpoint) else {
+                let (routers, index, sessions, store) = self.parts();
+                let Some(&i) = index.get(&endpoint) else {
                     continue;
                 };
-                r.handle_session_up(self.now, session_id, sessions)
+                routers[i as usize].handle_session_up(now, session_id, sessions, store)
             };
             self.apply_actions(endpoint, actions);
         }
@@ -454,7 +522,7 @@ impl Network {
             return;
         }
         let peer = session.other(router);
-        let Some(peer_router) = self.routers.get(&peer) else {
+        let Some(peer_router) = self.router(peer) else {
             return;
         };
         // The replay travels the normal transmission path (fault
@@ -467,7 +535,7 @@ impl Network {
                 update: SimUpdate::announce(prefix, attrs),
             })
             .collect();
-        if let Some(peer_router) = self.routers.get_mut(&peer) {
+        if let Some(peer_router) = self.router_mut(peer) {
             peer_router.counters.updates_sent += actions.len() as u64;
         }
         self.apply_actions(peer, actions);
@@ -493,12 +561,13 @@ impl Network {
         if !session.up {
             return;
         }
+        let now = self.now;
         let actions = {
-            let sessions = &self.sessions;
-            let Some(r) = self.routers.get_mut(&router) else {
+            let (routers, index, sessions, store) = self.parts();
+            let Some(&i) = index.get(&router) else {
                 return;
             };
-            r.handle_session_up(self.now, session_id, sessions)
+            routers[i as usize].handle_session_up(now, session_id, sessions, store)
         };
         self.apply_actions(router, actions);
     }

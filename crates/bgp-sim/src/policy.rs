@@ -4,7 +4,9 @@
 //! added (geo-tagging on ingress), and where they are removed (ingress vs.
 //! egress cleaning — the difference between Exp3 and Exp4).
 
-use kcc_bgp_types::{Community, GeoTag, PathAttributes};
+use std::sync::Arc;
+
+use kcc_bgp_types::{AttrStore, Community, GeoTag, PathAttributes};
 use kcc_topology::RouteSource;
 
 /// Policy applied to routes *received* on a session, before they enter the
@@ -48,6 +50,48 @@ impl ImportPolicy {
             attrs.local_pref = Some(lp);
         }
     }
+
+    /// True when applying the policy to `attrs` would change nothing —
+    /// the no-op probe behind [`apply_interned`](Self::apply_interned).
+    fn is_noop_for(&self, attrs: &PathAttributes) -> bool {
+        if self.clean_communities && !attrs.communities.is_empty() {
+            return false;
+        }
+        if self.geo_tag.is_some() {
+            // Tagging always rewrites the tagger's namespace; treating it
+            // as a change unconditionally is cheaper than re-deriving the
+            // tag set to compare.
+            return false;
+        }
+        if !self.add_communities.iter().all(|c| attrs.communities.contains(c)) {
+            return false;
+        }
+        self.local_pref.is_none_or(|lp| attrs.local_pref == Some(lp))
+    }
+
+    /// Applies the policy on the interned path: when the policy would not
+    /// change `attrs` at all, the same `Arc` comes back (identity
+    /// preserved, zero allocation); otherwise the result is deep-cloned
+    /// once, rewritten, and collapsed onto the store's canonical handle
+    /// when a value-equal set is already interned.
+    ///
+    /// The returned handle carries **no** store refcount of its own —
+    /// callers that retain it in a RIB slot must `acquire` it there.
+    pub fn apply_interned(
+        &self,
+        attrs: &Arc<PathAttributes>,
+        store: &AttrStore,
+    ) -> Arc<PathAttributes> {
+        if self.is_noop_for(attrs) {
+            return Arc::clone(attrs);
+        }
+        let mut rewritten = PathAttributes::clone(attrs);
+        self.apply(&mut rewritten);
+        match store.canonical(&rewritten) {
+            Some(shared) => shared,
+            None => Arc::new(rewritten),
+        }
+    }
 }
 
 /// Policy applied to routes *sent* on a session, after the standard eBGP
@@ -62,9 +106,20 @@ pub struct ExportPolicy {
     pub med: Option<u32>,
     /// Extra prepends of our own ASN (beyond the mandatory one).
     pub extra_prepends: u8,
+    /// Action communities honored on this session: a route carrying any of
+    /// these is **not announced** toward this neighbor (the operator's
+    /// "do-not-announce toward X" traffic-engineering knob — see
+    /// ROADMAP 4b). Checked before all other egress transformations.
+    pub deny_communities: Vec<Community>,
 }
 
 impl ExportPolicy {
+    /// True when `attrs` carries one of this session's deny communities —
+    /// the route must be withheld from this neighbor.
+    pub fn denies(&self, attrs: &PathAttributes) -> bool {
+        self.deny_communities.iter().any(|c| attrs.communities.contains(c))
+    }
+
     /// Applies the policy in place.
     pub fn apply(&self, attrs: &mut PathAttributes) {
         if self.clean_communities {
@@ -161,6 +216,78 @@ mod tests {
         let mut a = attrs_with(&[(3356, 2501)]);
         p.apply(&mut a);
         assert!(a.communities.is_empty());
+    }
+
+    #[test]
+    fn interned_noop_keeps_arc_identity() {
+        // The Gao–Rexford hot path: local-pref already matches, so the
+        // import must hand back the *same* allocation, not a value-equal
+        // copy — RIB dedup and the store's byte accounting rely on it.
+        let p = ImportPolicy { local_pref: Some(300), ..Default::default() };
+        let store = AttrStore::new();
+        let a = Arc::new(PathAttributes { local_pref: Some(300), ..attrs_with(&[(174, 100)]) });
+        let out = p.apply_interned(&a, &store);
+        assert!(Arc::ptr_eq(&a, &out));
+
+        // Same for an add_communities policy whose community is already
+        // present.
+        let p = ImportPolicy {
+            add_communities: vec![Community::from_parts(174, 100)],
+            ..Default::default()
+        };
+        let out = p.apply_interned(&a, &store);
+        assert!(Arc::ptr_eq(&a, &out));
+    }
+
+    #[test]
+    fn interned_rewrite_collapses_onto_canonical() {
+        // When the rewritten attribute set is already interned, the store's
+        // canonical Arc comes back instead of a fresh allocation.
+        let mut store = AttrStore::new();
+        let target =
+            Arc::new(PathAttributes { local_pref: Some(300), ..PathAttributes::default() });
+        let canonical = store.acquire(&target);
+
+        let p = ImportPolicy { local_pref: Some(300), ..Default::default() };
+        let input = Arc::new(PathAttributes { local_pref: Some(100), ..PathAttributes::default() });
+        let out = p.apply_interned(&input, &store);
+        assert!(!Arc::ptr_eq(&input, &out));
+        assert!(Arc::ptr_eq(&canonical, &out));
+        assert_eq!(out.local_pref, Some(300));
+
+        // With an empty store the rewrite still happens, just freshly
+        // allocated.
+        let empty = AttrStore::new();
+        let out = p.apply_interned(&input, &empty);
+        assert_eq!(out.local_pref, Some(300));
+        assert!(!Arc::ptr_eq(&input, &out));
+    }
+
+    #[test]
+    fn cleaning_policy_is_noop_on_empty_communities() {
+        // Exp4-style ingress cleaning of an already-bare route changes
+        // nothing, so identity must be preserved there too.
+        let p = ImportPolicy { clean_communities: true, ..Default::default() };
+        let store = AttrStore::new();
+        let bare = Arc::new(PathAttributes::default());
+        assert!(Arc::ptr_eq(&bare, &p.apply_interned(&bare, &store)));
+
+        let tagged = Arc::new(attrs_with(&[(3356, 2501)]));
+        let out = p.apply_interned(&tagged, &store);
+        assert!(!Arc::ptr_eq(&tagged, &out));
+        assert!(out.communities.is_empty());
+    }
+
+    #[test]
+    fn deny_communities_gate_export() {
+        let dna = Community::from_parts(65_001, 111);
+        let p = ExportPolicy { deny_communities: vec![dna], ..Default::default() };
+        assert!(p.denies(&attrs_with(&[(65_001, 111)])));
+        assert!(p.denies(&attrs_with(&[(174, 100), (65_001, 111)])));
+        assert!(!p.denies(&attrs_with(&[(65_001, 112)])));
+        assert!(!p.denies(&PathAttributes::default()));
+        // No deny list: nothing is ever withheld.
+        assert!(!ExportPolicy::default().denies(&attrs_with(&[(65_001, 111)])));
     }
 
     #[test]

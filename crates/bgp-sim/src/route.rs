@@ -1,4 +1,11 @@
 //! Routes and update messages as they move through the simulator.
+//!
+//! Both the RIB entry and the in-flight message carry their attributes
+//! behind `Arc<PathAttributes>`, interned through the network's
+//! [`AttrStore`](kcc_bgp_types::AttrStore): propagating one announcement
+//! to 75k neighbors clones a pointer, never the attribute set.
+
+use std::sync::Arc;
 
 use kcc_bgp_types::{PathAttributes, Prefix};
 use kcc_topology::{RouteSource, RouterId};
@@ -25,8 +32,8 @@ pub enum UpdateBody {
     /// encode the same fact in local-pref policy); eBGP receivers derive
     /// the source from the session relationship instead.
     Announce {
-        /// The path attributes.
-        attrs: PathAttributes,
+        /// The path attributes (shared, interned).
+        attrs: Arc<PathAttributes>,
         /// Gao–Rexford source of the route, forwarded over iBGP.
         source_hint: Option<RouteSource>,
     },
@@ -36,8 +43,8 @@ pub enum UpdateBody {
 
 impl SimUpdate {
     /// An announcement without a source hint (eBGP shape).
-    pub fn announce(prefix: Prefix, attrs: PathAttributes) -> Self {
-        SimUpdate { prefix, body: UpdateBody::Announce { attrs, source_hint: None } }
+    pub fn announce(prefix: Prefix, attrs: impl Into<Arc<PathAttributes>>) -> Self {
+        SimUpdate { prefix, body: UpdateBody::Announce { attrs: attrs.into(), source_hint: None } }
     }
 
     /// A withdrawal.
@@ -63,8 +70,8 @@ impl SimUpdate {
 /// Loc-RIB.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RibEntry {
-    /// Attributes after import policy.
-    pub attrs: PathAttributes,
+    /// Attributes after import policy (shared, interned).
+    pub attrs: Arc<PathAttributes>,
     /// Gao–Rexford source, for valley-free export decisions.
     pub source: RouteSource,
     /// The session the route was learned on; `None` for originated routes.
@@ -106,7 +113,7 @@ mod tests {
 
     fn entry(source: RouteSource) -> RibEntry {
         RibEntry {
-            attrs: PathAttributes::default(),
+            attrs: Arc::new(PathAttributes::default()),
             source,
             from_session: Some(SessionId(0)),
             egress: RouterId { asn: Asn(1), index: 0 },
@@ -117,7 +124,7 @@ mod tests {
     fn local_pref_defaults_to_100() {
         assert_eq!(entry(RouteSource::Peer).effective_local_pref(), 100);
         let mut e = entry(RouteSource::Peer);
-        e.attrs.local_pref = Some(300);
+        e.attrs = Arc::new(PathAttributes { local_pref: Some(300), ..Default::default() });
         assert_eq!(e.effective_local_pref(), 300);
     }
 
@@ -131,7 +138,7 @@ mod tests {
     fn med_defaults_to_zero() {
         assert_eq!(entry(RouteSource::Peer).effective_med(), 0);
         let mut e = entry(RouteSource::Peer);
-        e.attrs.med = Some(50);
+        e.attrs = Arc::new(PathAttributes { med: Some(50), ..Default::default() });
         assert_eq!(e.effective_med(), 50);
     }
 

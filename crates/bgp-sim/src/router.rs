@@ -1,10 +1,29 @@
 //! The simulated BGP router: RIBs, import/export, MRAI, vendor behavior.
+//!
+//! ## Memory model
+//!
+//! Every retained attribute set — Adj-RIB-In entries, the Loc-RIB,
+//! Adj-RIB-Out, MRAI-pending queues and originated routes — is an
+//! `Arc<PathAttributes>` interned through the network-wide
+//! [`AttrStore`]: one attribute set announced to 75k neighbors is one
+//! allocation. Each slot that retains a handle holds exactly one store
+//! refcount (`acquire` on insert, `release` on remove/replace); in-flight
+//! messages and captures carry plain `Arc` clones that the store does not
+//! count, so capture retention never distorts the byte accounting.
+//!
+//! ## Layout
+//!
+//! The RIBs are keyed for their access patterns: Adj-RIB-In is
+//! prefix-first (the decision process reads exactly the candidate set for
+//! one prefix), Adj-RIB-Out and the MRAI queue are session-first (route
+//! refresh and MRAI expiry replay exactly one session's slice).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use kcc_bgp_types::community::well_known::NO_EXPORT;
-use kcc_bgp_types::{PathAttributes, Prefix};
+use kcc_bgp_types::{AttrStore, FastHashMap, PathAttributes, Prefix};
 use kcc_topology::{may_export, IgpMap, RouteSource, RouterId};
 
 use crate::dampening::{DampeningConfig, DampeningState};
@@ -77,13 +96,17 @@ pub struct Router {
     pub dampening: Option<DampeningConfig>,
     /// Message counters.
     pub counters: RouterCounters,
-    adj_rib_in: HashMap<(SessionId, Prefix), RibEntry>,
-    damp_states: HashMap<(SessionId, Prefix), DampeningState>,
-    loc_rib: BTreeMap<Prefix, RibEntry>,
-    adj_rib_out: HashMap<(SessionId, Prefix), PathAttributes>,
-    originated: BTreeMap<Prefix, PathAttributes>,
-    mrai_deadline: HashMap<SessionId, SimTime>,
-    mrai_pending: HashMap<SessionId, BTreeMap<Prefix, PathAttributes>>,
+    /// Prefix-first: the candidate set the decision process reads. Each
+    /// slot is kept sorted by `SessionId` so candidate iteration — and
+    /// therefore tie-breaking — is independent of arrival order.
+    adj_rib_in: FastHashMap<Prefix, Vec<(SessionId, RibEntry)>>,
+    damp_states: FastHashMap<(SessionId, Prefix), DampeningState>,
+    loc_rib: FastHashMap<Prefix, RibEntry>,
+    /// Session-first: route-refresh replay reads one session's slice.
+    adj_rib_out: FastHashMap<SessionId, FastHashMap<Prefix, Arc<PathAttributes>>>,
+    originated: BTreeMap<Prefix, Arc<PathAttributes>>,
+    mrai_deadline: FastHashMap<SessionId, SimTime>,
+    mrai_pending: FastHashMap<SessionId, FastHashMap<Prefix, Arc<PathAttributes>>>,
 }
 
 impl Router {
@@ -98,13 +121,13 @@ impl Router {
             is_collector: false,
             dampening: None,
             counters: RouterCounters::default(),
-            adj_rib_in: HashMap::new(),
-            damp_states: HashMap::new(),
-            loc_rib: BTreeMap::new(),
-            adj_rib_out: HashMap::new(),
+            adj_rib_in: FastHashMap::default(),
+            damp_states: FastHashMap::default(),
+            loc_rib: FastHashMap::default(),
+            adj_rib_out: FastHashMap::default(),
             originated: BTreeMap::new(),
-            mrai_deadline: HashMap::new(),
-            mrai_pending: HashMap::new(),
+            mrai_deadline: FastHashMap::default(),
+            mrai_pending: FastHashMap::default(),
         }
     }
 
@@ -118,24 +141,31 @@ impl Router {
         self.loc_rib.len()
     }
 
-    /// Iterates over the Loc-RIB.
+    /// Iterates over the Loc-RIB (unspecified order).
     pub fn loc_rib(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
         self.loc_rib.iter()
     }
 
     /// What was last transmitted to `session` for `prefix`.
-    pub fn last_advertised(&self, session: SessionId, prefix: &Prefix) -> Option<&PathAttributes> {
-        self.adj_rib_out.get(&(session, *prefix))
+    pub fn last_advertised(
+        &self,
+        session: SessionId,
+        prefix: &Prefix,
+    ) -> Option<&Arc<PathAttributes>> {
+        self.adj_rib_out.get(&session)?.get(prefix)
     }
 
     /// Everything last transmitted on `session`, sorted by prefix — the
-    /// Adj-RIB-Out slice a route-refresh request replays.
-    pub fn advertised_on(&self, session: SessionId) -> Vec<(Prefix, PathAttributes)> {
-        let mut out: Vec<(Prefix, PathAttributes)> = self
+    /// Adj-RIB-Out slice a route-refresh request replays. O(routes on
+    /// this session): the Adj-RIB-Out is maintained per session, so no
+    /// other session's state is scanned.
+    pub fn advertised_on(&self, session: SessionId) -> Vec<(Prefix, Arc<PathAttributes>)> {
+        let mut out: Vec<(Prefix, Arc<PathAttributes>)> = self
             .adj_rib_out
-            .iter()
-            .filter(|((s, _), _)| *s == session)
-            .map(|((_, p), a)| (*p, a.clone()))
+            .get(&session)
+            .into_iter()
+            .flatten()
+            .map(|(p, a)| (*p, Arc::clone(a)))
             .collect();
         out.sort_unstable_by_key(|(p, _)| *p);
         out
@@ -143,15 +173,24 @@ impl Router {
 
     /// Iterates the Adj-RIB-In (post-import-policy routes per session) —
     /// the per-peer state a collector's TABLE_DUMP_V2 snapshot records.
-    pub fn adj_rib_in(&self) -> impl Iterator<Item = (&(SessionId, Prefix), &RibEntry)> {
-        self.adj_rib_in.iter()
+    /// Order is unspecified.
+    pub fn adj_rib_in(&self) -> impl Iterator<Item = ((SessionId, Prefix), &RibEntry)> {
+        self.adj_rib_in.iter().flat_map(|(p, slot)| slot.iter().map(move |(s, e)| ((*s, *p), e)))
     }
 
     /// Starts originating `prefix`.
-    pub fn originate(&mut self, now: SimTime, prefix: Prefix, sessions: &[Session]) -> Vec<Action> {
-        let attrs = PathAttributes::originated(self.ip);
-        self.originated.insert(prefix, attrs);
-        self.run_decision(now, prefix, sessions)
+    pub fn originate(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        sessions: &[Session],
+        store: &mut AttrStore,
+    ) -> Vec<Action> {
+        let attrs = store.acquire_owned(Arc::new(PathAttributes::originated(self.ip)));
+        if let Some(old) = self.originated.insert(prefix, attrs) {
+            store.release(&old);
+        }
+        self.run_decision(now, prefix, sessions, store)
     }
 
     /// Stops originating `prefix`.
@@ -160,11 +199,13 @@ impl Router {
         now: SimTime,
         prefix: Prefix,
         sessions: &[Session],
+        store: &mut AttrStore,
     ) -> Vec<Action> {
-        if self.originated.remove(&prefix).is_none() {
-            return Vec::new();
+        match self.originated.remove(&prefix) {
+            None => return Vec::new(),
+            Some(old) => store.release(&old),
         }
-        self.run_decision(now, prefix, sessions)
+        self.run_decision(now, prefix, sessions, store)
     }
 
     /// Processes an update arriving on `session_id`.
@@ -174,10 +215,10 @@ impl Router {
         session_id: SessionId,
         sessions: &[Session],
         update: &SimUpdate,
+        store: &mut AttrStore,
     ) -> Vec<Action> {
         self.counters.updates_received += 1;
         let session = &sessions[session_id.0];
-        let key = (session_id, update.prefix);
         match &update.body {
             UpdateBody::Announce { attrs, source_hint } => {
                 // eBGP loop prevention (RFC 4271 §9.1.2).
@@ -190,30 +231,54 @@ impl Router {
                 } else {
                     (source_hint.unwrap_or(RouteSource::Customer), session.other(self.id))
                 };
-                let mut a = attrs.clone();
-                session.import_for(self.id).apply(&mut a);
-                let entry = RibEntry { attrs: a, source, from_session: Some(session_id), egress };
-                // Post-policy no-change: the update was received (and
-                // counted) but routing state is untouched — the Exp4
-                // suppression point.
-                if self.adj_rib_in.get(&key) == Some(&entry) {
-                    return Vec::new();
-                }
-                let replaced = self.adj_rib_in.insert(key, entry).is_some();
+                let post = session.import_for(self.id).apply_interned(attrs, store);
+                let entry =
+                    RibEntry { attrs: post, source, from_session: Some(session_id), egress };
+                let slot = self.adj_rib_in.entry(update.prefix).or_default();
+                let replaced = match slot.binary_search_by_key(&session_id, |(s, _)| *s) {
+                    Ok(i) => {
+                        // Post-policy no-change: the update was received
+                        // (and counted) but routing state is untouched —
+                        // the Exp4 suppression point.
+                        if slot[i].1 == entry {
+                            return Vec::new();
+                        }
+                        let retained = store.acquire(&entry.attrs);
+                        let old = std::mem::replace(
+                            &mut slot[i].1,
+                            RibEntry { attrs: retained, ..entry },
+                        );
+                        store.release(&old.attrs);
+                        true
+                    }
+                    Err(i) => {
+                        let retained = store.acquire(&entry.attrs);
+                        slot.insert(i, (session_id, RibEntry { attrs: retained, ..entry }));
+                        false
+                    }
+                };
                 // RFC 2439: an attribute change on an existing route is a
                 // flap; a fresh announcement after a withdrawal was already
                 // penalized by the withdrawal.
                 if replaced && session.is_ebgp() {
                     if let Some(mut actions) = self.record_flap(now, session_id, update.prefix) {
-                        actions.extend(self.run_decision(now, update.prefix, sessions));
+                        actions.extend(self.run_decision(now, update.prefix, sessions, store));
                         return actions;
                     }
                 }
             }
             UpdateBody::Withdraw => {
-                if self.adj_rib_in.remove(&key).is_none() {
+                let Some(slot) = self.adj_rib_in.get_mut(&update.prefix) else {
                     return Vec::new();
+                };
+                let Ok(i) = slot.binary_search_by_key(&session_id, |(s, _)| *s) else {
+                    return Vec::new();
+                };
+                let (_, old) = slot.remove(i);
+                if slot.is_empty() {
+                    self.adj_rib_in.remove(&update.prefix);
                 }
+                store.release(&old.attrs);
                 if session.is_ebgp() {
                     // Withdrawal of a suppressed route changes nothing
                     // visible, but the penalty still accrues.
@@ -221,7 +286,7 @@ impl Router {
                 }
             }
         }
-        self.run_decision(now, update.prefix, sessions)
+        self.run_decision(now, update.prefix, sessions, store)
     }
 
     /// Records a dampening flap; returns `Some(actions)` when the route
@@ -267,6 +332,7 @@ impl Router {
         session_id: SessionId,
         prefix: Prefix,
         sessions: &[Session],
+        store: &mut AttrStore,
     ) -> Vec<Action> {
         let Some(cfg) = self.dampening else { return Vec::new() };
         let Some(state) = self.damp_states.get_mut(&(session_id, prefix)) else {
@@ -281,7 +347,7 @@ impl Router {
             }];
         }
         // Route is reusable: re-run the decision with it visible again.
-        self.run_decision(now, prefix, sessions)
+        self.run_decision(now, prefix, sessions, store)
     }
 
     /// True if the route from `session_id` for `prefix` is currently
@@ -304,21 +370,33 @@ impl Router {
         now: SimTime,
         session_id: SessionId,
         sessions: &[Session],
+        store: &mut AttrStore,
     ) -> Vec<Action> {
-        let affected: Vec<Prefix> =
-            self.adj_rib_in.keys().filter(|(s, _)| *s == session_id).map(|(_, p)| *p).collect();
-        for p in &affected {
-            self.adj_rib_in.remove(&(session_id, *p));
+        let mut affected: Vec<Prefix> = Vec::new();
+        self.adj_rib_in.retain(|p, slot| {
+            if let Ok(i) = slot.binary_search_by_key(&session_id, |(s, _)| *s) {
+                let (_, old) = slot.remove(i);
+                store.release(&old.attrs);
+                affected.push(*p);
+            }
+            !slot.is_empty()
+        });
+        if let Some(out) = self.adj_rib_out.remove(&session_id) {
+            for attrs in out.values() {
+                store.release(attrs);
+            }
         }
-        self.adj_rib_out.retain(|(s, _), _| *s != session_id);
         self.mrai_deadline.remove(&session_id);
-        self.mrai_pending.remove(&session_id);
+        if let Some(pending) = self.mrai_pending.remove(&session_id) {
+            for attrs in pending.values() {
+                store.release(attrs);
+            }
+        }
         self.damp_states.retain(|(s, _), _| *s != session_id);
-        let mut sorted = affected;
-        sorted.sort_unstable();
+        affected.sort_unstable();
         let mut actions = Vec::new();
-        for p in sorted {
-            actions.extend(self.run_decision(now, p, sessions));
+        for p in affected {
+            actions.extend(self.run_decision(now, p, sessions, store));
         }
         actions
     }
@@ -329,11 +407,13 @@ impl Router {
         now: SimTime,
         session_id: SessionId,
         sessions: &[Session],
+        store: &mut AttrStore,
     ) -> Vec<Action> {
-        let prefixes: Vec<Prefix> = self.loc_rib.keys().copied().collect();
+        let mut prefixes: Vec<Prefix> = self.loc_rib.keys().copied().collect();
+        prefixes.sort_unstable();
         let mut actions = Vec::new();
         for p in prefixes {
-            actions.extend(self.export_to_session(now, p, session_id, sessions));
+            actions.extend(self.export_to_session(now, p, session_id, sessions, store));
         }
         actions
     }
@@ -344,6 +424,7 @@ impl Router {
         now: SimTime,
         session_id: SessionId,
         sessions: &[Session],
+        store: &mut AttrStore,
     ) -> Vec<Action> {
         self.mrai_deadline.remove(&session_id);
         let Some(pending) = self.mrai_pending.remove(&session_id) else {
@@ -353,9 +434,16 @@ impl Router {
             return Vec::new();
         }
         let session = &sessions[session_id.0];
+        let mut batch: Vec<(Prefix, Arc<PathAttributes>)> = pending.into_iter().collect();
+        batch.sort_unstable_by_key(|(p, _)| *p);
+        let out = self.adj_rib_out.entry(session_id).or_default();
         let mut actions = Vec::new();
-        for (prefix, attrs) in pending {
-            self.adj_rib_out.insert((session_id, prefix), attrs.clone());
+        for (prefix, attrs) in batch {
+            // The store refcount moves from the pending slot to the
+            // Adj-RIB-Out slot; only a replaced entry is released.
+            if let Some(old) = out.insert(prefix, Arc::clone(&attrs)) {
+                store.release(&old);
+            }
             self.counters.updates_sent += 1;
             actions.push(Action::Send {
                 session: session_id,
@@ -373,9 +461,15 @@ impl Router {
     }
 
     /// Re-selects the best route for `prefix` and exports any change.
-    fn run_decision(&mut self, now: SimTime, prefix: Prefix, sessions: &[Session]) -> Vec<Action> {
+    fn run_decision(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        sessions: &[Session],
+        store: &mut AttrStore,
+    ) -> Vec<Action> {
         let originated_entry = self.originated.get(&prefix).map(|attrs| RibEntry {
-            attrs: attrs.clone(),
+            attrs: Arc::clone(attrs),
             source: RouteSource::Originated,
             from_session: None,
             egress: self.id,
@@ -383,8 +477,11 @@ impl Router {
         let new_best = {
             let candidates = self
                 .adj_rib_in
+                .get(&prefix)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
                 .iter()
-                .filter(|((s, p), _)| *p == prefix && !self.is_dampened(now, *s, prefix))
+                .filter(|(s, _)| !self.is_dampened(now, *s, prefix))
                 .map(|(_, e)| e)
                 .chain(originated_entry.as_ref());
             decision::best(candidates, self.id, &self.igp).cloned()
@@ -395,10 +492,15 @@ impl Router {
         }
         match new_best {
             Some(e) => {
-                self.loc_rib.insert(prefix, e);
+                let retained = store.acquire(&e.attrs);
+                if let Some(old) = self.loc_rib.insert(prefix, RibEntry { attrs: retained, ..e }) {
+                    store.release(&old.attrs);
+                }
             }
             None => {
-                self.loc_rib.remove(&prefix);
+                if let Some(old) = self.loc_rib.remove(&prefix) {
+                    store.release(&old.attrs);
+                }
             }
         }
         if self.is_collector {
@@ -408,19 +510,23 @@ impl Router {
         let my_sessions = self.sessions.clone();
         for sid in my_sessions {
             if sessions[sid.0].up {
-                actions.extend(self.export_to_session(now, prefix, sid, sessions));
+                actions.extend(self.export_to_session(now, prefix, sid, sessions, store));
             }
         }
         actions
     }
 
     /// The announcement we would send for `prefix` on `session`, or `None`
-    /// if the route must not (or cannot) be advertised there.
+    /// if the route must not (or cannot) be advertised there. When the
+    /// egress transformations change nothing (iBGP at the learning
+    /// border), the Loc-RIB's `Arc` is reused as-is; otherwise the result
+    /// collapses onto the store's canonical allocation when one exists.
     fn desired_advertisement(
         &self,
         prefix: Prefix,
         session: &Session,
-    ) -> Option<(PathAttributes, Option<RouteSource>)> {
+        store: &AttrStore,
+    ) -> Option<(Arc<PathAttributes>, Option<RouteSource>)> {
         let best = self.loc_rib.get(&prefix)?;
         // Never advertise back onto the session the route came from.
         if best.from_session == Some(session.id) {
@@ -432,9 +538,14 @@ impl Router {
                 if best.from_session.is_some() && !best.is_ebgp(self.id) {
                     return None;
                 }
-                let mut a = best.attrs.clone();
+                if best.attrs.next_hop == self.ip {
+                    // next-hop-self is already true (originated here):
+                    // share the installed allocation.
+                    return Some((Arc::clone(&best.attrs), Some(best.source)));
+                }
+                let mut a = PathAttributes::clone(&best.attrs);
                 a.next_hop = self.ip; // next-hop-self at the border
-                Some((a, Some(best.source)))
+                Some((collapse(store, a), Some(best.source)))
             }
             SessionKind::Ebgp => {
                 let to_kind = session.neighbor_kind_for(self.id).unwrap_or(RouteSource::Peer);
@@ -444,14 +555,19 @@ impl Router {
                 if best.attrs.communities.contains(&NO_EXPORT) {
                     return None;
                 }
-                let mut a = best.attrs.clone();
                 let export = session.export_for(self.id);
+                // Action communities: the neighbor asked us not to hear
+                // about routes tagged with its deny set.
+                if export.denies(&best.attrs) {
+                    return None;
+                }
+                let mut a = PathAttributes::clone(&best.attrs);
                 a.as_path = a.as_path.prepend(self.id.asn, 1 + export.extra_prepends as usize);
                 a.next_hop = self.ip;
                 a.local_pref = None;
                 a.med = None; // MED is not propagated onward by default
                 export.apply(&mut a);
-                Some((a, None))
+                Some((collapse(store, a), None))
             }
         }
     }
@@ -465,55 +581,62 @@ impl Router {
         prefix: Prefix,
         session_id: SessionId,
         sessions: &[Session],
+        store: &mut AttrStore,
     ) -> Vec<Action> {
         if self.is_collector {
             return Vec::new();
         }
         let session = &sessions[session_id.0];
-        let desired = self.desired_advertisement(prefix, session);
-        let key = (session_id, prefix);
-        let last_sent = self.adj_rib_out.get(&key);
-        let has_pending =
-            self.mrai_pending.get(&session_id).map(|m| m.contains_key(&prefix)).unwrap_or(false);
+        let desired = self.desired_advertisement(prefix, session, store);
 
         match desired {
             None => {
                 // Withdraw if the peer (or the pending queue) holds state.
-                let had_pending = self
-                    .mrai_pending
-                    .get_mut(&session_id)
-                    .map(|m| m.remove(&prefix).is_some())
-                    .unwrap_or(false);
-                if self.adj_rib_out.remove(&key).is_some() {
-                    self.counters.updates_sent += 1;
-                    // Withdrawals bypass MRAI (RFC 4271 §9.2.1.1).
-                    return vec![Action::Send {
-                        session: session_id,
-                        update: SimUpdate::withdraw(prefix),
-                    }];
-                } else if had_pending {
-                    // Never transmitted: nothing to withdraw.
-                    return Vec::new();
+                if let Some(pending) = self.mrai_pending.get_mut(&session_id) {
+                    if let Some(old) = pending.remove(&prefix) {
+                        store.release(&old);
+                        // Never transmitted: nothing to withdraw (unless
+                        // the peer also holds earlier state, below).
+                    }
+                }
+                if let Some(out) = self.adj_rib_out.get_mut(&session_id) {
+                    if let Some(old) = out.remove(&prefix) {
+                        store.release(&old);
+                        self.counters.updates_sent += 1;
+                        // Withdrawals bypass MRAI (RFC 4271 §9.2.1.1).
+                        return vec![Action::Send {
+                            session: session_id,
+                            update: SimUpdate::withdraw(prefix),
+                        }];
+                    }
                 }
                 Vec::new()
             }
             Some((attrs, source_hint)) => {
+                let last_sent = self.adj_rib_out.get(&session_id).and_then(|m| m.get(&prefix));
+                let equal_to_sent = last_sent.is_some_and(|l| **l == *attrs);
+                let has_pending =
+                    self.mrai_pending.get(&session_id).is_some_and(|m| m.contains_key(&prefix));
                 if has_pending {
                     // Replace the queued advertisement with the newest state.
                     // If it now equals what was last sent, drop the queue
                     // entry only when the vendor suppresses duplicates.
-                    let equal_to_sent = last_sent == Some(&attrs);
-                    let pending = self.mrai_pending.entry(session_id).or_default();
+                    let pending =
+                        self.mrai_pending.get_mut(&session_id).expect("pending map exists");
                     if equal_to_sent && self.vendor.suppresses_duplicates {
-                        pending.remove(&prefix);
+                        if let Some(old) = pending.remove(&prefix) {
+                            store.release(&old);
+                        }
                         self.counters.duplicates_suppressed += 1;
                     } else {
-                        pending.insert(prefix, attrs);
+                        let retained = store.acquire(&attrs);
+                        if let Some(old) = pending.insert(prefix, retained) {
+                            store.release(&old);
+                        }
                     }
                     return Vec::new();
                 }
-                let is_duplicate = last_sent == Some(&attrs);
-                if is_duplicate {
+                if equal_to_sent {
                     if self.vendor.suppresses_duplicates {
                         self.counters.duplicates_suppressed += 1;
                         return Vec::new();
@@ -525,14 +648,28 @@ impl Router {
                 let timer_running =
                     self.mrai_deadline.get(&session_id).map(|&d| d > now).unwrap_or(false);
                 if timer_running {
-                    self.mrai_pending.entry(session_id).or_default().insert(prefix, attrs);
+                    let retained = store.acquire(&attrs);
+                    if let Some(old) =
+                        self.mrai_pending.entry(session_id).or_default().insert(prefix, retained)
+                    {
+                        store.release(&old);
+                    }
                     return Vec::new();
                 }
-                self.adj_rib_out.insert(key, attrs.clone());
+                let retained = store.acquire(&attrs);
+                let shared = Arc::clone(&retained);
+                if let Some(old) =
+                    self.adj_rib_out.entry(session_id).or_default().insert(prefix, retained)
+                {
+                    store.release(&old);
+                }
                 self.counters.updates_sent += 1;
                 let mut actions = vec![Action::Send {
                     session: session_id,
-                    update: SimUpdate { prefix, body: UpdateBody::Announce { attrs, source_hint } },
+                    update: SimUpdate {
+                        prefix,
+                        body: UpdateBody::Announce { attrs: shared, source_hint },
+                    },
                 }];
                 if !mrai.is_zero() {
                     let at = now + mrai;
@@ -542,5 +679,15 @@ impl Router {
                 actions
             }
         }
+    }
+}
+
+/// The store's canonical allocation for a freshly built attribute set, or
+/// a new `Arc` when the value was never seen. No refcount is taken —
+/// retention happens where the handle lands in a RIB slot.
+fn collapse(store: &AttrStore, attrs: PathAttributes) -> Arc<PathAttributes> {
+    match store.canonical(&attrs) {
+        Some(shared) => shared,
+        None => Arc::new(attrs),
     }
 }

@@ -39,7 +39,10 @@ use std::fmt;
 use std::net::IpAddr;
 
 use kcc_bgp_types::{Asn, PathAttributes, Prefix};
-use kcc_topology::{generate, IgpMap, RouteSource, RouterId, Topology, TopologyConfig};
+use kcc_topology::{
+    generate, generate_internet, IgpMap, InternetConfig, RouteSource, RouterId, Topology,
+    TopologyConfig,
+};
 
 use crate::capture::CapturedUpdate;
 use crate::network::{Network, SimConfig};
@@ -87,6 +90,16 @@ pub enum TopologyTemplate {
     Generated {
         /// Generator configuration (seeded; deterministic).
         config: TopologyConfig,
+        /// Optional collector AS and its peer routers.
+        collector: Option<CollectorDecl>,
+    },
+    /// An internet-scale power-law topology
+    /// ([`kcc_topology::generate_internet`]), optionally with a route
+    /// collector — the 10k+-AS substrate behind `bench_sim` and the
+    /// sweep layer's internet cells.
+    GeneratedInternet {
+        /// Internet generator configuration (seeded; deterministic).
+        config: InternetConfig,
         /// Optional collector AS and its peer routers.
         collector: Option<CollectorDecl>,
     },
@@ -460,8 +473,9 @@ pub struct PhaseObservation {
     /// Messages captured at each collector during the phase.
     pub collected: BTreeMap<RouterId, Vec<CapturedUpdate>>,
     /// Post-policy best-route attributes of each watched entry at the
-    /// phase boundary (`None` when no route is installed).
-    pub watched: BTreeMap<(RouterId, Prefix), Option<PathAttributes>>,
+    /// phase boundary (`None` when no route is installed). Shared with
+    /// the sim's interned state — a snapshot costs a pointer per entry.
+    pub watched: BTreeMap<(RouterId, Prefix), Option<std::sync::Arc<PathAttributes>>>,
     /// Counter deltas accumulated during the phase.
     pub counters: CounterSnapshot,
 }
@@ -518,7 +532,7 @@ impl ScenarioOutcome {
         router: RouterId,
         prefix: Prefix,
     ) -> Option<&PathAttributes> {
-        self.phases.get(phase).and_then(|p| p.watched.get(&(router, prefix)))?.as_ref()
+        self.phases.get(phase).and_then(|p| p.watched.get(&(router, prefix)))?.as_deref()
     }
 
     /// Evaluates expectations; returns one message per violation (empty
@@ -661,6 +675,14 @@ pub fn build(spec: &ScenarioSpec) -> BuiltScenario {
         }
         TopologyTemplate::Generated { config, collector } => {
             let topo = generate(config);
+            let mut net = Network::from_topology(&topo, spec.sim.clone());
+            if let Some(c) = collector {
+                net.attach_collector(c.asn, &c.peers);
+            }
+            (net, Some(topo))
+        }
+        TopologyTemplate::GeneratedInternet { config, collector } => {
+            let topo = generate_internet(config);
             let mut net = Network::from_topology(&topo, spec.sim.clone());
             if let Some(c) = collector {
                 net.attach_collector(c.asn, &c.peers);

@@ -1,0 +1,191 @@
+//! Hash-consed [`PathAttributes`] interning.
+//!
+//! One attribute set announced to 75k neighbors should be one allocation,
+//! not 75k. [`AttrStore`] is the shared-ownership registry that makes that
+//! true: every distinct attribute set is held once behind an
+//! `Arc<PathAttributes>`, callers hold refcounted handles, and the store
+//! tracks the exact deep footprint of everything it retains.
+//!
+//! Grown out of the streaming classifier (PR 7), where it kept per-stream
+//! state constant; the simulator's RIBs now intern through the same store
+//! so that Adj-RIB-In, Loc-RIB, Adj-RIB-Out and in-flight messages all
+//! share one allocation per distinct attribute set.
+//!
+//! Refcounts are explicit (`Cell`, bumped on a shared `get_key_value`
+//! probe) rather than `Arc::strong_count` guesses, so callers retaining
+//! extra `Arc` clones (captures, in-flight events) never distort the
+//! byte accounting.
+
+use std::borrow::Borrow;
+use std::cell::Cell;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::attrs::PathAttributes;
+use crate::fast_hash::FastHashMap;
+
+/// Hash-consing key: an `Arc<PathAttributes>` that hashes and compares
+/// by **value**, and can be probed with a plain `&PathAttributes`
+/// (via `Borrow`) so lookups never allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArcAttrs(Arc<PathAttributes>);
+
+impl Hash for ArcAttrs {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (*self.0).hash(state);
+    }
+}
+
+impl Borrow<PathAttributes> for ArcAttrs {
+    fn borrow(&self) -> &PathAttributes {
+        &self.0
+    }
+}
+
+/// A hash-consed attribute store. Every distinct attribute set is held
+/// once; [`bytes`](Self::bytes) is the exact deep footprint of the
+/// distinct sets currently referenced by live slots.
+#[derive(Debug, Default)]
+pub struct AttrStore {
+    entries: FastHashMap<ArcAttrs, Cell<usize>>,
+    bytes: usize,
+}
+
+impl AttrStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical shared handle for `attrs`, refcount bumped. One hash
+    /// lookup when the value is already interned.
+    pub fn acquire(&mut self, attrs: &Arc<PathAttributes>) -> Arc<PathAttributes> {
+        if let Some((key, count)) = self.entries.get_key_value(&**attrs) {
+            count.set(count.get() + 1);
+            return Arc::clone(&key.0);
+        }
+        self.bytes += attrs.deep_footprint();
+        self.entries.insert(ArcAttrs(Arc::clone(attrs)), Cell::new(1));
+        Arc::clone(attrs)
+    }
+
+    /// Like [`acquire`](Self::acquire), but takes ownership — when the
+    /// value is new the caller's allocation becomes the canonical one
+    /// (no extra clone), and when it is already interned the caller's
+    /// copy is dropped in favor of the shared handle.
+    pub fn acquire_owned(&mut self, attrs: Arc<PathAttributes>) -> Arc<PathAttributes> {
+        if let Some((key, count)) = self.entries.get_key_value(&*attrs) {
+            count.set(count.get() + 1);
+            return Arc::clone(&key.0);
+        }
+        self.bytes += attrs.deep_footprint();
+        self.entries.insert(ArcAttrs(Arc::clone(&attrs)), Cell::new(1));
+        attrs
+    }
+
+    /// The canonical handle for a value-equal interned set, if any,
+    /// **without** bumping its refcount — for callers that want pointer
+    /// collapse on transient values (in-flight messages) but must not
+    /// retain a store reference they cannot release.
+    pub fn canonical(&self, attrs: &PathAttributes) -> Option<Arc<PathAttributes>> {
+        self.entries.get_key_value(attrs).map(|(key, _)| Arc::clone(&key.0))
+    }
+
+    /// Drops one reference; the entry (and its bytes) leave the store
+    /// when the last slot stops pointing at it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attrs` was never interned — releasing a handle the
+    /// store does not know about is a refcount bug at the call site.
+    pub fn release(&mut self, attrs: &Arc<PathAttributes>) {
+        let count = self.entries.get(&**attrs).expect("released attrs must be interned");
+        let n = count.get();
+        if n > 1 {
+            count.set(n - 1);
+        } else {
+            self.bytes -= attrs.deep_footprint();
+            self.entries.remove(&**attrs);
+        }
+    }
+
+    /// Exact deep footprint (bytes) of the distinct attribute sets the
+    /// store currently retains.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of distinct attribute sets currently interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(path: &str) -> Arc<PathAttributes> {
+        Arc::new(PathAttributes { as_path: path.parse().unwrap(), ..Default::default() })
+    }
+
+    #[test]
+    fn acquire_dedups_by_value() {
+        let mut store = AttrStore::new();
+        let a = store.acquire(&attrs("1 2 3"));
+        let b = store.acquire(&attrs("1 2 3"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn release_removes_on_last_handle() {
+        let mut store = AttrStore::new();
+        let a = store.acquire(&attrs("1 2"));
+        let b = store.acquire(&attrs("1 2"));
+        assert!(store.bytes() > 0);
+        store.release(&a);
+        assert_eq!(store.len(), 1);
+        store.release(&b);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.bytes(), 0);
+    }
+
+    #[test]
+    fn acquire_owned_keeps_callers_allocation_when_new() {
+        let mut store = AttrStore::new();
+        let fresh = attrs("6 5 4");
+        let ptr = Arc::as_ptr(&fresh);
+        let canonical = store.acquire_owned(fresh);
+        assert_eq!(Arc::as_ptr(&canonical), ptr);
+        // A second, value-equal allocation resolves to the first.
+        let again = store.acquire_owned(attrs("6 5 4"));
+        assert!(Arc::ptr_eq(&canonical, &again));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn bytes_track_distinct_sets_only() {
+        let mut store = AttrStore::new();
+        let a = store.acquire(&attrs("1"));
+        let one = store.bytes();
+        let _b = store.acquire(&attrs("1"));
+        assert_eq!(store.bytes(), one, "duplicate acquire adds no bytes");
+        let _c = store.acquire(&attrs("2 3"));
+        assert!(store.bytes() > one);
+        store.release(&a);
+        assert!(store.bytes() >= one, "one handle left keeps the entry");
+    }
+
+    #[test]
+    #[should_panic(expected = "released attrs must be interned")]
+    fn releasing_unknown_attrs_panics() {
+        let mut store = AttrStore::new();
+        store.release(&attrs("9 9"));
+    }
+}

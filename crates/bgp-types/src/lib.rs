@@ -46,6 +46,7 @@ pub mod community_set;
 pub mod extended;
 pub mod fast_hash;
 pub mod geo;
+pub mod intern;
 pub mod large;
 pub mod prefix;
 pub mod prefix_map;
@@ -60,6 +61,7 @@ pub use community_set::CommunitySet;
 pub use extended::ExtendedCommunity;
 pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use geo::{GeoScope, GeoTag};
+pub use intern::AttrStore;
 pub use large::LargeCommunity;
 pub use prefix::Prefix;
 pub use prefix_map::PrefixMap;

@@ -7,14 +7,11 @@
 //! the paper's Fig. 4 labels the first re-announcement after a withdrawal
 //! against the last announcement before it.
 
-use std::borrow::Borrow;
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashSet};
-use std::hash::{Hash, Hasher};
 use std::mem::size_of;
 use std::sync::Arc;
 
-use kcc_bgp_types::{FastHashMap, MessageKind, PathAttributes, Prefix, PrefixMap, RouteUpdate};
+use kcc_bgp_types::{AttrStore, MessageKind, PathAttributes, Prefix, PrefixMap, RouteUpdate};
 use kcc_collector::{ArchiveSource, PeerMeta, SessionKey, UpdateArchive};
 
 use crate::classify::{classify_pair, AnnouncementType, TypeCounts};
@@ -115,63 +112,6 @@ fn accumulate<'a, I: IntoIterator<Item = &'a ClassifiedEvent>>(c: &mut TypeCount
     }
 }
 
-/// Hash-consing key: an `Arc<PathAttributes>` that hashes and compares
-/// by **value**, and can be probed with a plain `&PathAttributes`
-/// (via `Borrow`) so lookups never allocate.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct ArcAttrs(Arc<PathAttributes>);
-
-impl Hash for ArcAttrs {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        (*self.0).hash(state);
-    }
-}
-
-impl Borrow<PathAttributes> for ArcAttrs {
-    fn borrow(&self) -> &PathAttributes {
-        &self.0
-    }
-}
-
-/// A per-session hash-consed attribute store. Every distinct attribute
-/// set is held once; `bytes` is the exact deep footprint of the distinct
-/// sets currently referenced by stream slots. Refcounts are explicit
-/// (`Cell`, bumped on a shared `get_key_value` probe) rather than
-/// `Arc::strong_count` guesses, so sinks retaining event `Arc`s never
-/// distort the accounting.
-#[derive(Debug, Default)]
-struct AttrStore {
-    entries: FastHashMap<ArcAttrs, Cell<usize>>,
-    bytes: usize,
-}
-
-impl AttrStore {
-    /// The canonical shared handle for `attrs`, refcount bumped. One hash
-    /// lookup when the value is already interned.
-    fn acquire(&mut self, attrs: &Arc<PathAttributes>) -> Arc<PathAttributes> {
-        if let Some((key, count)) = self.entries.get_key_value(&**attrs) {
-            count.set(count.get() + 1);
-            return Arc::clone(&key.0);
-        }
-        self.bytes += attrs.deep_footprint();
-        self.entries.insert(ArcAttrs(Arc::clone(attrs)), Cell::new(1));
-        Arc::clone(attrs)
-    }
-
-    /// Drops one reference; the entry (and its bytes) leave the store
-    /// when the last stream slot stops pointing at it.
-    fn release(&mut self, attrs: &Arc<PathAttributes>) {
-        let count = self.entries.get(&**attrs).expect("released attrs must be interned");
-        let n = count.get();
-        if n > 1 {
-            count.set(n - 1);
-        } else {
-            self.bytes -= attrs.deep_footprint();
-            self.entries.remove(&**attrs);
-        }
-    }
-}
-
 /// Fixed per-stream cost beyond the (shared) attributes: the trie slot's
 /// key and its `Arc` handle.
 const PER_STREAM_OVERHEAD: usize = size_of::<Prefix>() + size_of::<Arc<PathAttributes>>();
@@ -204,7 +144,7 @@ impl StreamClassifier {
     /// community families, at allocated capacity) counted once, plus a
     /// fixed per-stream slot overhead.
     pub fn state_bytes(&self) -> usize {
-        self.store.bytes + self.last.len() * PER_STREAM_OVERHEAD
+        self.store.bytes() + self.last.len() * PER_STREAM_OVERHEAD
     }
 
     /// Recomputes [`state_bytes`](Self::state_bytes) from scratch by

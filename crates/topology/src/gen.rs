@@ -327,6 +327,282 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
     topo
 }
 
+/// Internet-scale generator configuration (see [`generate_internet`]).
+///
+/// Unlike [`TopologyConfig`]'s dense three-tier lab, this builds a sparse
+/// power-law AS graph: a tier-1 clique at the core, a transit hierarchy
+/// grown by preferential attachment (rich ISPs attract more customers), a
+/// degree-weighted peering mesh among transits, and single-router stub
+/// leaves numbered from the 32-bit ASN space. Every edge carries a
+/// [`Relationship`] annotation, from which `Network::from_topology`
+/// derives Gao–Rexford import local-prefs and valley-free export filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternetConfig {
+    /// RNG seed; equal seeds give equal topologies.
+    pub seed: u64,
+    /// Total AS count (tier-1 + transit + stub). The beacon origin is
+    /// added on top when `with_beacon_origin` is set.
+    pub n_ases: usize,
+    /// Tier-1 clique size.
+    pub n_tier1: usize,
+    /// Fraction of ASes that provide transit.
+    pub transit_share: f64,
+    /// Multi-homing cap: each customer AS buys from 1..=`max_providers`
+    /// upstreams.
+    pub max_providers: usize,
+    /// Expected peering links per transit AS.
+    pub peering_per_transit: f64,
+    /// Community behavior mix.
+    pub behavior_mix: BehaviorMix,
+    /// If true, adds beacon origin AS12654 dual-homed to two transits.
+    pub with_beacon_origin: bool,
+    /// Beacon prefixes originated from AS12654.
+    pub beacon_prefixes: Vec<Prefix>,
+}
+
+impl InternetConfig {
+    /// A configuration targeting approximately `n_ases` total ASes with
+    /// the default shape parameters.
+    pub fn sized(n_ases: usize, seed: u64) -> Self {
+        InternetConfig { seed, n_ases, ..Default::default() }
+    }
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            seed: 42,
+            n_ases: 10_000,
+            n_tier1: 8,
+            transit_share: 0.15,
+            max_providers: 3,
+            peering_per_transit: 1.5,
+            behavior_mix: BehaviorMix::default(),
+            with_beacon_origin: true,
+            beacon_prefixes: vec!["84.205.64.0/24".parse().expect("literal prefix")],
+        }
+    }
+}
+
+/// O(1) preferential attachment. A provider occupies one baseline slot
+/// plus one slot per customer edge it has attracted, so sampling a
+/// uniform slot implements "probability proportional to degree + 1"
+/// without the O(edges) weight scan of [`pick_preferential`] — the
+/// difference between milliseconds and hours at 75k ASes.
+struct AttachmentList {
+    slots: Vec<u32>,
+}
+
+impl AttachmentList {
+    fn new() -> Self {
+        AttachmentList { slots: Vec::new() }
+    }
+
+    /// Registers candidate `idx` with its baseline slot.
+    fn add_candidate(&mut self, idx: u32) {
+        self.slots.push(idx);
+    }
+
+    /// Records that candidate `idx` attracted one more edge.
+    fn record(&mut self, idx: u32) {
+        self.slots.push(idx);
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> u32 {
+        self.slots[rng.gen_range(0..self.slots.len())]
+    }
+}
+
+/// Allocates the `i`-th internet stub's /24 deterministically: the stub
+/// index packed into the middle octets starting at 2.0.0.0/24, disjoint
+/// from the lab generator's 1.x.y.0/24 pool.
+fn internet_stub_prefix(i: usize) -> Prefix {
+    let hi = 2 + (i >> 16) as u8;
+    Prefix::v4_unchecked(hi, ((i >> 8) & 0xFF) as u8, (i & 0xFF) as u8, 0, 24)
+}
+
+/// First ASN of the 32-bit stub plane (the first real-world 4-byte RIR
+/// allocation), exercising the high [`AsNode::router_ip`] address plane.
+pub const INTERNET_STUB_BASE_ASN: u32 = 131_072;
+
+/// Generates an internet-like topology: power-law customer trees under a
+/// tier-1 clique, a peering mesh among transits, and an optional beacon
+/// origin. Runs in O(ASes + edges); 75k ASes generate in well under a
+/// second.
+pub fn generate_internet(cfg: &InternetConfig) -> Topology {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut topo = Topology::new();
+
+    let n_tier1 = cfg.n_tier1.clamp(2, TIER1_POOL.len() + 92);
+    let n_transit = (((cfg.n_ases as f64) * cfg.transit_share) as usize).max(2);
+    let n_stub = cfg.n_ases.saturating_sub(n_tier1 + n_transit);
+    let max_providers = cfg.max_providers.max(1);
+
+    // Transit-capable providers in creation order; `upstream` samples
+    // over their indexes preferentially.
+    let mut providers: Vec<Asn> = Vec::with_capacity(n_tier1 + n_transit);
+    let mut upstream = AttachmentList::new();
+
+    // Tier-1 clique.
+    for i in 0..n_tier1 {
+        let asn = Asn(*TIER1_POOL.get(i).unwrap_or(&(100 + i as u32)));
+        let home = random_continent(&mut rng);
+        let routers = make_routers(&mut rng, 3, home, true);
+        topo.add_node(AsNode {
+            asn,
+            tier: Tier::Tier1,
+            igp: IgpMap::ring(routers.len() as u16),
+            routers,
+            behavior: assign_behavior(&mut rng, Tier::Tier1, &cfg.behavior_mix),
+            prefixes: Vec::new(),
+            route_server: false,
+        });
+        upstream.add_candidate(providers.len() as u32);
+        providers.push(asn);
+    }
+    for i in 0..n_tier1 {
+        for j in i + 1..n_tier1 {
+            let (a, b) = (providers[i], providers[j]);
+            let ar = rng.gen_range(0..topo.node(a).expect("node").routers.len() as u16);
+            let br = rng.gen_range(0..topo.node(b).expect("node").routers.len() as u16);
+            topo.add_edge(AsEdge { a, b, rel: Relationship::PeerPeer, a_router: ar, b_router: br });
+        }
+    }
+
+    // Transit hierarchy. Each transit buys from ASes created before it
+    // (tier-1s and earlier transits), so customer-provider edges form a
+    // DAG and preferential attachment yields a power-law degree
+    // distribution with hierarchy depth.
+    let mut transit_asns: Vec<Asn> = Vec::with_capacity(n_transit);
+    let mut peer_slots = AttachmentList::new();
+    for i in 0..n_transit {
+        // Skip AS_TRANS (23456), which is reserved.
+        let v = 20_000 + i as u32;
+        let asn = Asn(if v >= 23_456 { v + 1 } else { v });
+        let home = random_continent(&mut rng);
+        let n_routers = if rng.gen_bool(0.3) { 2 } else { 1 };
+        let routers = make_routers(&mut rng, n_routers, home, true);
+        topo.add_node(AsNode {
+            asn,
+            tier: Tier::Transit,
+            igp: IgpMap::ring(n_routers),
+            routers,
+            behavior: assign_behavior(&mut rng, Tier::Transit, &cfg.behavior_mix),
+            prefixes: Vec::new(),
+            route_server: false,
+        });
+        attach_customer(&mut rng, &mut topo, asn, &providers, &mut upstream, max_providers);
+        upstream.add_candidate(providers.len() as u32);
+        providers.push(asn);
+        peer_slots.add_candidate(i as u32);
+        transit_asns.push(asn);
+    }
+
+    // Degree-weighted peering mesh among transits (IXP-style: the more
+    // peers a transit already has, the likelier it attracts another).
+    let target_links = ((n_transit as f64) * cfg.peering_per_transit / 2.0).round() as usize;
+    let mut linked: std::collections::BTreeSet<(Asn, Asn)> = std::collections::BTreeSet::new();
+    let mut made = 0usize;
+    let mut attempts = 0usize;
+    while made < target_links && attempts < target_links.saturating_mul(10) {
+        attempts += 1;
+        let ai = peer_slots.pick(&mut rng) as usize;
+        let bi = peer_slots.pick(&mut rng) as usize;
+        if ai == bi {
+            continue;
+        }
+        let (a, b) = (transit_asns[ai], transit_asns[bi]);
+        let pair = (a.min(b), a.max(b));
+        if !linked.insert(pair) {
+            continue;
+        }
+        let ar = rng.gen_range(0..topo.node(a).expect("node").routers.len() as u16);
+        let br = rng.gen_range(0..topo.node(b).expect("node").routers.len() as u16);
+        topo.add_edge(AsEdge { a, b, rel: Relationship::PeerPeer, a_router: ar, b_router: br });
+        peer_slots.record(ai as u32);
+        peer_slots.record(bi as u32);
+        made += 1;
+    }
+
+    // Stub leaves, numbered from the 32-bit ASN plane.
+    for i in 0..n_stub {
+        let asn = Asn(INTERNET_STUB_BASE_ASN + i as u32);
+        let home = random_continent(&mut rng);
+        topo.add_node(AsNode {
+            asn,
+            tier: Tier::Stub,
+            routers: vec![RouterSpec { index: 0, location: random_location(&mut rng, home) }],
+            igp: IgpMap::ring(1),
+            behavior: assign_behavior(&mut rng, Tier::Stub, &cfg.behavior_mix),
+            prefixes: vec![internet_stub_prefix(i)],
+            route_server: false,
+        });
+        attach_customer(&mut rng, &mut topo, asn, &providers, &mut upstream, max_providers);
+    }
+
+    // Beacon origin: AS12654 dual-homed to two transits so withdrawals
+    // trigger path exploration, exactly like the lab generator.
+    if cfg.with_beacon_origin && transit_asns.len() >= 2 {
+        topo.add_node(AsNode {
+            asn: BEACON_ORIGIN_ASN,
+            tier: Tier::Stub,
+            routers: vec![RouterSpec { index: 0, location: random_location(&mut rng, 4) }],
+            igp: IgpMap::ring(1),
+            behavior: CommunityBehavior::BLIND_PROPAGATOR,
+            prefixes: cfg.beacon_prefixes.clone(),
+            route_server: false,
+        });
+        for &p in &transit_asns[..2] {
+            let pr = rng.gen_range(0..topo.node(p).expect("node").routers.len() as u16);
+            topo.add_edge(AsEdge {
+                a: BEACON_ORIGIN_ASN,
+                b: p,
+                rel: Relationship::CustomerProvider,
+                a_router: 0,
+                b_router: pr,
+            });
+        }
+    }
+
+    topo
+}
+
+/// Buys transit for `customer` from 1..=`max_providers` distinct
+/// upstreams picked preferentially from `upstream` (candidates are all
+/// created before `customer`, so the customer cone stays acyclic).
+fn attach_customer(
+    rng: &mut StdRng,
+    topo: &mut Topology,
+    customer: Asn,
+    providers: &[Asn],
+    upstream: &mut AttachmentList,
+    max_providers: usize,
+) {
+    let want = (1 + rng.gen_range(0..max_providers)).min(providers.len());
+    let c_routers = topo.node(customer).expect("customer node").routers.len() as u16;
+    let mut chosen: Vec<u32> = Vec::with_capacity(want);
+    let mut attempts = 0;
+    while chosen.len() < want && attempts < want * 8 {
+        attempts += 1;
+        let slot = upstream.pick(rng);
+        if chosen.contains(&slot) {
+            continue;
+        }
+        chosen.push(slot);
+        let p = providers[slot as usize];
+        let pr = rng.gen_range(0..topo.node(p).expect("provider node").routers.len() as u16);
+        let cr = if c_routers > 1 { rng.gen_range(0..c_routers) } else { 0 };
+        topo.add_edge(AsEdge {
+            a: customer,
+            b: p,
+            rel: Relationship::CustomerProvider,
+            a_router: cr,
+            b_router: pr,
+        });
+        upstream.record(slot);
+    }
+}
+
 /// Adds a customer-provider link (customer `c`, provider `p`), possibly
 /// with a parallel second link at a different provider router.
 fn add_cp_links(rng: &mut StdRng, topo: &mut Topology, c: Asn, p: Asn, parallel_prob: f64) {
@@ -509,5 +785,99 @@ mod tests {
         for n in t.nodes() {
             assert!(n.asn.is_allocatable(), "AS {} not allocatable", n.asn);
         }
+    }
+
+    #[test]
+    fn internet_deterministic_and_sized() {
+        let cfg = InternetConfig::sized(500, 7);
+        let a = generate_internet(&cfg);
+        let b = generate_internet(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edges(), b.edges());
+        // tier-1 + transit + stub + beacon origin
+        assert_eq!(a.node_count(), 500 + 1);
+    }
+
+    #[test]
+    fn internet_every_non_tier1_has_provider() {
+        let t = generate_internet(&InternetConfig::sized(400, 3));
+        for n in t.nodes().filter(|n| n.tier != Tier::Tier1) {
+            let has_provider = t
+                .neighbors(n.asn)
+                .iter()
+                .any(|&nb| t.neighbor_kind(n.asn, nb) == Some(RouteSource::Provider));
+            assert!(has_provider, "{:?} {} lacks a provider", n.tier, n.asn);
+        }
+    }
+
+    #[test]
+    fn internet_degree_distribution_is_skewed() {
+        // Preferential attachment must concentrate customers: the busiest
+        // provider ends up with many times the median provider's degree.
+        let t = generate_internet(&InternetConfig::sized(1_000, 11));
+        let mut degrees: Vec<usize> =
+            t.nodes().filter(|n| n.tier != Tier::Stub).map(|n| t.edges_of(n.asn).count()).collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        let max = *degrees.last().unwrap();
+        assert!(max >= median * 4, "no power-law skew: median {median}, max {max}");
+    }
+
+    #[test]
+    fn internet_stubs_use_32bit_asn_plane() {
+        let t = generate_internet(&InternetConfig::sized(300, 5));
+        let stubs: Vec<_> =
+            t.nodes().filter(|n| n.tier == Tier::Stub && n.asn != BEACON_ORIGIN_ASN).collect();
+        assert!(!stubs.is_empty());
+        for s in &stubs {
+            assert!(s.asn.value() >= INTERNET_STUB_BASE_ASN, "stub {} below 32-bit plane", s.asn);
+            assert!(s.asn.is_allocatable(), "stub {} not allocatable", s.asn);
+            // The high router_ip plane keeps loopbacks collision-free.
+            assert!(s.router_ip(0).octets()[0] >= 240);
+            assert_eq!(s.prefixes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn internet_beacon_dual_homed() {
+        let t = generate_internet(&InternetConfig::sized(200, 1));
+        let b = t.node(BEACON_ORIGIN_ASN).expect("beacon origin");
+        assert_eq!(b.prefixes[0].to_string(), "84.205.64.0/24");
+        let providers = t
+            .neighbors(BEACON_ORIGIN_ASN)
+            .iter()
+            .filter(|&&nb| t.neighbor_kind(BEACON_ORIGIN_ASN, nb) == Some(RouteSource::Provider))
+            .count();
+        assert_eq!(providers, 2, "beacon origin must be dual-homed");
+    }
+
+    #[test]
+    fn internet_peering_mesh_present() {
+        let t = generate_internet(&InternetConfig::sized(600, 9));
+        let transit_peerings = t
+            .edges()
+            .iter()
+            .filter(|e| {
+                e.rel == Relationship::PeerPeer
+                    && t.node(e.a).is_some_and(|n| n.tier == Tier::Transit)
+            })
+            .count();
+        assert!(transit_peerings > 0, "expected transit-transit peerings");
+    }
+
+    #[test]
+    fn internet_10k_generates_quickly() {
+        // O(ASes + edges): a 10k-AS graph must come out in well under a
+        // second even on slow CI (the old O(edges)-per-pick generator
+        // would take minutes here).
+        let start = std::time::Instant::now();
+        let t = generate_internet(&InternetConfig::sized(10_000, 42));
+        assert_eq!(t.node_count(), 10_001);
+        assert!(t.edges().len() > 10_000, "graph too sparse: {} edges", t.edges().len());
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "generation took {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -30,7 +30,7 @@ pub mod model;
 pub mod relationship;
 
 pub use behavior::{BehaviorMix, CommunityBehavior};
-pub use gen::{generate, TopologyConfig};
+pub use gen::{generate, generate_internet, InternetConfig, TopologyConfig};
 pub use igp::IgpMap;
 pub use model::{AsEdge, AsNode, RouterId, RouterSpec, Tier, Topology};
 pub use relationship::{may_export, Relationship, RouteSource};

@@ -95,10 +95,31 @@ impl AsNode {
     }
 
     /// A deterministic, unique loopback/identifier address for a router.
-    /// Generated ASNs stay below 65536 so the mapping cannot collide.
+    ///
+    /// 16-bit ASNs map into `10.0.0.0/8`; 32-bit ASNs map into the
+    /// class-E `240.0.0.0/4` plane, which the low mapping can never
+    /// produce, so the two schemes are collision-free against each other.
+    /// The high plane packs `(asn - 65536) * 32 + index` into 28 bits:
+    /// unique for up to ~8.4M 32-bit ASNs with up to 32 routers each,
+    /// far beyond what the internet-scale generator allocates.
     pub fn router_ip(&self, index: u16) -> Ipv4Addr {
         let a = self.asn.value();
-        Ipv4Addr::new(10, ((a >> 8) & 0xFF) as u8, (a & 0xFF) as u8, (index as u8).wrapping_add(1))
+        if a < 0x1_0000 {
+            Ipv4Addr::new(
+                10,
+                ((a >> 8) & 0xFF) as u8,
+                (a & 0xFF) as u8,
+                (index as u8).wrapping_add(1),
+            )
+        } else {
+            let flat = (a - 0x1_0000) * 32 + u32::from(index % 32);
+            Ipv4Addr::new(
+                240 + ((flat >> 24) & 0x0F) as u8,
+                ((flat >> 16) & 0xFF) as u8,
+                ((flat >> 8) & 0xFF) as u8,
+                (flat & 0xFF) as u8,
+            )
+        }
     }
 
     /// The [`RouterId`] of router `index`.
@@ -349,6 +370,24 @@ mod tests {
         assert_ne!(n.router_ip(0), n.router_ip(1));
         let m = t.node(Asn(12_654)).unwrap();
         assert_ne!(n.router_ip(0), m.router_ip(0));
+    }
+
+    #[test]
+    fn router_ip_32bit_plane_disjoint_and_unique() {
+        // 32-bit ASNs land in 240/4, which the 16-bit mapping (10/8)
+        // never produces; neighbors in the dense allocation don't collide.
+        let mut seen = std::collections::BTreeSet::new();
+        for asn in [131_072u32, 131_073, 131_074, 200_000, 206_071] {
+            let node = AsNode::simple(Asn(asn), Tier::Stub, tag());
+            for index in [0u16, 1, 31] {
+                let ip = node.router_ip(index);
+                assert!(ip.octets()[0] >= 240, "AS{asn} must map into 240/4, got {ip}");
+                assert!(seen.insert(ip), "collision at AS{asn} router {index}: {ip}");
+            }
+        }
+        // And the low plane stays where it was.
+        let low = AsNode::simple(Asn(65_535), Tier::Stub, tag());
+        assert_eq!(low.router_ip(0).octets()[0], 10);
     }
 
     #[test]

@@ -148,7 +148,9 @@ pub fn dump_rib(
     let mut by_prefix: BTreeMap<kcc_bgp_types::Prefix, Vec<RibEntry>> = BTreeMap::new();
     for ((sid, prefix), entry) in router.adj_rib_in() {
         let Some(&peer_index) = index_of_session.get(&sid.0) else { continue };
-        let mut attrs = entry.attrs.clone();
+        // The MRT archive mutates next hops per prefix family, so this is
+        // one of the few places that deep-copies out of the interned store.
+        let mut attrs = kcc_bgp_types::PathAttributes::clone(&entry.attrs);
         // TABLE_DUMP_V2 carries IPv6 next hops for IPv6 prefixes; the
         // simulator's v4 router addresses become v4-mapped v6 addresses,
         // exactly as the MRT encoder will serialize them.
@@ -157,7 +159,7 @@ pub fn dump_rib(
                 attrs.next_hop = std::net::IpAddr::V6(v4.to_ipv6_mapped());
             }
         }
-        by_prefix.entry(*prefix).or_default().push(RibEntry {
+        by_prefix.entry(prefix).or_default().push(RibEntry {
             peer_index,
             originated_time: timestamp_seconds,
             attrs,

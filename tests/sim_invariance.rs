@@ -1,0 +1,175 @@
+//! Arena-layout invariance properties for the simulator core.
+//!
+//! The router arena addresses routers by insertion slot, sessions by
+//! `(Asn, Asn)` index, and RIBs by hash maps over interned attribute
+//! handles — none of which may leak into observable outcomes. These
+//! properties pin that: the same declared network, with routers inserted
+//! in *any* order (i.e. any arena layout), must produce byte-identical
+//! captures, identical [`NetStats`](keep_communities_clean::sim::network::NetStats)
+//! and the same `run_until_quiet` quiescence time.
+//!
+//! The companion regression for real-world traces is `tests/golden_lab.rs`:
+//! the Exp1–4 golden fixtures must stay byte-identical across engine
+//! refactors.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use proptest::prelude::*;
+
+use keep_communities_clean::sim::{
+    ExportPolicy, ImportPolicy, Network, Router, Session, SessionId, SessionKind, SimConfig,
+    SimDuration, SimTime, VendorProfile,
+};
+use keep_communities_clean::topology::{IgpMap, RouteSource, RouterId};
+use keep_communities_clean::types::{Asn, PathAttributes, Prefix};
+
+/// The declared network, independent of any insertion order.
+struct Decl {
+    n_routers: usize,
+    /// Customer-provider edges `(customer, provider)` with provider
+    /// always the lower index, so the relationship graph is acyclic.
+    edges: Vec<(usize, usize)>,
+}
+
+impl Decl {
+    /// A connected hierarchy: router `i > 0` buys transit from some
+    /// `parent(i) < i`; extra edges add multi-homing.
+    fn build(n_routers: usize, parents: &[usize], extras: &[(usize, usize)]) -> Decl {
+        let mut edges = Vec::new();
+        for i in 1..n_routers {
+            edges.push((i, parents[i - 1] % i));
+        }
+        for &(a, b) in extras {
+            let (c, p) = (a % n_routers, b % n_routers);
+            if p < c && !edges.contains(&(c, p)) {
+                edges.push((c, p));
+            }
+        }
+        Decl { n_routers, edges }
+    }
+
+    fn router(&self, i: usize) -> Router {
+        let id = RouterId { asn: Asn(100 + i as u32), index: 0 };
+        let ip = IpAddr::V4(Ipv4Addr::new(10, 1, i as u8, 1));
+        let mut r = Router::new(id, ip, VendorProfile::BIRD_2, IgpMap::ring(1));
+        // Router 0 (the hierarchy root) is the observation point: a
+        // collector records every message arriving at it.
+        r.is_collector = i == 0;
+        r
+    }
+
+    fn sessions(&self) -> Vec<Session> {
+        self.edges
+            .iter()
+            .map(|&(c, p)| {
+                let customer = RouterId { asn: Asn(100 + c as u32), index: 0 };
+                let provider = RouterId { asn: Asn(100 + p as u32), index: 0 };
+                Session {
+                    id: SessionId(0),
+                    kind: SessionKind::Ebgp,
+                    a: customer,
+                    b: provider,
+                    a_import: ImportPolicy::for_neighbor(RouteSource::Provider),
+                    a_export: ExportPolicy::default(),
+                    b_import: ImportPolicy::for_neighbor(RouteSource::Customer),
+                    b_export: ExportPolicy::default(),
+                    a_view_of_b: Some(RouteSource::Provider),
+                    b_view_of_a: Some(RouteSource::Customer),
+                    delay: SimDuration::from_micros(1_000 + (c * 37 + p * 11) as u64),
+                    up: true,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the network inserting routers in `order`; sessions are
+    /// always added in declaration order (session ids are part of the
+    /// declared network, not of the layout).
+    fn network(&self, order: &[usize]) -> Network {
+        let mut net = Network::new(SimConfig::default());
+        for &i in order {
+            net.add_router(self.router(i));
+        }
+        for s in self.sessions() {
+            net.add_session(s);
+        }
+        net
+    }
+}
+
+/// Runs the announce → quiesce → withdraw → quiesce protocol and returns
+/// every observable: quiescence times, stats, the collector capture, and
+/// each router's best route for the prefix.
+#[allow(clippy::type_complexity)]
+fn observe(
+    decl: &Decl,
+    order: &[usize],
+) -> (Vec<SimTime>, (u64, u64, u64), Vec<String>, Vec<Option<PathAttributes>>) {
+    let mut net = decl.network(order);
+    let prefix: Prefix = "84.205.64.0/24".parse().expect("literal prefix");
+    let origin = RouterId { asn: Asn(100 + (decl.n_routers - 1) as u32), index: 0 };
+    net.schedule_announce(SimTime::ZERO, origin, prefix);
+    let t1 = net.run_until_quiet();
+    net.schedule_withdraw(t1 + SimDuration::from_secs(5), origin, prefix);
+    let t2 = net.run_until_quiet();
+    let collector = RouterId { asn: Asn(100), index: 0 };
+    let captured = net
+        .capture(collector)
+        .map(|c| c.entries().iter().map(|e| format!("{e:?}")).collect())
+        .unwrap_or_default();
+    let bests = (0..decl.n_routers)
+        .map(|i| {
+            let id = RouterId { asn: Asn(100 + i as u32), index: 0 };
+            net.router(id).and_then(|r| r.best_route(&prefix)).map(|e| (*e.attrs).clone())
+        })
+        .collect();
+    let s = &net.stats;
+    (vec![t1, t2], (s.events_processed, s.messages_delivered, s.messages_dropped), captured, bests)
+}
+
+/// Deterministic shuffle of `0..n` from a seed (SplitMix64 steps).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let j = ((z ^ (z >> 31)) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #[test]
+    fn outcome_invariant_under_arena_layout(
+        n_routers in 3usize..9,
+        parents in proptest::collection::vec(0usize..8, 8..9),
+        extras in proptest::collection::vec((0usize..9, 0usize..9), 0..4),
+        shuffle_seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let decl = Decl::build(n_routers, &parents, &extras);
+        let natural: Vec<usize> = (0..n_routers).collect();
+        let shuffled = permutation(n_routers, shuffle_seed);
+
+        let a = observe(&decl, &natural);
+        let b = observe(&decl, &shuffled);
+
+        prop_assert_eq!(&a.0, &b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(&a.2, &b.2);
+        prop_assert_eq!(&a.3, &b.3);
+    }
+}
+
+/// The reverse layout is the adversarial case for slot-index ordering
+/// bugs; pin it explicitly alongside the randomized property.
+#[test]
+fn reverse_insertion_matches_natural() {
+    let decl = Decl::build(6, &[0, 1, 1, 2, 0], &[(4, 1), (5, 2)]);
+    let natural: Vec<usize> = (0..6).collect();
+    let reversed: Vec<usize> = (0..6).rev().collect();
+    assert_eq!(observe(&decl, &natural).2, observe(&decl, &reversed).2);
+}
